@@ -1,0 +1,496 @@
+//! The Cover Tree of Beygelzimer, Kakade & Langford (ICML 2006).
+//!
+//! This is the comparison structure of the paper's §7.4 / Table 3: a deep
+//! metric tree whose query time is `O(c⁶ log n)` in the expansion rate `c`.
+//! The implementation follows the original insertion and k-NN search
+//! algorithms:
+//!
+//! * every node lives at an integer *level* `i` and covers its subtree
+//!   within radius `2^{i+1}`;
+//! * children of a level-`i` node live at level `i − 1` and are within
+//!   `2^i` of their parent (the *covering* invariant);
+//! * nodes at the same level are at least `2^i` apart (the *separation*
+//!   invariant, maintained by the insertion rule).
+//!
+//! Search descends level by level keeping a cover set `Q_i`, pruning any
+//! node whose distance exceeds `d_k(Q) + 2^i` — an interleaved sequence of
+//! distance computations, bound updates, and data-dependent branching that
+//! is exactly the "conditional computation" the RBC paper argues is hard to
+//! map onto manycore hardware.
+
+use rbc_bruteforce::{Neighbor, TopK};
+use rbc_metric::{Dataset, Dist, Metric};
+
+/// A node of the cover tree, stored in an arena.
+#[derive(Clone, Debug)]
+struct Node {
+    /// Index of the point in the underlying dataset.
+    point: usize,
+    /// Level of this node.
+    level: i32,
+    /// Arena indices of the children (all at `level - 1` or below via
+    /// implicit self-children created lazily).
+    children: Vec<usize>,
+}
+
+/// An exact Cover Tree index over a dataset.
+#[derive(Clone, Debug)]
+pub struct CoverTree<D, M> {
+    db: D,
+    metric: M,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    /// Distance evaluations spent during construction.
+    build_distance_evals: u64,
+    /// Lowest level at which any explicit node lives.
+    min_level: i32,
+}
+
+impl<D, M> CoverTree<D, M>
+where
+    D: Dataset,
+    M: Metric<D::Item>,
+{
+    /// Builds a cover tree by inserting every point of `db` in order.
+    ///
+    /// # Panics
+    /// Panics if `db` is empty.
+    pub fn build(db: D, metric: M) -> Self {
+        let n = db.len();
+        assert!(n > 0, "cannot build a cover tree over an empty database");
+        let mut tree = Self {
+            db,
+            metric,
+            nodes: Vec::with_capacity(n),
+            root: None,
+            build_distance_evals: 0,
+            min_level: i32::MAX,
+        };
+        for p in 0..n {
+            tree.insert(p);
+        }
+        tree
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree indexes no points (never the case after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Distance evaluations spent building the tree.
+    pub fn build_distance_evals(&self) -> u64 {
+        self.build_distance_evals
+    }
+
+    /// The level of the root node.
+    pub fn root_level(&self) -> i32 {
+        self.root.map(|r| self.nodes[r].level).unwrap_or(0)
+    }
+
+    /// Maximum depth (number of explicit levels) of the tree.
+    pub fn depth(&self) -> usize {
+        if self.root.is_none() {
+            0
+        } else {
+            (self.root_level() - self.min_level + 1).max(1) as usize
+        }
+    }
+
+    fn dist_to(&self, evals: &mut u64, q: &D::Item, point: usize) -> Dist {
+        *evals += 1;
+        self.metric.dist(q, self.db.get(point))
+    }
+
+    fn insert(&mut self, point: usize) {
+        let Some(root_id) = self.root else {
+            // First point becomes the root at an arbitrary level; it is
+            // adjusted upward as farther points arrive.
+            self.nodes.push(Node {
+                point,
+                level: 0,
+                children: Vec::new(),
+            });
+            self.root = Some(0);
+            self.min_level = 0;
+            return;
+        };
+
+        let mut evals = 0u64;
+        let root_point = self.nodes[root_id].point;
+        let d_root = self.dist_to(&mut evals, self.db.get(point), root_point);
+
+        if d_root == 0.0 {
+            // Duplicate of the root: attach directly beneath it.
+            let child_level = self.nodes[root_id].level - 1;
+            let id = self.nodes.len();
+            self.nodes.push(Node {
+                point,
+                level: child_level,
+                children: Vec::new(),
+            });
+            self.nodes[root_id].children.push(id);
+            self.min_level = self.min_level.min(child_level);
+            self.build_distance_evals += evals;
+            return;
+        }
+
+        // Raise the root level until the new point is within the root's
+        // covering radius 2^{level}.
+        let needed_level = d_root.log2().ceil() as i32;
+        if needed_level > self.nodes[root_id].level {
+            self.nodes[root_id].level = needed_level;
+        }
+
+        let root_level = self.nodes[root_id].level;
+        // Descend with the cover-set insertion algorithm. `cover` holds the
+        // nodes considered "present" at the current level through implicit
+        // self-children; the invariant on entry to each iteration is that
+        // every member is within 2^{level} of the new point.
+        let mut cover: Vec<(usize, Dist)> = vec![(root_id, d_root)];
+        let mut level = root_level;
+        // The deepest (node, level) pair such that the node covers the new
+        // point at that level; the point becomes its child one level below.
+        let mut parent: (usize, i32) = (root_id, root_level);
+
+        loop {
+            // Candidates for level - 1: the current cover (self-children)
+            // plus explicit children living exactly at level - 1. Children
+            // at deeper levels are reached when the descent gets there,
+            // provided their parent survives the covering filter.
+            let mut next: Vec<(usize, Dist)> = Vec::with_capacity(cover.len() * 2);
+            for &(node_id, d) in &cover {
+                next.push((node_id, d));
+                let child_ids = self.nodes[node_id].children.clone();
+                for child_id in child_ids {
+                    if self.nodes[child_id].level == level - 1 {
+                        let dc =
+                            self.dist_to(&mut evals, self.db.get(point), self.nodes[child_id].point);
+                        next.push((child_id, dc));
+                    }
+                }
+            }
+
+            let closest = next
+                .iter()
+                .copied()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .expect("cover set is never empty here");
+
+            if closest.1 == 0.0 {
+                // Exact duplicate of an indexed point: hang it directly
+                // beneath that node.
+                parent = (closest.0, level - 1);
+                break;
+            }
+            let child_radius = exp2(level - 1);
+            if closest.1 > child_radius {
+                // No node covers the point at level - 1; it becomes a child
+                // of the deepest covering node found so far.
+                break;
+            }
+            parent = (closest.0, level - 1);
+            next.retain(|&(_, d)| d <= child_radius);
+            cover = next;
+            level -= 1;
+        }
+
+        let (parent_id, parent_level) = parent;
+        let child_level = parent_level - 1;
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            point,
+            level: child_level,
+            children: Vec::new(),
+        });
+        self.nodes[parent_id].children.push(id);
+        self.min_level = self.min_level.min(child_level);
+        self.build_distance_evals += evals;
+    }
+
+    /// Exact nearest neighbor of `query`, with the number of distance
+    /// evaluations performed.
+    pub fn query(&self, query: &D::Item) -> (Neighbor, u64) {
+        let (mut knn, evals) = self.query_k(query, 1);
+        (knn.pop().unwrap_or_else(Neighbor::farthest), evals)
+    }
+
+    /// Exact `k` nearest neighbors of `query`, sorted by ascending
+    /// distance, with the number of distance evaluations performed.
+    pub fn query_k(&self, query: &D::Item, k: usize) -> (Vec<Neighbor>, u64) {
+        assert!(k > 0, "k must be at least 1");
+        let mut evals = 0u64;
+        let Some(root_id) = self.root else {
+            return (Vec::new(), 0);
+        };
+
+        let mut topk = TopK::new(k);
+        let d_root = self.dist_to(&mut evals, query, self.nodes[root_id].point);
+        topk.push(Neighbor::new(self.nodes[root_id].point, d_root));
+
+        // Cover set of (node, distance) pairs, descended level by level.
+        let mut cover: Vec<(usize, Dist)> = vec![(root_id, d_root)];
+        let mut level = self.nodes[root_id].level;
+
+        while level >= self.min_level && !cover.is_empty() {
+            // Expand all children at the next level down (plus implicit
+            // self-children).
+            let mut next: Vec<(usize, Dist)> = Vec::with_capacity(cover.len() * 2);
+            for &(node_id, d) in &cover {
+                next.push((node_id, d));
+                for &child_id in &self.nodes[node_id].children {
+                    if self.nodes[child_id].level == level - 1 {
+                        let dc = self.dist_to(&mut evals, query, self.nodes[child_id].point);
+                        topk.push(Neighbor::new(self.nodes[child_id].point, dc));
+                        next.push((child_id, dc));
+                    } else {
+                        // Deeper child: keep the parent in the set until the
+                        // descent reaches that level. The parent entry
+                        // already covers it.
+                        next.push((node_id, d));
+                    }
+                }
+            }
+
+            // Prune: a node at level (level - 1) can still lead to an
+            // improvement only if d(q, node) <= d_k + 2^{level}, because its
+            // subtree lies within 2^{level} of it.
+            let d_k = topk.threshold();
+            let bound = if d_k.is_finite() {
+                d_k + exp2(level)
+            } else {
+                Dist::INFINITY
+            };
+            next.retain(|&(_, d)| d <= bound);
+            next.sort_by(|a, b| a.0.cmp(&b.0));
+            next.dedup_by_key(|e| e.0);
+            cover = next;
+            level -= 1;
+        }
+
+        (topk.into_sorted(), evals)
+    }
+
+    /// Batch k-NN: queries are processed one after another on the calling
+    /// thread, matching the paper's single-core Cover Tree protocol
+    /// (§7.4). Returns per-query results and the total distance
+    /// evaluations.
+    pub fn query_batch_k<Q>(&self, queries: &Q, k: usize) -> (Vec<Vec<Neighbor>>, u64)
+    where
+        Q: Dataset<Item = D::Item>,
+    {
+        let mut out = Vec::with_capacity(queries.len());
+        let mut total = 0u64;
+        for qi in 0..queries.len() {
+            let (res, evals) = self.query_k(queries.get(qi), k);
+            total += evals;
+            out.push(res);
+        }
+        (out, total)
+    }
+}
+
+#[inline]
+fn exp2(level: i32) -> f64 {
+    2.0f64.powi(level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbc_bruteforce::BruteForce;
+    use rbc_metric::{Euclidean, Manhattan, VectorSet};
+
+    fn cloud(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                row.push(((state >> 33) as f32 / u32::MAX as f32) * 10.0 - 5.0);
+            }
+            rows.push(row);
+        }
+        VectorSet::from_rows(&rows)
+    }
+
+    fn brute(db: &VectorSet, q: &[f32], k: usize) -> Vec<Neighbor> {
+        BruteForce::new().knn_single(q, db, &Euclidean, k).0
+    }
+
+    #[test]
+    fn indexes_every_point_exactly_once() {
+        let db = cloud(300, 4, 1);
+        let ct = CoverTree::build(&db, Euclidean);
+        assert_eq!(ct.len(), 300);
+        let mut points: Vec<usize> = ct.nodes.iter().map(|n| n.point).collect();
+        points.sort_unstable();
+        assert_eq!(points, (0..300).collect::<Vec<_>>());
+        assert!(!ct.is_empty());
+        assert!(ct.depth() >= 1);
+    }
+
+    #[test]
+    fn covering_invariant_holds() {
+        let db = cloud(200, 3, 2);
+        let ct = CoverTree::build(&db, Euclidean);
+        for node in &ct.nodes {
+            for &child in &node.children {
+                let c = &ct.nodes[child];
+                assert!(c.level < node.level, "child level must be below parent");
+                let d = Euclidean.dist(db.point(node.point), db.point(c.point));
+                // covering: child within 2^{child.level + 1} of its parent
+                assert!(
+                    d <= 2.0f64.powi(c.level + 1) + 1e-9,
+                    "covering violated: d={d}, child level {}",
+                    c.level
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nn_matches_brute_force() {
+        let db = cloud(500, 5, 3);
+        let queries = cloud(50, 5, 4);
+        let ct = CoverTree::build(&db, Euclidean);
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            let (got, evals) = ct.query(q);
+            let want = brute(&db, q, 1)[0];
+            assert_eq!(got.index, want.index, "query {qi}");
+            assert!((got.dist - want.dist).abs() < 1e-12);
+            assert!(evals > 0);
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let db = cloud(400, 4, 5);
+        let queries = cloud(25, 4, 6);
+        let ct = CoverTree::build(&db, Euclidean);
+        for k in [1usize, 3, 8] {
+            for qi in 0..queries.len() {
+                let q = queries.point(qi);
+                let (got, _) = ct.query_k(q, k);
+                let want = brute(&db, q, k);
+                assert_eq!(
+                    got.iter().map(|n| n.index).collect::<Vec<_>>(),
+                    want.iter().map(|n| n.index).collect::<Vec<_>>(),
+                    "k={k} query {qi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_on_database_point_returns_it() {
+        let db = cloud(250, 6, 7);
+        let ct = CoverTree::build(&db, Euclidean);
+        for i in (0..db.len()).step_by(17) {
+            let (nn, _) = ct.query(db.point(i));
+            assert_eq!(nn.index, i);
+            assert_eq!(nn.dist, 0.0);
+        }
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        for i in 0..60 {
+            rows.push(vec![(i % 10) as f32, ((i / 10) % 3) as f32]);
+        }
+        let db = VectorSet::from_rows(&rows);
+        let ct = CoverTree::build(&db, Euclidean);
+        assert_eq!(ct.len(), 60);
+        let (nn, _) = ct.query(&[0.1f32, 0.1]);
+        let want = brute(&db, &[0.1, 0.1], 1)[0];
+        assert!((nn.dist - want.dist).abs() < 1e-12);
+    }
+
+    #[test]
+    fn works_with_other_metrics() {
+        let db = cloud(300, 4, 8);
+        let queries = cloud(20, 4, 9);
+        let ct = CoverTree::build(&db, Manhattan);
+        let bf = BruteForce::new();
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            let (got, _) = ct.query(q);
+            let want = bf.nn_single(q, &db, &Manhattan).0;
+            assert_eq!(got.index, want.index);
+        }
+    }
+
+    #[test]
+    fn query_examines_fewer_points_than_brute_force_on_structured_data() {
+        // Clustered data: cover tree queries should touch far fewer points
+        // than a linear scan.
+        let mut rows = Vec::new();
+        let mut state = 12345u64;
+        for c in 0..20 {
+            for _ in 0..100 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let jitter = ((state >> 40) as f32 / 16_777_216.0) * 0.1;
+                rows.push(vec![
+                    (c % 5) as f32 * 10.0 + jitter,
+                    (c / 5) as f32 * 10.0 - jitter,
+                    c as f32 + jitter,
+                ]);
+            }
+        }
+        let db = VectorSet::from_rows(&rows);
+        let ct = CoverTree::build(&db, Euclidean);
+        let (_, evals) = ct.query(&[0.05f32, 0.0, 0.05]);
+        assert!(
+            evals < db.len() as u64 / 2,
+            "cover tree did {evals} evals on {} points",
+            db.len()
+        );
+    }
+
+    #[test]
+    fn batch_query_sums_work() {
+        let db = cloud(200, 3, 10);
+        let queries = cloud(10, 3, 11);
+        let ct = CoverTree::build(&db, Euclidean);
+        let (results, total) = ct.query_batch_k(&queries, 2);
+        assert_eq!(results.len(), 10);
+        let mut manual = 0u64;
+        for qi in 0..queries.len() {
+            manual += ct.query_k(queries.point(qi), 2).1;
+        }
+        assert_eq!(total, manual);
+    }
+
+    #[test]
+    fn single_point_tree_answers_queries() {
+        let db = VectorSet::from_rows(&[[1.0f32, 2.0]]);
+        let ct = CoverTree::build(&db, Euclidean);
+        let (nn, _) = ct.query(&[5.0f32, 5.0]);
+        assert_eq!(nn.index, 0);
+        assert_eq!(ct.root_level(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty database")]
+    fn empty_database_rejected() {
+        let db = VectorSet::empty(2);
+        let _ = CoverTree::build(&db, Euclidean);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        let db = cloud(10, 2, 12);
+        let ct = CoverTree::build(&db, Euclidean);
+        let _ = ct.query_k(db.point(0), 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! A kd-tree over dense `f32` vectors with Euclidean distance.
+//!
+//! The paper notes that "in very low-dimensional spaces, basic data
+//! structures like kd-trees are extremely effective, hence the challenging
+//! cases are data that is somewhat higher dimensional" (§7.1). This
+//! baseline exists to demonstrate exactly that crossover in the benchmark
+//! harness: it wins handily on the 2–4 dimensional workloads and
+//! deteriorates toward a linear scan as the dimension grows.
+//!
+//! Unlike the other baselines this index is specific to axis-aligned
+//! vector data under the `ℓ2` metric (splitting on coordinates has no
+//! meaning for a general metric).
+
+use rbc_bruteforce::{Neighbor, TopK};
+use rbc_metric::{Dist, Euclidean, Metric, VectorSet};
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        points: Vec<usize>,
+    },
+    Inner {
+        /// Splitting dimension.
+        dim: usize,
+        /// Splitting value: left subtree has `x[dim] <= split`, right has
+        /// `x[dim] >= split`.
+        split: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// An exact kd-tree over a [`VectorSet`] with Euclidean distance.
+#[derive(Clone, Debug)]
+pub struct KdTree<'a> {
+    db: &'a VectorSet,
+    nodes: Vec<Node>,
+    root: usize,
+    leaf_size: usize,
+}
+
+impl<'a> KdTree<'a> {
+    /// Builds a kd-tree with the default leaf size (16).
+    pub fn build(db: &'a VectorSet) -> Self {
+        Self::build_with_leaf_size(db, 16)
+    }
+
+    /// Builds a kd-tree whose leaves hold at most `leaf_size` points.
+    ///
+    /// # Panics
+    /// Panics if `db` is empty or `leaf_size` is zero.
+    pub fn build_with_leaf_size(db: &'a VectorSet, leaf_size: usize) -> Self {
+        assert!(db.len() > 0, "cannot build a kd-tree over an empty database");
+        assert!(leaf_size > 0, "leaf size must be positive");
+        let mut tree = Self {
+            db,
+            nodes: Vec::new(),
+            root: 0,
+            leaf_size,
+        };
+        let all: Vec<usize> = (0..db.len()).collect();
+        tree.root = tree.build_node(all, 0);
+        tree
+    }
+
+    fn build_node(&mut self, mut points: Vec<usize>, depth: usize) -> usize {
+        if points.len() <= self.leaf_size {
+            self.nodes.push(Node::Leaf { points });
+            return self.nodes.len() - 1;
+        }
+        // Split on the dimension with the largest spread among a default
+        // round-robin fallback; spread-based splitting keeps the tree useful
+        // when some coordinates are (near-)constant.
+        let dim = self.widest_dimension(&points).unwrap_or(depth % self.db.dim());
+        points.sort_by(|&a, &b| {
+            self.db.point(a)[dim]
+                .partial_cmp(&self.db.point(b)[dim])
+                .expect("finite coordinates")
+        });
+        let mid = points.len() / 2;
+        let split = self.db.point(points[mid])[dim];
+        let right: Vec<usize> = points.split_off(mid);
+        let left = points;
+        if left.is_empty() || right.is_empty() {
+            // Degenerate split (all coordinates equal): stop here.
+            let mut all = left;
+            all.extend(right);
+            self.nodes.push(Node::Leaf { points: all });
+            return self.nodes.len() - 1;
+        }
+        let left_id = self.build_node(left, depth + 1);
+        let right_id = self.build_node(right, depth + 1);
+        self.nodes.push(Node::Inner {
+            dim,
+            split,
+            left: left_id,
+            right: right_id,
+        });
+        self.nodes.len() - 1
+    }
+
+    fn widest_dimension(&self, points: &[usize]) -> Option<usize> {
+        let d = self.db.dim();
+        let mut best: Option<(usize, f32)> = None;
+        for dim in 0..d {
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for &p in points {
+                let v = self.db.point(p)[dim];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let spread = hi - lo;
+            if best.map_or(true, |(_, s)| spread > s) {
+                best = Some((dim, spread));
+            }
+        }
+        best.filter(|&(_, s)| s > 0.0).map(|(d, _)| d)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// True if the index holds no points (never after a successful build).
+    pub fn is_empty(&self) -> bool {
+        self.db.len() == 0
+    }
+
+    /// Exact nearest neighbor of `query` and the distance evaluations used.
+    pub fn query(&self, query: &[f32]) -> (Neighbor, u64) {
+        let (mut knn, evals) = self.query_k(query, 1);
+        (knn.pop().unwrap_or_else(Neighbor::farthest), evals)
+    }
+
+    /// Exact `k` nearest neighbors of `query` and the distance evaluations
+    /// used.
+    pub fn query_k(&self, query: &[f32], k: usize) -> (Vec<Neighbor>, u64) {
+        assert!(k > 0, "k must be at least 1");
+        assert_eq!(query.len(), self.db.dim(), "query dimension mismatch");
+        let mut topk = TopK::new(k);
+        let mut evals = 0u64;
+        self.search(self.root, query, &mut topk, &mut evals);
+        (topk.into_sorted(), evals)
+    }
+
+    fn search(&self, node_id: usize, query: &[f32], topk: &mut TopK, evals: &mut u64) {
+        match &self.nodes[node_id] {
+            Node::Leaf { points } => {
+                for &p in points {
+                    *evals += 1;
+                    topk.push(Neighbor::new(p, Euclidean.dist(query, self.db.point(p))));
+                }
+            }
+            Node::Inner {
+                dim,
+                split,
+                left,
+                right,
+            } => {
+                let delta = (query[*dim] - split) as Dist;
+                let (first, second) = if delta <= 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
+                self.search(first, query, topk, evals);
+                // The far half-space is at least |delta| away along the
+                // splitting axis, which lower-bounds the Euclidean distance.
+                let tau = topk.threshold();
+                if !tau.is_finite() || delta.abs() <= tau {
+                    self.search(second, query, topk, evals);
+                }
+            }
+        }
+    }
+
+    /// Sequential batch k-NN, returning per-query results and total
+    /// distance evaluations.
+    pub fn query_batch_k(&self, queries: &VectorSet, k: usize) -> (Vec<Vec<Neighbor>>, u64) {
+        let mut out = Vec::with_capacity(queries.len());
+        let mut total = 0u64;
+        for qi in 0..queries.len() {
+            let (res, evals) = self.query_k(queries.point(qi), k);
+            total += evals;
+            out.push(res);
+        }
+        (out, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbc_bruteforce::BruteForce;
+
+    fn cloud(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                row.push(((state >> 33) as f32 / u32::MAX as f32) * 10.0 - 5.0);
+            }
+            rows.push(row);
+        }
+        VectorSet::from_rows(&rows)
+    }
+
+    #[test]
+    fn nn_matches_brute_force() {
+        let db = cloud(500, 3, 1);
+        let queries = cloud(60, 3, 2);
+        let kd = KdTree::build(&db);
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            let (got, _) = kd.query(q);
+            let want = BruteForce::new().nn_single(q, &db, &Euclidean).0;
+            assert_eq!(got.index, want.index, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_across_leaf_sizes() {
+        let db = cloud(300, 4, 3);
+        let queries = cloud(20, 4, 4);
+        for leaf in [1usize, 8, 64] {
+            let kd = KdTree::build_with_leaf_size(&db, leaf);
+            for qi in 0..queries.len() {
+                let q = queries.point(qi);
+                let (got, _) = kd.query_k(q, 4);
+                let want = BruteForce::new().knn_single(q, &db, &Euclidean, 4).0;
+                assert_eq!(
+                    got.iter().map(|n| n.index).collect::<Vec<_>>(),
+                    want.iter().map(|n| n.index).collect::<Vec<_>>(),
+                    "leaf={leaf} query {qi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn low_dimensional_queries_do_little_work() {
+        let db = cloud(4000, 2, 5);
+        let kd = KdTree::build(&db);
+        let (_, evals) = kd.query(&[0.0f32, 0.0]);
+        assert!(
+            evals < db.len() as u64 / 10,
+            "kd-tree did {evals} evals on {} points in 2-D",
+            db.len()
+        );
+    }
+
+    #[test]
+    fn high_dimensional_queries_degrade_gracefully_but_stay_exact() {
+        let db = cloud(400, 20, 6);
+        let queries = cloud(10, 20, 7);
+        let kd = KdTree::build(&db);
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            let (got, evals) = kd.query(q);
+            let want = BruteForce::new().nn_single(q, &db, &Euclidean).0;
+            assert_eq!(got.index, want.index);
+            assert!(evals <= db.len() as u64);
+        }
+    }
+
+    #[test]
+    fn constant_coordinates_are_handled() {
+        // Dimension 1 is constant; splitting must fall back gracefully.
+        let rows: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32, 7.0, (i % 10) as f32]).collect();
+        let db = VectorSet::from_rows(&rows);
+        let kd = KdTree::build(&db);
+        let q = [50.2f32, 7.0, 0.0];
+        let (nn, _) = kd.query(&q);
+        let want = BruteForce::new().nn_single(&q[..], &db, &Euclidean).0;
+        assert_eq!(nn.index, want.index);
+    }
+
+    #[test]
+    fn duplicate_points_are_all_indexed() {
+        let rows: Vec<Vec<f32>> = (0..50).map(|_| vec![1.0f32, 2.0]).collect();
+        let db = VectorSet::from_rows(&rows);
+        let kd = KdTree::build(&db);
+        assert_eq!(kd.len(), 50);
+        let (knn, _) = kd.query_k(&[1.0f32, 2.0], 5);
+        assert_eq!(knn.len(), 5);
+        assert!(knn.iter().all(|n| n.dist == 0.0));
+    }
+
+    #[test]
+    fn batch_totals_match_singles() {
+        let db = cloud(200, 3, 8);
+        let queries = cloud(15, 3, 9);
+        let kd = KdTree::build(&db);
+        let (results, total) = kd.query_batch_k(&queries, 2);
+        assert_eq!(results.len(), 15);
+        let manual: u64 = (0..queries.len()).map(|qi| kd.query_k(queries.point(qi), 2).1).sum();
+        assert_eq!(total, manual);
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimension mismatch")]
+    fn wrong_query_dimension_rejected() {
+        let db = cloud(50, 3, 10);
+        let kd = KdTree::build(&db);
+        let _ = kd.query(&[1.0f32, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty database")]
+    fn empty_database_rejected() {
+        let db = VectorSet::empty(2);
+        let _ = KdTree::build(&db);
+    }
+}

@@ -1,0 +1,123 @@
+//! Linear scan (brute force) behind the same counting interface as the
+//! tree baselines.
+//!
+//! Every speedup the paper reports — Figures 1–3, Tables 2–3 — is measured
+//! relative to brute-force search, so the harness needs brute force as just
+//! another index with the same query signature and work counters.
+
+use rbc_bruteforce::{BfConfig, BruteForce, Neighbor};
+use rbc_metric::{Dataset, Metric};
+
+/// Brute-force search presented as an index.
+#[derive(Clone, Debug)]
+pub struct LinearScan<D, M> {
+    db: D,
+    metric: M,
+    bf: BruteForce,
+}
+
+impl<D, M> LinearScan<D, M>
+where
+    D: Dataset,
+    M: Metric<D::Item>,
+{
+    /// Wraps a database for brute-force querying with default parallel
+    /// settings.
+    pub fn new(db: D, metric: M) -> Self {
+        Self::with_config(db, metric, BfConfig::default())
+    }
+
+    /// Wraps a database with an explicit brute-force configuration (e.g.
+    /// sequential for single-core baselines).
+    pub fn with_config(db: D, metric: M, config: BfConfig) -> Self {
+        assert!(db.len() > 0, "cannot scan an empty database");
+        Self {
+            db,
+            metric,
+            bf: BruteForce::with_config(config),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// True if the database is empty (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.db.len() == 0
+    }
+
+    /// Exact nearest neighbor and the distance evaluations used (always
+    /// `n`).
+    pub fn query(&self, query: &D::Item) -> (Neighbor, u64) {
+        let (nn, stats) = self.bf.nn_single(query, &self.db, &self.metric);
+        (nn, stats.distance_evals)
+    }
+
+    /// Exact k nearest neighbors and the distance evaluations used.
+    pub fn query_k(&self, query: &D::Item, k: usize) -> (Vec<Neighbor>, u64) {
+        let (knn, stats) = self.bf.knn_single(query, &self.db, &self.metric, k);
+        (knn, stats.distance_evals)
+    }
+
+    /// Batch k-NN over a query set (parallel over queries if the
+    /// configuration allows), with total distance evaluations.
+    pub fn query_batch_k<Q>(&self, queries: &Q, k: usize) -> (Vec<Vec<Neighbor>>, u64)
+    where
+        Q: Dataset<Item = D::Item>,
+    {
+        let (knn, stats) = self.bf.knn(queries, &self.db, &self.metric, k);
+        (knn, stats.distance_evals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbc_metric::{Euclidean, VectorSet};
+
+    fn tiny_db() -> VectorSet {
+        VectorSet::from_rows(&[[0.0f32, 0.0], [1.0, 0.0], [0.0, 2.0], [5.0, 5.0]])
+    }
+
+    #[test]
+    fn query_always_scans_everything() {
+        let db = tiny_db();
+        let scan = LinearScan::new(&db, Euclidean);
+        let (nn, evals) = scan.query(&[0.9f32, 0.1]);
+        assert_eq!(nn.index, 1);
+        assert_eq!(evals, 4);
+        assert_eq!(scan.len(), 4);
+        assert!(!scan.is_empty());
+    }
+
+    #[test]
+    fn knn_is_sorted_and_counts_work() {
+        let db = tiny_db();
+        let scan = LinearScan::new(&db, Euclidean);
+        let (knn, evals) = scan.query_k(&[0.0f32, 0.0], 3);
+        assert_eq!(knn.len(), 3);
+        assert_eq!(knn[0].index, 0);
+        assert!(knn[0].dist <= knn[1].dist && knn[1].dist <= knn[2].dist);
+        assert_eq!(evals, 4);
+    }
+
+    #[test]
+    fn batch_counts_queries_times_database() {
+        let db = tiny_db();
+        let queries = VectorSet::from_rows(&[[0.0f32, 0.0], [4.0, 4.0], [1.0, 1.0]]);
+        let scan = LinearScan::with_config(&db, Euclidean, BfConfig::sequential());
+        let (results, evals) = scan.query_batch_k(&queries, 2);
+        assert_eq!(results.len(), 3);
+        assert_eq!(evals, 12);
+        assert_eq!(results[1][0].index, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty database")]
+    fn empty_database_rejected() {
+        let db = VectorSet::empty(2);
+        let _ = LinearScan::new(&db, Euclidean);
+    }
+}

@@ -1,0 +1,372 @@
+//! Locality-Sensitive Hashing (LSH) for Euclidean data.
+//!
+//! The paper's related-work section singles out LSH (Indyk & Motwani, ref
+//! [16]) as the other major line of attack on high-dimensional NN search,
+//! noting its three practical limitations: it is approximate only, it is
+//! tied to particular distance functions rather than general metrics, and
+//! its parameters are awkward to set (§2). This implementation exists so
+//! the benchmark suite can show the RBC side by side with that alternative
+//! on the same workloads.
+//!
+//! The scheme is the standard p-stable (Gaussian) projection family for
+//! `ℓ2`: each of `tables` hash tables uses `hashes_per_table` functions
+//! `h(x) = ⌊(⟨a, x⟩ + b) / w⌋` with `a ~ N(0, I)` and `b ~ U[0, w)`. A
+//! query probes its bucket in every table, collects the union of the
+//! candidates, and ranks them by true distance.
+
+use std::collections::HashMap;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::Normal;
+
+use rbc_bruteforce::{Neighbor, TopK};
+use rbc_metric::{Euclidean, Metric, VectorSet};
+
+/// Parameters of the LSH index.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LshParams {
+    /// Number of independent hash tables `L`.
+    pub tables: usize,
+    /// Number of concatenated hash functions per table `k`.
+    pub hashes_per_table: usize,
+    /// Bucket width `w` of each quantised projection. Larger widths retain
+    /// more candidates (higher recall, more work).
+    pub bucket_width: f64,
+    /// RNG seed for the projection directions and offsets.
+    pub seed: u64,
+}
+
+impl Default for LshParams {
+    fn default() -> Self {
+        Self {
+            tables: 8,
+            hashes_per_table: 8,
+            bucket_width: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+impl LshParams {
+    /// A reasonable starting point scaled to the data: the bucket width is
+    /// set to the given characteristic distance (e.g. an estimate of the
+    /// average nearest-neighbor distance).
+    pub fn with_bucket_width(mut self, w: f64) -> Self {
+        assert!(w > 0.0, "bucket width must be positive");
+        self.bucket_width = w;
+        self
+    }
+
+    /// Overrides the number of tables.
+    pub fn with_tables(mut self, tables: usize) -> Self {
+        assert!(tables > 0, "need at least one table");
+        self.tables = tables;
+        self
+    }
+
+    /// Overrides the number of hash functions per table.
+    pub fn with_hashes_per_table(mut self, k: usize) -> Self {
+        assert!(k > 0, "need at least one hash per table");
+        self.hashes_per_table = k;
+        self
+    }
+}
+
+/// One table's hash family: `k` Gaussian directions and offsets.
+#[derive(Clone, Debug)]
+struct HashFamily {
+    /// Row-major `k × dim` projection directions.
+    directions: Vec<f32>,
+    offsets: Vec<f64>,
+    k: usize,
+    dim: usize,
+    width: f64,
+}
+
+impl HashFamily {
+    fn sample(k: usize, dim: usize, width: f64, rng: &mut StdRng) -> Self {
+        let normal = Normal::new(0.0f64, 1.0).expect("unit normal");
+        let directions: Vec<f32> = (0..k * dim).map(|_| rng.sample(normal) as f32).collect();
+        let offsets: Vec<f64> = (0..k).map(|_| rng.gen_range(0.0..width)).collect();
+        Self {
+            directions,
+            offsets,
+            k,
+            dim,
+            width,
+        }
+    }
+
+    fn hash(&self, point: &[f32]) -> Vec<i64> {
+        let mut key = Vec::with_capacity(self.k);
+        for j in 0..self.k {
+            let row = &self.directions[j * self.dim..(j + 1) * self.dim];
+            let mut dot = 0.0f64;
+            for (a, x) in row.iter().zip(point.iter()) {
+                dot += (*a as f64) * (*x as f64);
+            }
+            key.push(((dot + self.offsets[j]) / self.width).floor() as i64);
+        }
+        key
+    }
+}
+
+/// An LSH index over a [`VectorSet`] under the Euclidean metric.
+#[derive(Clone, Debug)]
+pub struct LshIndex<'a> {
+    db: &'a VectorSet,
+    params: LshParams,
+    families: Vec<HashFamily>,
+    /// One bucket map per table.
+    tables: Vec<HashMap<Vec<i64>, Vec<usize>>>,
+}
+
+impl<'a> LshIndex<'a> {
+    /// Builds the index by hashing every database point into every table.
+    ///
+    /// # Panics
+    /// Panics if the database is empty.
+    pub fn build(db: &'a VectorSet, params: LshParams) -> Self {
+        assert!(db.len() > 0, "cannot build an LSH index over an empty database");
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let families: Vec<HashFamily> = (0..params.tables)
+            .map(|_| HashFamily::sample(params.hashes_per_table, db.dim(), params.bucket_width, &mut rng))
+            .collect();
+        let mut tables: Vec<HashMap<Vec<i64>, Vec<usize>>> =
+            (0..params.tables).map(|_| HashMap::new()).collect();
+        for i in 0..db.len() {
+            let p = db.point(i);
+            for (family, table) in families.iter().zip(tables.iter_mut()) {
+                table.entry(family.hash(p)).or_default().push(i);
+            }
+        }
+        Self {
+            db,
+            params,
+            families,
+            tables,
+        }
+    }
+
+    /// The parameters the index was built with.
+    pub fn params(&self) -> LshParams {
+        self.params
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// True if the index holds no points (never after a successful build).
+    pub fn is_empty(&self) -> bool {
+        self.db.len() == 0
+    }
+
+    /// Total number of occupied buckets across all tables.
+    pub fn occupied_buckets(&self) -> usize {
+        self.tables.iter().map(HashMap::len).sum()
+    }
+
+    /// Approximate `k` nearest neighbors: the union of the query's buckets
+    /// across all tables, ranked by true distance. Returns the neighbors
+    /// found (possibly fewer than `k`) and the number of distance
+    /// evaluations performed.
+    pub fn query_k(&self, query: &[f32], k: usize) -> (Vec<Neighbor>, u64) {
+        assert!(k > 0, "k must be at least 1");
+        assert_eq!(query.len(), self.db.dim(), "query dimension mismatch");
+        let mut candidates: Vec<usize> = Vec::new();
+        for (family, table) in self.families.iter().zip(self.tables.iter()) {
+            if let Some(bucket) = table.get(&family.hash(query)) {
+                candidates.extend_from_slice(bucket);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let mut topk = TopK::new(k);
+        for &i in &candidates {
+            topk.push(Neighbor::new(i, Euclidean.dist(query, self.db.point(i))));
+        }
+        (topk.into_sorted(), candidates.len() as u64)
+    }
+
+    /// Approximate nearest neighbor (the best candidate found, or the
+    /// sentinel if every bucket was empty).
+    pub fn query(&self, query: &[f32]) -> (Neighbor, u64) {
+        let (mut knn, evals) = self.query_k(query, 1);
+        (knn.pop().unwrap_or_else(Neighbor::farthest), evals)
+    }
+
+    /// Sequential batch k-NN, returning per-query results and total
+    /// distance evaluations.
+    pub fn query_batch_k(&self, queries: &VectorSet, k: usize) -> (Vec<Vec<Neighbor>>, u64) {
+        let mut out = Vec::with_capacity(queries.len());
+        let mut total = 0u64;
+        for qi in 0..queries.len() {
+            let (res, evals) = self.query_k(queries.point(qi), k);
+            total += evals;
+            out.push(res);
+        }
+        (out, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbc_bruteforce::BruteForce;
+
+    fn clustered(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f32 / u32::MAX as f32
+        };
+        let centers: Vec<Vec<f32>> = (0..8)
+            .map(|_| (0..dim).map(|_| next() * 40.0 - 20.0).collect())
+            .collect();
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                centers[i % 8]
+                    .iter()
+                    .map(|&c| c + next() * 0.5 - 0.25)
+                    .collect()
+            })
+            .collect();
+        VectorSet::from_rows(&rows)
+    }
+
+    #[test]
+    fn build_populates_buckets_for_every_table() {
+        let db = clustered(400, 6, 1);
+        let lsh = LshIndex::build(&db, LshParams::default().with_bucket_width(2.0));
+        assert_eq!(lsh.len(), 400);
+        assert!(!lsh.is_empty());
+        assert!(lsh.occupied_buckets() >= lsh.params().tables);
+        // Each table indexed every point exactly once.
+        for table in &lsh.tables {
+            let total: usize = table.values().map(Vec::len).sum();
+            assert_eq!(total, 400);
+        }
+    }
+
+    #[test]
+    fn database_points_find_themselves() {
+        let db = clustered(300, 5, 2);
+        let lsh = LshIndex::build(&db, LshParams::default().with_bucket_width(2.0));
+        for i in (0..db.len()).step_by(23) {
+            let (nn, _) = lsh.query(db.point(i));
+            assert_eq!(nn.index, i, "a point always hashes into its own bucket");
+            assert_eq!(nn.dist, 0.0);
+        }
+    }
+
+    /// Queries drawn near existing database points (the regime LSH's
+    /// guarantees apply to: there *is* a close neighbor to find).
+    fn queries_near(db: &VectorSet, count: usize, seed: u64) -> VectorSet {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f32 / u32::MAX as f32
+        };
+        let rows: Vec<Vec<f32>> = (0..count)
+            .map(|i| {
+                db.point((i * 37) % db.len())
+                    .iter()
+                    .map(|&v| v + next() * 0.2 - 0.1)
+                    .collect()
+            })
+            .collect();
+        VectorSet::from_rows(&rows)
+    }
+
+    #[test]
+    fn recall_is_high_on_well_separated_clusters() {
+        let db = clustered(1000, 8, 3);
+        let queries = queries_near(&db, 100, 4);
+        let lsh = LshIndex::build(&db, LshParams::default().with_bucket_width(4.0));
+        let bf = BruteForce::new();
+        let mut correct = 0;
+        let mut total_candidates = 0u64;
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            let (got, evals) = lsh.query(q);
+            total_candidates += evals;
+            if got.index == bf.nn_single(q, &db, &Euclidean).0.index {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 90, "LSH recall too low on easy data: {correct}/100");
+        // and it must actually be doing sub-linear candidate work
+        assert!(total_candidates < (queries.len() * db.len()) as u64 / 2);
+    }
+
+    #[test]
+    fn narrower_buckets_reduce_candidate_work() {
+        let db = clustered(800, 6, 5);
+        let queries = queries_near(&db, 50, 6);
+        let wide = LshIndex::build(&db, LshParams::default().with_bucket_width(50.0));
+        let narrow = LshIndex::build(&db, LshParams::default().with_bucket_width(0.5));
+        let (_, wide_evals) = wide.query_batch_k(&queries, 1);
+        let (_, narrow_evals) = narrow.query_batch_k(&queries, 1);
+        assert!(narrow_evals < wide_evals);
+    }
+
+    #[test]
+    fn more_tables_do_not_reduce_recall() {
+        let db = clustered(600, 6, 7);
+        let queries = queries_near(&db, 60, 8);
+        let bf = BruteForce::new();
+        let recall = |tables: usize| -> usize {
+            let lsh = LshIndex::build(
+                &db,
+                LshParams::default().with_tables(tables).with_bucket_width(1.0),
+            );
+            (0..queries.len())
+                .filter(|&qi| {
+                    let q = queries.point(qi);
+                    lsh.query(q).0.index == bf.nn_single(q, &db, &Euclidean).0.index
+                })
+                .count()
+        };
+        assert!(recall(16) >= recall(2));
+    }
+
+    #[test]
+    fn answers_are_well_formed() {
+        let db = clustered(200, 4, 9);
+        let queries = queries_near(&db, 20, 10);
+        let lsh = LshIndex::build(&db, LshParams::default().with_bucket_width(2.0));
+        let (results, _) = lsh.query_batch_k(&queries, 5);
+        for (qi, per_q) in results.iter().enumerate() {
+            for w in per_q.windows(2) {
+                assert!(w[0].dist <= w[1].dist);
+            }
+            for n in per_q {
+                assert!(n.index < db.len());
+                assert!(
+                    (n.dist - Euclidean.dist(queries.point(qi), db.point(n.index))).abs() < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty database")]
+    fn empty_database_rejected() {
+        let db = VectorSet::empty(3);
+        let _ = LshIndex::build(&db, LshParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn invalid_bucket_width_rejected() {
+        let _ = LshParams::default().with_bucket_width(0.0);
+    }
+}

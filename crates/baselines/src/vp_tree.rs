@@ -1,0 +1,333 @@
+//! A vantage-point tree: the classic metric ball tree baseline.
+//!
+//! The paper's §3 uses metric trees (Omohundro's ball trees / Yianilos'
+//! vp-trees, refs [23, 31]) as the canonical example of an accelerated NN
+//! structure whose "interleaved series of distance computations, bound
+//! computations, and distance comparisons" is hard to parallelize. This
+//! implementation provides that baseline: exact k-NN with the standard
+//! ball pruning rule, sequential per query, and counting every distance
+//! evaluation so the benchmark harness can compare work profiles.
+
+use rbc_bruteforce::{Neighbor, TopK};
+use rbc_metric::{Dataset, Dist, Metric};
+
+/// A node of the vp-tree arena.
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        /// Database indices stored at this leaf.
+        points: Vec<usize>,
+    },
+    Inner {
+        /// The vantage point (database index).
+        vantage: usize,
+        /// Median distance from the vantage point to the points in its
+        /// subtree: the inside child holds points with `ρ ≤ threshold`.
+        threshold: Dist,
+        /// Arena index of the inside child.
+        inside: usize,
+        /// Arena index of the outside child.
+        outside: usize,
+    },
+}
+
+/// An exact vantage-point tree index.
+#[derive(Clone, Debug)]
+pub struct VpTree<D, M> {
+    db: D,
+    metric: M,
+    nodes: Vec<Node>,
+    root: usize,
+    leaf_size: usize,
+    build_distance_evals: u64,
+}
+
+impl<D, M> VpTree<D, M>
+where
+    D: Dataset,
+    M: Metric<D::Item>,
+{
+    /// Builds a vp-tree with the default leaf size (16).
+    pub fn build(db: D, metric: M) -> Self {
+        Self::build_with_leaf_size(db, metric, 16)
+    }
+
+    /// Builds a vp-tree whose leaves hold at most `leaf_size` points.
+    ///
+    /// # Panics
+    /// Panics if `db` is empty or `leaf_size` is zero.
+    pub fn build_with_leaf_size(db: D, metric: M, leaf_size: usize) -> Self {
+        assert!(db.len() > 0, "cannot build a vp-tree over an empty database");
+        assert!(leaf_size > 0, "leaf size must be positive");
+        let mut tree = Self {
+            db,
+            metric,
+            nodes: Vec::new(),
+            root: 0,
+            leaf_size,
+            build_distance_evals: 0,
+        };
+        let all: Vec<usize> = (0..tree.db.len()).collect();
+        tree.root = tree.build_node(all);
+        tree
+    }
+
+    fn build_node(&mut self, mut points: Vec<usize>) -> usize {
+        if points.len() <= self.leaf_size {
+            self.nodes.push(Node::Leaf { points });
+            return self.nodes.len() - 1;
+        }
+        // The first point acts as the vantage point (points arrive in
+        // arbitrary order, so this is effectively a random choice).
+        let vantage = points[0];
+        let rest: Vec<usize> = points.drain(1..).collect();
+        let mut with_dist: Vec<(usize, Dist)> = rest
+            .into_iter()
+            .map(|i| {
+                self.build_distance_evals += 1;
+                (i, self.metric.dist(self.db.get(vantage), self.db.get(i)))
+            })
+            .collect();
+        with_dist.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        let median_pos = with_dist.len() / 2;
+        let threshold = with_dist[median_pos].1;
+        let inside: Vec<usize> = with_dist[..=median_pos].iter().map(|&(i, _)| i).collect();
+        let outside: Vec<usize> = with_dist[median_pos + 1..].iter().map(|&(i, _)| i).collect();
+
+        if outside.is_empty() {
+            // All remaining points are at the same distance; avoid an
+            // unbalanced recursion by making this a leaf.
+            let mut points = vec![vantage];
+            points.extend(inside);
+            self.nodes.push(Node::Leaf { points });
+            return self.nodes.len() - 1;
+        }
+
+        let inside_id = self.build_node(inside);
+        let outside_id = self.build_node(outside);
+        self.nodes.push(Node::Inner {
+            vantage,
+            threshold,
+            inside: inside_id,
+            outside: outside_id,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// True if the index is empty (never after a successful build).
+    pub fn is_empty(&self) -> bool {
+        self.db.len() == 0
+    }
+
+    /// Distance evaluations spent building the tree.
+    pub fn build_distance_evals(&self) -> u64 {
+        self.build_distance_evals
+    }
+
+    /// Exact nearest neighbor of `query` and the distance evaluations used.
+    pub fn query(&self, query: &D::Item) -> (Neighbor, u64) {
+        let (mut knn, evals) = self.query_k(query, 1);
+        (knn.pop().unwrap_or_else(Neighbor::farthest), evals)
+    }
+
+    /// Exact `k` nearest neighbors of `query`, sorted by ascending
+    /// distance, and the distance evaluations used.
+    pub fn query_k(&self, query: &D::Item, k: usize) -> (Vec<Neighbor>, u64) {
+        assert!(k > 0, "k must be at least 1");
+        let mut topk = TopK::new(k);
+        let mut evals = 0u64;
+        self.search(self.root, query, &mut topk, &mut evals);
+        (topk.into_sorted(), evals)
+    }
+
+    fn search(&self, node_id: usize, query: &D::Item, topk: &mut TopK, evals: &mut u64) {
+        match &self.nodes[node_id] {
+            Node::Leaf { points } => {
+                for &p in points {
+                    *evals += 1;
+                    topk.push(Neighbor::new(p, self.metric.dist(query, self.db.get(p))));
+                }
+            }
+            Node::Inner {
+                vantage,
+                threshold,
+                inside,
+                outside,
+            } => {
+                *evals += 1;
+                let d = self.metric.dist(query, self.db.get(*vantage));
+                topk.push(Neighbor::new(*vantage, d));
+
+                // Visit the more promising side first, then the other side
+                // only if the ball around the current k-th best still
+                // straddles the threshold shell.
+                let (first, second) = if d <= *threshold {
+                    (*inside, *outside)
+                } else {
+                    (*outside, *inside)
+                };
+                self.search(first, query, topk, evals);
+                let tau = topk.threshold();
+                let crosses = if d <= *threshold {
+                    // Inside first; the outside region is at distance
+                    // ≥ threshold − d from the query.
+                    d + tau >= *threshold
+                } else {
+                    // Outside first; the inside ball is at distance
+                    // ≥ d − threshold from the query.
+                    d - tau <= *threshold
+                };
+                if !tau.is_finite() || crosses {
+                    self.search(second, query, topk, evals);
+                }
+            }
+        }
+    }
+
+    /// Sequential batch k-NN over a query set, returning per-query results
+    /// and total distance evaluations.
+    pub fn query_batch_k<Q>(&self, queries: &Q, k: usize) -> (Vec<Vec<Neighbor>>, u64)
+    where
+        Q: Dataset<Item = D::Item>,
+    {
+        let mut out = Vec::with_capacity(queries.len());
+        let mut total = 0u64;
+        for qi in 0..queries.len() {
+            let (res, evals) = self.query_k(queries.get(qi), k);
+            total += evals;
+            out.push(res);
+        }
+        (out, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbc_bruteforce::BruteForce;
+    use rbc_metric::{Euclidean, Manhattan, VectorSet};
+
+    fn cloud(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                row.push(((state >> 33) as f32 / u32::MAX as f32) * 10.0 - 5.0);
+            }
+            rows.push(row);
+        }
+        VectorSet::from_rows(&rows)
+    }
+
+    #[test]
+    fn nn_matches_brute_force() {
+        let db = cloud(600, 5, 1);
+        let queries = cloud(50, 5, 2);
+        let vp = VpTree::build(&db, Euclidean);
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            let (got, _) = vp.query(q);
+            let want = BruteForce::new().nn_single(q, &db, &Euclidean).0;
+            assert_eq!(got.index, want.index, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_across_leaf_sizes() {
+        let db = cloud(300, 4, 3);
+        let queries = cloud(20, 4, 4);
+        for leaf in [1usize, 4, 32, 500] {
+            let vp = VpTree::build_with_leaf_size(&db, Euclidean, leaf);
+            for qi in 0..queries.len() {
+                let q = queries.point(qi);
+                let (got, _) = vp.query_k(q, 5);
+                let want = BruteForce::new().knn_single(q, &db, &Euclidean, 5).0;
+                assert_eq!(
+                    got.iter().map(|n| n.index).collect::<Vec<_>>(),
+                    want.iter().map(|n| n.index).collect::<Vec<_>>(),
+                    "leaf={leaf} query {qi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn database_point_is_its_own_neighbor() {
+        let db = cloud(200, 3, 5);
+        let vp = VpTree::build(&db, Euclidean);
+        for i in (0..db.len()).step_by(13) {
+            let (nn, _) = vp.query(db.point(i));
+            assert_eq!(nn.index, i);
+            assert_eq!(nn.dist, 0.0);
+        }
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let rows: Vec<Vec<f32>> = (0..80).map(|i| vec![(i % 4) as f32, 1.0]).collect();
+        let db = VectorSet::from_rows(&rows);
+        let vp = VpTree::build(&db, Euclidean);
+        assert_eq!(vp.len(), 80);
+        let (knn, _) = vp.query_k(&[0.0f32, 1.0], 3);
+        assert_eq!(knn.len(), 3);
+        assert!(knn.iter().all(|n| n.dist == 0.0));
+    }
+
+    #[test]
+    fn pruning_saves_work_on_separated_clusters() {
+        let mut rows = Vec::new();
+        for c in 0..10 {
+            for j in 0..100 {
+                rows.push(vec![c as f32 * 100.0 + (j % 7) as f32 * 0.01, (j % 5) as f32 * 0.01]);
+            }
+        }
+        let db = VectorSet::from_rows(&rows);
+        let vp = VpTree::build(&db, Euclidean);
+        let (_, evals) = vp.query(&[0.0f32, 0.0]);
+        assert!(
+            evals < db.len() as u64 / 2,
+            "vp-tree did {evals} evals on {} points",
+            db.len()
+        );
+    }
+
+    #[test]
+    fn works_with_other_metrics() {
+        let db = cloud(300, 4, 6);
+        let queries = cloud(15, 4, 7);
+        let vp = VpTree::build(&db, Manhattan);
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            let (got, _) = vp.query(q);
+            let want = BruteForce::new().nn_single(q, &db, &Manhattan).0;
+            assert_eq!(got.index, want.index);
+        }
+    }
+
+    #[test]
+    fn batch_totals_match_singles() {
+        let db = cloud(150, 3, 8);
+        let queries = cloud(12, 3, 9);
+        let vp = VpTree::build(&db, Euclidean);
+        let (results, total) = vp.query_batch_k(&queries, 2);
+        assert_eq!(results.len(), 12);
+        let manual: u64 = (0..queries.len()).map(|qi| vp.query_k(queries.point(qi), 2).1).sum();
+        assert_eq!(total, manual);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty database")]
+    fn empty_database_rejected() {
+        let db = VectorSet::empty(2);
+        let _ = VpTree::build(&db, Euclidean);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based exactness tests for the baseline indexes.
+//!
+//! Whatever the point cloud, every baseline must return the same neighbor
+//! distances as a naive scan — these trees exist to be *exact* comparators
+//! for the RBC experiments, so silent approximation would corrupt every
+//! table that uses them.
+
+use proptest::prelude::*;
+use rbc_baselines::{CoverTree, KdTree, LinearScan, VpTree};
+use rbc_bruteforce::{BruteForce, Neighbor};
+use rbc_metric::{Euclidean, VectorSet};
+
+const DIM: usize = 3;
+
+fn cloud(n_range: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-30.0f32..30.0, DIM), n_range)
+}
+
+fn brute(db: &VectorSet, q: &[f32], k: usize) -> Vec<Neighbor> {
+    BruteForce::new().knn_single(q, db, &Euclidean, k).0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn cover_tree_is_exact(
+        db_rows in cloud(1..60),
+        q in prop::collection::vec(-30.0f32..30.0, DIM),
+        k in 1usize..6,
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let ct = CoverTree::build(&db, Euclidean);
+        let (got, _) = ct.query_k(&q[..], k);
+        let want = brute(&db, &q, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g.dist - w.dist).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vp_tree_is_exact(
+        db_rows in cloud(1..80),
+        q in prop::collection::vec(-30.0f32..30.0, DIM),
+        k in 1usize..6,
+        leaf in 1usize..20,
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let vp = VpTree::build_with_leaf_size(&db, Euclidean, leaf);
+        let (got, _) = vp.query_k(&q[..], k);
+        let want = brute(&db, &q, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g.dist - w.dist).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kd_tree_is_exact(
+        db_rows in cloud(1..80),
+        q in prop::collection::vec(-30.0f32..30.0, DIM),
+        k in 1usize..6,
+        leaf in 1usize..20,
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let kd = KdTree::build_with_leaf_size(&db, leaf);
+        let (got, _) = kd.query_k(&q, k);
+        let want = brute(&db, &q, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g.dist - w.dist).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linear_scan_matches_primitive_and_counts_n(
+        db_rows in cloud(1..50),
+        q in prop::collection::vec(-30.0f32..30.0, DIM),
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let scan = LinearScan::new(&db, Euclidean);
+        let (nn, evals) = scan.query(&q[..]);
+        let want = brute(&db, &q, 1)[0];
+        prop_assert_eq!(nn, want);
+        prop_assert_eq!(evals, db_rows.len() as u64);
+    }
+
+    /// Tree baselines never do more distance evaluations than a full scan
+    /// plus the tree's internal nodes (sanity bound on the counters).
+    #[test]
+    fn work_counters_are_bounded(
+        db_rows in cloud(2..60),
+        q in prop::collection::vec(-30.0f32..30.0, DIM),
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let n = db.len() as u64;
+        let ct = CoverTree::build(&db, Euclidean);
+        let vp = VpTree::build(&db, Euclidean);
+        let kd = KdTree::build(&db);
+        prop_assert!(ct.query(&q[..]).1 <= 2 * n);
+        prop_assert!(vp.query(&q[..]).1 <= 2 * n);
+        prop_assert!(kd.query(&q).1 <= n);
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion bench of the brute-force primitive itself (paper §3).
+//!
+//! Measures the batched `BF(Q, X)` call — the building block every other
+//! number in the evaluation rests on — across database sizes and
+//! dimensions, in both parallel and sequential configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use rbc_bruteforce::{BfConfig, BruteForce};
+use rbc_data::uniform_cube;
+use rbc_metric::Euclidean;
+
+fn bench_bf_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bf_primitive/db_size");
+    let queries = uniform_cube(64, 16, 999);
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let db = uniform_cube(n, 16, 1000 + n as u64);
+        group.throughput(Throughput::Elements((64 * n) as u64));
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
+            let bf = BruteForce::new();
+            b.iter(|| bf.nn(&queries, &db, &Euclidean));
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            let bf = BruteForce::with_config(BfConfig::sequential());
+            b.iter(|| bf.nn(&queries, &db, &Euclidean));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bf_dimensionality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bf_primitive/dimension");
+    for &dim in &[4usize, 16, 64] {
+        let db = uniform_cube(4_000, dim, 7 + dim as u64);
+        let queries = uniform_cube(64, dim, 77 + dim as u64);
+        group.throughput(Throughput::Elements((64 * 4_000) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            let bf = BruteForce::new();
+            b.iter(|| bf.nn(&queries, &db, &Euclidean));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_bf_scaling, bench_bf_dimensionality
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench behind Figure 1: one-shot query batches vs. brute
+//! force, at several settings of the accuracy/speed parameter `n_r = s`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rbc_bench::PreparedWorkload;
+use rbc_bruteforce::{BfConfig, BruteForce};
+use rbc_core::{OneShotRbc, RbcConfig, RbcParams};
+use rbc_data::standard_catalog;
+use rbc_metric::Euclidean;
+
+fn workload() -> PreparedWorkload {
+    // The "bio" analogue at bench scale: ~2000 points, 74 dims, 64 queries.
+    let mut spec = standard_catalog(0.01).remove(0);
+    spec.n_queries = 64;
+    PreparedWorkload::generate(&spec).truncated(6_000, 32)
+}
+
+fn bench_one_shot_vs_brute(c: &mut Criterion) {
+    let w = workload();
+    let n = w.n();
+    let mut group = c.benchmark_group("fig1/one_shot_query_batch");
+
+    group.bench_function("brute_force", |b| {
+        let bf = BruteForce::with_config(BfConfig::default());
+        b.iter(|| bf.nn(&w.queries, &w.database, &Euclidean));
+    });
+
+    for &mult in &[1.0f64, 4.0] {
+        let nr = (((n as f64).sqrt() * mult).ceil() as usize).clamp(1, n);
+        let params = RbcParams::standard(n, 7).with_n_reps(nr).with_list_size(nr);
+        let rbc = OneShotRbc::build(&w.database, Euclidean, params, RbcConfig::default());
+        group.bench_with_input(BenchmarkId::new("one_shot_nr", nr), &nr, |b, _| {
+            b.iter(|| rbc.query_batch(&w.queries));
+        });
+    }
+    group.finish();
+}
+
+fn bench_one_shot_build(c: &mut Criterion) {
+    let w = workload();
+    let n = w.n();
+    let mut group = c.benchmark_group("fig1/one_shot_build");
+    for &mult in &[1.0f64, 4.0] {
+        let nr = (((n as f64).sqrt() * mult).ceil() as usize).clamp(1, n);
+        let params = RbcParams::standard(n, 7).with_n_reps(nr).with_list_size(nr);
+        group.bench_with_input(BenchmarkId::new("nr", nr), &nr, |b, _| {
+            b.iter(|| {
+                OneShotRbc::build(&w.database, Euclidean, params.clone(), RbcConfig::default())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_one_shot_vs_brute, bench_one_shot_build
+}
+criterion_main!(benches);

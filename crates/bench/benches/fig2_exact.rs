@@ -1,0 +1,59 @@
+//! Criterion bench behind Figure 2: exact RBC query batches vs. brute
+//! force across the dataset catalogue (at bench scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rbc_bench::PreparedWorkload;
+use rbc_bruteforce::{BfConfig, BruteForce};
+use rbc_core::{ExactRbc, RbcConfig, RbcParams};
+use rbc_data::standard_catalog;
+use rbc_metric::Euclidean;
+
+fn bench_exact_vs_brute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/exact_query_batch");
+    // Three representative datasets from Table 1 at bench scale.
+    for name in ["bio", "robot", "tiny16"] {
+        let mut spec = standard_catalog(0.01)
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("catalog entry");
+        spec.n_queries = 64;
+        let w = PreparedWorkload::generate(&spec).truncated(6_000, 32);
+        let n = w.n();
+
+        group.bench_with_input(BenchmarkId::new("brute_force", name), &name, |b, _| {
+            let bf = BruteForce::with_config(BfConfig::default());
+            b.iter(|| bf.nn(&w.queries, &w.database, &Euclidean));
+        });
+
+        let params = RbcParams::standard(n, 11);
+        let rbc = ExactRbc::build(&w.database, Euclidean, params, RbcConfig::default());
+        group.bench_with_input(BenchmarkId::new("exact_rbc", name), &name, |b, _| {
+            b.iter(|| rbc.query_batch(&w.queries));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_build(c: &mut Criterion) {
+    let mut spec = standard_catalog(0.01).remove(0);
+    spec.n_queries = 16;
+    let w = PreparedWorkload::generate(&spec).truncated(6_000, 32);
+    let n = w.n();
+    let mut group = c.benchmark_group("fig2/exact_build");
+    group.bench_function("bio", |b| {
+        let params = RbcParams::standard(n, 11);
+        b.iter(|| ExactRbc::build(&w.database, Euclidean, params.clone(), RbcConfig::default()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_exact_vs_brute, bench_exact_build
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench behind Figure 3 (Appendix C): exact-search query time
+//! as a function of the number of representatives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rbc_bench::PreparedWorkload;
+use rbc_core::{ExactRbc, RbcConfig, RbcParams};
+use rbc_data::standard_catalog;
+use rbc_metric::Euclidean;
+
+fn bench_param_sweep(c: &mut Criterion) {
+    let mut spec = standard_catalog(0.01)
+        .into_iter()
+        .find(|s| s.name == "robot")
+        .expect("catalog entry");
+    spec.n_queries = 64;
+    let w = PreparedWorkload::generate(&spec).truncated(6_000, 32);
+    let n = w.n();
+
+    let mut group = c.benchmark_group("fig3/exact_query_vs_nr");
+    for &mult in &[0.5f64, 1.0, 4.0, 16.0] {
+        let nr = (((n as f64).sqrt() * mult).ceil() as usize).clamp(1, n);
+        let params = RbcParams::standard(n, 13).with_n_reps(nr);
+        let rbc = ExactRbc::build(&w.database, Euclidean, params, RbcConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(nr), &nr, |b, _| {
+            b.iter(|| rbc.query_batch(&w.queries));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_param_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench behind Table 2: the SIMT device model evaluating the
+//! brute-force and one-shot workload profiles.
+//!
+//! What is being measured here is the *model evaluation* cost (it runs on
+//! the CPU); the modeled cycle counts themselves are printed by the
+//! `table2` binary. Keeping the model cheap matters because the harness
+//! sweeps it over many parameter settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rbc_device::{LaneWork, SimtDevice};
+
+fn bench_model_evaluation(c: &mut Criterion) {
+    let device = SimtDevice::new();
+    let mut group = c.benchmark_group("table2/simt_model");
+    for &queries in &[1_000usize, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("brute_force_model", queries),
+            &queries,
+            |b, &q| {
+                b.iter(|| device.model_brute_force(q, 100_000, 16));
+            },
+        );
+        let rep: Vec<u64> = vec![1_000; queries];
+        let list: Vec<u64> = vec![1_000; queries];
+        group.bench_with_input(
+            BenchmarkId::new("one_shot_model", queries),
+            &queries,
+            |b, _| {
+                b.iter(|| device.model_one_shot(&rep, &list, 16));
+            },
+        );
+        let tree: Vec<LaneWork> = (0..queries)
+            .map(|i| LaneWork::tree_traversal(200 + (i % 97) as u64, 16))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("tree_traversal_kernel", queries),
+            &queries,
+            |b, _| {
+                b.iter(|| device.run_kernel(&tree));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_model_evaluation
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion bench behind Table 3: Cover Tree (sequential) vs. exact RBC
+//! (parallel) query batches on the same workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rbc_baselines::{CoverTree, VpTree};
+use rbc_bench::PreparedWorkload;
+use rbc_core::{ExactRbc, RbcConfig, RbcParams};
+use rbc_data::standard_catalog;
+use rbc_metric::Euclidean;
+
+fn bench_cover_tree_vs_rbc(c: &mut Criterion) {
+    let mut spec = standard_catalog(0.01)
+        .into_iter()
+        .find(|s| s.name == "phy")
+        .expect("catalog entry");
+    spec.n_queries = 64;
+    let w = PreparedWorkload::generate(&spec).truncated(6_000, 32);
+    let n = w.n();
+
+    let mut group = c.benchmark_group("table3/query_batch");
+
+    let ct = CoverTree::build(&w.database, Euclidean);
+    group.bench_function("cover_tree_single_core", |b| {
+        b.iter(|| ct.query_batch_k(&w.queries, 1));
+    });
+
+    let vp = VpTree::build(&w.database, Euclidean);
+    group.bench_function("vp_tree_single_core", |b| {
+        b.iter(|| vp.query_batch_k(&w.queries, 1));
+    });
+
+    let rbc = ExactRbc::build(
+        &w.database,
+        Euclidean,
+        RbcParams::standard(n, 19),
+        RbcConfig::default(),
+    );
+    group.bench_function("exact_rbc_parallel", |b| {
+        b.iter(|| rbc.query_batch(&w.queries));
+    });
+
+    let rbc_seq = ExactRbc::build(
+        &w.database,
+        Euclidean,
+        RbcParams::standard(n, 19),
+        RbcConfig::sequential(),
+    );
+    group.bench_function("exact_rbc_single_core", |b| {
+        b.iter(|| rbc_seq.query_batch(&w.queries));
+    });
+
+    group.finish();
+}
+
+fn bench_build_times(c: &mut Criterion) {
+    let mut spec = standard_catalog(0.005)
+        .into_iter()
+        .find(|s| s.name == "phy")
+        .expect("catalog entry");
+    spec.n_queries = 16;
+    let w = PreparedWorkload::generate(&spec).truncated(6_000, 32);
+    let n = w.n();
+
+    let mut group = c.benchmark_group("table3/build");
+    group.sample_size(10);
+    group.bench_function("cover_tree", |b| {
+        b.iter(|| CoverTree::build(&w.database, Euclidean));
+    });
+    group.bench_function("exact_rbc", |b| {
+        b.iter(|| {
+            ExactRbc::build(
+                &w.database,
+                Euclidean,
+                RbcParams::standard(n, 23),
+                RbcConfig::default(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_cover_tree_vs_rbc, bench_build_times
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Figure 1 — one-shot search: speedup vs. rank error.
+//!
+//! The paper's Figure 1 is a log-log plot per dataset: the x-axis is the
+//! mean rank of the returned neighbor (0 = exact), the y-axis is the
+//! speedup over parallel brute force, and the curve is traced by sweeping
+//! the single parameter `n_r = s`. This binary prints the same series as a
+//! table: one block per dataset, one row per parameter setting, with both
+//! the wall-clock and the work (distance-evaluation) speedup.
+
+use serde::Serialize;
+
+use rbc_bench::{brute_force_batch, one_shot_batch, BenchOptions, PreparedWorkload, Table};
+use rbc_bruteforce::BfConfig;
+use rbc_core::{RbcConfig, RbcParams};
+
+#[derive(Serialize)]
+struct Record {
+    dataset: String,
+    n: usize,
+    n_reps: usize,
+    mean_rank_error: f64,
+    work_speedup: f64,
+    time_speedup: f64,
+    evals_per_query: f64,
+}
+
+/// The sweep of `n_r = s`, expressed as multiples of √n (the theory's
+/// standard setting is a small constant times √n).
+const SWEEP: &[f64] = &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+
+fn main() {
+    let opts = BenchOptions::from_env();
+    println!(
+        "Figure 1 reproduction: one-shot speedup vs. mean rank error (scale = {})\n",
+        opts.scale
+    );
+
+    let mut records = Vec::new();
+    for spec in opts.catalog() {
+        let workload = PreparedWorkload::generate(&spec);
+        let n = workload.n();
+        let brute = brute_force_batch(&workload, BfConfig::default());
+
+        let mut table = Table::new(
+            format!("Figure 1 [{}]: n = {}, dim = {}", spec.name, n, spec.dim),
+            &["nr = s", "mean rank", "work speedup", "time speedup", "evals/query"],
+        );
+        for &mult in SWEEP {
+            let nr = ((n as f64).sqrt() * mult).ceil().max(1.0) as usize;
+            let nr = nr.min(n);
+            let params = RbcParams::standard(n, 17 + spec.seed)
+                .with_n_reps(nr)
+                .with_list_size(nr);
+            let (m, _) = one_shot_batch(&workload, params, RbcConfig::default());
+            let rank = m.mean_rank_error(&workload);
+            table.row(&[
+                format!("{nr}"),
+                format!("{rank:.3}"),
+                format!("{:.1}x", m.work_speedup_over(&brute)),
+                format!("{:.1}x", m.time_speedup_over(&brute)),
+                format!("{:.1}", m.evals_per_query()),
+            ]);
+            records.push(Record {
+                dataset: spec.name.clone(),
+                n,
+                n_reps: nr,
+                mean_rank_error: rank,
+                work_speedup: m.work_speedup_over(&brute),
+                time_speedup: m.time_speedup_over(&brute),
+                evals_per_query: m.evals_per_query(),
+            });
+        }
+        table.print();
+        println!();
+    }
+
+    match rbc_bench::write_json_records("fig1", &records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write results: {e}"),
+    }
+}

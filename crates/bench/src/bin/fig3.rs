@@ -1,0 +1,76 @@
+//! Figure 3 (Appendix C) — sensitivity of the exact search to the number
+//! of representatives.
+//!
+//! The appendix sweeps the exact algorithm's single parameter (the number
+//! of representatives) over a wide range and shows the speedup is stable.
+//! This binary reproduces that sweep: for each dataset, speedup over brute
+//! force as `n_r` ranges across multiples of √n.
+
+use serde::Serialize;
+
+use rbc_bench::{brute_force_batch, exact_rbc_batch, BenchOptions, PreparedWorkload, Table};
+use rbc_bruteforce::BfConfig;
+use rbc_core::{RbcConfig, RbcParams};
+
+#[derive(Serialize)]
+struct Record {
+    dataset: String,
+    n: usize,
+    n_reps: usize,
+    work_speedup: f64,
+    time_speedup: f64,
+    evals_per_query: f64,
+    build_seconds: f64,
+}
+
+/// Sweep of `n_r`, as multiples of √n (the paper sweeps absolute counts up
+/// to 10k–30k on the full-size datasets; relative multiples keep the sweep
+/// meaningful at any scale).
+const SWEEP: &[f64] = &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+
+fn main() {
+    let opts = BenchOptions::from_env();
+    println!(
+        "Figure 3 reproduction: exact-search speedup vs. number of representatives (scale = {})\n",
+        opts.scale
+    );
+
+    let mut records = Vec::new();
+    for spec in opts.catalog() {
+        let workload = PreparedWorkload::generate(&spec);
+        let n = workload.n();
+        let brute = brute_force_batch(&workload, BfConfig::default());
+
+        let mut table = Table::new(
+            format!("Figure 3 [{}]: n = {}, dim = {}", spec.name, n, spec.dim),
+            &["nr", "work speedup", "time speedup", "evals/query"],
+        );
+        for &mult in SWEEP {
+            let nr = (((n as f64).sqrt() * mult).ceil() as usize).clamp(1, n);
+            let params = RbcParams::standard(n, 31 + spec.seed).with_n_reps(nr);
+            let (m, build_time) = exact_rbc_batch(&workload, params, RbcConfig::default());
+            table.row(&[
+                format!("{nr}"),
+                format!("{:.1}x", m.work_speedup_over(&brute)),
+                format!("{:.1}x", m.time_speedup_over(&brute)),
+                format!("{:.1}", m.evals_per_query()),
+            ]);
+            records.push(Record {
+                dataset: spec.name.clone(),
+                n,
+                n_reps: nr,
+                work_speedup: m.work_speedup_over(&brute),
+                time_speedup: m.time_speedup_over(&brute),
+                evals_per_query: m.evals_per_query(),
+                build_seconds: build_time.as_secs_f64(),
+            });
+        }
+        table.print();
+        println!();
+    }
+
+    match rbc_bench::write_json_records("fig3", &records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write results: {e}"),
+    }
+}

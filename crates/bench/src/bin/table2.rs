@@ -1,0 +1,134 @@
+//! Table 2 — one-shot RBC vs. brute force on the (modeled) GPU.
+//!
+//! The paper runs both algorithms on a Tesla C2050 and reports the
+//! speedup of the one-shot RBC over GPU brute force (Bio 38.1×, Covertype
+//! 94.6×, Physics 19.0×, Robot 53.2×, TinyIm4 188.4×), with the parameter
+//! set so the rank error is roughly 10⁻¹. We have no GPU, so this binary
+//! substitutes the SIMT device model (see `rbc-device::simt` and DESIGN.md
+//! §3): the algorithms are executed on the CPU to obtain their exact
+//! per-query work profiles, and the model accounts device cycles for warps
+//! of 32 lanes with coalescing and divergence effects. The reported
+//! speedup is the ratio of modeled cycles.
+
+use serde::Serialize;
+
+use rbc_bench::{measure::one_shot_stage_profile, BenchOptions, PreparedWorkload, Table};
+use rbc_bench::{brute_force_batch, one_shot_batch};
+use rbc_bruteforce::BfConfig;
+use rbc_core::{RbcConfig, RbcParams};
+use rbc_device::SimtDevice;
+
+#[derive(Serialize)]
+struct Record {
+    dataset: String,
+    n: usize,
+    dim: usize,
+    n_reps: usize,
+    mean_rank_error: f64,
+    modeled_speedup: f64,
+    work_speedup: f64,
+    brute_cycles: f64,
+    one_shot_cycles: f64,
+    one_shot_utilization: f64,
+    paper_speedup: Option<f64>,
+}
+
+/// Speedups reported in the paper's Table 2, for side-by-side printing.
+fn paper_speedup(name: &str) -> Option<f64> {
+    match name {
+        "bio" => Some(38.1),
+        "cov" => Some(94.6),
+        "phy" => Some(19.0),
+        "robot" => Some(53.2),
+        "tiny4" => Some(188.4),
+        _ => None,
+    }
+}
+
+fn main() {
+    let opts = BenchOptions::from_env();
+    let device = SimtDevice::new();
+    println!(
+        "Table 2 reproduction: one-shot RBC vs. brute force on the SIMT device model (scale = {})\n",
+        opts.scale
+    );
+
+    let mut table = Table::new(
+        "Table 2: GPU (modeled) speedup of one-shot RBC over brute force",
+        &["dataset", "n", "dim", "nr=s", "rank err", "modeled speedup", "paper"],
+    );
+    let mut records = Vec::new();
+
+    for spec in opts.catalog() {
+        let workload = PreparedWorkload::generate(&spec);
+        let n = workload.n();
+        let nq = workload.queries.len();
+
+        // Parameter setting: the paper tunes nr = s so the rank error lands
+        // near 1e-1 (§7.3). Reproduce that protocol by sweeping multiples
+        // of √n and keeping the smallest setting that reaches the target
+        // error (falling back to the largest sweep point otherwise).
+        let brute_cpu = brute_force_batch(&workload, BfConfig::default());
+        let mut chosen: Option<(usize, rbc_bench::BatchMeasurement, f64)> = None;
+        for mult in [1.0f64, 2.0, 4.0, 8.0] {
+            let cand_nr = (((n as f64).sqrt() * mult).ceil() as usize).clamp(1, n);
+            let cand_params = RbcParams::standard(n, 41 + spec.seed)
+                .with_n_reps(cand_nr)
+                .with_list_size(cand_nr);
+            let (m, _) = one_shot_batch(&workload, cand_params, RbcConfig::default());
+            let err = m.mean_rank_error(&workload);
+            let good_enough = err <= 0.15;
+            chosen = Some((cand_nr, m, err));
+            if good_enough {
+                break;
+            }
+        }
+        let (nr, one_shot_cpu, rank) = chosen.expect("sweep is non-empty");
+        let params = RbcParams::standard(n, 41 + spec.seed)
+            .with_n_reps(nr)
+            .with_list_size(nr);
+
+        // Model both on the SIMT device.
+        let brute_dev = device.model_brute_force(nq, n, spec.dim);
+        let (rep_scans, list_scans) =
+            one_shot_stage_profile(&workload, params, RbcConfig::default());
+        let one_shot_dev = device.model_one_shot(&rep_scans, &list_scans, spec.dim);
+        let speedup = one_shot_dev.speedup_over(&brute_dev);
+
+        table.row(&[
+            spec.name.clone(),
+            format!("{n}"),
+            format!("{}", spec.dim),
+            format!("{nr}"),
+            format!("{rank:.3}"),
+            format!("{speedup:.1}x"),
+            paper_speedup(&spec.name)
+                .map(|s| format!("{s:.1}x"))
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+        records.push(Record {
+            dataset: spec.name.clone(),
+            n,
+            dim: spec.dim,
+            n_reps: nr,
+            mean_rank_error: rank,
+            modeled_speedup: speedup,
+            work_speedup: one_shot_cpu.work_speedup_over(&brute_cpu),
+            brute_cycles: brute_dev.cycles,
+            one_shot_cycles: one_shot_dev.cycles,
+            one_shot_utilization: one_shot_dev.lane_utilization,
+            paper_speedup: paper_speedup(&spec.name),
+        });
+    }
+
+    table.print();
+    println!(
+        "\nNote: \"paper\" column lists the Tesla C2050 measurements from the paper's Table 2;\n\
+         the modeled column is produced by the SIMT cost model at the chosen scale, so only\n\
+         the ordering and rough magnitudes are comparable."
+    );
+    match rbc_bench::write_json_records("table2", &records) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write results: {e}"),
+    }
+}

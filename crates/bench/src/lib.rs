@@ -1,0 +1,31 @@
+//! Shared harness code for regenerating every table and figure of the RBC
+//! paper.
+//!
+//! Each binary in `src/bin/` reproduces one experiment:
+//!
+//! | Binary   | Paper artifact | What it prints |
+//! |----------|----------------|----------------|
+//! | `table1` | Table 1        | dataset catalogue + measured expansion rates |
+//! | `fig1`   | Figure 1       | one-shot speedup vs. mean rank error, per dataset, sweeping `n_r = s` |
+//! | `fig2`   | Figure 2       | exact-search speedup over brute force (48-core profile) |
+//! | `fig3`   | Figure 3       | exact-search speedup vs. number of representatives |
+//! | `table2` | Table 2        | one-shot vs. brute force on the SIMT device model |
+//! | `table3` | Table 3        | Cover Tree (1 core) vs. exact RBC (4 cores), total query seconds |
+//!
+//! Every binary accepts `--scale <f64>` (default 0.005) to grow or shrink
+//! the synthetic datasets relative to the paper's sizes, `--queries <n>` to
+//! cap the query count, and `--datasets a,b,c` to restrict the run. Results
+//! are printed as aligned text tables and also written as JSON records
+//! under `results/` so EXPERIMENTS.md can cite them.
+
+#![warn(missing_docs)]
+
+pub mod measure;
+pub mod options;
+pub mod report;
+
+pub use measure::{
+    brute_force_batch, exact_rbc_batch, one_shot_batch, BatchMeasurement, PreparedWorkload,
+};
+pub use options::BenchOptions;
+pub use report::{write_json_records, write_json_records_to, Table};

@@ -1,0 +1,148 @@
+//! Command-line options shared by every experiment binary.
+
+use rbc_data::{standard_catalog, DatasetSpec};
+
+/// Options common to all experiment binaries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchOptions {
+    /// Scale factor applied to the paper's dataset sizes (1.0 = paper
+    /// scale).
+    pub scale: f64,
+    /// Optional cap on the number of queries per dataset.
+    pub max_queries: Option<usize>,
+    /// Restrict to these dataset names (all when empty).
+    pub datasets: Vec<String>,
+    /// Base RNG seed offset, letting a user re-run with fresh randomness.
+    pub seed: u64,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            scale: 0.005,
+            max_queries: Some(200),
+            datasets: Vec::new(),
+            seed: 0,
+        }
+    }
+}
+
+impl BenchOptions {
+    /// Parses options from an argument iterator (usually
+    /// `std::env::args().skip(1)`). Unknown flags abort with a usage
+    /// message; this is a reproduction harness, not a general CLI.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it.next().unwrap_or_else(|| usage("--scale needs a value"));
+                    opts.scale = v.parse().unwrap_or_else(|_| usage("--scale must be a number"));
+                    assert!(opts.scale > 0.0, "--scale must be positive");
+                }
+                "--queries" => {
+                    let v = it.next().unwrap_or_else(|| usage("--queries needs a value"));
+                    opts.max_queries =
+                        Some(v.parse().unwrap_or_else(|_| usage("--queries must be an integer")));
+                }
+                "--all-queries" => {
+                    opts.max_queries = None;
+                }
+                "--datasets" => {
+                    let v = it.next().unwrap_or_else(|| usage("--datasets needs a value"));
+                    opts.datasets = v.split(',').map(|s| s.trim().to_string()).collect();
+                }
+                "--seed" => {
+                    let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    opts.seed = v.parse().unwrap_or_else(|_| usage("--seed must be an integer"));
+                }
+                "--help" | "-h" => {
+                    usage("");
+                }
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        opts
+    }
+
+    /// Parses options from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The catalogue entries selected by these options.
+    pub fn catalog(&self) -> Vec<DatasetSpec> {
+        standard_catalog(self.scale)
+            .into_iter()
+            .filter(|spec| {
+                self.datasets.is_empty() || self.datasets.iter().any(|d| d == &spec.name)
+            })
+            .map(|mut spec| {
+                if let Some(cap) = self.max_queries {
+                    spec.n_queries = spec.n_queries.min(cap.max(1));
+                }
+                spec.seed = spec.seed.wrapping_add(self.seed);
+                spec
+            })
+            .collect()
+    }
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!(
+        "usage: <experiment> [--scale F] [--queries N | --all-queries] \
+         [--datasets bio,cov,...] [--seed N]"
+    );
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchOptions {
+        BenchOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_laptop_friendly() {
+        let opts = BenchOptions::default();
+        assert!(opts.scale < 0.1);
+        assert!(opts.max_queries.is_some());
+        assert!(opts.datasets.is_empty());
+    }
+
+    #[test]
+    fn parses_scale_queries_and_datasets() {
+        let opts = parse(&["--scale", "0.01", "--queries", "50", "--datasets", "bio,tiny16"]);
+        assert_eq!(opts.scale, 0.01);
+        assert_eq!(opts.max_queries, Some(50));
+        assert_eq!(opts.datasets, vec!["bio".to_string(), "tiny16".to_string()]);
+    }
+
+    #[test]
+    fn all_queries_flag_clears_the_cap() {
+        let opts = parse(&["--all-queries"]);
+        assert_eq!(opts.max_queries, None);
+    }
+
+    #[test]
+    fn catalog_respects_dataset_filter_and_query_cap() {
+        let opts = parse(&["--datasets", "bio,phy", "--queries", "10"]);
+        let cat = opts.catalog();
+        let names: Vec<&str> = cat.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["bio", "phy"]);
+        assert!(cat.iter().all(|s| s.n_queries <= 10));
+    }
+
+    #[test]
+    fn seed_offsets_catalog_seeds() {
+        let a = parse(&[]).catalog();
+        let b = parse(&["--seed", "5"]).catalog();
+        assert_eq!(a[0].seed.wrapping_add(5), b[0].seed);
+    }
+}

@@ -1,0 +1,159 @@
+//! Text tables and JSON result records.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A simple aligned text table, printed to stdout by every experiment
+/// binary in the same rows/columns layout as the corresponding paper
+/// artifact.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new<S: Into<String>>(title: S, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; the cell count must match the header.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Writes experiment records as pretty-printed JSON under `results/`,
+/// creating the directory if needed. Returns the path written.
+pub fn write_json_records<T: Serialize>(
+    experiment: &str,
+    records: &T,
+) -> std::io::Result<std::path::PathBuf> {
+    write_json_records_to(Path::new("results"), experiment, records)
+}
+
+/// Writes experiment records as pretty-printed JSON under an explicit
+/// directory. Returns the path written.
+pub fn write_json_records_to<T: Serialize>(
+    dir: &Path,
+    experiment: &str,
+    records: &T,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{experiment}.json"));
+    let mut file = std::fs::File::create(&path)?;
+    let json = serde_json::to_string_pretty(records).expect("records serialize");
+    file.write_all(json.as_bytes())?;
+    file.write_all(b"\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["alpha".to_string(), "1".to_string()]);
+        t.row(&["b".to_string(), "12345".to_string()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("12345"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        // every data line has the same length (alignment)
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        assert_eq!(lines[1].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only-one".to_string()]);
+    }
+
+    #[test]
+    fn json_records_round_trip() {
+        #[derive(serde::Serialize)]
+        struct Rec {
+            name: String,
+            value: f64,
+        }
+        let tmp = std::env::temp_dir().join(format!("rbc-bench-test-{}", std::process::id()));
+        let path = write_json_records_to(
+            &tmp,
+            "unit_test",
+            &vec![Rec {
+                name: "x".into(),
+                value: 1.5,
+            }],
+        )
+        .unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.contains("\"value\": 1.5"));
+    }
+}

@@ -1,0 +1,114 @@
+//! The [`Neighbor`] type: an index into a dataset plus its distance to a
+//! query.
+
+use rbc_metric::Dist;
+
+/// A candidate nearest neighbor: the index of a database item and its
+/// distance to the query under consideration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Index of the item in the database it was drawn from.
+    pub index: usize,
+    /// Distance from the query to that item.
+    pub dist: Dist,
+}
+
+impl Neighbor {
+    /// Creates a neighbor record.
+    pub fn new(index: usize, dist: Dist) -> Self {
+        Self { index, dist }
+    }
+
+    /// A sentinel that is farther than any real neighbor; used to seed
+    /// min-reductions.
+    pub fn farthest() -> Self {
+        Self {
+            index: usize::MAX,
+            dist: Dist::INFINITY,
+        }
+    }
+
+    /// Returns whichever of the two neighbors is closer, breaking ties by
+    /// the lower index so reductions are deterministic regardless of the
+    /// order in which workers finish.
+    #[inline]
+    pub fn closer(self, other: Self) -> Self {
+        if other.dist < self.dist || (other.dist == self.dist && other.index < self.index) {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// True if this is the [`farthest`](Neighbor::farthest) sentinel.
+    pub fn is_sentinel(&self) -> bool {
+        self.index == usize::MAX
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Neighbor {
+    /// Orders by distance, then by index. Distances inside the library are
+    /// never NaN (metrics must be finite), so the total order is safe.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| self.index.cmp(&other.index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closer_prefers_smaller_distance() {
+        let a = Neighbor::new(3, 2.0);
+        let b = Neighbor::new(9, 1.0);
+        assert_eq!(a.closer(b), b);
+        assert_eq!(b.closer(a), b);
+    }
+
+    #[test]
+    fn closer_breaks_ties_by_index() {
+        let a = Neighbor::new(7, 1.5);
+        let b = Neighbor::new(2, 1.5);
+        assert_eq!(a.closer(b), b);
+        assert_eq!(b.closer(a), b);
+    }
+
+    #[test]
+    fn sentinel_loses_to_everything() {
+        let s = Neighbor::farthest();
+        let a = Neighbor::new(0, 1e30);
+        assert!(s.is_sentinel());
+        assert!(!a.is_sentinel());
+        assert_eq!(s.closer(a), a);
+    }
+
+    #[test]
+    fn ordering_is_by_distance_then_index() {
+        let mut v = vec![
+            Neighbor::new(5, 2.0),
+            Neighbor::new(1, 1.0),
+            Neighbor::new(0, 2.0),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Neighbor::new(1, 1.0),
+                Neighbor::new(0, 2.0),
+                Neighbor::new(5, 2.0),
+            ]
+        );
+    }
+}

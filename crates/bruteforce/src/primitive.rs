@@ -1,0 +1,656 @@
+//! The brute-force primitive itself: batched, tiled, parallel scans.
+
+use rayon::prelude::*;
+
+use rbc_metric::{Dataset, Dist, Metric};
+
+use crate::neighbor::Neighbor;
+use crate::stats::BfStats;
+use crate::topk::TopK;
+
+/// Tiling and parallelism knobs for the primitive.
+///
+/// The defaults are sensible for dense vectors of moderate dimension; the
+/// device layer (`rbc-device`) and the benchmark harness override them when
+/// they model specific machines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BfConfig {
+    /// Number of queries grouped into one parallel task. Groups of queries
+    /// share each database tile while it is hot in cache, which is the
+    /// "block decomposition" structure the paper likens to matrix–matrix
+    /// multiply.
+    pub query_tile: usize,
+    /// Number of database items per inner tile.
+    pub db_tile: usize,
+    /// If `false`, run everything on the calling thread (used by the
+    /// baselines for fair single-core comparisons, and by the SIMT device
+    /// model which supplies its own scheduling).
+    pub parallel: bool,
+}
+
+impl Default for BfConfig {
+    fn default() -> Self {
+        Self {
+            query_tile: 16,
+            db_tile: 256,
+            parallel: true,
+        }
+    }
+}
+
+impl BfConfig {
+    /// A configuration that forces sequential execution.
+    pub fn sequential() -> Self {
+        Self {
+            parallel: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// The brute-force primitive `BF(Q, X[L])` with a fixed configuration.
+///
+/// All methods return the result together with a [`BfStats`] describing the
+/// work performed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BruteForce {
+    config: BfConfig,
+}
+
+impl BruteForce {
+    /// Primitive with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Primitive with an explicit configuration.
+    pub fn with_config(config: BfConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> BfConfig {
+        self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Batched queries against the full database: BF(Q, X)
+    // ------------------------------------------------------------------
+
+    /// 1-NN for every query in `queries` against every item of `db`.
+    pub fn nn<Q, D, M>(&self, queries: &Q, db: &D, metric: &M) -> (Vec<Neighbor>, BfStats)
+    where
+        Q: Dataset,
+        D: Dataset<Item = Q::Item>,
+        M: Metric<Q::Item>,
+    {
+        let (knn, stats) = self.knn(queries, db, metric, 1);
+        let nn = knn
+            .into_iter()
+            .map(|mut v| v.pop().unwrap_or_else(Neighbor::farthest))
+            .collect();
+        (nn, stats)
+    }
+
+    /// k-NN for every query in `queries` against every item of `db`.
+    ///
+    /// Each per-query result is sorted by ascending distance and contains
+    /// `min(k, db.len())` neighbors.
+    pub fn knn<Q, D, M>(
+        &self,
+        queries: &Q,
+        db: &D,
+        metric: &M,
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, BfStats)
+    where
+        Q: Dataset,
+        D: Dataset<Item = Q::Item>,
+        M: Metric<Q::Item>,
+    {
+        self.knn_over(queries, db, metric, k, None)
+    }
+
+    /// k-NN for every query against the sub-database `X[L]` given by
+    /// `list`. Returned neighbor indices refer to the *original* database.
+    pub fn knn_in_list<Q, D, M>(
+        &self,
+        queries: &Q,
+        db: &D,
+        list: &[usize],
+        metric: &M,
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, BfStats)
+    where
+        Q: Dataset,
+        D: Dataset<Item = Q::Item>,
+        M: Metric<Q::Item>,
+    {
+        self.knn_over(queries, db, metric, k, Some(list))
+    }
+
+    /// 1-NN for every query against the sub-database `X[L]`.
+    pub fn nn_in_list<Q, D, M>(
+        &self,
+        queries: &Q,
+        db: &D,
+        list: &[usize],
+        metric: &M,
+    ) -> (Vec<Neighbor>, BfStats)
+    where
+        Q: Dataset,
+        D: Dataset<Item = Q::Item>,
+        M: Metric<Q::Item>,
+    {
+        let (knn, stats) = self.knn_in_list(queries, db, list, metric, 1);
+        let nn = knn
+            .into_iter()
+            .map(|mut v| v.pop().unwrap_or_else(Neighbor::farthest))
+            .collect();
+        (nn, stats)
+    }
+
+    /// All items of `db` within distance `radius` of each query, sorted by
+    /// ascending distance (ε-range search).
+    pub fn range<Q, D, M>(
+        &self,
+        queries: &Q,
+        db: &D,
+        metric: &M,
+        radius: Dist,
+    ) -> (Vec<Vec<Neighbor>>, BfStats)
+    where
+        Q: Dataset,
+        D: Dataset<Item = Q::Item>,
+        M: Metric<Q::Item>,
+    {
+        let nq = queries.len();
+        let n = db.len();
+        let work = |qi: usize| -> (Vec<Neighbor>, u64) {
+            let q = queries.get(qi);
+            let mut hits = Vec::new();
+            for j in 0..n {
+                let d = metric.dist(q, db.get(j));
+                if d <= radius {
+                    hits.push(Neighbor::new(j, d));
+                }
+            }
+            hits.sort();
+            (hits, n as u64)
+        };
+
+        let per_query: Vec<(Vec<Neighbor>, u64)> = if self.config.parallel {
+            (0..nq).into_par_iter().map(work).collect()
+        } else {
+            (0..nq).map(work).collect()
+        };
+
+        let mut stats = BfStats::new();
+        let mut out = Vec::with_capacity(nq);
+        for (hits, evals) in per_query {
+            stats.distance_evals += evals;
+            stats.queries += 1;
+            out.push(hits);
+        }
+        (out, stats)
+    }
+
+    /// Dense pairwise distance matrix (row-major, `queries.len() × db.len()`).
+    ///
+    /// This is the "distance computation step" of the primitive in
+    /// isolation; the exact RBC search uses it on the representative set,
+    /// where all distances must be retained for the pruning rules.
+    pub fn pairwise<Q, D, M>(&self, queries: &Q, db: &D, metric: &M) -> (Vec<Dist>, BfStats)
+    where
+        Q: Dataset,
+        D: Dataset<Item = Q::Item>,
+        M: Metric<Q::Item>,
+    {
+        let nq = queries.len();
+        let n = db.len();
+        let row = |qi: usize| -> Vec<Dist> {
+            let q = queries.get(qi);
+            (0..n).map(|j| metric.dist(q, db.get(j))).collect()
+        };
+        let rows: Vec<Vec<Dist>> = if self.config.parallel {
+            (0..nq).into_par_iter().map(row).collect()
+        } else {
+            (0..nq).map(row).collect()
+        };
+        let mut flat = Vec::with_capacity(nq * n);
+        for r in rows {
+            flat.extend_from_slice(&r);
+        }
+        (flat, BfStats::full_scan(nq as u64, n as u64))
+    }
+
+    // ------------------------------------------------------------------
+    // Single-query (streaming) paths: BF(q, X) parallelised over the DB
+    // ------------------------------------------------------------------
+
+    /// 1-NN of a single query, with the database split across workers
+    /// (matrix–vector structure + parallel reduce, §3).
+    pub fn nn_single<D, M>(&self, query: &D::Item, db: &D, metric: &M) -> (Neighbor, BfStats)
+    where
+        D: Dataset,
+        M: Metric<D::Item>,
+    {
+        let n = db.len();
+        let stats = BfStats::full_scan(1, n as u64);
+        if n == 0 {
+            return (Neighbor::farthest(), stats);
+        }
+        let chunk = self.config.db_tile.max(1);
+        let best = if self.config.parallel {
+            (0..n)
+                .into_par_iter()
+                .with_min_len(chunk)
+                .map(|j| Neighbor::new(j, metric.dist(query, db.get(j))))
+                .reduce(Neighbor::farthest, Neighbor::closer)
+        } else {
+            (0..n)
+                .map(|j| Neighbor::new(j, metric.dist(query, db.get(j))))
+                .fold(Neighbor::farthest(), Neighbor::closer)
+        };
+        (best, stats)
+    }
+
+    /// k-NN of a single query against the sub-database `X[L]`, returning
+    /// original database indices. Pass `0..db.len()` semantics by using
+    /// [`knn_single`](Self::knn_single) instead.
+    pub fn knn_single_in_list<D, M>(
+        &self,
+        query: &D::Item,
+        db: &D,
+        list: &[usize],
+        metric: &M,
+        k: usize,
+    ) -> (Vec<Neighbor>, BfStats)
+    where
+        D: Dataset,
+        M: Metric<D::Item>,
+    {
+        let stats = BfStats::full_scan(1, list.len() as u64);
+        let chunk = self.config.db_tile.max(1);
+        let collect_chunk = |idx_chunk: &[usize]| -> TopK {
+            let mut topk = TopK::new(k);
+            for &j in idx_chunk {
+                topk.push(Neighbor::new(j, metric.dist(query, db.get(j))));
+            }
+            topk
+        };
+        let merged = if self.config.parallel && list.len() > chunk {
+            list.par_chunks(chunk)
+                .map(collect_chunk)
+                .reduce_with(|mut a, b| {
+                    a.merge(&b);
+                    a
+                })
+                .unwrap_or_else(|| TopK::new(k))
+        } else {
+            collect_chunk(list)
+        };
+        (merged.into_sorted(), stats)
+    }
+
+    /// k-NN of a single query against the whole database.
+    pub fn knn_single<D, M>(
+        &self,
+        query: &D::Item,
+        db: &D,
+        metric: &M,
+        k: usize,
+    ) -> (Vec<Neighbor>, BfStats)
+    where
+        D: Dataset,
+        M: Metric<D::Item>,
+    {
+        let all: Vec<usize> = (0..db.len()).collect();
+        self.knn_single_in_list(query, db, &all, metric, k)
+    }
+
+    /// All distances from one query to every item of `db`, in database
+    /// order. The exact search algorithm calls this on the representative
+    /// set because it must retain the distances for its pruning rules.
+    pub fn distances_single<D, M>(
+        &self,
+        query: &D::Item,
+        db: &D,
+        metric: &M,
+    ) -> (Vec<Dist>, BfStats)
+    where
+        D: Dataset,
+        M: Metric<D::Item>,
+    {
+        let n = db.len();
+        let stats = BfStats::full_scan(1, n as u64);
+        let chunk = self.config.db_tile.max(1);
+        let dists: Vec<Dist> = if self.config.parallel && n > chunk {
+            (0..n)
+                .into_par_iter()
+                .with_min_len(chunk)
+                .map(|j| metric.dist(query, db.get(j)))
+                .collect()
+        } else {
+            (0..n).map(|j| metric.dist(query, db.get(j))).collect()
+        };
+        (dists, stats)
+    }
+
+    // ------------------------------------------------------------------
+    // Core tiled implementation
+    // ------------------------------------------------------------------
+
+    fn knn_over<Q, D, M>(
+        &self,
+        queries: &Q,
+        db: &D,
+        metric: &M,
+        k: usize,
+        list: Option<&[usize]>,
+    ) -> (Vec<Vec<Neighbor>>, BfStats)
+    where
+        Q: Dataset,
+        D: Dataset<Item = Q::Item>,
+        M: Metric<Q::Item>,
+    {
+        assert!(k > 0, "k must be at least 1");
+        let nq = queries.len();
+        let n_candidates = list.map_or(db.len(), <[usize]>::len);
+        if nq == 0 {
+            return (Vec::new(), BfStats::new());
+        }
+
+        let query_tile = self.config.query_tile.max(1);
+        let db_tile = self.config.db_tile.max(1);
+
+        // One parallel task per tile of queries. Within a task, iterate the
+        // database tile by tile and keep every query's TopK collector warm,
+        // so each database tile is read once per query tile (the blocked
+        // matrix-multiply access pattern from §3).
+        let process_tile = |q_start: usize| -> (Vec<Vec<Neighbor>>, BfStats) {
+            let q_end = (q_start + query_tile).min(nq);
+            let mut collectors: Vec<TopK> = (q_start..q_end).map(|_| TopK::new(k)).collect();
+            let mut evals = 0u64;
+            let mut skips = 0u64;
+
+            let mut tile_start = 0usize;
+            while tile_start < n_candidates {
+                let tile_end = (tile_start + db_tile).min(n_candidates);
+                for (ci, qi) in (q_start..q_end).enumerate() {
+                    let q = queries.get(qi);
+                    let collector = &mut collectors[ci];
+                    for pos in tile_start..tile_end {
+                        let (db_idx, item) = match list {
+                            Some(l) => (l[pos], db.get(l[pos])),
+                            None => (pos, db.get(pos)),
+                        };
+                        let threshold = collector.threshold();
+                        if threshold.is_finite()
+                            && metric.dist_lower_bound(q, item) > threshold
+                        {
+                            skips += 1;
+                            continue;
+                        }
+                        evals += 1;
+                        collector.push(Neighbor::new(db_idx, metric.dist(q, item)));
+                    }
+                }
+                tile_start = tile_end;
+            }
+
+            let results: Vec<Vec<Neighbor>> =
+                collectors.into_iter().map(TopK::into_sorted).collect();
+            let stats = BfStats {
+                distance_evals: evals,
+                lower_bound_skips: skips,
+                queries: (q_end - q_start) as u64,
+            };
+            (results, stats)
+        };
+
+        let tile_starts: Vec<usize> = (0..nq).step_by(query_tile).collect();
+        let per_tile: Vec<(Vec<Vec<Neighbor>>, BfStats)> = if self.config.parallel {
+            tile_starts.into_par_iter().map(process_tile).collect()
+        } else {
+            tile_starts.into_iter().map(process_tile).collect()
+        };
+
+        let mut out = Vec::with_capacity(nq);
+        let mut stats = BfStats::new();
+        for (tile_results, tile_stats) in per_tile {
+            out.extend(tile_results);
+            stats.merge_from(tile_stats);
+        }
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbc_metric::{Euclidean, VectorSet};
+
+    /// A deterministic pseudo-random cloud (no dependency on `rand` needed
+    /// for unit tests).
+    fn cloud(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                row.push(((state >> 33) as f32 / u32::MAX as f32) * 20.0 - 10.0);
+            }
+            rows.push(row);
+        }
+        VectorSet::from_rows(&rows)
+    }
+
+    /// Reference: naive sequential k-NN.
+    fn naive_knn(
+        queries: &VectorSet,
+        db: &VectorSet,
+        k: usize,
+        list: Option<&[usize]>,
+    ) -> Vec<Vec<Neighbor>> {
+        let mut out = Vec::new();
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            let mut all: Vec<Neighbor> = match list {
+                Some(l) => l
+                    .iter()
+                    .map(|&j| Neighbor::new(j, Euclidean.dist(q, db.point(j))))
+                    .collect(),
+                None => (0..db.len())
+                    .map(|j| Neighbor::new(j, Euclidean.dist(q, db.point(j))))
+                    .collect(),
+            };
+            all.sort();
+            all.truncate(k);
+            out.push(all);
+        }
+        out
+    }
+
+    #[test]
+    fn nn_finds_the_true_nearest_neighbor() {
+        let db = cloud(300, 8, 1);
+        let queries = cloud(40, 8, 2);
+        let bf = BruteForce::new();
+        let (nn, stats) = bf.nn(&queries, &db, &Euclidean);
+        let expect = naive_knn(&queries, &db, 1, None);
+        for (got, want) in nn.iter().zip(expect.iter()) {
+            assert_eq!(got.index, want[0].index);
+            assert!((got.dist - want[0].dist).abs() < 1e-12);
+        }
+        assert_eq!(stats.queries, 40);
+        assert_eq!(stats.distance_evals, 40 * 300);
+    }
+
+    #[test]
+    fn knn_matches_naive_reference_across_tile_sizes() {
+        let db = cloud(200, 5, 3);
+        let queries = cloud(17, 5, 4);
+        for (qt, dt) in [(1, 1), (4, 16), (16, 256), (100, 7)] {
+            let bf = BruteForce::with_config(BfConfig {
+                query_tile: qt,
+                db_tile: dt,
+                parallel: true,
+            });
+            let (knn, _) = bf.knn(&queries, &db, &Euclidean, 5);
+            let expect = naive_knn(&queries, &db, 5, None);
+            assert_eq!(knn.len(), expect.len());
+            for (got, want) in knn.iter().zip(expect.iter()) {
+                let gi: Vec<usize> = got.iter().map(|n| n.index).collect();
+                let wi: Vec<usize> = want.iter().map(|n| n.index).collect();
+                assert_eq!(gi, wi, "tile config ({qt},{dt})");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let db = cloud(150, 6, 5);
+        let queries = cloud(9, 6, 6);
+        let par = BruteForce::new();
+        let seq = BruteForce::with_config(BfConfig::sequential());
+        let (a, sa) = par.knn(&queries, &db, &Euclidean, 3);
+        let (b, sb) = seq.knn(&queries, &db, &Euclidean, 3);
+        assert_eq!(a, b);
+        assert_eq!(sa.distance_evals, sb.distance_evals);
+    }
+
+    #[test]
+    fn knn_in_list_returns_original_indices() {
+        let db = cloud(100, 4, 7);
+        let queries = cloud(5, 4, 8);
+        let list: Vec<usize> = (0..100).filter(|i| i % 3 == 0).collect();
+        let bf = BruteForce::new();
+        let (knn, stats) = bf.knn_in_list(&queries, &db, &list, &Euclidean, 4);
+        let expect = naive_knn(&queries, &db, 4, Some(&list));
+        assert_eq!(knn, expect);
+        for per_q in &knn {
+            for n in per_q {
+                assert!(list.contains(&n.index));
+            }
+        }
+        assert_eq!(stats.distance_evals, 5 * list.len() as u64);
+    }
+
+    #[test]
+    fn empty_list_yields_sentinel_nn() {
+        let db = cloud(50, 3, 9);
+        let queries = cloud(2, 3, 10);
+        let bf = BruteForce::new();
+        let (nn, _) = bf.nn_in_list(&queries, &db, &[], &Euclidean);
+        assert!(nn.iter().all(Neighbor::is_sentinel));
+    }
+
+    #[test]
+    fn k_larger_than_database_returns_everything() {
+        let db = cloud(7, 3, 11);
+        let queries = cloud(3, 3, 12);
+        let bf = BruteForce::new();
+        let (knn, _) = bf.knn(&queries, &db, &Euclidean, 50);
+        for per_q in knn {
+            assert_eq!(per_q.len(), 7);
+        }
+    }
+
+    #[test]
+    fn single_query_paths_agree_with_batched() {
+        let db = cloud(400, 10, 13);
+        let queries = cloud(6, 10, 14);
+        let bf = BruteForce::new();
+        let (batched, _) = bf.knn(&queries, &db, &Euclidean, 5);
+        for qi in 0..queries.len() {
+            let (nn_s, stats) = bf.nn_single(queries.point(qi), &db, &Euclidean);
+            assert_eq!(nn_s.index, batched[qi][0].index);
+            assert_eq!(stats.distance_evals, 400);
+
+            let (knn_s, _) = bf.knn_single(queries.point(qi), &db, &Euclidean, 5);
+            assert_eq!(knn_s, batched[qi]);
+        }
+    }
+
+    #[test]
+    fn nn_single_on_empty_database_returns_sentinel() {
+        let db = VectorSet::empty(3);
+        let bf = BruteForce::new();
+        let (nn, stats) = bf.nn_single(&[0.0, 0.0, 0.0][..], &db, &Euclidean);
+        assert!(nn.is_sentinel());
+        assert_eq!(stats.distance_evals, 0);
+    }
+
+    #[test]
+    fn distances_single_matches_direct_metric_calls() {
+        let db = cloud(123, 4, 15);
+        let q = cloud(1, 4, 16);
+        let bf = BruteForce::new();
+        let (dists, stats) = bf.distances_single(q.point(0), &db, &Euclidean);
+        assert_eq!(dists.len(), 123);
+        assert_eq!(stats.distance_evals, 123);
+        for j in 0..db.len() {
+            assert_eq!(dists[j], Euclidean.dist(q.point(0), db.point(j)));
+        }
+    }
+
+    #[test]
+    fn range_returns_exactly_the_points_within_radius() {
+        let db = cloud(250, 3, 17);
+        let queries = cloud(8, 3, 18);
+        let bf = BruteForce::new();
+        let radius = 6.0;
+        let (hits, stats) = bf.range(&queries, &db, &Euclidean, radius);
+        assert_eq!(stats.distance_evals, 8 * 250);
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            let expected: Vec<usize> = (0..db.len())
+                .filter(|&j| Euclidean.dist(q, db.point(j)) <= radius)
+                .collect();
+            let mut got: Vec<usize> = hits[qi].iter().map(|n| n.index).collect();
+            got.sort_unstable();
+            assert_eq!(got, expected);
+            // and results are sorted by distance
+            for w in hits[qi].windows(2) {
+                assert!(w[0].dist <= w[1].dist);
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_matrix_has_row_major_layout() {
+        let db = cloud(20, 3, 19);
+        let queries = cloud(4, 3, 20);
+        let bf = BruteForce::new();
+        let (m, stats) = bf.pairwise(&queries, &db, &Euclidean);
+        assert_eq!(m.len(), 4 * 20);
+        assert_eq!(stats.distance_evals, 80);
+        for qi in 0..4 {
+            for j in 0..20 {
+                assert_eq!(m[qi * 20 + j], Euclidean.dist(queries.point(qi), db.point(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_query_set_is_handled() {
+        let db = cloud(10, 2, 21);
+        let queries = VectorSet::empty(2);
+        let bf = BruteForce::new();
+        let (knn, stats) = bf.knn(&queries, &db, &Euclidean, 3);
+        assert!(knn.is_empty());
+        assert_eq!(stats, BfStats::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_is_rejected() {
+        let db = cloud(10, 2, 22);
+        let queries = cloud(1, 2, 23);
+        let _ = BruteForce::new().knn(&queries, &db, &Euclidean, 0);
+    }
+}

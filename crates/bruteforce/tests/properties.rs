@@ -1,0 +1,149 @@
+//! Property-based tests for the brute-force primitive.
+//!
+//! The invariant that matters most for the rest of the workspace: whatever
+//! the tiling, parallelism, or entry point, the primitive returns exactly
+//! the same neighbors as a naive sequential scan.
+
+use proptest::prelude::*;
+use rbc_bruteforce::{BfConfig, BruteForce, Neighbor};
+use rbc_metric::{Euclidean, Manhattan, Metric, VectorSet};
+
+const DIM: usize = 4;
+
+fn points(n_range: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-50.0f32..50.0, DIM), n_range)
+}
+
+fn naive_knn<M: Metric<[f32]>>(
+    queries: &VectorSet,
+    db: &VectorSet,
+    metric: &M,
+    k: usize,
+) -> Vec<Vec<Neighbor>> {
+    (0..queries.len())
+        .map(|qi| {
+            let mut all: Vec<Neighbor> = (0..db.len())
+                .map(|j| Neighbor::new(j, metric.dist(queries.point(qi), db.point(j))))
+                .collect();
+            all.sort();
+            all.truncate(k);
+            all
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tiled parallel k-NN agrees with the naive scan for arbitrary
+    /// point clouds, query counts, k, and tile shapes.
+    #[test]
+    fn knn_agrees_with_naive(
+        db_rows in points(1..60),
+        q_rows in points(1..12),
+        k in 1usize..8,
+        query_tile in 1usize..20,
+        db_tile in 1usize..40,
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let queries = VectorSet::from_rows(&q_rows);
+        let bf = BruteForce::with_config(BfConfig { query_tile, db_tile, parallel: true });
+        let (got, stats) = bf.knn(&queries, &db, &Euclidean, k);
+        let want = naive_knn(&queries, &db, &Euclidean, k);
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(stats.distance_evals, (db_rows.len() * q_rows.len()) as u64);
+    }
+
+    /// Restricting to a list is the same as filtering the naive result.
+    #[test]
+    fn knn_in_list_agrees_with_filtered_naive(
+        db_rows in points(2..50),
+        q_rows in points(1..6),
+        k in 1usize..5,
+        mask in prop::collection::vec(any::<bool>(), 2..50),
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let queries = VectorSet::from_rows(&q_rows);
+        let list: Vec<usize> = (0..db.len()).filter(|&i| *mask.get(i).unwrap_or(&false)).collect();
+        prop_assume!(!list.is_empty());
+
+        let bf = BruteForce::new();
+        let (got, _) = bf.knn_in_list(&queries, &db, &list, &Euclidean, k);
+
+        for (qi, got_q) in got.iter().enumerate() {
+            let mut all: Vec<Neighbor> = list.iter()
+                .map(|&j| Neighbor::new(j, Euclidean.dist(queries.point(qi), db.point(j))))
+                .collect();
+            all.sort();
+            all.truncate(k);
+            prop_assert_eq!(got_q.clone(), all);
+        }
+    }
+
+    /// The streaming single-query path returns the same nearest neighbor as
+    /// the batched path.
+    #[test]
+    fn single_query_matches_batched(
+        db_rows in points(1..80),
+        q in prop::collection::vec(-50.0f32..50.0, DIM),
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let queries = VectorSet::from_rows(&[q.clone()]);
+        let bf = BruteForce::new();
+        let (batched, _) = bf.nn(&queries, &db, &Euclidean);
+        let (single, _) = bf.nn_single(&q[..], &db, &Euclidean);
+        prop_assert_eq!(batched[0], single);
+    }
+
+    /// Range search returns every point within the radius and nothing else,
+    /// for both L2 and L1.
+    #[test]
+    fn range_search_is_exact(
+        db_rows in points(1..60),
+        q in prop::collection::vec(-50.0f32..50.0, DIM),
+        radius in 0.0f64..100.0,
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let queries = VectorSet::from_rows(&[q.clone()]);
+        let bf = BruteForce::new();
+
+        let (l2_hits, _) = bf.range(&queries, &db, &Euclidean, radius);
+        let expect_l2: Vec<usize> = (0..db.len())
+            .filter(|&j| Euclidean.dist(&q, db.point(j)) <= radius)
+            .collect();
+        let mut got_l2: Vec<usize> = l2_hits[0].iter().map(|n| n.index).collect();
+        got_l2.sort_unstable();
+        prop_assert_eq!(got_l2, expect_l2);
+
+        let (l1_hits, _) = bf.range(&queries, &db, &Manhattan, radius);
+        let expect_l1: Vec<usize> = (0..db.len())
+            .filter(|&j| Manhattan.dist(&q, db.point(j)) <= radius)
+            .collect();
+        let mut got_l1: Vec<usize> = l1_hits[0].iter().map(|n| n.index).collect();
+        got_l1.sort_unstable();
+        prop_assert_eq!(got_l1, expect_l1);
+    }
+
+    /// k-NN results are always sorted, contain no duplicate indices, and
+    /// have length min(k, n).
+    #[test]
+    fn knn_results_are_well_formed(
+        db_rows in points(1..40),
+        q_rows in points(1..5),
+        k in 1usize..12,
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let queries = VectorSet::from_rows(&q_rows);
+        let (knn, _) = BruteForce::new().knn(&queries, &db, &Euclidean, k);
+        for per_q in &knn {
+            prop_assert_eq!(per_q.len(), k.min(db.len()));
+            for w in per_q.windows(2) {
+                prop_assert!(w[0].dist <= w[1].dist);
+            }
+            let mut idx: Vec<usize> = per_q.iter().map(|n| n.index).collect();
+            idx.sort_unstable();
+            idx.dedup();
+            prop_assert_eq!(idx.len(), per_q.len());
+        }
+    }
+}

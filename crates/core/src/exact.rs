@@ -1,0 +1,694 @@
+//! The exact RBC search structure (paper §5.2).
+//!
+//! Build: choose random representatives `R`, then one call `BF(X, R)`
+//! assigns every database point to its nearest representative, so the
+//! ownership lists partition `X`. Search: compute all representative
+//! distances (`BF(q, R)`, distances retained), prune representatives with
+//! the radius bound `ρ(q,r) ≥ γ + ψ_r` (eq. 1) and the Lemma 1 bound
+//! `ρ(q,r) > 3γ` (eq. 2), then brute-force the surviving lists. The result
+//! is always the true nearest neighbor; only the amount of work is random
+//! (Theorem 1: expected `O(c^{3/2}·√n)` at the standard setting).
+//!
+//! Two refinements from the paper are implemented and individually
+//! switchable for the ablation benchmarks (see [`RbcConfig`]):
+//!
+//! * **sorted-list pruning** — ownership lists are stored sorted by
+//!   distance to their representative, so a list scan can stop as soon as
+//!   the triangle inequality shows no later entry can beat the current
+//!   best (the "4γ" observation after Claim 2);
+//! * **approximate mode** — footnote 1 notes the algorithm is easily
+//!   modified to return a `(1+ε)`-approximate NN with less work; setting
+//!   `epsilon > 0` tightens every pruning threshold by `1/(1+ε)`.
+
+use rayon::prelude::*;
+
+use rbc_bruteforce::{BfConfig, BruteForce, Neighbor, TopK};
+use rbc_metric::{Dataset, Dist, Metric};
+
+use crate::params::{RbcConfig, RbcParams};
+use crate::reps::{sample_representatives, OwnershipList};
+use crate::stats::{QueryStats, SearchStats};
+
+/// The exact Random Ball Cover index.
+#[derive(Clone, Debug)]
+pub struct ExactRbc<D, M> {
+    db: D,
+    metric: M,
+    params: RbcParams,
+    config: RbcConfig,
+    rep_indices: Vec<usize>,
+    lists: Vec<OwnershipList>,
+    /// `rep_flags[i]` is true iff database item `i` is a representative.
+    /// Representatives are answered from the first search stage (their
+    /// distances are computed there anyway), so list scans skip them.
+    rep_flags: Vec<bool>,
+    build_distance_evals: u64,
+}
+
+impl<D, M> ExactRbc<D, M>
+where
+    D: Dataset,
+    M: Metric<D::Item>,
+{
+    /// Builds the exact structure over `db`.
+    ///
+    /// The build is a single `BF(X, R)` call: every database point finds
+    /// its nearest representative and joins that representative's list.
+    /// Work is `O(n · n_r)` distance evaluations, fully parallel.
+    ///
+    /// # Panics
+    /// Panics if `db` is empty.
+    pub fn build(db: D, metric: M, params: RbcParams, config: RbcConfig) -> Self {
+        let n = db.len();
+        assert!(n > 0, "cannot build an RBC over an empty database");
+        let rep_indices = sample_representatives(n, params.n_reps, params.seed);
+
+        let bf = BruteForce::with_config(config.bf);
+        // BF(X, R): nearest representative of every database point.
+        let rep_view = db.subset(&rep_indices);
+        let (assignments, build_stats) = bf.nn(&db, &rep_view, &metric);
+
+        // Group points by owning representative (position within R).
+        let mut pairs: Vec<Vec<(usize, Dist)>> = vec![Vec::new(); rep_indices.len()];
+        for (x_idx, assignment) in assignments.iter().enumerate() {
+            pairs[assignment.index].push((x_idx, assignment.dist));
+        }
+        let lists: Vec<OwnershipList> = rep_indices
+            .iter()
+            .zip(pairs)
+            .map(|(&rep_index, p)| OwnershipList::from_pairs(rep_index, p))
+            .collect();
+        let mut rep_flags = vec![false; n];
+        for &r in &rep_indices {
+            rep_flags[r] = true;
+        }
+
+        Self {
+            db,
+            metric,
+            params,
+            config,
+            rep_indices,
+            lists,
+            rep_flags,
+            build_distance_evals: build_stats.distance_evals,
+        }
+    }
+
+    /// Exact nearest neighbor of a single query.
+    pub fn query(&self, query: &D::Item) -> (Neighbor, QueryStats) {
+        let (mut knn, stats) = self.query_k(query, 1);
+        (knn.pop().unwrap_or_else(Neighbor::farthest), stats)
+    }
+
+    /// Exact `k` nearest neighbors of a single query, sorted by ascending
+    /// distance. Returns `min(k, n)` results.
+    pub fn query_k(&self, query: &D::Item, k: usize) -> (Vec<Neighbor>, QueryStats) {
+        let bf = BruteForce::with_config(self.config.bf);
+        self.query_k_with(query, k, &bf)
+    }
+
+    /// Every database point within `radius` of the query, sorted by
+    /// ascending distance (ε-range search, exact).
+    pub fn query_range(&self, query: &D::Item, radius: Dist) -> (Vec<Neighbor>, QueryStats) {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let bf = BruteForce::with_config(self.config.bf);
+        // Stage 1: all representative distances.
+        let rep_view = self.db.subset(&self.rep_indices);
+        let (rep_dists, rep_stats) = bf.distances_single(query, &rep_view, &self.metric);
+
+        let mut hits = Vec::new();
+        let mut list_evals = 0u64;
+        let mut skipped = 0u64;
+        let mut reps_examined = 0usize;
+        for (ri, list) in self.lists.iter().enumerate() {
+            if list.is_empty() {
+                continue;
+            }
+            let d_qr = rep_dists[ri];
+            // A list can contain a point within `radius` of q only if
+            // ρ(q,r) ≤ radius + ψ_r.
+            if self.config.use_radius_bound && d_qr > radius + list.radius {
+                continue;
+            }
+            reps_examined += 1;
+            for (pos, &member) in list.members.iter().enumerate() {
+                let d_xr = list.member_dists[pos];
+                if self.config.sorted_list_pruning {
+                    if d_xr > d_qr + radius {
+                        // Sorted ascending: everything after is farther too.
+                        skipped += (list.len() - pos) as u64;
+                        break;
+                    }
+                    if d_qr - d_xr > radius {
+                        skipped += 1;
+                        continue;
+                    }
+                }
+                list_evals += 1;
+                let d = self.metric.dist(query, self.db.get(member));
+                if d <= radius {
+                    hits.push(Neighbor::new(member, d));
+                }
+            }
+        }
+        hits.sort();
+        let stats = QueryStats {
+            rep_distance_evals: rep_stats.distance_evals,
+            list_distance_evals: list_evals,
+            reps_total: self.rep_indices.len(),
+            reps_examined,
+            list_points_skipped: skipped,
+        };
+        (hits, stats)
+    }
+
+    /// Batch search: exact NN for every query, parallelised across queries.
+    pub fn query_batch<Q>(&self, queries: &Q) -> (Vec<Neighbor>, SearchStats)
+    where
+        Q: Dataset<Item = D::Item>,
+    {
+        let (knn, stats) = self.query_batch_k(queries, 1);
+        let nn = knn
+            .into_iter()
+            .map(|mut v| v.pop().unwrap_or_else(Neighbor::farthest))
+            .collect();
+        (nn, stats)
+    }
+
+    /// Batch exact k-NN search.
+    pub fn query_batch_k<Q>(&self, queries: &Q, k: usize) -> (Vec<Vec<Neighbor>>, SearchStats)
+    where
+        Q: Dataset<Item = D::Item>,
+    {
+        let nq = queries.len();
+        let inner_bf = BruteForce::with_config(BfConfig {
+            parallel: false,
+            ..self.config.bf
+        });
+        let run = |qi: usize| self.query_k_with(queries.get(qi), k, &inner_bf);
+        let per_query: Vec<(Vec<Neighbor>, QueryStats)> = if self.config.bf.parallel {
+            (0..nq).into_par_iter().map(run).collect()
+        } else {
+            (0..nq).map(run).collect()
+        };
+
+        let mut results = Vec::with_capacity(nq);
+        let mut agg = SearchStats::default();
+        for (res, qs) in per_query {
+            agg.absorb(&qs);
+            results.push(res);
+        }
+        (results, agg)
+    }
+
+    fn query_k_with(
+        &self,
+        query: &D::Item,
+        k: usize,
+        bf: &BruteForce,
+    ) -> (Vec<Neighbor>, QueryStats) {
+        assert!(k > 0, "k must be at least 1");
+        // Stage 1: BF(q, R), retaining all distances for the pruning rules.
+        let rep_view = self.db.subset(&self.rep_indices);
+        let (rep_dists, rep_stats) = bf.distances_single(query, &rep_view, &self.metric);
+
+        // γ_k: the k-th smallest representative distance. Representatives
+        // are database points, so this is a valid upper bound on the k-th
+        // NN distance (for k = 1 it is the γ of the paper). When fewer than
+        // k representatives exist no such bound is available, so pruning is
+        // disabled (the query degenerates to a full scan but stays exact).
+        let gamma_k = if k <= rep_dists.len() {
+            kth_smallest(&rep_dists, k)
+        } else {
+            Dist::INFINITY
+        };
+        let shrink = 1.0 + self.config.epsilon;
+
+        // Survivors of the pruning rules, ordered by ascending distance so
+        // the best-so-far threshold tightens as early as possible.
+        let mut candidates: Vec<usize> = (0..self.lists.len())
+            .filter(|&ri| {
+                let list = &self.lists[ri];
+                if list.is_empty() {
+                    return false;
+                }
+                let d_qr = rep_dists[ri];
+                if self.config.use_radius_bound && d_qr >= gamma_k / shrink + list.radius {
+                    // eq. (1): every owned point is at distance ≥ d_qr − ψ_r
+                    // ≥ γ/(1+ε), so the list cannot improve the answer
+                    // (beyond the allowed approximation).
+                    return false;
+                }
+                if self.config.use_lemma1_bound && d_qr > 3.0 * gamma_k {
+                    // eq. (2) / Lemma 1, generalised to γ_k for k-NN.
+                    return false;
+                }
+                true
+            })
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            rep_dists[a]
+                .partial_cmp(&rep_dists[b])
+                .expect("finite distances")
+        });
+
+        // Stage 2: brute force over the surviving lists, with the
+        // sorted-list triangle-inequality cut.
+        //
+        // The representatives themselves are seeded as candidates first:
+        // their exact distances were already computed in stage 1, they are
+        // genuine database points, and seeding them guarantees a valid
+        // answer even in the corner case where every ownership list is
+        // pruned (e.g. the nearest representative owns only itself, so its
+        // singleton list satisfies eq. 1 with ψ_r = 0). It is also what
+        // makes the (1+ε)-approximate mode sound: whatever gets pruned, the
+        // answer returned is never worse than the nearest representative.
+        let mut topk = TopK::new(k);
+        for (ri, &rep_index) in self.rep_indices.iter().enumerate() {
+            topk.push(Neighbor::new(rep_index, rep_dists[ri]));
+        }
+        let mut list_evals = 0u64;
+        let mut skipped = 0u64;
+        let reps_examined = candidates.len();
+        for &ri in &candidates {
+            let list = &self.lists[ri];
+            let d_qr = rep_dists[ri];
+            for (pos, &member) in list.members.iter().enumerate() {
+                if self.rep_flags[member] {
+                    // Already answered from stage 1; skipping avoids both a
+                    // redundant evaluation and a duplicate k-NN entry.
+                    continue;
+                }
+                let d_xr = list.member_dists[pos];
+                if self.config.sorted_list_pruning {
+                    let threshold = topk.threshold().min(gamma_k) / shrink;
+                    if d_xr - d_qr > threshold {
+                        // Lists are sorted by d_xr, so no later member can
+                        // be within the threshold either.
+                        skipped += (list.len() - pos) as u64;
+                        break;
+                    }
+                    if d_qr - d_xr > threshold {
+                        // Lower bound |d_qr − d_xr| already too large.
+                        skipped += 1;
+                        continue;
+                    }
+                }
+                list_evals += 1;
+                topk.push(Neighbor::new(member, self.metric.dist(query, self.db.get(member))));
+            }
+        }
+
+        let stats = QueryStats {
+            rep_distance_evals: rep_stats.distance_evals,
+            list_distance_evals: list_evals,
+            reps_total: self.rep_indices.len(),
+            reps_examined,
+            list_points_skipped: skipped,
+        };
+        (topk.into_sorted(), stats)
+    }
+
+    // --- accessors -----------------------------------------------------
+
+    /// The database this structure indexes.
+    pub fn database(&self) -> &D {
+        &self.db
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// Database indices of the representatives (the realised draw).
+    pub fn rep_indices(&self) -> &[usize] {
+        &self.rep_indices
+    }
+
+    /// Number of representatives actually drawn.
+    pub fn num_reps(&self) -> usize {
+        self.rep_indices.len()
+    }
+
+    /// The ownership lists, parallel to [`rep_indices`](Self::rep_indices).
+    /// Together they partition the database.
+    pub fn lists(&self) -> &[OwnershipList] {
+        &self.lists
+    }
+
+    /// Parameters the structure was built with.
+    pub fn params(&self) -> &RbcParams {
+        &self.params
+    }
+
+    /// Configuration the structure was built with.
+    pub fn config(&self) -> &RbcConfig {
+        &self.config
+    }
+
+    /// Distance evaluations spent building the structure (`BF(X, R)`).
+    pub fn build_distance_evals(&self) -> u64 {
+        self.build_distance_evals
+    }
+}
+
+/// The `k`-th smallest value of `values` (1-based `k`), linear time.
+fn kth_smallest(values: &[Dist], k: usize) -> Dist {
+    debug_assert!(k >= 1 && k <= values.len());
+    if k == 1 {
+        return values.iter().copied().fold(Dist::INFINITY, Dist::min);
+    }
+    let mut worst_of_best = TopK::new(k);
+    for (i, &v) in values.iter().enumerate() {
+        worst_of_best.push(Neighbor::new(i, v));
+    }
+    worst_of_best
+        .into_sorted()
+        .last()
+        .map(|n| n.dist)
+        .unwrap_or(Dist::INFINITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use rbc_metric::{Euclidean, Manhattan, VectorSet};
+
+    fn random_cloud(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-5.0f32..5.0)).collect())
+            .collect();
+        VectorSet::from_rows(&rows)
+    }
+
+    fn clustered_cloud(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<Vec<f32>> = (0..12)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-10.0f32..10.0)).collect())
+            .collect();
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let c = &centers[i % centers.len()];
+                c.iter().map(|&v| v + rng.gen_range(-0.2f32..0.2)).collect()
+            })
+            .collect();
+        VectorSet::from_rows(&rows)
+    }
+
+    fn brute_knn(db: &VectorSet, q: &[f32], k: usize) -> Vec<Neighbor> {
+        BruteForce::new().knn_single(q, db, &Euclidean, k).0
+    }
+
+    #[test]
+    fn build_partitions_the_database() {
+        let db = random_cloud(500, 6, 1);
+        let rbc = ExactRbc::build(
+            &db,
+            Euclidean,
+            RbcParams::standard(db.len(), 2),
+            RbcConfig::default(),
+        );
+        let mut owned: Vec<usize> = rbc.lists().iter().flat_map(|l| l.members.clone()).collect();
+        owned.sort_unstable();
+        assert_eq!(owned, (0..db.len()).collect::<Vec<_>>(), "lists must partition X");
+        // radii are consistent with membership distances
+        for l in rbc.lists() {
+            for (&m, &d) in l.members.iter().zip(&l.member_dists) {
+                assert!((Euclidean.dist(db.point(l.rep_index), db.point(m)) - d).abs() < 1e-12);
+                assert!(d <= l.radius + 1e-12);
+            }
+        }
+        assert_eq!(
+            rbc.build_distance_evals(),
+            (db.len() * rbc.num_reps()) as u64
+        );
+    }
+
+    #[test]
+    fn exact_search_always_matches_brute_force_uniform_data() {
+        let db = random_cloud(800, 5, 3);
+        let queries = random_cloud(60, 5, 4);
+        let rbc = ExactRbc::build(
+            &db,
+            Euclidean,
+            RbcParams::standard(db.len(), 5),
+            RbcConfig::default(),
+        );
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            let (got, _) = rbc.query(q);
+            let want = brute_knn(&db, q, 1)[0];
+            assert_eq!(got.index, want.index, "query {qi}");
+            assert!((got.dist - want.dist).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_search_matches_brute_force_clustered_data() {
+        let db = clustered_cloud(1200, 8, 6);
+        let queries = clustered_cloud(80, 8, 7);
+        let rbc = ExactRbc::build(
+            &db,
+            Euclidean,
+            RbcParams::standard(db.len(), 8),
+            RbcConfig::default(),
+        );
+        let (answers, stats) = rbc.query_batch(&queries);
+        for (qi, ans) in answers.iter().enumerate() {
+            let want = brute_knn(&db, queries.point(qi), 1)[0];
+            assert_eq!(ans.index, want.index, "query {qi}");
+        }
+        // Exactness must not cost full brute-force work on clustered data.
+        assert!(stats.evals_per_query() < db.len() as f64 * 0.8);
+    }
+
+    #[test]
+    fn exact_knn_matches_brute_force() {
+        let db = clustered_cloud(700, 6, 9);
+        let queries = random_cloud(40, 6, 10);
+        let rbc = ExactRbc::build(
+            &db,
+            Euclidean,
+            RbcParams::standard(db.len(), 11),
+            RbcConfig::default(),
+        );
+        for k in [1usize, 3, 10] {
+            for qi in 0..queries.len() {
+                let q = queries.point(qi);
+                let (got, _) = rbc.query_k(q, k);
+                let want = brute_knn(&db, q, k);
+                assert_eq!(
+                    got.iter().map(|n| n.index).collect::<Vec<_>>(),
+                    want.iter().map(|n| n.index).collect::<Vec<_>>(),
+                    "k={k} query {qi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_ablation_configuration_remains_exact() {
+        let db = clustered_cloud(600, 5, 12);
+        let queries = random_cloud(30, 5, 13);
+        let params = RbcParams::standard(db.len(), 14);
+        let configs = [
+            RbcConfig::default(),
+            RbcConfig {
+                use_radius_bound: false,
+                ..RbcConfig::default()
+            },
+            RbcConfig {
+                use_lemma1_bound: false,
+                ..RbcConfig::default()
+            },
+            RbcConfig {
+                sorted_list_pruning: false,
+                ..RbcConfig::default()
+            },
+            RbcConfig::default().without_pruning(),
+            RbcConfig::sequential(),
+        ];
+        for (ci, config) in configs.iter().enumerate() {
+            let rbc = ExactRbc::build(&db, Euclidean, params.clone(), *config);
+            for qi in 0..queries.len() {
+                let q = queries.point(qi);
+                let (got, _) = rbc.query(q);
+                let want = brute_knn(&db, q, 1)[0];
+                assert_eq!(got.index, want.index, "config {ci} query {qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_mode_is_within_the_promised_factor_and_cheaper() {
+        let db = clustered_cloud(1500, 8, 15);
+        let queries = clustered_cloud(60, 8, 16);
+        let params = RbcParams::standard(db.len(), 17);
+        let exact = ExactRbc::build(&db, Euclidean, params.clone(), RbcConfig::default());
+        let approx = ExactRbc::build(
+            &db,
+            Euclidean,
+            params,
+            RbcConfig::default().with_epsilon(0.5),
+        );
+        let (_, exact_stats) = exact.query_batch(&queries);
+        let (approx_answers, approx_stats) = approx.query_batch(&queries);
+        for (qi, ans) in approx_answers.iter().enumerate() {
+            let true_nn = brute_knn(&db, queries.point(qi), 1)[0];
+            assert!(
+                ans.dist <= (1.0 + 0.5) * true_nn.dist + 1e-9,
+                "query {qi}: {} vs {}",
+                ans.dist,
+                true_nn.dist
+            );
+        }
+        assert!(approx_stats.total_distance_evals() <= exact_stats.total_distance_evals());
+    }
+
+    #[test]
+    fn query_on_database_points_returns_zero_distance() {
+        let db = random_cloud(400, 4, 18);
+        let rbc = ExactRbc::build(
+            &db,
+            Euclidean,
+            RbcParams::standard(db.len(), 19),
+            RbcConfig::default(),
+        );
+        for i in (0..db.len()).step_by(29) {
+            let (nn, _) = rbc.query(db.point(i));
+            assert_eq!(nn.dist, 0.0);
+            // with duplicate-free random data the point itself is returned
+            assert_eq!(nn.index, i);
+        }
+    }
+
+    #[test]
+    fn range_query_matches_brute_force_filter() {
+        let db = clustered_cloud(800, 6, 20);
+        let queries = clustered_cloud(25, 6, 21);
+        let rbc = ExactRbc::build(
+            &db,
+            Euclidean,
+            RbcParams::standard(db.len(), 22),
+            RbcConfig::default(),
+        );
+        for radius in [0.1f64, 1.0, 5.0] {
+            for qi in 0..queries.len() {
+                let q = queries.point(qi);
+                let (hits, _) = rbc.query_range(q, radius);
+                let mut got: Vec<usize> = hits.iter().map(|n| n.index).collect();
+                got.sort_unstable();
+                let expect: Vec<usize> = (0..db.len())
+                    .filter(|&j| Euclidean.dist(q, db.point(j)) <= radius)
+                    .collect();
+                assert_eq!(got, expect, "radius {radius} query {qi}");
+                for w in hits.windows(2) {
+                    assert!(w[0].dist <= w[1].dist);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_work_on_clustered_data() {
+        let db = clustered_cloud(2000, 8, 23);
+        let queries = clustered_cloud(50, 8, 24);
+        let params = RbcParams::standard(db.len(), 25);
+        let pruned = ExactRbc::build(&db, Euclidean, params.clone(), RbcConfig::default());
+        // Fully naive configuration: no representative pruning and no
+        // sorted-list cut, i.e. every ownership list is scanned in full.
+        let naive_config = RbcConfig {
+            sorted_list_pruning: false,
+            ..RbcConfig::default().without_pruning()
+        };
+        let unpruned = ExactRbc::build(&db, Euclidean, params, naive_config);
+        let (a, stats_pruned) = pruned.query_batch(&queries);
+        let (b, stats_unpruned) = unpruned.query_batch(&queries);
+        assert_eq!(a, b, "pruning must not change answers");
+        assert!(
+            stats_pruned.total_distance_evals() < stats_unpruned.total_distance_evals() / 2,
+            "pruning saved too little: {} vs {}",
+            stats_pruned.total_distance_evals(),
+            stats_unpruned.total_distance_evals()
+        );
+        // The representative-level rules must also cut down how many lists
+        // are scanned at all, not just how many points are evaluated.
+        assert!(
+            stats_pruned.reps_examined < stats_unpruned.reps_examined,
+            "representative pruning had no effect on lists scanned"
+        );
+    }
+
+    #[test]
+    fn works_with_other_metrics() {
+        let db = clustered_cloud(500, 5, 26);
+        let queries = random_cloud(20, 5, 27);
+        let rbc = ExactRbc::build(
+            &db,
+            Manhattan,
+            RbcParams::standard(db.len(), 28),
+            RbcConfig::default(),
+        );
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            let (got, _) = rbc.query(q);
+            let want = BruteForce::new().nn_single(q, &db, &Manhattan).0;
+            assert_eq!(got.index, want.index);
+        }
+    }
+
+    #[test]
+    fn stats_report_pruning_effect() {
+        let db = clustered_cloud(1000, 6, 29);
+        let rbc = ExactRbc::build(
+            &db,
+            Euclidean,
+            RbcParams::standard(db.len(), 30),
+            RbcConfig::default(),
+        );
+        let (_, stats) = rbc.query(db.point(3));
+        assert_eq!(stats.reps_total, rbc.num_reps());
+        assert!(stats.reps_examined <= stats.reps_total);
+        assert!(stats.rep_distance_evals == rbc.num_reps() as u64);
+        assert!(stats.total_distance_evals() > 0);
+    }
+
+    #[test]
+    fn kth_smallest_helper_is_correct() {
+        let v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(kth_smallest(&v, 1), 1.0);
+        assert_eq!(kth_smallest(&v, 3), 3.0);
+        assert_eq!(kth_smallest(&v, 5), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        let db = random_cloud(50, 3, 31);
+        let rbc = ExactRbc::build(
+            &db,
+            Euclidean,
+            RbcParams::standard(db.len(), 32),
+            RbcConfig::default(),
+        );
+        let _ = rbc.query_k(db.point(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be non-negative")]
+    fn negative_radius_rejected() {
+        let db = random_cloud(50, 3, 33);
+        let rbc = ExactRbc::build(
+            &db,
+            Euclidean,
+            RbcParams::standard(db.len(), 34),
+            RbcConfig::default(),
+        );
+        let _ = rbc.query_range(db.point(0), -1.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! The Random Ball Cover (RBC): parallel metric nearest-neighbor search.
+//!
+//! This crate implements the primary contribution of Cayton,
+//! *Accelerating Nearest Neighbor Search on Manycore Systems* (2012): a
+//! single-level randomized cover of a metric space whose build and search
+//! routines factor entirely into brute-force primitives, making them
+//! trivially parallel while still performing only `O(√n)`-ish work per
+//! query.
+//!
+//! # The data structure (paper §4)
+//!
+//! A random subset `R ⊂ X` of about `n_r` **representatives** is chosen by
+//! independent coin flips with probability `n_r / n`. Each representative
+//! `r` *owns* a list `L_r` of database points, and stores the radius
+//! `ψ_r = max_{x ∈ L_r} ρ(x, r)` of that list. The two search algorithms
+//! use slightly different ownership rules:
+//!
+//! * **one-shot** ([`OneShotRbc`]): `L_r` holds the `s` nearest database
+//!   points to `r` (lists overlap); built with one call `BF(R, X)`.
+//! * **exact** ([`ExactRbc`]): `L_r` holds every `x` whose nearest
+//!   representative is `r` (lists partition `X`); built with one call
+//!   `BF(X, R)`.
+//!
+//! # The search algorithms (paper §5)
+//!
+//! * **One-shot** — find the nearest representative `r` with `BF(q, R)`,
+//!   then answer with `BF(q, X[L_r])`. Correct with probability ≥ 1 − δ
+//!   when `n_r = s = c·√(n·ln(1/δ))` (Theorem 2).
+//! * **Exact** — compute all representative distances, let
+//!   `γ = ρ(q, r_q)` be the smallest, discard every representative with
+//!   `ρ(q, r) ≥ γ + ψ_r` (the radius bound, eq. 1) or `ρ(q, r) > 3γ`
+//!   (Lemma 1, eq. 2), then answer with one brute-force pass over the
+//!   surviving lists. Expected work is `O(c^{3/2}·√n)` at the standard
+//!   parameter setting (Theorem 1).
+//!
+//! Every query reports its work in distance evaluations
+//! ([`QueryStats`] / [`SearchStats`]) so the `√n` scaling can be verified
+//! directly — this is what the benchmark harness and EXPERIMENTS.md do.
+//!
+//! # Quick example
+//!
+//! ```
+//! use rbc_core::{ExactRbc, OneShotRbc, RbcConfig, RbcParams};
+//! use rbc_metric::{Euclidean, VectorSet};
+//!
+//! // A toy database of 1000 points on a noisy circle in R^8.
+//! let pts: Vec<Vec<f32>> = (0..1000)
+//!     .map(|i| {
+//!         let t = i as f32 * 0.006283;
+//!         let mut v = vec![t.cos(), t.sin()];
+//!         v.extend(std::iter::repeat(0.01 * (i % 7) as f32).take(6));
+//!         v
+//!     })
+//!     .collect();
+//! let db = VectorSet::from_rows(&pts);
+//!
+//! let params = RbcParams::standard(db.len(), 7);
+//! let exact = ExactRbc::build(&db, Euclidean, params.clone(), RbcConfig::default());
+//! let (nn, stats) = exact.query(db.point(123));
+//! assert_eq!(nn.index, 123);                 // the point itself is its NN
+//! assert!(stats.total_distance_evals() < 1000); // far less work than brute force
+//!
+//! let one_shot = OneShotRbc::build(&db, Euclidean, params, RbcConfig::default());
+//! let (nn_os, _) = one_shot.query(db.point(123));
+//! assert_eq!(nn_os.index, 123);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod exact;
+pub mod one_shot;
+pub mod params;
+pub mod rank;
+pub mod reps;
+pub mod stats;
+
+pub use exact::ExactRbc;
+pub use one_shot::OneShotRbc;
+pub use params::{RbcConfig, RbcParams};
+pub use rank::{mean_rank, rank_of};
+pub use reps::{sample_representatives, OwnershipList};
+pub use stats::{QueryStats, SearchStats};

@@ -1,0 +1,456 @@
+//! The one-shot RBC search structure (paper §5.1).
+//!
+//! Build: choose random representatives `R`, then one call `BF(R, X)`
+//! assigns to each representative the `s` database points nearest to it
+//! (ownership lists overlap). Search: `BF(q, R)` finds the nearest
+//! representative `r`, and `BF(q, X[L_r])` answers from `r`'s list. The
+//! answer is the true nearest neighbor with probability at least `1 − δ`
+//! when `n_r = s = c·√(n·ln(1/δ))` (Theorem 2).
+
+use rayon::prelude::*;
+
+use rbc_bruteforce::{BfConfig, BruteForce, Neighbor};
+use rbc_metric::{Dataset, Metric};
+
+use crate::params::{RbcConfig, RbcParams};
+use crate::reps::{sample_representatives, OwnershipList};
+use crate::stats::{QueryStats, SearchStats};
+
+/// The one-shot Random Ball Cover index.
+///
+/// Generic over the database type `D` (anything implementing
+/// [`Dataset`], e.g. [`rbc_metric::VectorSet`] or a reference to one) and
+/// the metric `M`.
+#[derive(Clone, Debug)]
+pub struct OneShotRbc<D, M> {
+    db: D,
+    metric: M,
+    params: RbcParams,
+    config: RbcConfig,
+    rep_indices: Vec<usize>,
+    lists: Vec<OwnershipList>,
+    build_distance_evals: u64,
+}
+
+impl<D, M> OneShotRbc<D, M>
+where
+    D: Dataset,
+    M: Metric<D::Item>,
+{
+    /// Builds the one-shot structure over `db`.
+    ///
+    /// The build is a single `BF(R, X)` call: every representative finds
+    /// its `s = params.list_size` nearest database points. Work is
+    /// `O(n_r · n)` distance evaluations, fully parallel.
+    ///
+    /// # Panics
+    /// Panics if `db` is empty.
+    pub fn build(db: D, metric: M, params: RbcParams, config: RbcConfig) -> Self {
+        let n = db.len();
+        assert!(n > 0, "cannot build an RBC over an empty database");
+        let rep_indices = sample_representatives(n, params.n_reps, params.seed);
+        let s = params.list_size.min(n);
+
+        let bf = BruteForce::with_config(config.bf);
+        // BF(R, X): k-NN of every representative among the full database.
+        let rep_view = db.subset(&rep_indices);
+        let (rep_knn, build_stats) = bf.knn(&rep_view, &db, &metric, s);
+        let lists: Vec<OwnershipList> = rep_indices
+            .iter()
+            .zip(rep_knn)
+            .map(|(&rep_index, neighbors)| {
+                OwnershipList::from_pairs(
+                    rep_index,
+                    neighbors.into_iter().map(|nb| (nb.index, nb.dist)).collect(),
+                )
+            })
+            .collect();
+
+        Self {
+            db,
+            metric,
+            params,
+            config,
+            rep_indices,
+            lists,
+            build_distance_evals: build_stats.distance_evals,
+        }
+    }
+
+    /// Nearest neighbor of a single query (probabilistically correct).
+    pub fn query(&self, query: &D::Item) -> (Neighbor, QueryStats) {
+        let (mut knn, stats) = self.query_k(query, 1);
+        (knn.pop().unwrap_or_else(Neighbor::farthest), stats)
+    }
+
+    /// `k` nearest neighbors of a single query from the chosen
+    /// representative's ownership list (probabilistically correct; at most
+    /// `min(k, s)` results can be returned).
+    pub fn query_k(&self, query: &D::Item, k: usize) -> (Vec<Neighbor>, QueryStats) {
+        let bf = BruteForce::with_config(self.config.bf);
+        self.query_k_with(query, k, &bf)
+    }
+
+    /// Batch search: one-shot NN for every query, parallelised across
+    /// queries (each individual query runs its two brute-force stages
+    /// sequentially, which is the layout the paper uses for large query
+    /// batches).
+    pub fn query_batch<Q>(&self, queries: &Q) -> (Vec<Neighbor>, SearchStats)
+    where
+        Q: Dataset<Item = D::Item>,
+    {
+        let (knn, stats) = self.query_batch_k(queries, 1);
+        let nn = knn
+            .into_iter()
+            .map(|mut v| v.pop().unwrap_or_else(Neighbor::farthest))
+            .collect();
+        (nn, stats)
+    }
+
+    /// Batch k-NN search.
+    pub fn query_batch_k<Q>(&self, queries: &Q, k: usize) -> (Vec<Vec<Neighbor>>, SearchStats)
+    where
+        Q: Dataset<Item = D::Item>,
+    {
+        let nq = queries.len();
+        let inner_bf = BruteForce::with_config(BfConfig {
+            parallel: false,
+            ..self.config.bf
+        });
+        let run = |qi: usize| self.query_k_with(queries.get(qi), k, &inner_bf);
+        let per_query: Vec<(Vec<Neighbor>, QueryStats)> = if self.config.bf.parallel {
+            (0..nq).into_par_iter().map(run).collect()
+        } else {
+            (0..nq).map(run).collect()
+        };
+
+        let mut results = Vec::with_capacity(nq);
+        let mut agg = SearchStats::default();
+        for (res, qs) in per_query {
+            agg.absorb(&qs);
+            results.push(res);
+        }
+        (results, agg)
+    }
+
+    fn query_k_with(
+        &self,
+        query: &D::Item,
+        k: usize,
+        bf: &BruteForce,
+    ) -> (Vec<Neighbor>, QueryStats) {
+        // Stage 1: BF(q, R) — nearest representative.
+        let rep_view = self.db.subset(&self.rep_indices);
+        let (best_rep, rep_stats) = bf.nn_single(query, &rep_view, &self.metric);
+        let rep_pos = best_rep.index; // position within rep_indices
+
+        // Stage 2: BF(q, X[L_r]).
+        let list = &self.lists[rep_pos];
+        let (neighbors, list_stats) =
+            bf.knn_single_in_list(query, &self.db, &list.members, &self.metric, k);
+
+        let stats = QueryStats {
+            rep_distance_evals: rep_stats.distance_evals,
+            list_distance_evals: list_stats.distance_evals,
+            reps_total: self.rep_indices.len(),
+            reps_examined: 1,
+            list_points_skipped: 0,
+        };
+        (neighbors, stats)
+    }
+
+    // --- accessors -----------------------------------------------------
+
+    /// The database this structure indexes.
+    pub fn database(&self) -> &D {
+        &self.db
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// Database indices of the representatives (the realised draw).
+    pub fn rep_indices(&self) -> &[usize] {
+        &self.rep_indices
+    }
+
+    /// Number of representatives actually drawn.
+    pub fn num_reps(&self) -> usize {
+        self.rep_indices.len()
+    }
+
+    /// The ownership lists, parallel to [`rep_indices`](Self::rep_indices).
+    pub fn lists(&self) -> &[OwnershipList] {
+        &self.lists
+    }
+
+    /// Parameters the structure was built with.
+    pub fn params(&self) -> &RbcParams {
+        &self.params
+    }
+
+    /// Configuration the structure was built with.
+    pub fn config(&self) -> &RbcConfig {
+        &self.config
+    }
+
+    /// Distance evaluations spent building the structure (`BF(R, X)`).
+    pub fn build_distance_evals(&self) -> u64 {
+        self.build_distance_evals
+    }
+
+    /// Total memory footprint of the ownership lists, in entries.
+    pub fn total_list_entries(&self) -> usize {
+        self.lists.iter().map(OwnershipList::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use rbc_metric::{Euclidean, VectorSet};
+
+    fn clustered_cloud(n: usize, dim: usize, seed: u64) -> VectorSet {
+        // Tight clusters so the one-shot structure virtually always answers
+        // exactly: intrinsic structure is what the theory assumes.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_clusters = 10;
+        let centers: Vec<Vec<f32>> = (0..n_clusters)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-10.0f32..10.0)).collect())
+            .collect();
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let c = &centers[i % n_clusters];
+                c.iter().map(|&v| v + rng.gen_range(-0.05f32..0.05)).collect()
+            })
+            .collect();
+        VectorSet::from_rows(&rows)
+    }
+
+    /// Data with low intrinsic dimension but no cluster gaps: points on a
+    /// smooth 2-D sheet embedded in `dim` dimensions. This is the regime
+    /// where Theorem 2's guarantee bites (moderate expansion rate
+    /// everywhere), so recall-style assertions are reliable on it.
+    fn smooth_sheet(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| {
+                let u = rng.gen_range(0.0f32..4.0);
+                let v = rng.gen_range(0.0f32..4.0);
+                (0..dim)
+                    .map(|d| match d % 4 {
+                        0 => u,
+                        1 => v,
+                        2 => (u * 1.3 + 0.2 * v).sin(),
+                        _ => (v * 0.7 - 0.4 * u).cos(),
+                    })
+                    .collect()
+            })
+            .collect();
+        VectorSet::from_rows(&rows)
+    }
+
+    fn brute_force_nn(db: &VectorSet, q: &[f32]) -> Neighbor {
+        let bf = BruteForce::new();
+        bf.nn_single(q, db, &Euclidean).0
+    }
+
+    #[test]
+    fn build_produces_lists_of_requested_size() {
+        let db = clustered_cloud(500, 6, 1);
+        let params = RbcParams::standard(db.len(), 42); // nr = s = 23
+        let rbc = OneShotRbc::build(&db, Euclidean, params.clone(), RbcConfig::default());
+        assert!(rbc.num_reps() > 0);
+        assert_eq!(rbc.lists().len(), rbc.num_reps());
+        for l in rbc.lists() {
+            assert_eq!(l.len(), params.list_size);
+            // sorted by distance to the representative
+            for w in l.member_dists.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+            // the representative owns itself as its closest member
+            assert_eq!(l.members[0], l.rep_index);
+            assert_eq!(l.member_dists[0], 0.0);
+        }
+        assert_eq!(
+            rbc.build_distance_evals(),
+            (rbc.num_reps() * db.len()) as u64
+        );
+    }
+
+    #[test]
+    fn query_on_database_point_returns_itself_when_list_is_large() {
+        let db = smooth_sheet(400, 6, 2);
+        // Theorem 2 style parameters: generous representative count and
+        // list size relative to √n, on data with low intrinsic dimension.
+        let params = RbcParams::one_shot_with_guarantee(db.len(), 2.0, 0.01, 3);
+        let rbc = OneShotRbc::build(&db, Euclidean, params, RbcConfig::default());
+        let mut hits = 0usize;
+        let mut tried = 0usize;
+        for i in (0..db.len()).step_by(37) {
+            tried += 1;
+            let (nn, stats) = rbc.query(db.point(i));
+            assert_eq!(stats.reps_examined, 1);
+            assert!(stats.total_distance_evals() < db.len() as u64);
+            if nn.index == i {
+                assert_eq!(nn.dist, 0.0);
+                hits += 1;
+            }
+        }
+        // The structure is probabilistic; with these parameters a failure
+        // on this fixed seed would indicate a real regression.
+        assert_eq!(hits, tried, "a database point failed to find itself");
+    }
+
+    #[test]
+    fn recall_is_high_on_low_intrinsic_dimension_data() {
+        let db = smooth_sheet(1000, 8, 4);
+        let queries = smooth_sheet(100, 8, 5);
+        // c ≈ 2, δ = 0.05: Theorem 2 promises ≥95% per-query success.
+        let params = RbcParams::one_shot_with_guarantee(db.len(), 2.0, 0.05, 6);
+        let rbc = OneShotRbc::build(&db, Euclidean, params, RbcConfig::default());
+        let (answers, stats) = rbc.query_batch(&queries);
+        let mut correct = 0;
+        for (qi, ans) in answers.iter().enumerate() {
+            if ans.index == brute_force_nn(&db, queries.point(qi)).index {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct >= 90,
+            "one-shot recall too low: {correct}/100 on smooth low-dimensional data"
+        );
+        assert_eq!(stats.queries, 100);
+        assert!(stats.evals_per_query() < db.len() as f64 / 2.0);
+    }
+
+    #[test]
+    fn returned_distance_matches_metric() {
+        let db = clustered_cloud(300, 4, 7);
+        let queries = clustered_cloud(20, 4, 8);
+        let rbc = OneShotRbc::build(
+            &db,
+            Euclidean,
+            RbcParams::standard(db.len(), 9),
+            RbcConfig::default(),
+        );
+        for qi in 0..queries.len() {
+            let (nn, _) = rbc.query(queries.point(qi));
+            assert!(
+                (nn.dist - Euclidean.dist(queries.point(qi), db.point(nn.index))).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn query_k_returns_sorted_unique_members_of_one_list() {
+        let db = clustered_cloud(500, 5, 10);
+        let rbc = OneShotRbc::build(
+            &db,
+            Euclidean,
+            RbcParams::standard(db.len(), 11),
+            RbcConfig::default(),
+        );
+        let q = db.point(17);
+        let (knn, _) = rbc.query_k(q, 5);
+        assert_eq!(knn.len(), 5);
+        for w in knn.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        let mut idx: Vec<usize> = knn.iter().map(|n| n.index).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), 5);
+    }
+
+    #[test]
+    fn k_larger_than_list_size_is_truncated_to_list() {
+        let db = clustered_cloud(200, 3, 12);
+        let params = RbcParams::standard(db.len(), 13).with_list_size(4);
+        let rbc = OneShotRbc::build(&db, Euclidean, params, RbcConfig::default());
+        let (knn, _) = rbc.query_k(db.point(0), 50);
+        assert_eq!(knn.len(), 4);
+    }
+
+    #[test]
+    fn batch_and_single_query_agree() {
+        let db = clustered_cloud(600, 6, 14);
+        let queries = clustered_cloud(30, 6, 15);
+        let rbc = OneShotRbc::build(
+            &db,
+            Euclidean,
+            RbcParams::standard(db.len(), 16),
+            RbcConfig::default(),
+        );
+        let (batch, _) = rbc.query_batch(&queries);
+        for qi in 0..queries.len() {
+            let (single, _) = rbc.query(queries.point(qi));
+            assert_eq!(batch[qi], single);
+        }
+    }
+
+    #[test]
+    fn sequential_config_gives_identical_answers() {
+        let db = clustered_cloud(400, 5, 17);
+        let queries = clustered_cloud(25, 5, 18);
+        let params = RbcParams::standard(db.len(), 19);
+        let par = OneShotRbc::build(&db, Euclidean, params.clone(), RbcConfig::default());
+        let seq = OneShotRbc::build(&db, Euclidean, params, RbcConfig::sequential());
+        let (a, _) = par.query_batch(&queries);
+        let (b, _) = seq.query_batch(&queries);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn work_is_much_smaller_than_brute_force() {
+        let db = clustered_cloud(2000, 8, 20);
+        let queries = clustered_cloud(50, 8, 21);
+        let rbc = OneShotRbc::build(
+            &db,
+            Euclidean,
+            RbcParams::standard(db.len(), 22),
+            RbcConfig::default(),
+        );
+        let (_, stats) = rbc.query_batch(&queries);
+        // Standard setting: ~sqrt(n) + s ≈ 2·45 evals per query vs 2000 for
+        // brute force — at least a 10x work reduction with margin.
+        assert!(stats.evals_per_query() < 200.0);
+        assert!(stats.work_speedup_over_brute_force(db.len()) > 10.0);
+    }
+
+    #[test]
+    fn accessors_expose_structure() {
+        let db = clustered_cloud(300, 4, 23);
+        let params = RbcParams::standard(db.len(), 24);
+        let rbc = OneShotRbc::build(&db, Euclidean, params.clone(), RbcConfig::default());
+        assert_eq!(rbc.params(), &params);
+        assert_eq!(rbc.config(), &RbcConfig::default());
+        assert_eq!(rbc.database().len(), 300);
+        assert_eq!(rbc.num_reps(), rbc.rep_indices().len());
+        assert_eq!(
+            rbc.total_list_entries(),
+            rbc.num_reps() * params.list_size
+        );
+        assert_eq!(rbc.metric().name(), "euclidean");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty database")]
+    fn empty_database_rejected() {
+        let db = VectorSet::empty(3);
+        let _ = OneShotRbc::build(
+            &db,
+            Euclidean,
+            RbcParams {
+                n_reps: 1,
+                list_size: 1,
+                seed: 0,
+            },
+            RbcConfig::default(),
+        );
+    }
+}

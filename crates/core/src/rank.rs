@@ -1,0 +1,108 @@
+//! Rank-error evaluation (the error measure of Figure 1).
+//!
+//! The paper evaluates the one-shot algorithm by the *rank* of the returned
+//! point: the number of database points strictly closer to the query than
+//! the returned point. A rank of 0 means the exact nearest neighbor was
+//! returned, 1 means the second nearest, and so on (§7.2, citing [25]).
+//! Figure 1 plots speedup against the rank averaged over queries.
+
+use rayon::prelude::*;
+
+use rbc_bruteforce::Neighbor;
+use rbc_metric::{Dataset, Metric};
+
+/// The rank of a returned answer for one query: the number of database
+/// points strictly closer to the query than the returned point.
+///
+/// Costs one full scan of the database (`n` distance evaluations); this is
+/// an *evaluation* utility, not part of the search path.
+pub fn rank_of<D, M>(db: &D, metric: &M, query: &D::Item, returned: &Neighbor) -> usize
+where
+    D: Dataset,
+    M: Metric<D::Item>,
+{
+    let d_ret = returned.dist;
+    (0..db.len())
+        .filter(|&j| metric.dist(query, db.get(j)) < d_ret)
+        .count()
+}
+
+/// Mean rank over a batch of queries and their returned answers,
+/// parallelised over queries.
+///
+/// # Panics
+/// Panics if `returned.len() != queries.len()` or the query set is empty.
+pub fn mean_rank<Q, D, M>(db: &D, metric: &M, queries: &Q, returned: &[Neighbor]) -> f64
+where
+    Q: Dataset<Item = D::Item>,
+    D: Dataset,
+    M: Metric<D::Item>,
+{
+    assert_eq!(
+        queries.len(),
+        returned.len(),
+        "one returned answer per query is required"
+    );
+    assert!(queries.len() > 0, "cannot average over zero queries");
+    let total: usize = (0..queries.len())
+        .into_par_iter()
+        .map(|qi| rank_of(db, metric, queries.get(qi), &returned[qi]))
+        .sum();
+    total as f64 / queries.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbc_metric::{Euclidean, VectorSet};
+
+    fn line_db() -> VectorSet {
+        // Points at x = 0, 1, 2, ..., 9 on a line.
+        let rows: Vec<[f32; 1]> = (0..10).map(|i| [i as f32]).collect();
+        VectorSet::from_rows(&rows)
+    }
+
+    #[test]
+    fn exact_answer_has_rank_zero() {
+        let db = line_db();
+        let q = [2.2f32];
+        let ret = Neighbor::new(2, Euclidean.dist(&q, db.point(2)));
+        assert_eq!(rank_of(&db, &Euclidean, &q[..], &ret), 0);
+    }
+
+    #[test]
+    fn second_nearest_has_rank_one() {
+        let db = line_db();
+        let q = [2.2f32];
+        let ret = Neighbor::new(3, Euclidean.dist(&q, db.point(3)));
+        assert_eq!(rank_of(&db, &Euclidean, &q[..], &ret), 1);
+    }
+
+    #[test]
+    fn far_answer_has_high_rank() {
+        let db = line_db();
+        let q = [0.0f32];
+        let ret = Neighbor::new(9, Euclidean.dist(&q, db.point(9)));
+        assert_eq!(rank_of(&db, &Euclidean, &q[..], &ret), 9);
+    }
+
+    #[test]
+    fn mean_rank_averages_over_queries() {
+        let db = line_db();
+        let queries = VectorSet::from_rows(&[[2.2f32], [0.0f32]]);
+        let returned = vec![
+            Neighbor::new(3, Euclidean.dist(queries.point(0), db.point(3))), // rank 1
+            Neighbor::new(0, 0.0),                                           // rank 0
+        ];
+        let m = mean_rank(&db, &Euclidean, &queries, &returned);
+        assert!((m - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one returned answer per query")]
+    fn mismatched_lengths_rejected() {
+        let db = line_db();
+        let queries = VectorSet::from_rows(&[[1.0f32]]);
+        let _ = mean_rank(&db, &Euclidean, &queries, &[]);
+    }
+}

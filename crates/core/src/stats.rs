@@ -1,0 +1,185 @@
+//! Work accounting for RBC queries.
+//!
+//! The theory (§6) is phrased in distance evaluations, and the experiments
+//! report speedups over brute force; these counters let both be measured
+//! directly. Every query returns a [`QueryStats`]; batch entry points
+//! aggregate them into a [`SearchStats`].
+
+use serde::{Deserialize, Serialize};
+
+/// Work performed by a single RBC query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Distance evaluations in the first brute-force stage, `BF(q, R)`.
+    pub rep_distance_evals: u64,
+    /// Distance evaluations in the second stage (ownership-list scans).
+    pub list_distance_evals: u64,
+    /// Number of representatives in the structure.
+    pub reps_total: usize,
+    /// Representatives whose lists were scanned (exact search: survivors of
+    /// the pruning rules; one-shot: always 1).
+    pub reps_examined: usize,
+    /// Candidate points skipped by the sorted-list triangle-inequality cut
+    /// (exact search only).
+    pub list_points_skipped: u64,
+}
+
+impl QueryStats {
+    /// Total distance evaluations across both stages.
+    pub fn total_distance_evals(&self) -> u64 {
+        self.rep_distance_evals + self.list_distance_evals
+    }
+
+    /// Fraction of representatives that survived pruning.
+    pub fn rep_survival_rate(&self) -> f64 {
+        if self.reps_total == 0 {
+            0.0
+        } else {
+            self.reps_examined as f64 / self.reps_total as f64
+        }
+    }
+}
+
+/// Aggregated work over a batch of queries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Number of queries aggregated.
+    pub queries: u64,
+    /// Sum of first-stage distance evaluations.
+    pub rep_distance_evals: u64,
+    /// Sum of second-stage distance evaluations.
+    pub list_distance_evals: u64,
+    /// Sum of representatives examined.
+    pub reps_examined: u64,
+    /// Sum of points skipped by the sorted-list cut.
+    pub list_points_skipped: u64,
+    /// Maximum total evaluations over any single query (tail behaviour).
+    pub max_query_evals: u64,
+}
+
+impl SearchStats {
+    /// Folds one query's stats into the aggregate.
+    pub fn absorb(&mut self, q: &QueryStats) {
+        self.queries += 1;
+        self.rep_distance_evals += q.rep_distance_evals;
+        self.list_distance_evals += q.list_distance_evals;
+        self.reps_examined += q.reps_examined as u64;
+        self.list_points_skipped += q.list_points_skipped;
+        self.max_query_evals = self.max_query_evals.max(q.total_distance_evals());
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.queries += other.queries;
+        self.rep_distance_evals += other.rep_distance_evals;
+        self.list_distance_evals += other.list_distance_evals;
+        self.reps_examined += other.reps_examined;
+        self.list_points_skipped += other.list_points_skipped;
+        self.max_query_evals = self.max_query_evals.max(other.max_query_evals);
+    }
+
+    /// Total distance evaluations across both stages and all queries.
+    pub fn total_distance_evals(&self) -> u64 {
+        self.rep_distance_evals + self.list_distance_evals
+    }
+
+    /// Mean distance evaluations per query.
+    pub fn evals_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.total_distance_evals() as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean number of ownership lists scanned per query.
+    pub fn reps_examined_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.reps_examined as f64 / self.queries as f64
+        }
+    }
+
+    /// The work reduction relative to scanning a database of `n` points:
+    /// `n / evals_per_query`. This is the quantity Figures 1–3 call
+    /// "speedup" when measured in work rather than wall-clock.
+    pub fn work_speedup_over_brute_force(&self, n: usize) -> f64 {
+        let per_query = self.evals_per_query();
+        if per_query == 0.0 {
+            0.0
+        } else {
+            n as f64 / per_query
+        }
+    }
+}
+
+impl std::iter::FromIterator<QueryStats> for SearchStats {
+    fn from_iter<I: IntoIterator<Item = QueryStats>>(iter: I) -> Self {
+        let mut agg = SearchStats::default();
+        for q in iter {
+            agg.absorb(&q);
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query(rep: u64, list: u64) -> QueryStats {
+        QueryStats {
+            rep_distance_evals: rep,
+            list_distance_evals: list,
+            reps_total: 10,
+            reps_examined: 3,
+            list_points_skipped: 2,
+        }
+    }
+
+    #[test]
+    fn query_totals_and_survival() {
+        let q = sample_query(10, 25);
+        assert_eq!(q.total_distance_evals(), 35);
+        assert!((q.rep_survival_rate() - 0.3).abs() < 1e-12);
+        assert_eq!(QueryStats::default().rep_survival_rate(), 0.0);
+    }
+
+    #[test]
+    fn absorb_accumulates_and_tracks_max() {
+        let mut agg = SearchStats::default();
+        agg.absorb(&sample_query(10, 20));
+        agg.absorb(&sample_query(10, 50));
+        assert_eq!(agg.queries, 2);
+        assert_eq!(agg.total_distance_evals(), 90);
+        assert_eq!(agg.max_query_evals, 60);
+        assert_eq!(agg.evals_per_query(), 45.0);
+        assert_eq!(agg.reps_examined_per_query(), 3.0);
+    }
+
+    #[test]
+    fn merge_combines_aggregates() {
+        let mut a: SearchStats = vec![sample_query(5, 5)].into_iter().collect();
+        let b: SearchStats = vec![sample_query(7, 3), sample_query(1, 1)].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.queries, 3);
+        assert_eq!(a.total_distance_evals(), 22);
+        assert_eq!(a.max_query_evals, 10);
+    }
+
+    #[test]
+    fn work_speedup_is_relative_to_database_size() {
+        let agg: SearchStats = vec![sample_query(10, 10)].into_iter().collect();
+        assert_eq!(agg.work_speedup_over_brute_force(2000), 100.0);
+        assert_eq!(SearchStats::default().work_speedup_over_brute_force(100), 0.0);
+    }
+
+    #[test]
+    fn empty_aggregate_is_all_zero() {
+        let agg = SearchStats::default();
+        assert_eq!(agg.evals_per_query(), 0.0);
+        assert_eq!(agg.reps_examined_per_query(), 0.0);
+        assert_eq!(agg.total_distance_evals(), 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Property-based tests for the RBC search structures.
+//!
+//! The essential invariants:
+//!
+//! * the exact search structure returns exactly what brute force returns,
+//!   for every point cloud, parameter choice, and configuration;
+//! * the one-shot structure always returns a genuine database point from
+//!   the chosen representative's ownership list, with a correctly computed
+//!   distance (its *recall* is probabilistic, but its well-formedness is
+//!   not);
+//! * the (1+ε)-approximate mode never violates its promised factor.
+
+use proptest::prelude::*;
+use rbc_bruteforce::{BruteForce, Neighbor};
+use rbc_core::{ExactRbc, OneShotRbc, RbcConfig, RbcParams};
+use rbc_metric::{Euclidean, Manhattan, Metric, VectorSet};
+
+const DIM: usize = 3;
+
+fn cloud(n_range: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-20.0f32..20.0, DIM), n_range)
+}
+
+fn brute_knn<M: Metric<[f32]>>(db: &VectorSet, q: &[f32], metric: &M, k: usize) -> Vec<Neighbor> {
+    BruteForce::new().knn_single(q, db, metric, k).0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact RBC 1-NN equals brute-force 1-NN for arbitrary data and
+    /// representative counts.
+    #[test]
+    fn exact_equals_brute_force(
+        db_rows in cloud(2..80),
+        q_rows in cloud(1..6),
+        n_reps in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let queries = VectorSet::from_rows(&q_rows);
+        let params = RbcParams::standard(db.len(), seed).with_n_reps(n_reps.min(db.len()));
+        let rbc = ExactRbc::build(&db, Euclidean, params, RbcConfig::default());
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            let (got, _) = rbc.query(q);
+            let want = brute_knn(&db, q, &Euclidean, 1)[0];
+            // Distances must agree exactly; index may differ only on ties.
+            prop_assert!((got.dist - want.dist).abs() < 1e-12);
+            if (got.dist - want.dist).abs() < 1e-12 && got.index != want.index {
+                let alt = Euclidean.dist(q, db.point(got.index));
+                prop_assert!((alt - want.dist).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Exact RBC k-NN returns the same distance profile as brute force.
+    #[test]
+    fn exact_knn_distances_match_brute_force(
+        db_rows in cloud(3..60),
+        q in prop::collection::vec(-20.0f32..20.0, DIM),
+        k in 1usize..10,
+        seed in 0u64..100,
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let params = RbcParams::standard(db.len(), seed);
+        let rbc = ExactRbc::build(&db, Euclidean, params, RbcConfig::default());
+        let (got, _) = rbc.query_k(&q, k);
+        let want = brute_knn(&db, &q, &Euclidean, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g.dist - w.dist).abs() < 1e-12);
+        }
+    }
+
+    /// The exact structure stays exact under every ablation configuration
+    /// and under a different metric.
+    #[test]
+    fn exact_is_configuration_independent(
+        db_rows in cloud(3..50),
+        q in prop::collection::vec(-20.0f32..20.0, DIM),
+        seed in 0u64..100,
+        use_radius in any::<bool>(),
+        use_lemma1 in any::<bool>(),
+        sorted_cut in any::<bool>(),
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let config = RbcConfig {
+            use_radius_bound: use_radius,
+            use_lemma1_bound: use_lemma1,
+            sorted_list_pruning: sorted_cut,
+            ..RbcConfig::default()
+        };
+        let params = RbcParams::standard(db.len(), seed);
+        let rbc = ExactRbc::build(&db, Manhattan, params, config);
+        let (got, _) = rbc.query(&q);
+        let want = brute_knn(&db, &q, &Manhattan, 1)[0];
+        prop_assert!((got.dist - want.dist).abs() < 1e-12);
+    }
+
+    /// The (1+ε)-approximate mode honours its factor.
+    #[test]
+    fn approximate_mode_respects_factor(
+        db_rows in cloud(3..60),
+        q in prop::collection::vec(-20.0f32..20.0, DIM),
+        eps in 0.0f64..2.0,
+        seed in 0u64..100,
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let params = RbcParams::standard(db.len(), seed);
+        let rbc = ExactRbc::build(&db, Euclidean, params, RbcConfig::default().with_epsilon(eps));
+        let (got, _) = rbc.query(&q);
+        let want = brute_knn(&db, &q, &Euclidean, 1)[0];
+        prop_assert!(got.dist <= (1.0 + eps) * want.dist + 1e-9,
+            "approx dist {} exceeds (1+{}) * {}", got.dist, eps, want.dist);
+    }
+
+    /// Exact range queries return exactly the brute-force filtered set.
+    #[test]
+    fn exact_range_matches_filter(
+        db_rows in cloud(2..60),
+        q in prop::collection::vec(-20.0f32..20.0, DIM),
+        radius in 0.0f64..40.0,
+        seed in 0u64..100,
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let params = RbcParams::standard(db.len(), seed);
+        let rbc = ExactRbc::build(&db, Euclidean, params, RbcConfig::default());
+        let (hits, _) = rbc.query_range(&q, radius);
+        let mut got: Vec<usize> = hits.iter().map(|n| n.index).collect();
+        got.sort_unstable();
+        let want: Vec<usize> = (0..db.len())
+            .filter(|&j| Euclidean.dist(&q, db.point(j)) <= radius)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// One-shot answers are always well-formed: a real database index whose
+    /// reported distance matches the metric, drawn from the chosen
+    /// representative's ownership list.
+    #[test]
+    fn one_shot_answers_are_well_formed(
+        db_rows in cloud(2..60),
+        q in prop::collection::vec(-20.0f32..20.0, DIM),
+        n_reps in 1usize..20,
+        list_size in 1usize..30,
+        seed in 0u64..100,
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let params = RbcParams::standard(db.len(), seed)
+            .with_n_reps(n_reps.min(db.len()))
+            .with_list_size(list_size);
+        let rbc = OneShotRbc::build(&db, Euclidean, params, RbcConfig::default());
+        let (nn, stats) = rbc.query(&q);
+        prop_assert!(nn.index < db.len());
+        prop_assert!((nn.dist - Euclidean.dist(&q, db.point(nn.index))).abs() < 1e-12);
+        prop_assert!(rbc.lists().iter().any(|l| l.members.contains(&nn.index)));
+        prop_assert_eq!(stats.reps_examined, 1);
+        prop_assert!(stats.rep_distance_evals as usize == rbc.num_reps());
+    }
+
+    /// One-shot k-NN answers never report a distance smaller than the true
+    /// k-NN distance (they answer from a restricted candidate set).
+    #[test]
+    fn one_shot_is_never_better_than_truth(
+        db_rows in cloud(3..60),
+        q in prop::collection::vec(-20.0f32..20.0, DIM),
+        k in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let params = RbcParams::standard(db.len(), seed);
+        let rbc = OneShotRbc::build(&db, Euclidean, params, RbcConfig::default());
+        let (got, _) = rbc.query_k(&q, k);
+        let want = brute_knn(&db, &q, &Euclidean, k);
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!(g.dist >= w.dist - 1e-12);
+        }
+    }
+
+    /// Exact structure ownership lists always partition the database,
+    /// whatever the parameters.
+    #[test]
+    fn exact_lists_partition_database(
+        db_rows in cloud(1..80),
+        n_reps in 1usize..30,
+        seed in 0u64..200,
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let params = RbcParams::standard(db.len(), seed).with_n_reps(n_reps.min(db.len()));
+        let rbc = ExactRbc::build(&db, Euclidean, params, RbcConfig::default());
+        let mut owned: Vec<usize> = rbc.lists().iter().flat_map(|l| l.members.clone()).collect();
+        owned.sort_unstable();
+        prop_assert_eq!(owned, (0..db.len()).collect::<Vec<_>>());
+        // radii really are the max member distance
+        for l in rbc.lists() {
+            let max_d = l.member_dists.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!((l.radius - max_d).abs() < 1e-12);
+        }
+    }
+
+    /// Work accounting is consistent: total evals reported by a batch equal
+    /// the sum over single queries, and never exceed brute-force work.
+    #[test]
+    fn work_accounting_is_consistent(
+        db_rows in cloud(4..50),
+        q_rows in cloud(1..5),
+        seed in 0u64..100,
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let queries = VectorSet::from_rows(&q_rows);
+        let params = RbcParams::standard(db.len(), seed);
+        let rbc = ExactRbc::build(&db, Euclidean, params, RbcConfig::default());
+        let (_, batch_stats) = rbc.query_batch(&queries);
+        let mut total_single = 0u64;
+        for qi in 0..queries.len() {
+            let (_, qs) = rbc.query(queries.point(qi));
+            total_single += qs.total_distance_evals();
+        }
+        prop_assert_eq!(batch_stats.total_distance_evals(), total_single);
+        // Never worse than brute force plus the representative scan.
+        let bound = (queries.len() * (db.len() + rbc.num_reps())) as u64;
+        prop_assert!(batch_stats.total_distance_evals() <= bound);
+    }
+}

@@ -1,0 +1,178 @@
+//! Empirical estimation of the expansion rate (growth constant).
+//!
+//! Definition 1 of the paper: a finite metric space has expansion rate `c`
+//! if for every point `x` and radius `r`, `|B(x, 2r)| ≤ c · |B(x, r)|`.
+//! The theory bounds the RBC's work in terms of `c` (Theorems 1 and 2), so
+//! the experiment harness reports an estimate of `c` for every synthetic
+//! workload, and the theory-validation tests check that low-intrinsic-
+//! dimension generators really do produce low expansion rates.
+//!
+//! The exact constant requires a maximum over *all* points and radii; we
+//! estimate it by sampling pivot points, measuring `|B(x, 2r)| / |B(x, r)|`
+//! at radii spanning the observed distance scale, and reporting both the
+//! maximum and a high quantile (the maximum over a finite sample is noisy;
+//! the paper itself notes the measure "has some idiosyncrasies").
+
+use rayon::prelude::*;
+
+use rbc_metric::{Dataset, Dist, Metric};
+
+/// An empirical expansion-rate estimate.
+#[derive(Clone, Debug)]
+pub struct ExpansionRate {
+    /// Largest observed ratio `|B(x,2r)| / |B(x,r)|` over sampled pivots
+    /// and radii (ignoring balls smaller than the minimum occupancy).
+    pub max_ratio: f64,
+    /// 90th-percentile observed ratio — a more stable summary.
+    pub q90_ratio: f64,
+    /// Median observed ratio.
+    pub median_ratio: f64,
+    /// `log2` of the 90th-percentile ratio: the corresponding "dimension"
+    /// (for a uniform grid under `ℓ1`, `log2 c = d`).
+    pub dimension_estimate: f64,
+    /// Number of (pivot, radius) pairs that contributed.
+    pub samples: usize,
+}
+
+impl ExpansionRate {
+    /// Estimates the expansion rate of `data` under `metric`.
+    ///
+    /// * `pivots` — number of sample points to measure balls around
+    ///   (capped at `data.len()`).
+    /// * `radii_per_pivot` — how many radii to probe per pivot; radii are
+    ///   geometrically spaced between the pivot's nearest-neighbor distance
+    ///   and half the largest observed distance from that pivot.
+    /// * `min_ball` — ratios are only recorded when the inner ball holds at
+    ///   least this many points, which suppresses the noisy tiny-ball
+    ///   regime (5–10 is typical).
+    ///
+    /// The cost is `pivots × data.len()` distance evaluations.
+    pub fn estimate<D, M>(
+        data: &D,
+        metric: &M,
+        pivots: usize,
+        radii_per_pivot: usize,
+        min_ball: usize,
+    ) -> Self
+    where
+        D: Dataset,
+        M: Metric<D::Item>,
+    {
+        assert!(pivots > 0 && radii_per_pivot > 0);
+        let n = data.len();
+        assert!(n >= 2, "need at least two points to estimate expansion");
+        let n_pivots = pivots.min(n);
+        // Deterministic pivot spread: every (n / n_pivots)-th point.
+        let stride = (n / n_pivots).max(1);
+
+        let mut ratios: Vec<f64> = (0..n_pivots)
+            .into_par_iter()
+            .flat_map_iter(|p| {
+                let pivot_idx = p * stride;
+                let pivot = data.get(pivot_idx);
+                // All distances from this pivot.
+                let mut dists: Vec<Dist> = (0..n).map(|j| metric.dist(pivot, data.get(j))).collect();
+                dists.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+                // dists[0] == 0 (the pivot itself); the smallest useful
+                // radius covers min_ball points, the largest covers half the
+                // data (so that the doubled ball is still informative).
+                let lo = dists[min_ball.min(n - 1)].max(f64::MIN_POSITIVE);
+                let hi = (dists[n / 2] / 2.0).max(lo);
+                let mut local = Vec::with_capacity(radii_per_pivot);
+                for s in 0..radii_per_pivot {
+                    let t = s as f64 / (radii_per_pivot.max(2) - 1) as f64;
+                    let r = lo * (hi / lo).powf(t);
+                    let inner = count_within(&dists, r);
+                    if inner < min_ball {
+                        continue;
+                    }
+                    let outer = count_within(&dists, 2.0 * r);
+                    local.push(outer as f64 / inner as f64);
+                }
+                local
+            })
+            .collect();
+
+        assert!(
+            !ratios.is_empty(),
+            "no (pivot, radius) pair satisfied the minimum ball occupancy"
+        );
+        ratios.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        let max_ratio = *ratios.last().expect("nonempty");
+        let q90_ratio = ratios[((ratios.len() - 1) as f64 * 0.9) as usize];
+        let median_ratio = ratios[(ratios.len() - 1) / 2];
+        Self {
+            max_ratio,
+            q90_ratio,
+            median_ratio,
+            dimension_estimate: q90_ratio.log2(),
+            samples: ratios.len(),
+        }
+    }
+}
+
+/// Number of entries of a sorted distance list that are `≤ r`.
+fn count_within(sorted: &[Dist], r: Dist) -> usize {
+    sorted.partition_point(|&d| d <= r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_lattice, low_dim_manifold, uniform_cube};
+    use rbc_metric::{Euclidean, Manhattan};
+
+    #[test]
+    fn count_within_uses_inclusive_bound() {
+        let d = vec![0.0, 1.0, 1.0, 2.0, 5.0];
+        assert_eq!(count_within(&d, 1.0), 3);
+        assert_eq!(count_within(&d, 0.5), 1);
+        assert_eq!(count_within(&d, 10.0), 5);
+    }
+
+    #[test]
+    fn low_dim_manifold_has_lower_expansion_than_high_dim_cube() {
+        // 2-D manifold embedded in R^20 vs a genuinely 8-D cube.
+        let manifold = low_dim_manifold(1500, 2, 20, 0.0, 3);
+        let cube = uniform_cube(1500, 8, 4);
+        let e_manifold = ExpansionRate::estimate(&manifold, &Euclidean, 12, 6, 8);
+        let e_cube = ExpansionRate::estimate(&cube, &Euclidean, 12, 6, 8);
+        assert!(
+            e_manifold.q90_ratio < e_cube.q90_ratio,
+            "manifold c={} should be below cube c={}",
+            e_manifold.q90_ratio,
+            e_cube.q90_ratio
+        );
+    }
+
+    #[test]
+    fn grid_under_l1_has_dimension_estimate_near_its_dimension() {
+        // Paper §6: a d-dimensional grid under l1 has expansion rate 2^d,
+        // i.e. log2(c) = d. A finite 2-D grid should land in a loose band
+        // around 2.
+        let grid = grid_lattice(40, 2); // 1600 points
+        let est = ExpansionRate::estimate(&grid, &Manhattan, 16, 8, 8);
+        assert!(
+            est.dimension_estimate > 0.8 && est.dimension_estimate < 3.5,
+            "2-D grid dimension estimate was {}",
+            est.dimension_estimate
+        );
+    }
+
+    #[test]
+    fn estimate_reports_sample_count_and_ordered_quantiles() {
+        let pts = uniform_cube(800, 3, 9);
+        let est = ExpansionRate::estimate(&pts, &Euclidean, 10, 5, 5);
+        assert!(est.samples > 0);
+        assert!(est.median_ratio <= est.q90_ratio);
+        assert!(est.q90_ratio <= est.max_ratio);
+        assert!(est.max_ratio >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_dataset_rejected() {
+        let pts = rbc_metric::VectorSet::from_rows(&[[1.0f32, 2.0]]);
+        let _ = ExpansionRate::estimate(&pts, &Euclidean, 2, 2, 1);
+    }
+}

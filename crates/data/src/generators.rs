@@ -1,0 +1,336 @@
+//! Synthetic point-cloud generators.
+//!
+//! Each generator is deterministic given its seed, parallelised over points
+//! with rayon, and documented with the paper dataset it stands in for.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::{Normal, Uniform};
+use rayon::prelude::*;
+
+use rbc_metric::VectorSet;
+
+/// Generates points by running one RNG per point, seeded from `(seed, i)`,
+/// so the result is independent of the parallel schedule.
+fn generate_rows<F>(n: usize, dim: usize, seed: u64, f: F) -> VectorSet
+where
+    F: Fn(&mut StdRng, usize, &mut Vec<f32>) + Sync,
+{
+    let rows: Vec<Vec<f32>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15));
+            let mut row = Vec::with_capacity(dim);
+            f(&mut rng, i, &mut row);
+            debug_assert_eq!(row.len(), dim);
+            row
+        })
+        .collect();
+    VectorSet::from_rows(&rows)
+}
+
+/// Uniform points in the unit cube `[0, 1]^dim`.
+///
+/// The classic "no intrinsic structure" control: its expansion rate grows
+/// like `2^dim`, so it is the hard case for any intrinsic-dimension method
+/// and is used by the tests to verify that the estimator reports a *high*
+/// rate when structure is absent.
+pub fn uniform_cube(n: usize, dim: usize, seed: u64) -> VectorSet {
+    assert!(n > 0 && dim > 0);
+    let u = Uniform::new(0.0f32, 1.0f32);
+    generate_rows(n, dim, seed, |rng, _, row| {
+        for _ in 0..dim {
+            row.push(rng.sample(u));
+        }
+    })
+}
+
+/// A mixture of isotropic Gaussian clusters with uniformly placed centers.
+///
+/// Stands in for the *Covertype* / *Bio* style benchmarks: moderately
+/// high ambient dimension, strong cluster structure, and therefore an
+/// intrinsic dimensionality far below the ambient one. `spread` is the
+/// cluster standard deviation relative to the unit cube the centers are
+/// drawn from; smaller spread ⇒ tighter clusters ⇒ lower expansion rate.
+pub fn gaussian_mixture(
+    n: usize,
+    dim: usize,
+    n_clusters: usize,
+    spread: f64,
+    seed: u64,
+) -> VectorSet {
+    assert!(n > 0 && dim > 0 && n_clusters > 0);
+    assert!(spread > 0.0, "cluster spread must be positive");
+    // Cluster centers from a dedicated RNG so they do not depend on n.
+    let mut center_rng = StdRng::seed_from_u64(seed.wrapping_add(0xC3A5));
+    let centers: Vec<Vec<f32>> = (0..n_clusters)
+        .map(|_| (0..dim).map(|_| center_rng.gen_range(0.0f32..1.0f32)).collect())
+        .collect();
+    let normal = Normal::new(0.0f64, spread).expect("valid std dev");
+
+    generate_rows(n, dim, seed, |rng, i, row| {
+        let c = &centers[i % n_clusters];
+        for d in 0..dim {
+            row.push(c[d] + rng.sample(normal) as f32);
+        }
+    })
+}
+
+/// Points on a smooth `intrinsic_dim`-dimensional manifold nonlinearly
+/// embedded in `ambient_dim` dimensions, plus isotropic observation noise.
+///
+/// Stands in for the *Bio* / *Physics* style datasets: data that "only
+/// appears high-dimensional but is actually governed by a small number of
+/// parameters" (§1). Latent coordinates are uniform in `[0,1]^k`; each
+/// ambient coordinate is a random sinusoidal feature of the latent vector,
+/// which keeps the embedding smooth (bi-Lipschitz on the scales that matter)
+/// so the expansion rate is governed by `intrinsic_dim`, not `ambient_dim`.
+pub fn low_dim_manifold(
+    n: usize,
+    intrinsic_dim: usize,
+    ambient_dim: usize,
+    noise: f64,
+    seed: u64,
+) -> VectorSet {
+    assert!(n > 0 && intrinsic_dim > 0 && ambient_dim >= intrinsic_dim);
+    assert!(noise >= 0.0);
+    // Random feature map parameters (frequencies and phases), independent of n.
+    let mut map_rng = StdRng::seed_from_u64(seed.wrapping_add(0xFEED));
+    // Frequencies are kept below one full period across the unit latent
+    // cube so the embedding does not fold back onto itself: folding would
+    // put latent-distant points at ambient distance ~0 and inflate the
+    // expansion rate far beyond the nominal intrinsic dimension.
+    let freqs: Vec<Vec<f32>> = (0..ambient_dim)
+        .map(|_| {
+            (0..intrinsic_dim)
+                .map(|_| map_rng.gen_range(0.25f32..0.9f32))
+                .collect()
+        })
+        .collect();
+    let phases: Vec<f32> = (0..ambient_dim)
+        .map(|_| map_rng.gen_range(0.0f32..std::f32::consts::TAU))
+        .collect();
+    let noise_dist = Normal::new(0.0f64, noise.max(1e-12)).expect("valid std dev");
+
+    generate_rows(n, ambient_dim, seed, |rng, _, row| {
+        let latent: Vec<f32> = (0..intrinsic_dim).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+        for d in 0..ambient_dim {
+            let mut arg = phases[d];
+            for (k, &z) in latent.iter().enumerate() {
+                arg += freqs[d][k] * z * std::f32::consts::TAU;
+            }
+            let mut v = arg.sin();
+            if noise > 0.0 {
+                v += rng.sample(noise_dist) as f32;
+            }
+            row.push(v);
+        }
+    })
+}
+
+/// Joint-space trajectories of a simulated serial robotic arm.
+///
+/// Stands in for the *Robot* dataset (2M points, 21 dimensions, generated
+/// from a Barrett WAM arm). Each point records, for a 7-joint arm, the
+/// joint angle, angular velocity, and a torque-like quantity (3 × 7 = 21
+/// features) sampled along smooth random trajectories — the same shape of
+/// data used for inverse-dynamics learning in the paper's reference [22].
+/// The intrinsic dimensionality is low because every feature is a smooth
+/// function of the 7 joint angles over time.
+pub fn robot_arm_trajectories(n: usize, joints: usize, seed: u64) -> VectorSet {
+    assert!(n > 0 && joints > 0);
+    let dim = joints * 3;
+    // A trajectory is parameterised by per-joint amplitude/frequency/phase,
+    // drawn per trajectory; points sample the trajectory at random times.
+    // Sampling each trajectory densely (rather than spreading the budget
+    // over many trajectories) is what gives the dataset its low intrinsic
+    // dimensionality: neighbors of a state are overwhelmingly other samples
+    // of the same smooth motion.
+    let points_per_traj = 1024usize;
+    let n_traj = n.div_ceil(points_per_traj);
+    let mut traj_rng = StdRng::seed_from_u64(seed.wrapping_add(0xA11));
+    #[derive(Clone)]
+    struct Traj {
+        amp: Vec<f32>,
+        freq: Vec<f32>,
+        phase: Vec<f32>,
+    }
+    let trajs: Vec<Traj> = (0..n_traj)
+        .map(|_| Traj {
+            amp: (0..joints).map(|_| traj_rng.gen_range(0.2f32..1.5)).collect(),
+            freq: (0..joints).map(|_| traj_rng.gen_range(0.1f32..2.0)).collect(),
+            phase: (0..joints)
+                .map(|_| traj_rng.gen_range(0.0f32..std::f32::consts::TAU))
+                .collect(),
+        })
+        .collect();
+
+    generate_rows(n, dim, seed, |rng, i, row| {
+        let traj = &trajs[i / points_per_traj];
+        let t = rng.gen_range(0.0f32..10.0);
+        for j in 0..joints {
+            let w = traj.freq[j] * std::f32::consts::TAU;
+            let angle = traj.amp[j] * (w * t + traj.phase[j]).sin();
+            let velocity = traj.amp[j] * w * (w * t + traj.phase[j]).cos();
+            // torque-like feature: proportional to acceleration plus a
+            // gravity-like term depending on the angle
+            let accel = -traj.amp[j] * w * w * (w * t + traj.phase[j]).sin();
+            let torque = 0.1 * accel + 0.5 * angle.cos();
+            row.push(angle);
+            row.push(velocity);
+            row.push(torque);
+        }
+    })
+}
+
+/// Low-frequency random image patches flattened to pixel descriptors.
+///
+/// Stands in for the *TinyIm* descriptors before random projection: each
+/// "image" is a `side × side` gray-scale patch synthesised from a handful of
+/// low-frequency 2-D cosine components (natural-image-like spectra), giving
+/// descriptors whose intrinsic dimensionality is set by `components`, far
+/// below the `side²` ambient pixel dimension. Project with
+/// [`RandomProjection`](crate::RandomProjection) to 4–32 dimensions to
+/// recreate the paper's tiny4 … tiny32 variants.
+pub fn tiny_image_patches(n: usize, side: usize, components: usize, seed: u64) -> VectorSet {
+    assert!(n > 0 && side > 0 && components > 0);
+    let dim = side * side;
+    generate_rows(n, dim, seed, |rng, _, row| {
+        // Random low-frequency cosine mixture.
+        let mut coefs = Vec::with_capacity(components);
+        for _ in 0..components {
+            let fx = rng.gen_range(0.0f32..3.0);
+            let fy = rng.gen_range(0.0f32..3.0);
+            let phase = rng.gen_range(0.0f32..std::f32::consts::TAU);
+            let amp = rng.gen_range(0.2f32..1.0);
+            coefs.push((fx, fy, phase, amp));
+        }
+        for py in 0..side {
+            for px in 0..side {
+                let (x, y) = (
+                    px as f32 / side as f32,
+                    py as f32 / side as f32,
+                );
+                let mut v = 0.0f32;
+                for &(fx, fy, phase, amp) in &coefs {
+                    v += amp
+                        * (std::f32::consts::TAU * (fx * x + fy * y) + phase).cos();
+                }
+                row.push(v / components as f32);
+            }
+        }
+    })
+}
+
+/// A regular integer lattice in `dim` dimensions with `side` points per
+/// axis — the paper's expansion-rate intuition example (§6): under `ℓ1`
+/// the expansion rate of the grid is `2^dim`.
+///
+/// The number of points is `side^dim`.
+pub fn grid_lattice(side: usize, dim: usize) -> VectorSet {
+    assert!(side > 0 && dim > 0);
+    let n = side.pow(dim as u32);
+    let mut rows = Vec::with_capacity(n);
+    for mut idx in 0..n {
+        let mut row = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            row.push((idx % side) as f32);
+            idx /= side;
+        }
+        rows.push(row);
+    }
+    VectorSet::from_rows(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbc_metric::Metric;
+
+    #[test]
+    fn generators_produce_requested_shapes() {
+        assert_eq!(uniform_cube(100, 7, 1).len(), 100);
+        assert_eq!(uniform_cube(100, 7, 1).dim(), 7);
+        assert_eq!(gaussian_mixture(50, 5, 3, 0.1, 2).dim(), 5);
+        assert_eq!(low_dim_manifold(80, 2, 10, 0.01, 3).dim(), 10);
+        assert_eq!(robot_arm_trajectories(64, 7, 4).dim(), 21);
+        assert_eq!(tiny_image_patches(10, 8, 4, 5).dim(), 64);
+        let g = grid_lattice(3, 3);
+        assert_eq!(g.len(), 27);
+        assert_eq!(g.dim(), 3);
+    }
+
+    #[test]
+    fn generators_are_deterministic_given_seed() {
+        let a = uniform_cube(200, 6, 42);
+        let b = uniform_cube(200, 6, 42);
+        assert_eq!(a, b);
+        let c = uniform_cube(200, 6, 43);
+        assert_ne!(a, c);
+
+        let m1 = low_dim_manifold(100, 3, 12, 0.05, 7);
+        let m2 = low_dim_manifold(100, 3, 12, 0.05, 7);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn uniform_cube_stays_in_unit_cube() {
+        let pts = uniform_cube(500, 4, 9);
+        for p in pts.iter() {
+            for &v in p {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_mixture_clusters_are_tight_for_small_spread() {
+        // With a tiny spread, points from the same cluster are much closer
+        // to each other than points from different clusters (with high
+        // probability for these seeds).
+        let pts = gaussian_mixture(200, 8, 4, 1e-3, 11);
+        let d_same = rbc_metric::Euclidean.dist(pts.point(0), pts.point(4)); // both cluster 0
+        let d_diff = rbc_metric::Euclidean.dist(pts.point(0), pts.point(1)); // clusters 0 and 1
+        assert!(d_same < d_diff);
+    }
+
+    #[test]
+    fn manifold_noise_zero_gives_points_in_sin_range() {
+        let pts = low_dim_manifold(100, 2, 6, 0.0, 13);
+        for p in pts.iter() {
+            for &v in p {
+                assert!((-1.0001..=1.0001).contains(&v), "value {v} outside sin range");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_lattice_enumerates_all_lattice_points() {
+        let g = grid_lattice(2, 3);
+        let mut seen: Vec<Vec<i32>> = g
+            .iter()
+            .map(|p| p.iter().map(|&x| x as i32).collect())
+            .collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn robot_features_relate_consistently() {
+        // velocity magnitude should be bounded by amp * omega <= 1.5 * 2*pi*2
+        let pts = robot_arm_trajectories(300, 7, 17);
+        for p in pts.iter() {
+            for j in 0..7 {
+                let vel = p[j * 3 + 1];
+                assert!(vel.abs() <= 1.5 * 2.0 * std::f32::consts::TAU + 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spread must be positive")]
+    fn gaussian_mixture_rejects_zero_spread() {
+        let _ = gaussian_mixture(10, 2, 2, 0.0, 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Random projection (Johnson–Lindenstrauss) dimensionality reduction.
+//!
+//! The paper reduces the Tiny Images descriptors to 4–32 dimensions with
+//! "the method of random projections", noting that the technique
+//! approximately preserves vector lengths (§7.1, footnote 3, citing the
+//! Johnson–Lindenstrauss lemma). This module implements the standard dense
+//! Gaussian projection: a `target_dim × source_dim` matrix with i.i.d.
+//! `N(0, 1/target_dim)` entries applied to every point in parallel.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::Normal;
+use rayon::prelude::*;
+
+use rbc_metric::VectorSet;
+
+/// A dense Gaussian random projection `R^{source_dim} → R^{target_dim}`.
+#[derive(Clone, Debug)]
+pub struct RandomProjection {
+    source_dim: usize,
+    target_dim: usize,
+    /// Row-major `target_dim × source_dim` matrix.
+    matrix: Vec<f32>,
+}
+
+impl RandomProjection {
+    /// Samples a projection matrix with entries `N(0, 1/target_dim)`, the
+    /// scaling under which squared norms are preserved in expectation.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(source_dim: usize, target_dim: usize, seed: u64) -> Self {
+        assert!(source_dim > 0 && target_dim > 0, "dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let normal = Normal::new(0.0f64, (1.0 / target_dim as f64).sqrt()).expect("valid std");
+        let matrix: Vec<f32> = (0..source_dim * target_dim)
+            .map(|_| rng.sample(normal) as f32)
+            .collect();
+        Self {
+            source_dim,
+            target_dim,
+            matrix,
+        }
+    }
+
+    /// Input dimensionality this projection accepts.
+    pub fn source_dim(&self) -> usize {
+        self.source_dim
+    }
+
+    /// Output dimensionality this projection produces.
+    pub fn target_dim(&self) -> usize {
+        self.target_dim
+    }
+
+    /// Projects a single point.
+    ///
+    /// # Panics
+    /// Panics if `point.len() != self.source_dim()`.
+    pub fn project_point(&self, point: &[f32]) -> Vec<f32> {
+        assert_eq!(point.len(), self.source_dim, "point dimension mismatch");
+        let mut out = vec![0.0f32; self.target_dim];
+        for (t, o) in out.iter_mut().enumerate() {
+            let row = &self.matrix[t * self.source_dim..(t + 1) * self.source_dim];
+            let mut acc = 0.0f64;
+            for (a, b) in row.iter().zip(point.iter()) {
+                acc += (*a as f64) * (*b as f64);
+            }
+            *o = acc as f32;
+        }
+        out
+    }
+
+    /// Projects every point of a set, in parallel.
+    pub fn project(&self, set: &VectorSet) -> VectorSet {
+        assert_eq!(set.dim(), self.source_dim, "set dimension mismatch");
+        let rows: Vec<Vec<f32>> = (0..set.len())
+            .into_par_iter()
+            .map(|i| self.project_point(set.point(i)))
+            .collect();
+        VectorSet::from_rows(&rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::uniform_cube;
+    use rbc_metric::Euclidean;
+    use rbc_metric::Metric;
+
+    #[test]
+    fn output_has_target_dimension() {
+        let p = RandomProjection::new(100, 8, 1);
+        assert_eq!(p.source_dim(), 100);
+        assert_eq!(p.target_dim(), 8);
+        let x = vec![1.0f32; 100];
+        assert_eq!(p.project_point(&x).len(), 8);
+
+        let set = uniform_cube(50, 100, 2);
+        let projected = p.project(&set);
+        assert_eq!(projected.len(), 50);
+        assert_eq!(projected.dim(), 8);
+    }
+
+    #[test]
+    fn projection_is_linear() {
+        let p = RandomProjection::new(20, 5, 3);
+        let a: Vec<f32> = (0..20).map(|i| i as f32 * 0.1).collect();
+        let b: Vec<f32> = (0..20).map(|i| (20 - i) as f32 * 0.05).collect();
+        let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let pa = p.project_point(&a);
+        let pb = p.project_point(&b);
+        let psum = p.project_point(&sum);
+        for i in 0..5 {
+            assert!((psum[i] - (pa[i] + pb[i])).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn distances_preserved_on_average_at_moderate_target_dim() {
+        // JL: with target dim 32, pairwise distances of 50 points in R^200
+        // should be preserved within ~50% with overwhelming probability,
+        // and the *mean* ratio should be close to 1.
+        let set = uniform_cube(50, 200, 7);
+        let p = RandomProjection::new(200, 32, 11);
+        let projected = p.project(&set);
+        let mut ratios = Vec::new();
+        for i in 0..set.len() {
+            for j in (i + 1)..set.len() {
+                let orig = Euclidean.dist(set.point(i), set.point(j));
+                let proj = Euclidean.dist(projected.point(i), projected.point(j));
+                if orig > 0.0 {
+                    ratios.push(proj / orig);
+                }
+            }
+        }
+        let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!((mean - 1.0).abs() < 0.15, "mean distortion {mean} too large");
+        assert!(ratios.iter().all(|&r| r > 0.4 && r < 1.8));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = RandomProjection::new(10, 4, 99);
+        let b = RandomProjection::new(10, 4, 99);
+        let x: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        assert_eq!(a.project_point(&x), b.project_point(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_input_dimension_panics() {
+        let p = RandomProjection::new(10, 4, 1);
+        let _ = p.project_point(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Pinned CPU thread pools modelling the paper's CPU platforms.
+
+use rayon::ThreadPool;
+
+/// A named machine configuration from the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MachineProfile {
+    /// Human-readable name used in reports.
+    pub name: &'static str,
+    /// Number of worker threads the profile requests.
+    pub threads: usize,
+}
+
+impl MachineProfile {
+    /// The 48-core AMD server of §7.2 (4 × 12-core Opteron 6176 SE).
+    pub fn server_48core() -> Self {
+        Self {
+            name: "48-core server",
+            threads: 48,
+        }
+    }
+
+    /// The quad-core Intel Core i5 desktop of §7.4.
+    pub fn desktop_quadcore() -> Self {
+        Self {
+            name: "quad-core desktop",
+            threads: 4,
+        }
+    }
+
+    /// A single core, the paper's Cover Tree protocol (§7.4).
+    pub fn single_core() -> Self {
+        Self {
+            name: "single core",
+            threads: 1,
+        }
+    }
+
+    /// Whatever parallelism the host actually offers.
+    pub fn host() -> Self {
+        Self {
+            name: "host",
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// A dedicated rayon thread pool with a fixed number of workers.
+///
+/// Work submitted through [`run`](CpuExecutor::run) executes inside this
+/// pool, so nested `par_iter` calls from the RBC and brute-force layers are
+/// scheduled on exactly `threads` workers regardless of the global rayon
+/// configuration. This is how the benchmark harness emulates the paper's
+/// 48-core, 4-core, and 1-core platforms from a single process.
+pub struct CpuExecutor {
+    profile: MachineProfile,
+    pool: ThreadPool,
+}
+
+impl CpuExecutor {
+    /// Creates an executor for the given machine profile.
+    ///
+    /// # Panics
+    /// Panics if the thread pool cannot be created (e.g. zero threads).
+    pub fn new(profile: MachineProfile) -> Self {
+        assert!(profile.threads > 0, "a machine profile needs at least one thread");
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(profile.threads)
+            .thread_name(move |i| format!("rbc-{}-{i}", profile.name.replace(' ', "-")))
+            .build()
+            .expect("failed to build thread pool");
+        Self { profile, pool }
+    }
+
+    /// The profile this executor was created for.
+    pub fn profile(&self) -> MachineProfile {
+        self.profile
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.pool.current_num_threads()
+    }
+
+    /// Runs `f` inside the pinned pool and returns its result. Any rayon
+    /// parallelism inside `f` uses this pool's workers.
+    pub fn run<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        self.pool.install(f)
+    }
+
+    /// Runs `f` inside the pool and reports the wall-clock time alongside
+    /// its result.
+    pub fn run_timed<F, R>(&self, f: F) -> (R, std::time::Duration)
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let start = std::time::Instant::now();
+        let out = self.run(f);
+        (out, start.elapsed())
+    }
+}
+
+impl std::fmt::Debug for CpuExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuExecutor")
+            .field("profile", &self.profile)
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn profiles_have_expected_thread_counts() {
+        assert_eq!(MachineProfile::server_48core().threads, 48);
+        assert_eq!(MachineProfile::desktop_quadcore().threads, 4);
+        assert_eq!(MachineProfile::single_core().threads, 1);
+        assert!(MachineProfile::host().threads >= 1);
+    }
+
+    #[test]
+    fn executor_uses_requested_thread_count() {
+        let exec = CpuExecutor::new(MachineProfile::desktop_quadcore());
+        assert_eq!(exec.threads(), 4);
+        assert_eq!(exec.profile().name, "quad-core desktop");
+        let inside = exec.run(rayon::current_num_threads);
+        assert_eq!(inside, 4);
+    }
+
+    #[test]
+    fn single_core_executor_serialises_work() {
+        let exec = CpuExecutor::new(MachineProfile::single_core());
+        let inside = exec.run(rayon::current_num_threads);
+        assert_eq!(inside, 1);
+    }
+
+    #[test]
+    fn parallel_work_returns_correct_results() {
+        let exec = CpuExecutor::new(MachineProfile {
+            name: "test",
+            threads: 3,
+        });
+        let sum: u64 = exec.run(|| (0..1000u64).into_par_iter().map(|i| i * i).sum());
+        let expect: u64 = (0..1000u64).map(|i| i * i).sum();
+        assert_eq!(sum, expect);
+    }
+
+    #[test]
+    fn run_timed_reports_a_duration() {
+        let exec = CpuExecutor::new(MachineProfile::single_core());
+        let (value, elapsed) = exec.run_timed(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = CpuExecutor::new(MachineProfile {
+            name: "broken",
+            threads: 0,
+        });
+    }
+}

@@ -1,0 +1,30 @@
+//! Manycore execution substrates for the RBC experiments.
+//!
+//! The paper evaluates on three machines none of which ship with this
+//! repository: a 48-core AMD server (§7.2), an NVIDIA Tesla C2050 GPU
+//! (§7.3), and a quad-core Intel desktop (§7.4). This crate provides the
+//! substitutes (see DESIGN.md §3):
+//!
+//! * [`CpuExecutor`] — a dedicated, pinned rayon thread pool so every
+//!   experiment runs under an explicit thread budget (48, 4, or 1 "cores"),
+//!   independent of the global pool and of each other. On machines with
+//!   fewer physical cores the pool is oversubscribed; wall-clock speedups
+//!   then flatten, which is why the harness always reports *work*
+//!   (distance evaluations) next to time.
+//! * [`SimtDevice`] — a functional cost model of a wide SIMT processor
+//!   (warps of 32 lanes executing in lockstep, branch divergence
+//!   serialisation, coalesced vs. scattered memory transactions,
+//!   multiprocessor occupancy). Algorithms are executed on the CPU; the
+//!   device model consumes their *per-lane work profiles* and accounts
+//!   modeled cycles, reproducing the phenomenon Table 2 measures: uniform,
+//!   branch-free brute-force-style kernels keep the device saturated while
+//!   conditional tree search does not.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cpu;
+pub mod simt;
+
+pub use cpu::{CpuExecutor, MachineProfile};
+pub use simt::{DeviceReport, KernelProfile, LaneWork, SimtConfig, SimtDevice};

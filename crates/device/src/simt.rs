@@ -1,0 +1,432 @@
+//! A functional SIMT (GPU-like) device cost model.
+//!
+//! The paper's GPU experiments (§7.3, Table 2) run on an NVIDIA Tesla
+//! C2050. We do not have that hardware, so Table 2 is reproduced on a cost
+//! model that captures the two architectural effects the paper's argument
+//! rests on:
+//!
+//! 1. **Lockstep execution / branch divergence.** A warp of 32 lanes
+//!    executes one instruction stream; lanes that take different amounts of
+//!    work serialise, so a warp costs as much as its *slowest* lane, plus a
+//!    penalty proportional to how divergent the lanes are. Uniform kernels
+//!    (brute force, the RBC stages) pay nothing; data-dependent tree
+//!    traversals pay heavily.
+//! 2. **Memory coalescing.** When the 32 lanes read consecutive addresses
+//!    (all lanes scanning the same database tile) the hardware issues one
+//!    wide transaction; scattered accesses (pointer-chasing down a tree)
+//!    issue up to 32.
+//!
+//! Algorithms are *executed functionally on the CPU*; what the device model
+//! consumes is the per-query work profile ([`LaneWork`]) that execution
+//! produced, and what it returns is modeled device cycles and a utilisation
+//! breakdown ([`DeviceReport`]). Absolute cycle counts are not meaningful —
+//! only ratios between algorithms run on the same model are, and those are
+//! what Table 2 reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the modeled device.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimtConfig {
+    /// Lanes per warp (32 on every NVIDIA architecture).
+    pub warp_width: usize,
+    /// Number of streaming multiprocessors executing warps concurrently
+    /// (14 on the Tesla C2050).
+    pub multiprocessors: usize,
+    /// Cycles to evaluate one distance coordinate (fused multiply–add plus
+    /// accumulation) when operands stream from coalesced memory.
+    pub cycles_per_coordinate: f64,
+    /// Multiplier applied to memory cost for non-coalesced (scattered)
+    /// accesses: up to `warp_width` separate transactions instead of one.
+    pub scatter_penalty: f64,
+    /// Fixed cycles of kernel-launch / scheduling overhead per kernel.
+    pub kernel_launch_overhead: f64,
+    /// Extra cycles charged per divergent branch event within a warp.
+    pub divergence_penalty: f64,
+}
+
+impl Default for SimtConfig {
+    /// Parameters shaped after the Tesla C2050 used in the paper.
+    fn default() -> Self {
+        Self {
+            warp_width: 32,
+            multiprocessors: 14,
+            cycles_per_coordinate: 1.0,
+            scatter_penalty: 8.0,
+            kernel_launch_overhead: 10_000.0,
+            divergence_penalty: 16.0,
+        }
+    }
+}
+
+/// The work one query (one SIMT lane) performed, as measured by actually
+/// running the algorithm on the CPU.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LaneWork {
+    /// Number of distance evaluations the lane performed.
+    pub distance_evals: u64,
+    /// Dimensionality of the points (coordinates per evaluation).
+    pub dim: usize,
+    /// Whether the lane's memory accesses stream through contiguous tiles
+    /// (true for brute force and the RBC's two stages) or chase pointers
+    /// (false for tree traversals).
+    pub coalesced: bool,
+    /// Number of data-dependent branch decisions the lane took (zero for
+    /// brute force; one per pruning test for tree search).
+    pub branch_events: u64,
+}
+
+impl LaneWork {
+    /// Work profile of a lane that scans `candidates` points of dimension
+    /// `dim` with no data-dependent branching — the brute-force / RBC
+    /// profile.
+    pub fn uniform_scan(candidates: u64, dim: usize) -> Self {
+        Self {
+            distance_evals: candidates,
+            dim,
+            coalesced: true,
+            branch_events: 0,
+        }
+    }
+
+    /// Work profile of a conditional tree traversal that evaluated
+    /// `distance_evals` distances and took as many data-dependent branches.
+    pub fn tree_traversal(distance_evals: u64, dim: usize) -> Self {
+        Self {
+            distance_evals,
+            dim,
+            coalesced: false,
+            branch_events: distance_evals,
+        }
+    }
+}
+
+/// Per-kernel cost breakdown produced by the model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Modeled execution cycles.
+    pub cycles: f64,
+    /// Fraction of lane-cycles that did useful work (1.0 = perfectly
+    /// uniform warps, lower = divergence/imbalance waste).
+    pub lane_utilization: f64,
+    /// Number of warps launched.
+    pub warps: usize,
+    /// Total distance evaluations across all lanes.
+    pub distance_evals: u64,
+}
+
+/// Aggregate report over one or more kernels (e.g. the two stages of an
+/// RBC query batch).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Total modeled cycles across all kernels.
+    pub cycles: f64,
+    /// Work-weighted mean lane utilisation.
+    pub lane_utilization: f64,
+    /// Total distance evaluations.
+    pub distance_evals: u64,
+    /// Number of kernels accounted.
+    pub kernels: usize,
+}
+
+impl DeviceReport {
+    /// Folds a kernel profile into the aggregate.
+    pub fn absorb(&mut self, k: &KernelProfile) {
+        let total_cycles = self.cycles + k.cycles;
+        if total_cycles > 0.0 {
+            self.lane_utilization = (self.lane_utilization * self.cycles
+                + k.lane_utilization * k.cycles)
+                / total_cycles;
+        }
+        self.cycles = total_cycles;
+        self.distance_evals += k.distance_evals;
+        self.kernels += 1;
+    }
+
+    /// Ratio of another report's cycles to this one's (how much faster this
+    /// report is). This is the "speedup" column of Table 2.
+    pub fn speedup_over(&self, baseline: &DeviceReport) -> f64 {
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            baseline.cycles / self.cycles
+        }
+    }
+}
+
+/// The modeled SIMT device.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimtDevice {
+    config: SimtConfig,
+}
+
+impl SimtDevice {
+    /// A device with the default (Tesla C2050-shaped) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A device with an explicit configuration.
+    pub fn with_config(config: SimtConfig) -> Self {
+        assert!(config.warp_width > 0, "warp width must be positive");
+        assert!(config.multiprocessors > 0, "need at least one multiprocessor");
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> SimtConfig {
+        self.config
+    }
+
+    /// Models the execution of one kernel whose lanes perform the given
+    /// work. Lanes are packed into warps in order; warps are distributed
+    /// round-robin over the multiprocessors; the kernel finishes when the
+    /// most heavily loaded multiprocessor drains.
+    pub fn run_kernel(&self, lanes: &[LaneWork]) -> KernelProfile {
+        let cfg = self.config;
+        if lanes.is_empty() {
+            return KernelProfile {
+                cycles: cfg.kernel_launch_overhead,
+                lane_utilization: 0.0,
+                warps: 0,
+                distance_evals: 0,
+            };
+        }
+
+        let mut warp_cycles: Vec<f64> = Vec::with_capacity(lanes.len() / cfg.warp_width + 1);
+        let mut useful_lane_cycles = 0.0f64;
+        let mut issued_lane_cycles = 0.0f64;
+        let mut total_evals = 0u64;
+
+        for warp in lanes.chunks(cfg.warp_width) {
+            let mut max_lane = 0.0f64;
+            let mut sum_lane = 0.0f64;
+            let mut scattered = false;
+            let mut branches = 0u64;
+            for lane in warp {
+                let coord_work =
+                    lane.distance_evals as f64 * lane.dim as f64 * cfg.cycles_per_coordinate;
+                max_lane = max_lane.max(coord_work);
+                sum_lane += coord_work;
+                scattered |= !lane.coalesced;
+                branches += lane.branch_events;
+                total_evals += lane.distance_evals;
+            }
+            // Lockstep: the warp is busy for its slowest lane. Scattered
+            // access multiplies memory cost; divergent branches serialise.
+            let mem_factor = if scattered { cfg.scatter_penalty } else { 1.0 };
+            let cycles = max_lane * mem_factor + branches as f64 * cfg.divergence_penalty;
+            warp_cycles.push(cycles);
+            useful_lane_cycles += sum_lane;
+            issued_lane_cycles += max_lane * warp.len() as f64 * mem_factor
+                + branches as f64 * cfg.divergence_penalty * warp.len() as f64;
+        }
+
+        // Round-robin warps over multiprocessors; kernel time is the
+        // busiest multiprocessor.
+        let mut sm_load = vec![0.0f64; cfg.multiprocessors];
+        for (i, &c) in warp_cycles.iter().enumerate() {
+            sm_load[i % cfg.multiprocessors] += c;
+        }
+        let busiest = sm_load.iter().cloned().fold(0.0f64, f64::max);
+
+        KernelProfile {
+            cycles: busiest + cfg.kernel_launch_overhead,
+            lane_utilization: if issued_lane_cycles > 0.0 {
+                (useful_lane_cycles / issued_lane_cycles).min(1.0)
+            } else {
+                0.0
+            },
+            warps: warp_cycles.len(),
+            distance_evals: total_evals,
+        }
+    }
+
+    /// Models a multi-kernel workload (e.g. the two brute-force stages of
+    /// an RBC query batch) and aggregates the result.
+    pub fn run_kernels(&self, kernels: &[Vec<LaneWork>]) -> DeviceReport {
+        let mut report = DeviceReport::default();
+        for lanes in kernels {
+            let k = self.run_kernel(lanes);
+            report.absorb(&k);
+        }
+        report
+    }
+
+    /// Convenience: models brute-force 1-NN search of `queries` against a
+    /// database of `n` points of dimension `dim` — one uniform lane per
+    /// query scanning everything.
+    pub fn model_brute_force(&self, queries: usize, n: usize, dim: usize) -> DeviceReport {
+        let lanes: Vec<LaneWork> = (0..queries)
+            .map(|_| LaneWork::uniform_scan(n as u64, dim))
+            .collect();
+        self.run_kernels(&[lanes])
+    }
+
+    /// Convenience: models the one-shot RBC — one uniform kernel over the
+    /// representatives followed by one uniform kernel over the chosen
+    /// ownership list (sizes supplied per query by the caller, who ran the
+    /// real algorithm to obtain them).
+    pub fn model_one_shot(
+        &self,
+        rep_scan_per_query: &[u64],
+        list_scan_per_query: &[u64],
+        dim: usize,
+    ) -> DeviceReport {
+        assert_eq!(
+            rep_scan_per_query.len(),
+            list_scan_per_query.len(),
+            "per-query stage profiles must align"
+        );
+        let stage1: Vec<LaneWork> = rep_scan_per_query
+            .iter()
+            .map(|&c| LaneWork::uniform_scan(c, dim))
+            .collect();
+        let stage2: Vec<LaneWork> = list_scan_per_query
+            .iter()
+            .map(|&c| LaneWork::uniform_scan(c, dim))
+            .collect();
+        self.run_kernels(&[stage1, stage2])
+    }
+
+    /// Convenience: models a conditional tree search from the per-query
+    /// distance-evaluation counts produced by actually running the tree on
+    /// the CPU.
+    pub fn model_tree_search(&self, evals_per_query: &[u64], dim: usize) -> DeviceReport {
+        let lanes: Vec<LaneWork> = evals_per_query
+            .iter()
+            .map(|&c| LaneWork::tree_traversal(c, dim))
+            .collect();
+        self.run_kernels(&[lanes])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_kernel_has_full_utilization() {
+        let dev = SimtDevice::new();
+        let lanes: Vec<LaneWork> = (0..64).map(|_| LaneWork::uniform_scan(100, 16)).collect();
+        let k = dev.run_kernel(&lanes);
+        assert!(k.lane_utilization > 0.99);
+        assert_eq!(k.warps, 2);
+        assert_eq!(k.distance_evals, 6400);
+        assert!(k.cycles > 0.0);
+    }
+
+    #[test]
+    fn imbalanced_lanes_lower_utilization() {
+        let dev = SimtDevice::new();
+        let mut lanes = vec![LaneWork::uniform_scan(10, 8); 31];
+        lanes.push(LaneWork::uniform_scan(1000, 8)); // one straggler lane
+        let k = dev.run_kernel(&lanes);
+        assert!(
+            k.lane_utilization < 0.2,
+            "straggler should dominate the warp (utilization {})",
+            k.lane_utilization
+        );
+    }
+
+    #[test]
+    fn divergent_scattered_kernel_costs_more_than_uniform_for_same_work() {
+        let dev = SimtDevice::new();
+        let uniform: Vec<LaneWork> = (0..128).map(|_| LaneWork::uniform_scan(200, 8)).collect();
+        let tree: Vec<LaneWork> = (0..128).map(|_| LaneWork::tree_traversal(200, 8)).collect();
+        let ku = dev.run_kernel(&uniform);
+        let kt = dev.run_kernel(&tree);
+        assert_eq!(ku.distance_evals, kt.distance_evals);
+        assert!(
+            kt.cycles > 3.0 * ku.cycles,
+            "tree kernel ({}) should be much slower than uniform ({})",
+            kt.cycles,
+            ku.cycles
+        );
+    }
+
+    #[test]
+    fn brute_force_model_scales_linearly_in_database_size() {
+        let dev = SimtDevice::new();
+        let small = dev.model_brute_force(1000, 10_000, 16);
+        let large = dev.model_brute_force(1000, 100_000, 16);
+        let ratio = large.cycles / small.cycles;
+        assert!(
+            (8.0..12.0).contains(&ratio),
+            "10x database should cost ~10x cycles, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn one_shot_model_beats_brute_force_by_roughly_the_work_ratio() {
+        let dev = SimtDevice::new();
+        let n = 100_000usize;
+        let nr = 320u64;
+        let s = 320u64;
+        let queries = 2048usize;
+        let bf = dev.model_brute_force(queries, n, 16);
+        let one_shot = dev.model_one_shot(
+            &vec![nr; queries],
+            &vec![s; queries],
+            16,
+        );
+        let speedup = one_shot.speedup_over(&bf);
+        let work_ratio = n as f64 / (nr + s) as f64; // ≈ 156
+        assert!(
+            speedup > work_ratio * 0.3 && speedup < work_ratio * 1.5,
+            "modeled speedup {speedup} should be within a small factor of the work ratio {work_ratio}"
+        );
+    }
+
+    #[test]
+    fn report_absorbs_kernels_and_weights_utilization() {
+        let dev = SimtDevice::new();
+        let k1 = dev.run_kernel(&vec![LaneWork::uniform_scan(100, 4); 32]);
+        let k2 = dev.run_kernel(&vec![LaneWork::tree_traversal(100, 4); 32]);
+        let mut r = DeviceReport::default();
+        r.absorb(&k1);
+        r.absorb(&k2);
+        assert_eq!(r.kernels, 2);
+        assert_eq!(r.distance_evals, k1.distance_evals + k2.distance_evals);
+        assert!((r.cycles - (k1.cycles + k2.cycles)).abs() < 1e-9);
+        assert!(r.lane_utilization <= 1.0 && r.lane_utilization > 0.0);
+    }
+
+    #[test]
+    fn empty_kernel_costs_only_launch_overhead() {
+        let dev = SimtDevice::new();
+        let k = dev.run_kernel(&[]);
+        assert_eq!(k.cycles, SimtConfig::default().kernel_launch_overhead);
+        assert_eq!(k.warps, 0);
+    }
+
+    #[test]
+    fn speedup_over_is_a_cycle_ratio() {
+        let a = DeviceReport {
+            cycles: 100.0,
+            ..DeviceReport::default()
+        };
+        let b = DeviceReport {
+            cycles: 1000.0,
+            ..DeviceReport::default()
+        };
+        assert_eq!(a.speedup_over(&b), 10.0);
+        assert_eq!(DeviceReport::default().speedup_over(&b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "warp width must be positive")]
+    fn invalid_config_rejected() {
+        let _ = SimtDevice::with_config(SimtConfig {
+            warp_width: 0,
+            ..SimtConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_stage_profiles_rejected() {
+        let dev = SimtDevice::new();
+        let _ = dev.model_one_shot(&[10, 10], &[5], 4);
+    }
+}

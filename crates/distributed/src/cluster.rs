@@ -1,0 +1,171 @@
+//! The cluster model: node count and communication cost accounting.
+//!
+//! The paper defers "I/O and communication costs" of a distributed RBC to
+//! future work; this module makes them explicit. No bytes actually cross a
+//! network — queries are executed against in-memory shards — but every
+//! message that *would* be sent is recorded with a simple
+//! latency-plus-bandwidth cost model so experiments can compare protocols.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of the simulated cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of worker nodes holding database shards.
+    pub nodes: usize,
+    /// One-way message latency in microseconds (per message).
+    pub latency_us: f64,
+    /// Link bandwidth in megabytes per second (per message payload).
+    pub bandwidth_mb_per_s: f64,
+    /// Bytes per point coordinate on the wire (f32 = 4).
+    pub bytes_per_coord: usize,
+    /// Fixed per-message header bytes.
+    pub header_bytes: usize,
+}
+
+impl Default for ClusterConfig {
+    /// An 8-node commodity cluster with 10 GbE-class links.
+    fn default() -> Self {
+        Self {
+            nodes: 8,
+            latency_us: 20.0,
+            bandwidth_mb_per_s: 1_000.0,
+            bytes_per_coord: 4,
+            header_bytes: 64,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A cluster with a specific node count and the default link model.
+    pub fn with_nodes(nodes: usize) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        Self {
+            nodes,
+            ..Self::default()
+        }
+    }
+
+    /// Bytes on the wire for one query vector of the given dimensionality.
+    pub fn query_message_bytes(&self, dim: usize) -> u64 {
+        (self.header_bytes + dim * self.bytes_per_coord) as u64
+    }
+
+    /// Bytes on the wire for a reply carrying `k` neighbor records
+    /// (index + distance per record).
+    pub fn reply_message_bytes(&self, k: usize) -> u64 {
+        (self.header_bytes + k * (8 + 8)) as u64
+    }
+
+    /// Modeled time to deliver one message of the given size.
+    pub fn message_time_us(&self, bytes: u64) -> f64 {
+        self.latency_us + bytes as f64 / (self.bandwidth_mb_per_s * 1e6) * 1e6
+    }
+}
+
+/// Accumulated communication performed by one query or a batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommCost {
+    /// Messages sent from the coordinator to workers.
+    pub messages_out: u64,
+    /// Messages returned by workers.
+    pub messages_in: u64,
+    /// Total bytes sent to workers.
+    pub bytes_out: u64,
+    /// Total bytes returned by workers.
+    pub bytes_in: u64,
+    /// Modeled wall-clock spent in communication, assuming the coordinator
+    /// fans messages out in parallel and waits for the slowest reply
+    /// (i.e. one round trip of the largest message pair per round).
+    pub modeled_time_us: f64,
+}
+
+impl CommCost {
+    /// Records one fan-out round: the same query sent to `targets` nodes,
+    /// each answering with a `k`-record reply.
+    pub fn fan_out_round(config: &ClusterConfig, targets: usize, dim: usize, k: usize) -> Self {
+        if targets == 0 {
+            return Self::default();
+        }
+        let out_bytes = config.query_message_bytes(dim);
+        let in_bytes = config.reply_message_bytes(k);
+        Self {
+            messages_out: targets as u64,
+            messages_in: targets as u64,
+            bytes_out: out_bytes * targets as u64,
+            bytes_in: in_bytes * targets as u64,
+            // Parallel fan-out: one round trip, not `targets` of them.
+            modeled_time_us: config.message_time_us(out_bytes) + config.message_time_us(in_bytes),
+        }
+    }
+
+    /// Merges the cost of another query/round into this accumulator.
+    pub fn merge(&mut self, other: &CommCost) {
+        self.messages_out += other.messages_out;
+        self.messages_in += other.messages_in;
+        self.bytes_out += other.bytes_out;
+        self.bytes_in += other.bytes_in;
+        self.modeled_time_us += other.modeled_time_us;
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_out + self.bytes_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_sizes_account_for_dimension_and_k() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.query_message_bytes(10), 64 + 40);
+        assert_eq!(c.reply_message_bytes(3), 64 + 48);
+        assert!(c.query_message_bytes(100) > c.query_message_bytes(10));
+    }
+
+    #[test]
+    fn message_time_includes_latency_and_bandwidth() {
+        let c = ClusterConfig::default();
+        let small = c.message_time_us(64);
+        let large = c.message_time_us(1_000_000);
+        assert!(small >= c.latency_us);
+        assert!(large > small + 900.0); // 1 MB over 1 GB/s ≈ 1000 us
+    }
+
+    #[test]
+    fn fan_out_round_counts_every_target_but_one_round_trip() {
+        let c = ClusterConfig::default();
+        let cost = CommCost::fan_out_round(&c, 5, 16, 1);
+        assert_eq!(cost.messages_out, 5);
+        assert_eq!(cost.messages_in, 5);
+        assert_eq!(cost.bytes_out, 5 * c.query_message_bytes(16));
+        // modeled time is a single round trip regardless of the fan-out
+        let single = CommCost::fan_out_round(&c, 1, 16, 1);
+        assert!((cost.modeled_time_us - single.modeled_time_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_fan_out_costs_nothing() {
+        let c = ClusterConfig::default();
+        assert_eq!(CommCost::fan_out_round(&c, 0, 16, 1), CommCost::default());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let c = ClusterConfig::default();
+        let mut total = CommCost::default();
+        total.merge(&CommCost::fan_out_round(&c, 2, 8, 1));
+        total.merge(&CommCost::fan_out_round(&c, 3, 8, 1));
+        assert_eq!(total.messages_out, 5);
+        assert_eq!(total.total_bytes(), total.bytes_out + total.bytes_in);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = ClusterConfig::with_nodes(0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Distributed Random Ball Cover — the paper's future-work direction.
+//!
+//! The conclusion of the paper (§8) sketches the extension this crate
+//! builds: *"The RBC data structure suggests a simple distribution of the
+//! database according to the representatives that could be quite effective
+//! in such [distributed or multi-GPU] environments. There are many
+//! interesting details for study here, such as I/O and communication
+//! costs."*
+//!
+//! The design follows that sketch directly:
+//!
+//! * the coordinator builds an exact RBC over the database and assigns
+//!   whole ownership lists to worker nodes, balancing the number of points
+//!   per node ([`partition`]);
+//! * every node holds only its shard of the database; the coordinator
+//!   keeps the (small, `O(√n)`) representative set;
+//! * an **exact** query runs the usual first stage locally on the
+//!   coordinator, applies the paper's pruning rules, and forwards the
+//!   query *only to the nodes owning surviving lists*; each contacted node
+//!   answers from its shard and the coordinator reduces the partial
+//!   results;
+//! * a **one-shot** query contacts exactly one node — the one owning the
+//!   nearest representative's list — which is the property that makes the
+//!   representative-based distribution attractive in the first place.
+//!
+//! No real network is involved (this is a single-process simulation, per
+//! DESIGN.md §3): worker shards are ordinary in-memory structures queried
+//! in parallel, and the communication that *would* occur is accounted by
+//! an explicit cost model ([`ClusterConfig`]), so experiments can study
+//! how node count, pruning effectiveness, and payload sizes interact —
+//! exactly the "I/O and communication costs" the paper defers to future
+//! work.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cluster;
+pub mod distributed;
+pub mod partition;
+
+pub use cluster::{ClusterConfig, CommCost};
+pub use distributed::{DistributedQueryStats, DistributedRbc};
+pub use partition::{partition_lists, NodeAssignment};

@@ -1,0 +1,156 @@
+//! Assignment of ownership lists to cluster nodes.
+//!
+//! The paper's sketch is "a simple distribution of the database according
+//! to the representatives": every representative's ownership list lives on
+//! exactly one node. Lists vary in size (they are the cells of a random
+//! Voronoi-like partition), so the assignment uses the classic
+//! longest-processing-time greedy rule to keep the shards balanced: lists
+//! are placed largest-first onto the currently lightest node, which is
+//! within 4/3 of the optimal makespan.
+
+use serde::{Deserialize, Serialize};
+
+/// Which node each ownership list lives on, plus per-node load summaries.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeAssignment {
+    /// `node_of_list[i]` is the node holding ownership list `i`.
+    pub node_of_list: Vec<usize>,
+    /// For each node, the indices of the lists it holds.
+    pub lists_of_node: Vec<Vec<usize>>,
+    /// For each node, the total number of database points it stores.
+    pub points_per_node: Vec<usize>,
+}
+
+impl NodeAssignment {
+    /// Number of nodes in the assignment.
+    pub fn nodes(&self) -> usize {
+        self.lists_of_node.len()
+    }
+
+    /// Ratio of the heaviest to the lightest node load (1.0 = perfectly
+    /// balanced). Nodes holding zero points are ignored unless all are
+    /// empty.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.points_per_node.iter().copied().max().unwrap_or(0);
+        let min_nonzero = self
+            .points_per_node
+            .iter()
+            .copied()
+            .filter(|&p| p > 0)
+            .min()
+            .unwrap_or(0);
+        if min_nonzero == 0 {
+            if max == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max as f64 / min_nonzero as f64
+        }
+    }
+}
+
+/// Greedily assigns ownership lists (given by their sizes) to `nodes`
+/// nodes, balancing the total number of points per node.
+///
+/// # Panics
+/// Panics if `nodes == 0`.
+pub fn partition_lists(list_sizes: &[usize], nodes: usize) -> NodeAssignment {
+    assert!(nodes > 0, "cannot partition onto zero nodes");
+    let mut order: Vec<usize> = (0..list_sizes.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(list_sizes[i]));
+
+    let mut node_of_list = vec![0usize; list_sizes.len()];
+    let mut lists_of_node: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+    let mut points_per_node = vec![0usize; nodes];
+
+    for &list in &order {
+        let lightest = (0..nodes)
+            .min_by_key(|&nd| (points_per_node[nd], nd))
+            .expect("at least one node");
+        node_of_list[list] = lightest;
+        lists_of_node[lightest].push(list);
+        points_per_node[lightest] += list_sizes[list];
+    }
+
+    NodeAssignment {
+        node_of_list,
+        lists_of_node,
+        points_per_node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_list_is_assigned_exactly_once() {
+        let sizes = vec![5, 1, 9, 3, 3, 7, 2];
+        let a = partition_lists(&sizes, 3);
+        assert_eq!(a.nodes(), 3);
+        assert_eq!(a.node_of_list.len(), sizes.len());
+        let mut seen = vec![false; sizes.len()];
+        for (node, lists) in a.lists_of_node.iter().enumerate() {
+            for &l in lists {
+                assert!(!seen[l], "list {l} assigned twice");
+                seen[l] = true;
+                assert_eq!(a.node_of_list[l], node);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        let total: usize = a.points_per_node.iter().sum();
+        assert_eq!(total, sizes.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn balanced_input_is_perfectly_balanced() {
+        let sizes = vec![4; 12];
+        let a = partition_lists(&sizes, 4);
+        assert!(a.points_per_node.iter().all(|&p| p == 12));
+        assert_eq!(a.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn greedy_keeps_imbalance_moderate_on_skewed_input() {
+        // Sizes spanning two orders of magnitude.
+        let sizes: Vec<usize> = (1..=60).map(|i| (i * i) % 97 + 1).collect();
+        let a = partition_lists(&sizes, 6);
+        assert!(
+            a.imbalance() < 1.5,
+            "LPT imbalance unexpectedly high: {}",
+            a.imbalance()
+        );
+    }
+
+    #[test]
+    fn more_nodes_than_lists_leaves_some_nodes_empty() {
+        let sizes = vec![10, 20];
+        let a = partition_lists(&sizes, 5);
+        let nonempty = a.points_per_node.iter().filter(|&&p| p > 0).count();
+        assert_eq!(nonempty, 2);
+        assert_eq!(a.imbalance(), 2.0);
+    }
+
+    #[test]
+    fn single_node_gets_everything() {
+        let sizes = vec![3, 1, 4];
+        let a = partition_lists(&sizes, 1);
+        assert_eq!(a.points_per_node, vec![8]);
+        assert_eq!(a.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn empty_list_set_is_fine() {
+        let a = partition_lists(&[], 3);
+        assert_eq!(a.points_per_node, vec![0, 0, 0]);
+        assert_eq!(a.imbalance(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero nodes")]
+    fn zero_nodes_rejected() {
+        let _ = partition_lists(&[1, 2], 0);
+    }
+}

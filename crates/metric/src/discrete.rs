@@ -1,0 +1,202 @@
+//! Discrete metrics: edit distance on strings and Hamming distance.
+//!
+//! The paper stresses that the expansion rate — and therefore the RBC — is
+//! "defined for arbitrary metric spaces, so makes sense for the edit
+//! distance on strings" (§6). These metrics let the test-suite and the
+//! examples exercise the index on non-vector data.
+
+use crate::dataset::Dataset;
+use crate::metric::{Dist, Metric};
+
+/// A collection of owned strings usable as an RBC database.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StringSet {
+    items: Vec<String>,
+}
+
+impl StringSet {
+    /// Builds a set from anything yielding strings.
+    pub fn new<I, S>(items: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            items: items.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Appends a string.
+    pub fn push<S: Into<String>>(&mut self, s: S) {
+        self.items.push(s.into());
+    }
+
+    /// Borrows the backing strings.
+    pub fn strings(&self) -> &[String] {
+        &self.items
+    }
+}
+
+impl Dataset for StringSet {
+    type Item = str;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn get(&self, i: usize) -> &str {
+        &self.items[i]
+    }
+}
+
+/// Levenshtein edit distance between strings (unit-cost insert, delete,
+/// substitute). A true metric on strings.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Levenshtein;
+
+impl Levenshtein {
+    /// Edit distance as an integer.
+    pub fn edit_distance(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        if a.is_empty() {
+            return b.len();
+        }
+        if b.is_empty() {
+            return a.len();
+        }
+        // Single-row dynamic program; O(|a|·|b|) time, O(|b|) space.
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        let mut curr: Vec<usize> = vec![0; b.len() + 1];
+        for (i, &ca) in a.iter().enumerate() {
+            curr[0] = i + 1;
+            for (j, &cb) in b.iter().enumerate() {
+                let sub_cost = if ca == cb { 0 } else { 1 };
+                curr[j + 1] = (prev[j] + sub_cost)
+                    .min(prev[j + 1] + 1)
+                    .min(curr[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[b.len()]
+    }
+}
+
+impl Metric<str> for Levenshtein {
+    fn dist(&self, a: &str, b: &str) -> Dist {
+        Self::edit_distance(a, b) as Dist
+    }
+
+    /// The difference in lengths is a valid lower bound on the edit
+    /// distance, and is O(1) to compute.
+    fn dist_lower_bound(&self, a: &str, b: &str) -> Dist {
+        let (la, lb) = (a.chars().count(), b.chars().count());
+        la.abs_diff(lb) as Dist
+    }
+
+    fn name(&self) -> &'static str {
+        "levenshtein"
+    }
+}
+
+/// Hamming distance over equal-length byte slices / strings: the number of
+/// positions at which they differ.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Hamming;
+
+impl Metric<[u8]> for Hamming {
+    fn dist(&self, a: &[u8], b: &[u8]) -> Dist {
+        debug_assert_eq!(a.len(), b.len(), "Hamming requires equal lengths");
+        a.iter().zip(b.iter()).filter(|(x, y)| x != y).count() as Dist
+    }
+
+    fn name(&self) -> &'static str {
+        "hamming"
+    }
+}
+
+impl Metric<str> for Hamming {
+    fn dist(&self, a: &str, b: &str) -> Dist {
+        <Hamming as Metric<[u8]>>::dist(self, a.as_bytes(), b.as_bytes())
+    }
+
+    fn name(&self) -> &'static str {
+        "hamming"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(Levenshtein::edit_distance("kitten", "sitting"), 3);
+        assert_eq!(Levenshtein::edit_distance("flaw", "lawn"), 2);
+        assert_eq!(Levenshtein::edit_distance("", "abc"), 3);
+        assert_eq!(Levenshtein::edit_distance("abc", ""), 3);
+        assert_eq!(Levenshtein::edit_distance("", ""), 0);
+        assert_eq!(Levenshtein::edit_distance("same", "same"), 0);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        let pairs = [("kitten", "sitting"), ("abc", "cb"), ("", "xyz")];
+        for (a, b) in pairs {
+            assert_eq!(
+                Levenshtein::edit_distance(a, b),
+                Levenshtein::edit_distance(b, a)
+            );
+        }
+    }
+
+    #[test]
+    fn levenshtein_triangle_inequality_on_samples() {
+        let words = ["cat", "cart", "chart", "smart", "", "art", "carts"];
+        for a in words {
+            for b in words {
+                for c in words {
+                    let ab = Levenshtein::edit_distance(a, b);
+                    let bc = Levenshtein::edit_distance(b, c);
+                    let ac = Levenshtein::edit_distance(a, c);
+                    assert!(ac <= ab + bc, "triangle violated for {a:?},{b:?},{c:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levenshtein_lower_bound_is_valid() {
+        let words = ["cat", "catalogue", "", "dog", "doggerel"];
+        for a in words {
+            for b in words {
+                let lb = Levenshtein.dist_lower_bound(a, b);
+                let d = Levenshtein.dist(a, b);
+                assert!(lb <= d, "lower bound {lb} exceeds distance {d} for {a:?},{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn levenshtein_handles_multibyte_characters() {
+        assert_eq!(Levenshtein::edit_distance("über", "uber"), 1);
+        assert_eq!(Levenshtein::edit_distance("naïve", "naive"), 1);
+    }
+
+    #[test]
+    fn hamming_counts_differing_positions() {
+        assert_eq!(<Hamming as Metric<[u8]>>::dist(&Hamming, b"10110", b"10011"), 2.0);
+        assert_eq!(<Hamming as Metric<str>>::dist(&Hamming, "abc", "abd"), 1.0);
+        assert_eq!(<Hamming as Metric<str>>::dist(&Hamming, "abc", "abc"), 0.0);
+    }
+
+    #[test]
+    fn string_set_is_a_dataset() {
+        let mut s = StringSet::new(["alpha", "beta"]);
+        s.push("gamma");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(2), "gamma");
+        assert_eq!(s.strings().len(), 3);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,271 @@
+//! Shortest-path metric on the vertices of an undirected weighted graph.
+//!
+//! The paper names "the shortest path distance on the nodes of a graph"
+//! (§6) as an example of a metric space the expansion-rate machinery — and
+//! hence the RBC — applies to. This module provides a small graph type
+//! whose vertex set is a [`Dataset`] and whose all-pairs shortest-path
+//! distances form a [`Metric`] over vertex identifiers.
+//!
+//! Distances are computed once, up front, with a Dijkstra run from every
+//! vertex (parallelised over source vertices with rayon), and stored in a
+//! dense `n × n` table. This is exactly the regime the RBC targets: an
+//! expensive metric amortised into a fast lookup, queried many times.
+
+use rayon::prelude::*;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::dataset::Dataset;
+use crate::metric::{Dist, Metric};
+
+/// An undirected weighted graph with a precomputed all-pairs shortest-path
+/// table. Vertices are identified by `usize` indices `0..n`.
+#[derive(Clone, Debug)]
+pub struct GraphDataset {
+    n: usize,
+    /// Vertex identifiers 0..n, stored so `Dataset::get` can hand out
+    /// references.
+    ids: Vec<usize>,
+    /// Row-major `n × n` shortest-path distances; `f64::INFINITY` for
+    /// unreachable pairs.
+    dist: Vec<Dist>,
+}
+
+impl GraphDataset {
+    /// Builds the dataset from an edge list `(u, v, weight)` over `n`
+    /// vertices. Edges are treated as undirected; negative weights are
+    /// rejected.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, if an endpoint is out of range, or if a weight is
+    /// negative or NaN.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Self {
+        assert!(n > 0, "graph must have at least one vertex");
+        let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for &(u, v, w) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+            assert!(w >= 0.0 && !w.is_nan(), "edge weight must be non-negative");
+            adj[u].push((v, w));
+            adj[v].push((u, w));
+        }
+
+        let rows: Vec<Vec<Dist>> = (0..n)
+            .into_par_iter()
+            .map(|src| dijkstra(&adj, src))
+            .collect();
+        let mut dist = Vec::with_capacity(n * n);
+        for row in rows {
+            dist.extend_from_slice(&row);
+        }
+
+        Self {
+            n,
+            ids: (0..n).collect(),
+            dist,
+        }
+    }
+
+    /// Builds an unweighted graph (every edge has weight 1).
+    pub fn from_unweighted_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let weighted: Vec<(usize, usize, f64)> =
+            edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+        Self::from_edges(n, &weighted)
+    }
+
+    /// Builds a `side × side` 2-D grid graph with unit edge weights — the
+    /// shape of the paper's expansion-rate intuition example (a grid under
+    /// `ℓ1` has expansion rate `2^d`).
+    pub fn grid_2d(side: usize) -> Self {
+        assert!(side > 0);
+        let idx = |r: usize, c: usize| r * side + c;
+        let mut edges = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                if c + 1 < side {
+                    edges.push((idx(r, c), idx(r, c + 1)));
+                }
+                if r + 1 < side {
+                    edges.push((idx(r, c), idx(r + 1, c)));
+                }
+            }
+        }
+        Self::from_unweighted_edges(side * side, &edges)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Shortest-path distance between two vertices.
+    pub fn distance(&self, u: usize, v: usize) -> Dist {
+        self.dist[u * self.n + v]
+    }
+
+    /// The shortest-path metric over this graph's vertex identifiers.
+    pub fn metric(&self) -> ShortestPath<'_> {
+        ShortestPath { graph: self }
+    }
+}
+
+impl Dataset for GraphDataset {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn get(&self, i: usize) -> &usize {
+        &self.ids[i]
+    }
+}
+
+/// The shortest-path metric over the vertices of a [`GraphDataset`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShortestPath<'g> {
+    graph: &'g GraphDataset,
+}
+
+impl<'g> Metric<usize> for ShortestPath<'g> {
+    fn dist(&self, a: &usize, b: &usize) -> Dist {
+        self.graph.distance(*a, *b)
+    }
+
+    fn name(&self) -> &'static str {
+        "shortest-path"
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance via reversed comparison; distances are never
+        // NaN (validated at construction).
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn dijkstra(adj: &[Vec<(usize, f64)>], src: usize) -> Vec<Dist> {
+    let n = adj.len();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[src] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: src,
+    });
+    while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+        if d > dist[node] {
+            continue;
+        }
+        for &(next, w) in &adj[node] {
+            let nd = d + w;
+            if nd < dist[next] {
+                dist[next] = nd;
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: next,
+                });
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_distances() {
+        // 0 - 1 - 2 - 3 (unit weights)
+        let g = GraphDataset::from_unweighted_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.distance(0, 3), 3.0);
+        assert_eq!(g.distance(1, 1), 0.0);
+        assert_eq!(g.distance(3, 0), 3.0);
+        assert_eq!(g.num_vertices(), 4);
+    }
+
+    #[test]
+    fn weighted_shortcut_is_preferred() {
+        // 0 -5- 1, 0 -1- 2, 2 -1- 1 : shortest 0..1 is 2 via vertex 2.
+        let g = GraphDataset::from_edges(3, &[(0, 1, 5.0), (0, 2, 1.0), (2, 1, 1.0)]);
+        assert_eq!(g.distance(0, 1), 2.0);
+    }
+
+    #[test]
+    fn disconnected_vertices_are_at_infinite_distance() {
+        let g = GraphDataset::from_unweighted_edges(3, &[(0, 1)]);
+        assert_eq!(g.distance(0, 1), 1.0);
+        assert!(g.distance(0, 2).is_infinite());
+    }
+
+    #[test]
+    fn grid_distance_equals_l1_distance_between_coordinates() {
+        let side = 5;
+        let g = GraphDataset::grid_2d(side);
+        for r1 in 0..side {
+            for c1 in 0..side {
+                for r2 in 0..side {
+                    for c2 in 0..side {
+                        let u = r1 * side + c1;
+                        let v = r2 * side + c2;
+                        let expect = (r1.abs_diff(r2) + c1.abs_diff(c2)) as f64;
+                        assert_eq!(g.distance(u, v), expect);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metric_view_satisfies_symmetry_and_triangle() {
+        let g = GraphDataset::grid_2d(4);
+        let m = g.metric();
+        for a in 0..g.num_vertices() {
+            for b in 0..g.num_vertices() {
+                assert_eq!(m.dist(&a, &b), m.dist(&b, &a));
+                for c in 0..g.num_vertices() {
+                    assert!(m.dist(&a, &c) <= m.dist(&a, &b) + m.dist(&b, &c) + 1e-12);
+                }
+            }
+        }
+        assert_eq!(m.name(), "shortest-path");
+    }
+
+    #[test]
+    fn dataset_impl_exposes_vertex_ids() {
+        let g = GraphDataset::grid_2d(3);
+        assert_eq!(Dataset::len(&g), 9);
+        assert_eq!(*Dataset::get(&g, 7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_rejected() {
+        let _ = GraphDataset::from_unweighted_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let _ = GraphDataset::from_edges(2, &[(0, 1, -1.0)]);
+    }
+}

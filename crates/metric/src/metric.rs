@@ -1,0 +1,96 @@
+//! The [`Metric`] trait: a distance function over items of some type.
+
+/// Distances throughout the library are `f64`.
+///
+/// Vector components are stored as `f32` (see
+/// [`VectorSet`](crate::VectorSet)), but distances are accumulated and
+/// reported in double precision so triangle-inequality reasoning (pruning
+/// rules, radius bookkeeping, theory validation) is robust to rounding.
+pub type Dist = f64;
+
+/// A metric `ρ(·,·)` over items of type `T`.
+///
+/// Implementations must satisfy the metric axioms on the items they will be
+/// used with:
+///
+/// 1. `ρ(a, b) ≥ 0` (non-negativity),
+/// 2. `ρ(a, a) = 0` (identity of indiscernibles, at least the forward
+///    direction — pseudometrics where distinct items may be at distance zero
+///    are acceptable to the search algorithms),
+/// 3. `ρ(a, b) = ρ(b, a)` (symmetry),
+/// 4. `ρ(a, c) ≤ ρ(a, b) + ρ(b, c)` (triangle inequality).
+///
+/// The exact RBC search algorithm relies on axioms 3 and 4 for correctness
+/// of its pruning rules; the one-shot algorithm relies on them only through
+/// its probabilistic analysis. Use
+/// [`check_metric_axioms`](crate::check_metric_axioms) to sanity-check a new
+/// metric against sampled triples.
+///
+/// Metrics must be [`Sync`] because the brute-force primitive evaluates them
+/// from many worker threads concurrently.
+pub trait Metric<T: ?Sized>: Sync {
+    /// Computes the distance between `a` and `b`.
+    fn dist(&self, a: &T, b: &T) -> Dist;
+
+    /// Computes a *lower bound* on the distance between `a` and `b` that is
+    /// cheap to evaluate.
+    ///
+    /// The default returns `0.0`, which is always valid. Metrics with an
+    /// inexpensive bound (e.g. the difference of cached norms for `ℓ2`) can
+    /// override this; the brute-force primitive consults it before paying
+    /// for a full distance evaluation when a pruning threshold is active.
+    #[inline]
+    fn dist_lower_bound(&self, _a: &T, _b: &T) -> Dist {
+        0.0
+    }
+
+    /// A short human-readable name for reports and benchmark labels.
+    fn name(&self) -> &'static str {
+        "metric"
+    }
+}
+
+impl<T: ?Sized, M: Metric<T>> Metric<T> for &M {
+    #[inline]
+    fn dist(&self, a: &T, b: &T) -> Dist {
+        (**self).dist(a, b)
+    }
+
+    #[inline]
+    fn dist_lower_bound(&self, a: &T, b: &T) -> Dist {
+        (**self).dist_lower_bound(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::Euclidean;
+
+    #[test]
+    fn metric_is_object_usable_through_reference() {
+        let m = Euclidean;
+        let r = &m;
+        let a = [0.0f32, 0.0];
+        let b = [3.0f32, 4.0];
+        assert_eq!(Metric::<[f32]>::dist(&r, &a[..], &b[..]), 5.0);
+        assert_eq!(Metric::<[f32]>::name(&r), "euclidean");
+    }
+
+    #[test]
+    fn default_lower_bound_is_zero() {
+        struct Trivial;
+        impl Metric<[f32]> for Trivial {
+            fn dist(&self, _a: &[f32], _b: &[f32]) -> Dist {
+                1.0
+            }
+        }
+        let t = Trivial;
+        assert_eq!(t.dist_lower_bound(&[1.0][..], &[2.0][..]), 0.0);
+        assert_eq!(t.name(), "metric");
+    }
+}

@@ -1,0 +1,287 @@
+//! Sampled validation of the metric axioms.
+//!
+//! The exact RBC search algorithm is only correct when `ρ` really is a
+//! metric (its pruning rules are consequences of the triangle inequality).
+//! [`check_metric_axioms`] probes a metric against every triple drawn from a
+//! small sample of a dataset and reports the first violation found, which
+//! the test-suites of the other crates use to guard each shipped metric and
+//! which users can run against their own metrics before indexing.
+
+use crate::dataset::Dataset;
+use crate::metric::{Dist, Metric};
+
+/// A detected violation of the metric axioms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricViolation {
+    /// `ρ(a, b) < 0` or not finite for the given item indices.
+    NotNonNegative {
+        /// Index of the first item.
+        a: usize,
+        /// Index of the second item.
+        b: usize,
+        /// Offending distance value.
+        value: Dist,
+    },
+    /// `ρ(a, a) != 0`.
+    NonZeroSelfDistance {
+        /// Index of the item.
+        a: usize,
+        /// Offending distance value.
+        value: Dist,
+    },
+    /// `ρ(a, b) != ρ(b, a)` beyond tolerance.
+    Asymmetric {
+        /// Index of the first item.
+        a: usize,
+        /// Index of the second item.
+        b: usize,
+        /// Forward distance.
+        forward: Dist,
+        /// Backward distance.
+        backward: Dist,
+    },
+    /// `ρ(a, c) > ρ(a, b) + ρ(b, c)` beyond tolerance.
+    TriangleInequality {
+        /// Index of the first item.
+        a: usize,
+        /// Index of the intermediate item.
+        b: usize,
+        /// Index of the third item.
+        c: usize,
+        /// Direct distance `ρ(a, c)`.
+        direct: Dist,
+        /// Detour distance `ρ(a, b) + ρ(b, c)`.
+        detour: Dist,
+    },
+    /// The claimed cheap lower bound exceeded the true distance.
+    LowerBoundExceedsDistance {
+        /// Index of the first item.
+        a: usize,
+        /// Index of the second item.
+        b: usize,
+        /// Reported lower bound.
+        bound: Dist,
+        /// True distance.
+        value: Dist,
+    },
+}
+
+impl std::fmt::Display for MetricViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricViolation::NotNonNegative { a, b, value } => {
+                write!(f, "ρ(x{a}, x{b}) = {value} is negative or not finite")
+            }
+            MetricViolation::NonZeroSelfDistance { a, value } => {
+                write!(f, "ρ(x{a}, x{a}) = {value} but self-distance must be 0")
+            }
+            MetricViolation::Asymmetric {
+                a,
+                b,
+                forward,
+                backward,
+            } => write!(f, "ρ(x{a}, x{b}) = {forward} but ρ(x{b}, x{a}) = {backward}"),
+            MetricViolation::TriangleInequality {
+                a,
+                b,
+                c,
+                direct,
+                detour,
+            } => write!(
+                f,
+                "ρ(x{a}, x{c}) = {direct} exceeds ρ(x{a}, x{b}) + ρ(x{b}, x{c}) = {detour}"
+            ),
+            MetricViolation::LowerBoundExceedsDistance { a, b, bound, value } => write!(
+                f,
+                "dist_lower_bound(x{a}, x{b}) = {bound} exceeds true distance {value}"
+            ),
+        }
+    }
+}
+
+/// Checks the metric axioms on the first `sample` items of `data` (all
+/// items if `sample >= data.len()`), using `tol` as the absolute tolerance
+/// for floating-point comparisons.
+///
+/// Every ordered triple of sampled items is examined, so the cost is
+/// `O(sample^3)` distance evaluations; keep `sample` modest (the defaults in
+/// the test-suites use 16–32).
+///
+/// Returns `Ok(())` if no violation was found, otherwise the first
+/// violation encountered.
+pub fn check_metric_axioms<D, M>(
+    data: &D,
+    metric: &M,
+    sample: usize,
+    tol: Dist,
+) -> Result<(), MetricViolation>
+where
+    D: Dataset,
+    M: Metric<D::Item>,
+{
+    let n = data.len().min(sample);
+
+    // Pass 1: pairwise properties.
+    for a in 0..n {
+        let self_d = metric.dist(data.get(a), data.get(a));
+        if self_d.abs() > tol {
+            return Err(MetricViolation::NonZeroSelfDistance { a, value: self_d });
+        }
+        for b in 0..n {
+            let d = metric.dist(data.get(a), data.get(b));
+            if !(d >= 0.0) || !d.is_finite() {
+                return Err(MetricViolation::NotNonNegative { a, b, value: d });
+            }
+            let back = metric.dist(data.get(b), data.get(a));
+            if (d - back).abs() > tol {
+                return Err(MetricViolation::Asymmetric {
+                    a,
+                    b,
+                    forward: d,
+                    backward: back,
+                });
+            }
+            let lb = metric.dist_lower_bound(data.get(a), data.get(b));
+            if lb > d + tol {
+                return Err(MetricViolation::LowerBoundExceedsDistance {
+                    a,
+                    b,
+                    bound: lb,
+                    value: d,
+                });
+            }
+        }
+    }
+
+    // Pass 2: triangle inequality over all triples.
+    for a in 0..n {
+        for b in 0..n {
+            let ab = metric.dist(data.get(a), data.get(b));
+            for c in 0..n {
+                let bc = metric.dist(data.get(b), data.get(c));
+                let ac = metric.dist(data.get(a), data.get(c));
+                if ac > ab + bc + tol {
+                    return Err(MetricViolation::TriangleInequality {
+                        a,
+                        b,
+                        c,
+                        direct: ac,
+                        detour: ab + bc,
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::VectorSet;
+    use crate::vector::{Cosine, Euclidean, Manhattan, SquaredEuclidean};
+
+    fn sample_points() -> VectorSet {
+        // A deterministic but irregular cloud of 20 points in R^3.
+        let mut rows = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..20 {
+            let mut coords = [0.0f32; 3];
+            for c in coords.iter_mut() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *c = ((state >> 33) as f32 / u32::MAX as f32) * 10.0 - 5.0;
+            }
+            rows.push(coords);
+        }
+        VectorSet::from_rows(&rows)
+    }
+
+    #[test]
+    fn shipped_vector_metrics_pass() {
+        let pts = sample_points();
+        check_metric_axioms(&pts, &Euclidean, 20, 1e-6).unwrap();
+        check_metric_axioms(&pts, &Manhattan, 20, 1e-6).unwrap();
+        check_metric_axioms(&pts, &Cosine, 20, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn squared_euclidean_fails_triangle_inequality() {
+        // Three collinear points: 0, 1, 2 on a line. Squared distances are
+        // 1, 1 and 4, so 4 > 1 + 1 — the checker must flag it.
+        let pts = VectorSet::from_rows(&[[0.0f32], [1.0], [2.0]]);
+        let err = check_metric_axioms(&pts, &SquaredEuclidean, 3, 1e-9).unwrap_err();
+        assert!(matches!(err, MetricViolation::TriangleInequality { .. }));
+        // the Display impl should render without panicking
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn asymmetric_function_is_flagged() {
+        struct Skewed;
+        impl Metric<[f32]> for Skewed {
+            fn dist(&self, a: &[f32], b: &[f32]) -> Dist {
+                if a[0] < b[0] {
+                    (b[0] - a[0]) as Dist
+                } else {
+                    2.0 * (a[0] - b[0]) as Dist
+                }
+            }
+        }
+        let pts = VectorSet::from_rows(&[[0.0f32], [1.0]]);
+        let err = check_metric_axioms(&pts, &Skewed, 2, 1e-9).unwrap_err();
+        assert!(matches!(err, MetricViolation::Asymmetric { .. }));
+    }
+
+    #[test]
+    fn nonzero_self_distance_is_flagged() {
+        struct Shifted;
+        impl Metric<[f32]> for Shifted {
+            fn dist(&self, a: &[f32], b: &[f32]) -> Dist {
+                ((a[0] - b[0]).abs() + 1.0) as Dist
+            }
+        }
+        let pts = VectorSet::from_rows(&[[0.0f32], [1.0]]);
+        let err = check_metric_axioms(&pts, &Shifted, 2, 1e-9).unwrap_err();
+        assert!(matches!(err, MetricViolation::NonZeroSelfDistance { .. }));
+    }
+
+    #[test]
+    fn bad_lower_bound_is_flagged() {
+        struct Overclaiming;
+        impl Metric<[f32]> for Overclaiming {
+            fn dist(&self, a: &[f32], b: &[f32]) -> Dist {
+                Euclidean.dist(a, b)
+            }
+            fn dist_lower_bound(&self, _a: &[f32], _b: &[f32]) -> Dist {
+                1e9
+            }
+        }
+        let pts = VectorSet::from_rows(&[[0.0f32], [1.0]]);
+        let err = check_metric_axioms(&pts, &Overclaiming, 2, 1e-9).unwrap_err();
+        assert!(matches!(err, MetricViolation::LowerBoundExceedsDistance { .. }));
+    }
+
+    #[test]
+    fn negative_distance_is_flagged() {
+        struct Negative;
+        impl Metric<[f32]> for Negative {
+            fn dist(&self, a: &[f32], b: &[f32]) -> Dist {
+                if a[0] == b[0] {
+                    0.0
+                } else {
+                    -1.0
+                }
+            }
+        }
+        let pts = VectorSet::from_rows(&[[0.0f32], [1.0]]);
+        let err = check_metric_axioms(&pts, &Negative, 2, 1e-9).unwrap_err();
+        assert!(matches!(err, MetricViolation::NotNonNegative { .. }));
+    }
+
+    #[test]
+    fn sample_larger_than_dataset_is_clamped() {
+        let pts = VectorSet::from_rows(&[[0.0f32], [1.0]]);
+        check_metric_axioms(&pts, &Euclidean, 1000, 1e-9).unwrap();
+    }
+}

@@ -1,0 +1,95 @@
+//! Image-descriptor similarity search — the TinyIm scenario from the
+//! paper's evaluation.
+//!
+//! The paper motivates NN search with computer-vision workloads: the Tiny
+//! Images collection provides millions of image descriptors, reduced to a
+//! handful of dimensions by random projection, and queries must return
+//! visually similar images quickly. This example walks that pipeline end
+//! to end on synthetic image patches:
+//!
+//! 1. generate natural-image-like patches,
+//! 2. reduce them to 16 dimensions with a Johnson–Lindenstrauss random
+//!    projection,
+//! 3. index them with the one-shot RBC (the algorithm Table 2 runs on the
+//!    GPU),
+//! 4. answer top-5 similarity queries and report recall against exact
+//!    search.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example image_search
+//! ```
+
+use std::time::Instant;
+
+use rbc::prelude::*;
+use rbc::data::{tiny_image_patches, RandomProjection};
+
+fn main() {
+    let n_images = 30_000;
+    let patch_side = 16; // 256-pixel patches
+    let target_dim = 16;
+    let k = 5;
+
+    println!("synthesising {n_images} image patches ({patch_side}x{patch_side}) ...");
+    let patches = tiny_image_patches(n_images, patch_side, 6, 11);
+    let query_patches = tiny_image_patches(200, patch_side, 6, 12);
+
+    println!("projecting {}-d pixel descriptors down to {target_dim}-d ...", patch_side * patch_side);
+    let projection = RandomProjection::new(patch_side * patch_side, target_dim, 13);
+    let database = projection.project(&patches);
+    let queries = projection.project(&query_patches);
+
+    // Ground truth from the brute-force primitive.
+    let bf = BruteForce::new();
+    let start = Instant::now();
+    let (truth, _) = bf.knn(&queries, &database, &Euclidean, k);
+    println!(
+        "brute-force top-{k}: {:.1} ms for {} queries",
+        start.elapsed().as_secs_f64() * 1e3,
+        queries.len()
+    );
+
+    // One-shot RBC tuned for high recall (generous representative count).
+    let nr = ((database.len() as f64).sqrt() * 4.0) as usize;
+    let params = RbcParams::standard(database.len(), 7)
+        .with_n_reps(nr)
+        .with_list_size(nr);
+    let start = Instant::now();
+    let index = OneShotRbc::build(&database, Euclidean, params, RbcConfig::default());
+    println!(
+        "one-shot build    : {:.1} ms ({} representatives, {} list entries)",
+        start.elapsed().as_secs_f64() * 1e3,
+        index.num_reps(),
+        index.total_list_entries()
+    );
+
+    let start = Instant::now();
+    let (results, stats) = index.query_batch_k(&queries, k);
+    let query_time = start.elapsed();
+
+    // Recall@k against the exact top-k sets.
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (got, want) in results.iter().zip(truth.iter()) {
+        for w in want {
+            total += 1;
+            if got.iter().any(|g| g.index == w.index) {
+                hits += 1;
+            }
+        }
+    }
+    println!(
+        "one-shot top-{k}   : {:.1} ms, recall@{k} = {:.1}%, {:.0} distance evals/query (vs {} for brute force)",
+        query_time.as_secs_f64() * 1e3,
+        100.0 * hits as f64 / total as f64,
+        stats.evals_per_query(),
+        database.len()
+    );
+
+    // Show one query's neighbors, the way an image-search UI would.
+    println!("\nsample query 0 -> nearest images (index, distance):");
+    for neighbor in &results[0] {
+        println!("  #{:>6}  d = {:.4}", neighbor.index, neighbor.dist);
+    }
+}

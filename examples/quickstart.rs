@@ -1,0 +1,86 @@
+//! Quickstart: index a synthetic point cloud and compare the three ways of
+//! answering nearest-neighbor queries that the paper discusses — parallel
+//! brute force, the exact RBC, and the one-shot RBC.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::time::Instant;
+
+use rbc::prelude::*;
+
+fn main() {
+    // A database with low intrinsic dimension (3) embedded in 24 ambient
+    // dimensions — the regime the RBC is designed for.
+    let n = 20_000;
+    println!("generating {n} database points and 500 queries ...");
+    let database = rbc::data::low_dim_manifold(n, 3, 24, 0.01, 1);
+    let queries = rbc::data::low_dim_manifold(500, 3, 24, 0.01, 2);
+
+    // 1. Parallel brute force: the baseline every speedup is measured
+    //    against.
+    let bf = BruteForce::new();
+    let start = Instant::now();
+    let (truth, bf_stats) = bf.nn(&queries, &database, &Euclidean);
+    let bf_time = start.elapsed();
+    println!(
+        "brute force      : {:>8.1} ms, {:>12} distance evals",
+        bf_time.as_secs_f64() * 1e3,
+        bf_stats.distance_evals
+    );
+
+    // 2. The exact RBC: same answers, a fraction of the work.
+    let params = RbcParams::standard(database.len(), 42);
+    let start = Instant::now();
+    let exact = ExactRbc::build(&database, Euclidean, params.clone(), RbcConfig::default());
+    let build_time = start.elapsed();
+    let start = Instant::now();
+    let (exact_answers, exact_stats) = exact.query_batch(&queries);
+    let exact_time = start.elapsed();
+    let agree = exact_answers
+        .iter()
+        .zip(&truth)
+        .filter(|(a, b)| (a.dist - b.dist).abs() < 1e-9)
+        .count();
+    println!(
+        "exact RBC        : {:>8.1} ms, {:>12} distance evals (build {:.1} ms, {} reps, {}/{} answers agree with brute force)",
+        exact_time.as_secs_f64() * 1e3,
+        exact_stats.total_distance_evals(),
+        build_time.as_secs_f64() * 1e3,
+        exact.num_reps(),
+        agree,
+        truth.len()
+    );
+
+    // 3. The one-shot RBC: even less work, with a small probability of
+    //    returning a near-neighbor instead of the exact one.
+    let start = Instant::now();
+    let one_shot = OneShotRbc::build(&database, Euclidean, params, RbcConfig::default());
+    let os_build = start.elapsed();
+    let start = Instant::now();
+    let (os_answers, os_stats) = one_shot.query_batch(&queries);
+    let os_time = start.elapsed();
+    let recall = os_answers
+        .iter()
+        .zip(&truth)
+        .filter(|(a, b)| a.index == b.index)
+        .count() as f64
+        / truth.len() as f64;
+    let mean_rank = rbc::core::mean_rank(&database, &Euclidean, &queries, &os_answers);
+    println!(
+        "one-shot RBC     : {:>8.1} ms, {:>12} distance evals (build {:.1} ms, recall {:.1}%, mean rank {:.2})",
+        os_time.as_secs_f64() * 1e3,
+        os_stats.total_distance_evals(),
+        os_build.as_secs_f64() * 1e3,
+        recall * 100.0,
+        mean_rank
+    );
+
+    println!(
+        "\nwork reduction   : exact {:.1}x, one-shot {:.1}x (relative to brute force)",
+        bf_stats.distance_evals as f64 / exact_stats.total_distance_evals() as f64,
+        bf_stats.distance_evals as f64 / os_stats.total_distance_evals() as f64,
+    );
+}

@@ -1,0 +1,107 @@
+//! Robot inverse-dynamics lookup — the Robot scenario from the paper's
+//! evaluation.
+//!
+//! The Robot dataset in Table 1 comes from a Barrett WAM arm and is used
+//! for learning inverse dynamics: given the arm's current state (joint
+//! angles, velocities, torque-like features), predict the command by
+//! looking at what happened in the most similar previously seen states —
+//! a k-NN regression in a 21-dimensional state space that must run inside
+//! a control loop, i.e. with a strict per-query latency budget.
+//!
+//! This example simulates that pipeline: build an exact RBC over a large
+//! archive of simulated arm states, then stream control-loop queries
+//! through it one at a time (the paper's "single query" regime, where the
+//! brute-force primitive parallelises over the database instead of over
+//! queries) and report latency percentiles and work.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example robot_policy
+//! ```
+
+use std::time::Instant;
+
+use rbc::prelude::*;
+use rbc::data::robot_arm_trajectories;
+
+fn main() {
+    let archive_size = 50_000;
+    let control_steps = 300;
+    let k = 8; // neighbors used for the local regression
+
+    println!("simulating an archive of {archive_size} arm states (7 joints, 21 features) ...");
+    let archive = robot_arm_trajectories(archive_size, 7, 3);
+    let incoming = robot_arm_trajectories(control_steps, 7, 4);
+
+    println!("building the exact RBC index ...");
+    let start = Instant::now();
+    let index = ExactRbc::build(
+        &archive,
+        Euclidean,
+        RbcParams::standard(archive.len(), 99),
+        RbcConfig::default(),
+    );
+    println!(
+        "  built in {:.1} ms with {} representatives",
+        start.elapsed().as_secs_f64() * 1e3,
+        index.num_reps()
+    );
+
+    // Stream the control loop: one query at a time, measure per-query
+    // latency and work, and do a toy regression (average the neighbors'
+    // torque features) to show how the answers get used.
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(control_steps);
+    let mut evals_per_query: Vec<u64> = Vec::with_capacity(control_steps);
+    let mut predicted_torque_norm = 0.0f64;
+
+    for step in 0..incoming.len() {
+        let state = incoming.point(step);
+        let start = Instant::now();
+        let (neighbors, stats) = index.query_k(state, k);
+        latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+        evals_per_query.push(stats.total_distance_evals());
+
+        // k-NN regression over the torque-like features (every third
+        // coordinate starting at index 2).
+        let mut torque = vec![0.0f64; 7];
+        for n in &neighbors {
+            let row = archive.point(n.index);
+            for j in 0..7 {
+                torque[j] += row[j * 3 + 2] as f64 / neighbors.len() as f64;
+            }
+        }
+        predicted_torque_norm += torque.iter().map(|t| t * t).sum::<f64>().sqrt();
+    }
+
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p) as usize];
+    let mean_evals = evals_per_query.iter().sum::<u64>() as f64 / evals_per_query.len() as f64;
+
+    println!("\ncontrol-loop results over {control_steps} steps:");
+    println!("  latency  p50 = {:.0} us, p95 = {:.0} us, p99 = {:.0} us", pct(0.5), pct(0.95), pct(0.99));
+    println!(
+        "  work     {:.0} distance evals/query (brute force would need {})",
+        mean_evals,
+        archive.len()
+    );
+    println!(
+        "  sanity   mean predicted torque norm = {:.3}",
+        predicted_torque_norm / control_steps as f64
+    );
+
+    // Exactness spot check against brute force on a few steps.
+    let bf = BruteForce::new();
+    let mut agree = 0;
+    for step in (0..incoming.len()).step_by(50) {
+        let (truth, _) = bf.knn_single(incoming.point(step), &archive, &Euclidean, k);
+        let (got, _) = index.query_k(incoming.point(step), k);
+        if truth
+            .iter()
+            .zip(&got)
+            .all(|(a, b)| (a.dist - b.dist).abs() < 1e-9)
+        {
+            agree += 1;
+        }
+    }
+    println!("  checked  {agree}/{} sampled steps agree exactly with brute force", (incoming.len() + 49) / 50);
+}
