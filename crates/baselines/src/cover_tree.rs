@@ -168,8 +168,11 @@ where
                 let child_ids = self.nodes[node_id].children.clone();
                 for child_id in child_ids {
                     if self.nodes[child_id].level == level - 1 {
-                        let dc =
-                            self.dist_to(&mut evals, self.db.get(point), self.nodes[child_id].point);
+                        let dc = self.dist_to(
+                            &mut evals,
+                            self.db.get(point),
+                            self.nodes[child_id].point,
+                        );
                         next.push((child_id, dc));
                     }
                 }
@@ -266,7 +269,7 @@ where
                 Dist::INFINITY
             };
             next.retain(|&(_, d)| d <= bound);
-            next.sort_by(|a, b| a.0.cmp(&b.0));
+            next.sort_by_key(|a| a.0);
             next.dedup_by_key(|e| e.0);
             cover = next;
             level -= 1;

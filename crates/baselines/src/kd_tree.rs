@@ -50,7 +50,10 @@ impl<'a> KdTree<'a> {
     /// # Panics
     /// Panics if `db` is empty or `leaf_size` is zero.
     pub fn build_with_leaf_size(db: &'a VectorSet, leaf_size: usize) -> Self {
-        assert!(db.len() > 0, "cannot build a kd-tree over an empty database");
+        assert!(
+            !db.is_empty(),
+            "cannot build a kd-tree over an empty database"
+        );
         assert!(leaf_size > 0, "leaf size must be positive");
         let mut tree = Self {
             db,
@@ -71,7 +74,9 @@ impl<'a> KdTree<'a> {
         // Split on the dimension with the largest spread among a default
         // round-robin fallback; spread-based splitting keeps the tree useful
         // when some coordinates are (near-)constant.
-        let dim = self.widest_dimension(&points).unwrap_or(depth % self.db.dim());
+        let dim = self
+            .widest_dimension(&points)
+            .unwrap_or(depth % self.db.dim());
         points.sort_by(|&a, &b| {
             self.db.point(a)[dim]
                 .partial_cmp(&self.db.point(b)[dim])
@@ -111,7 +116,7 @@ impl<'a> KdTree<'a> {
                 hi = hi.max(v);
             }
             let spread = hi - lo;
-            if best.map_or(true, |(_, s)| spread > s) {
+            if best.is_none_or(|(_, s)| spread > s) {
                 best = Some((dim, spread));
             }
         }
@@ -272,7 +277,9 @@ mod tests {
     #[test]
     fn constant_coordinates_are_handled() {
         // Dimension 1 is constant; splitting must fall back gracefully.
-        let rows: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32, 7.0, (i % 10) as f32]).collect();
+        let rows: Vec<Vec<f32>> = (0..100)
+            .map(|i| vec![i as f32, 7.0, (i % 10) as f32])
+            .collect();
         let db = VectorSet::from_rows(&rows);
         let kd = KdTree::build(&db);
         let q = [50.2f32, 7.0, 0.0];
@@ -299,7 +306,9 @@ mod tests {
         let kd = KdTree::build(&db);
         let (results, total) = kd.query_batch_k(&queries, 2);
         assert_eq!(results.len(), 15);
-        let manual: u64 = (0..queries.len()).map(|qi| kd.query_k(queries.point(qi), 2).1).sum();
+        let manual: u64 = (0..queries.len())
+            .map(|qi| kd.query_k(queries.point(qi), 2).1)
+            .sum();
         assert_eq!(total, manual);
     }
 

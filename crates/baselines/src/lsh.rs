@@ -128,10 +128,20 @@ impl<'a> LshIndex<'a> {
     /// # Panics
     /// Panics if the database is empty.
     pub fn build(db: &'a VectorSet, params: LshParams) -> Self {
-        assert!(db.len() > 0, "cannot build an LSH index over an empty database");
+        assert!(
+            !db.is_empty(),
+            "cannot build an LSH index over an empty database"
+        );
         let mut rng = StdRng::seed_from_u64(params.seed);
         let families: Vec<HashFamily> = (0..params.tables)
-            .map(|_| HashFamily::sample(params.hashes_per_table, db.dim(), params.bucket_width, &mut rng))
+            .map(|_| {
+                HashFamily::sample(
+                    params.hashes_per_table,
+                    db.dim(),
+                    params.bucket_width,
+                    &mut rng,
+                )
+            })
             .collect();
         let mut tables: Vec<HashMap<Vec<i64>, Vec<usize>>> =
             (0..params.tables).map(|_| HashMap::new()).collect();
@@ -302,7 +312,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 90, "LSH recall too low on easy data: {correct}/100");
+        assert!(
+            correct >= 90,
+            "LSH recall too low on easy data: {correct}/100"
+        );
         // and it must actually be doing sub-linear candidate work
         assert!(total_candidates < (queries.len() * db.len()) as u64 / 2);
     }
@@ -326,7 +339,9 @@ mod tests {
         let recall = |tables: usize| -> usize {
             let lsh = LshIndex::build(
                 &db,
-                LshParams::default().with_tables(tables).with_bucket_width(1.0),
+                LshParams::default()
+                    .with_tables(tables)
+                    .with_bucket_width(1.0),
             );
             (0..queries.len())
                 .filter(|&qi| {

@@ -57,7 +57,10 @@ where
     /// # Panics
     /// Panics if `db` is empty or `leaf_size` is zero.
     pub fn build_with_leaf_size(db: D, metric: M, leaf_size: usize) -> Self {
-        assert!(db.len() > 0, "cannot build a vp-tree over an empty database");
+        assert!(
+            db.len() > 0,
+            "cannot build a vp-tree over an empty database"
+        );
         assert!(leaf_size > 0, "leaf size must be positive");
         let mut tree = Self {
             db,
@@ -92,7 +95,10 @@ where
         let median_pos = with_dist.len() / 2;
         let threshold = with_dist[median_pos].1;
         let inside: Vec<usize> = with_dist[..=median_pos].iter().map(|&(i, _)| i).collect();
-        let outside: Vec<usize> = with_dist[median_pos + 1..].iter().map(|&(i, _)| i).collect();
+        let outside: Vec<usize> = with_dist[median_pos + 1..]
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
 
         if outside.is_empty() {
             // All remaining points are at the same distance; avoid an
@@ -287,7 +293,10 @@ mod tests {
         let mut rows = Vec::new();
         for c in 0..10 {
             for j in 0..100 {
-                rows.push(vec![c as f32 * 100.0 + (j % 7) as f32 * 0.01, (j % 5) as f32 * 0.01]);
+                rows.push(vec![
+                    c as f32 * 100.0 + (j % 7) as f32 * 0.01,
+                    (j % 5) as f32 * 0.01,
+                ]);
             }
         }
         let db = VectorSet::from_rows(&rows);
@@ -320,7 +329,9 @@ mod tests {
         let vp = VpTree::build(&db, Euclidean);
         let (results, total) = vp.query_batch_k(&queries, 2);
         assert_eq!(results.len(), 12);
-        let manual: u64 = (0..queries.len()).map(|qi| vp.query_k(queries.point(qi), 2).1).sum();
+        let manual: u64 = (0..queries.len())
+            .map(|qi| vp.query_k(queries.point(qi), 2).1)
+            .sum();
         assert_eq!(total, manual);
     }
 

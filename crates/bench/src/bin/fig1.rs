@@ -43,7 +43,13 @@ fn main() {
 
         let mut table = Table::new(
             format!("Figure 1 [{}]: n = {}, dim = {}", spec.name, n, spec.dim),
-            &["nr = s", "mean rank", "work speedup", "time speedup", "evals/query"],
+            &[
+                "nr = s",
+                "mean rank",
+                "work speedup",
+                "time speedup",
+                "evals/query",
+            ],
         );
         for &mult in SWEEP {
             let nr = ((n as f64).sqrt() * mult).ceil().max(1.0) as usize;

@@ -32,7 +32,9 @@ fn main() {
 
     let mut table = Table::new(
         "Table 1: datasets",
-        &["name", "num pts", "(paper)", "dim", "queries", "c (q90)", "log2 c"],
+        &[
+            "name", "num pts", "(paper)", "dim", "queries", "c (q90)", "log2 c",
+        ],
     );
     let mut records = Vec::new();
 

@@ -12,8 +12,8 @@
 
 use serde::Serialize;
 
-use rbc_bench::{measure::one_shot_stage_profile, BenchOptions, PreparedWorkload, Table};
 use rbc_bench::{brute_force_batch, one_shot_batch};
+use rbc_bench::{measure::one_shot_stage_profile, BenchOptions, PreparedWorkload, Table};
 use rbc_bruteforce::BfConfig;
 use rbc_core::{RbcConfig, RbcParams};
 use rbc_device::SimtDevice;
@@ -55,7 +55,15 @@ fn main() {
 
     let mut table = Table::new(
         "Table 2: GPU (modeled) speedup of one-shot RBC over brute force",
-        &["dataset", "n", "dim", "nr=s", "rank err", "modeled speedup", "paper"],
+        &[
+            "dataset",
+            "n",
+            "dim",
+            "nr=s",
+            "rank err",
+            "modeled speedup",
+            "paper",
+        ],
     );
     let mut records = Vec::new();
 

@@ -41,7 +41,15 @@ fn main() {
 
     let mut table = Table::new(
         "Table 3: total query time in seconds",
-        &["dataset", "n", "queries", "Cover Tree [s]", "RBC [s]", "CT evals/q", "RBC evals/q"],
+        &[
+            "dataset",
+            "n",
+            "queries",
+            "Cover Tree [s]",
+            "RBC [s]",
+            "CT evals/q",
+            "RBC evals/q",
+        ],
     );
     let mut records = Vec::new();
 
@@ -51,7 +59,8 @@ fn main() {
         let nq = workload.queries.len();
 
         // Cover Tree: built and queried on a single core, per the paper.
-        let (ct, ct_build_time) = single.run_timed(|| CoverTree::build(&workload.database, Euclidean));
+        let (ct, ct_build_time) =
+            single.run_timed(|| CoverTree::build(&workload.database, Euclidean));
         let ((_ct_answers, ct_evals), ct_query_time) =
             single.run_timed(|| ct.query_batch_k(&workload.queries, 1));
 

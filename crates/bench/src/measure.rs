@@ -101,7 +101,12 @@ impl BatchMeasurement {
 
     /// Mean rank error of the answers against the true neighbors.
     pub fn mean_rank_error(&self, workload: &PreparedWorkload) -> f64 {
-        mean_rank(&workload.database, &Euclidean, &workload.queries, &self.answers)
+        mean_rank(
+            &workload.database,
+            &Euclidean,
+            &workload.queries,
+            &self.answers,
+        )
     }
 }
 

@@ -38,24 +38,34 @@ impl BenchOptions {
             match arg.as_str() {
                 "--scale" => {
                     let v = it.next().unwrap_or_else(|| usage("--scale needs a value"));
-                    opts.scale = v.parse().unwrap_or_else(|_| usage("--scale must be a number"));
+                    opts.scale = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--scale must be a number"));
                     assert!(opts.scale > 0.0, "--scale must be positive");
                 }
                 "--queries" => {
-                    let v = it.next().unwrap_or_else(|| usage("--queries needs a value"));
-                    opts.max_queries =
-                        Some(v.parse().unwrap_or_else(|_| usage("--queries must be an integer")));
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| usage("--queries needs a value"));
+                    opts.max_queries = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| usage("--queries must be an integer")),
+                    );
                 }
                 "--all-queries" => {
                     opts.max_queries = None;
                 }
                 "--datasets" => {
-                    let v = it.next().unwrap_or_else(|| usage("--datasets needs a value"));
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| usage("--datasets needs a value"));
                     opts.datasets = v.split(',').map(|s| s.trim().to_string()).collect();
                 }
                 "--seed" => {
                     let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
-                    opts.seed = v.parse().unwrap_or_else(|_| usage("--seed must be an integer"));
+                    opts.seed = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--seed must be an integer"));
                 }
                 "--help" | "-h" => {
                     usage("");
@@ -118,7 +128,14 @@ mod tests {
 
     #[test]
     fn parses_scale_queries_and_datasets() {
-        let opts = parse(&["--scale", "0.01", "--queries", "50", "--datasets", "bio,tiny16"]);
+        let opts = parse(&[
+            "--scale",
+            "0.01",
+            "--queries",
+            "50",
+            "--datasets",
+            "bio,tiny16",
+        ]);
         assert_eq!(opts.scale, 0.01);
         assert_eq!(opts.max_queries, Some(50));
         assert_eq!(opts.datasets, vec!["bio".to_string(), "tiny16".to_string()]);

@@ -386,9 +386,7 @@ impl BruteForce {
                             None => (pos, db.get(pos)),
                         };
                         let threshold = collector.threshold();
-                        if threshold.is_finite()
-                            && metric.dist_lower_bound(q, item) > threshold
-                        {
+                        if threshold.is_finite() && metric.dist_lower_bound(q, item) > threshold {
                             skips += 1;
                             continue;
                         }
@@ -566,13 +564,13 @@ mod tests {
         let queries = cloud(6, 10, 14);
         let bf = BruteForce::new();
         let (batched, _) = bf.knn(&queries, &db, &Euclidean, 5);
-        for qi in 0..queries.len() {
+        for (qi, batch) in batched.iter().enumerate() {
             let (nn_s, stats) = bf.nn_single(queries.point(qi), &db, &Euclidean);
-            assert_eq!(nn_s.index, batched[qi][0].index);
+            assert_eq!(nn_s.index, batch[0].index);
             assert_eq!(stats.distance_evals, 400);
 
             let (knn_s, _) = bf.knn_single(queries.point(qi), &db, &Euclidean, 5);
-            assert_eq!(knn_s, batched[qi]);
+            assert_eq!(&knn_s, batch);
         }
     }
 
@@ -593,8 +591,8 @@ mod tests {
         let (dists, stats) = bf.distances_single(q.point(0), &db, &Euclidean);
         assert_eq!(dists.len(), 123);
         assert_eq!(stats.distance_evals, 123);
-        for j in 0..db.len() {
-            assert_eq!(dists[j], Euclidean.dist(q.point(0), db.point(j)));
+        for (j, &d) in dists.iter().enumerate() {
+            assert_eq!(d, Euclidean.dist(q.point(0), db.point(j)));
         }
     }
 
@@ -606,16 +604,16 @@ mod tests {
         let radius = 6.0;
         let (hits, stats) = bf.range(&queries, &db, &Euclidean, radius);
         assert_eq!(stats.distance_evals, 8 * 250);
-        for qi in 0..queries.len() {
+        for (qi, query_hits) in hits.iter().enumerate() {
             let q = queries.point(qi);
             let expected: Vec<usize> = (0..db.len())
                 .filter(|&j| Euclidean.dist(q, db.point(j)) <= radius)
                 .collect();
-            let mut got: Vec<usize> = hits[qi].iter().map(|n| n.index).collect();
+            let mut got: Vec<usize> = query_hits.iter().map(|n| n.index).collect();
             got.sort_unstable();
             assert_eq!(got, expected);
             // and results are sorted by distance
-            for w in hits[qi].windows(2) {
+            for w in query_hits.windows(2) {
                 assert!(w[0].dist <= w[1].dist);
             }
         }
@@ -631,7 +629,10 @@ mod tests {
         assert_eq!(stats.distance_evals, 80);
         for qi in 0..4 {
             for j in 0..20 {
-                assert_eq!(m[qi * 20 + j], Euclidean.dist(queries.point(qi), db.point(j)));
+                assert_eq!(
+                    m[qi * 20 + j],
+                    Euclidean.dist(queries.point(qi), db.point(j))
+                );
             }
         }
     }

@@ -88,7 +88,7 @@ proptest! {
         q in prop::collection::vec(-50.0f32..50.0, DIM),
     ) {
         let db = VectorSet::from_rows(&db_rows);
-        let queries = VectorSet::from_rows(&[q.clone()]);
+        let queries = VectorSet::from_rows(std::slice::from_ref(&q));
         let bf = BruteForce::new();
         let (batched, _) = bf.nn(&queries, &db, &Euclidean);
         let (single, _) = bf.nn_single(&q[..], &db, &Euclidean);
@@ -104,7 +104,7 @@ proptest! {
         radius in 0.0f64..100.0,
     ) {
         let db = VectorSet::from_rows(&db_rows);
-        let queries = VectorSet::from_rows(&[q.clone()]);
+        let queries = VectorSet::from_rows(std::slice::from_ref(&q));
         let bf = BruteForce::new();
 
         let (l2_hits, _) = bf.range(&queries, &db, &Euclidean, radius);

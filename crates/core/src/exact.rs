@@ -296,7 +296,10 @@ where
                     }
                 }
                 list_evals += 1;
-                topk.push(Neighbor::new(member, self.metric.dist(query, self.db.get(member))));
+                topk.push(Neighbor::new(
+                    member,
+                    self.metric.dist(query, self.db.get(member)),
+                ));
             }
         }
 
@@ -415,7 +418,11 @@ mod tests {
         );
         let mut owned: Vec<usize> = rbc.lists().iter().flat_map(|l| l.members.clone()).collect();
         owned.sort_unstable();
-        assert_eq!(owned, (0..db.len()).collect::<Vec<_>>(), "lists must partition X");
+        assert_eq!(
+            owned,
+            (0..db.len()).collect::<Vec<_>>(),
+            "lists must partition X"
+        );
         // radii are consistent with membership distances
         for l in rbc.lists() {
             for (&m, &d) in l.members.iter().zip(&l.member_dists) {

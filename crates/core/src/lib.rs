@@ -60,7 +60,16 @@
 //! assert_eq!(nn.index, 123);                 // the point itself is its NN
 //! assert!(stats.total_distance_evals() < 1000); // far less work than brute force
 //!
-//! let one_shot = OneShotRbc::build(&db, Euclidean, params, RbcConfig::default());
+//! // One-shot search is probabilistic (Theorem 2): it answers from the
+//! // nearest representative's ownership list only, so success depends on
+//! // that list reaching the query's neighborhood. Quadrupling the standard
+//! // √n list size makes recovering this query certain rather than likely.
+//! let one_shot = OneShotRbc::build(
+//!     &db,
+//!     Euclidean,
+//!     params.with_list_size(128),
+//!     RbcConfig::default(),
+//! );
 //! let (nn_os, _) = one_shot.query(db.point(123));
 //! assert_eq!(nn_os.index, 123);
 //! ```

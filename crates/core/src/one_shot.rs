@@ -61,7 +61,10 @@ where
             .map(|(&rep_index, neighbors)| {
                 OwnershipList::from_pairs(
                     rep_index,
-                    neighbors.into_iter().map(|nb| (nb.index, nb.dist)).collect(),
+                    neighbors
+                        .into_iter()
+                        .map(|nb| (nb.index, nb.dist))
+                        .collect(),
                 )
             })
             .collect();
@@ -225,7 +228,9 @@ mod tests {
         let rows: Vec<Vec<f32>> = (0..n)
             .map(|i| {
                 let c = &centers[i % n_clusters];
-                c.iter().map(|&v| v + rng.gen_range(-0.05f32..0.05)).collect()
+                c.iter()
+                    .map(|&v| v + rng.gen_range(-0.05f32..0.05))
+                    .collect()
             })
             .collect();
         VectorSet::from_rows(&rows)
@@ -387,9 +392,9 @@ mod tests {
             RbcConfig::default(),
         );
         let (batch, _) = rbc.query_batch(&queries);
-        for qi in 0..queries.len() {
+        for (qi, batched) in batch.iter().enumerate() {
             let (single, _) = rbc.query(queries.point(qi));
-            assert_eq!(batch[qi], single);
+            assert_eq!(*batched, single);
         }
     }
 
@@ -431,10 +436,7 @@ mod tests {
         assert_eq!(rbc.config(), &RbcConfig::default());
         assert_eq!(rbc.database().len(), 300);
         assert_eq!(rbc.num_reps(), rbc.rep_indices().len());
-        assert_eq!(
-            rbc.total_list_entries(),
-            rbc.num_reps() * params.list_size
-        );
+        assert_eq!(rbc.total_list_entries(), rbc.num_reps() * params.list_size);
         assert_eq!(rbc.metric().name(), "euclidean");
     }
 

@@ -173,7 +173,10 @@ impl RbcConfig {
     /// Panics if `epsilon` is negative or not finite.
     #[must_use]
     pub fn with_epsilon(mut self, epsilon: f64) -> Self {
-        assert!(epsilon >= 0.0 && epsilon.is_finite(), "epsilon must be >= 0");
+        assert!(
+            epsilon >= 0.0 && epsilon.is_finite(),
+            "epsilon must be >= 0"
+        );
         self.epsilon = epsilon;
         self
     }

@@ -19,8 +19,14 @@ use rbc_metric::Dist;
 /// # Panics
 /// Panics if `n == 0` or `expected == 0`.
 pub fn sample_representatives(n: usize, expected: usize, seed: u64) -> Vec<usize> {
-    assert!(n > 0, "cannot sample representatives from an empty database");
-    assert!(expected > 0, "expected number of representatives must be positive");
+    assert!(
+        n > 0,
+        "cannot sample representatives from an empty database"
+    );
+    assert!(
+        expected > 0,
+        "expected number of representatives must be positive"
+    );
     let p = (expected as f64 / n as f64).min(1.0);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut reps: Vec<usize> = (0..n).filter(|_| rng.gen::<f64>() < p).collect();

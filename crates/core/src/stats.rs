@@ -161,7 +161,9 @@ mod tests {
     #[test]
     fn merge_combines_aggregates() {
         let mut a: SearchStats = vec![sample_query(5, 5)].into_iter().collect();
-        let b: SearchStats = vec![sample_query(7, 3), sample_query(1, 1)].into_iter().collect();
+        let b: SearchStats = vec![sample_query(7, 3), sample_query(1, 1)]
+            .into_iter()
+            .collect();
         a.merge(&b);
         assert_eq!(a.queries, 3);
         assert_eq!(a.total_distance_evals(), 22);
@@ -172,7 +174,10 @@ mod tests {
     fn work_speedup_is_relative_to_database_size() {
         let agg: SearchStats = vec![sample_query(10, 10)].into_iter().collect();
         assert_eq!(agg.work_speedup_over_brute_force(2000), 100.0);
-        assert_eq!(SearchStats::default().work_speedup_over_brute_force(100), 0.0);
+        assert_eq!(
+            SearchStats::default().work_speedup_over_brute_force(100),
+            0.0
+        );
     }
 
     #[test]

@@ -71,7 +71,8 @@ impl ExpansionRate {
                 let pivot_idx = p * stride;
                 let pivot = data.get(pivot_idx);
                 // All distances from this pivot.
-                let mut dists: Vec<Dist> = (0..n).map(|j| metric.dist(pivot, data.get(j))).collect();
+                let mut dists: Vec<Dist> =
+                    (0..n).map(|j| metric.dist(pivot, data.get(j))).collect();
                 dists.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite distances"));
                 // dists[0] == 0 (the pivot itself); the smallest useful
                 // radius covers min_ball points, the largest covers half the

@@ -64,14 +64,18 @@ pub fn gaussian_mixture(
     // Cluster centers from a dedicated RNG so they do not depend on n.
     let mut center_rng = StdRng::seed_from_u64(seed.wrapping_add(0xC3A5));
     let centers: Vec<Vec<f32>> = (0..n_clusters)
-        .map(|_| (0..dim).map(|_| center_rng.gen_range(0.0f32..1.0f32)).collect())
+        .map(|_| {
+            (0..dim)
+                .map(|_| center_rng.gen_range(0.0f32..1.0f32))
+                .collect()
+        })
         .collect();
     let normal = Normal::new(0.0f64, spread).expect("valid std dev");
 
     generate_rows(n, dim, seed, |rng, i, row| {
         let c = &centers[i % n_clusters];
-        for d in 0..dim {
-            row.push(c[d] + rng.sample(normal) as f32);
+        for &coord in c.iter().take(dim) {
+            row.push(coord + rng.sample(normal) as f32);
         }
     })
 }
@@ -94,8 +98,14 @@ pub fn low_dim_manifold(
 ) -> VectorSet {
     assert!(n > 0 && intrinsic_dim > 0 && ambient_dim >= intrinsic_dim);
     assert!(noise >= 0.0);
-    // Random feature map parameters (frequencies and phases), independent of n.
-    let mut map_rng = StdRng::seed_from_u64(seed.wrapping_add(0xFEED));
+    // Random feature map parameters (frequencies and phases), independent of
+    // n AND of the sampling seed: the manifold is determined by its shape
+    // `(intrinsic_dim, ambient_dim)` alone, so database and query sets
+    // generated with disjoint seeds (the catalogue's protocol) sample the
+    // *same* manifold — otherwise every query would be off-manifold and
+    // roughly equidistant from all database points.
+    let map_seed = 0xFEED ^ ((intrinsic_dim as u64) << 32) ^ ambient_dim as u64;
+    let mut map_rng = StdRng::seed_from_u64(map_seed);
     // Frequencies are kept below one full period across the unit latent
     // cube so the embedding does not fold back onto itself: folding would
     // put latent-distant points at ambient distance ~0 and inflate the
@@ -113,7 +123,9 @@ pub fn low_dim_manifold(
     let noise_dist = Normal::new(0.0f64, noise.max(1e-12)).expect("valid std dev");
 
     generate_rows(n, ambient_dim, seed, |rng, _, row| {
-        let latent: Vec<f32> = (0..intrinsic_dim).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+        let latent: Vec<f32> = (0..intrinsic_dim)
+            .map(|_| rng.gen_range(0.0f32..1.0))
+            .collect();
         for d in 0..ambient_dim {
             let mut arg = phases[d];
             for (k, &z) in latent.iter().enumerate() {
@@ -157,8 +169,12 @@ pub fn robot_arm_trajectories(n: usize, joints: usize, seed: u64) -> VectorSet {
     }
     let trajs: Vec<Traj> = (0..n_traj)
         .map(|_| Traj {
-            amp: (0..joints).map(|_| traj_rng.gen_range(0.2f32..1.5)).collect(),
-            freq: (0..joints).map(|_| traj_rng.gen_range(0.1f32..2.0)).collect(),
+            amp: (0..joints)
+                .map(|_| traj_rng.gen_range(0.2f32..1.5))
+                .collect(),
+            freq: (0..joints)
+                .map(|_| traj_rng.gen_range(0.1f32..2.0))
+                .collect(),
             phase: (0..joints)
                 .map(|_| traj_rng.gen_range(0.0f32..std::f32::consts::TAU))
                 .collect(),
@@ -207,14 +223,10 @@ pub fn tiny_image_patches(n: usize, side: usize, components: usize, seed: u64) -
         }
         for py in 0..side {
             for px in 0..side {
-                let (x, y) = (
-                    px as f32 / side as f32,
-                    py as f32 / side as f32,
-                );
+                let (x, y) = (px as f32 / side as f32, py as f32 / side as f32);
                 let mut v = 0.0f32;
                 for &(fx, fy, phase, amp) in &coefs {
-                    v += amp
-                        * (std::f32::consts::TAU * (fx * x + fy * y) + phase).cos();
+                    v += amp * (std::f32::consts::TAU * (fx * x + fy * y) + phase).cos();
                 }
                 row.push(v / components as f32);
             }
@@ -299,7 +311,10 @@ mod tests {
         let pts = low_dim_manifold(100, 2, 6, 0.0, 13);
         for p in pts.iter() {
             for &v in p {
-                assert!((-1.0001..=1.0001).contains(&v), "value {v} outside sin range");
+                assert!(
+                    (-1.0001..=1.0001).contains(&v),
+                    "value {v} outside sin range"
+                );
             }
         }
     }

@@ -30,7 +30,10 @@ impl RandomProjection {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(source_dim: usize, target_dim: usize, seed: u64) -> Self {
-        assert!(source_dim > 0 && target_dim > 0, "dimensions must be positive");
+        assert!(
+            source_dim > 0 && target_dim > 0,
+            "dimensions must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let normal = Normal::new(0.0f64, (1.0 / target_dim as f64).sqrt()).expect("valid std");
         let matrix: Vec<f32> = (0..source_dim * target_dim)
@@ -136,7 +139,10 @@ mod tests {
             }
         }
         let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
-        assert!((mean - 1.0).abs() < 0.15, "mean distortion {mean} too large");
+        assert!(
+            (mean - 1.0).abs() < 0.15,
+            "mean distortion {mean} too large"
+        );
         assert!(ratios.iter().all(|&r| r > 0.4 && r < 1.8));
     }
 

@@ -65,7 +65,10 @@ impl CpuExecutor {
     /// # Panics
     /// Panics if the thread pool cannot be created (e.g. zero threads).
     pub fn new(profile: MachineProfile) -> Self {
-        assert!(profile.threads > 0, "a machine profile needs at least one thread");
+        assert!(
+            profile.threads > 0,
+            "a machine profile needs at least one thread"
+        );
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(profile.threads)
             .thread_name(move |i| format!("rbc-{}-{i}", profile.name.replace(' ', "-")))

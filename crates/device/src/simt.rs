@@ -169,7 +169,10 @@ impl SimtDevice {
     /// A device with an explicit configuration.
     pub fn with_config(config: SimtConfig) -> Self {
         assert!(config.warp_width > 0, "warp width must be positive");
-        assert!(config.multiprocessors > 0, "need at least one multiprocessor");
+        assert!(
+            config.multiprocessors > 0,
+            "need at least one multiprocessor"
+        );
         Self { config }
     }
 
@@ -365,11 +368,7 @@ mod tests {
         let s = 320u64;
         let queries = 2048usize;
         let bf = dev.model_brute_force(queries, n, 16);
-        let one_shot = dev.model_one_shot(
-            &vec![nr; queries],
-            &vec![s; queries],
-            16,
-        );
+        let one_shot = dev.model_one_shot(&vec![nr; queries], &vec![s; queries], 16);
         let speedup = one_shot.speedup_over(&bf);
         let work_ratio = n as f64 / (nr + s) as f64; // ≈ 156
         assert!(

@@ -128,7 +128,10 @@ where
         let lists = self.rbc.lists();
 
         // Coordinator stage: all representative distances (retained).
-        let rep_dists: Vec<Dist> = reps.iter().map(|&r| metric.dist(query, db.get(r))).collect();
+        let rep_dists: Vec<Dist> = reps
+            .iter()
+            .map(|&r| metric.dist(query, db.get(r)))
+            .collect();
         let coordinator_evals = rep_dists.len() as u64;
 
         // γ_k: upper bound on the k-th NN distance (k nearest reps).
@@ -137,7 +140,10 @@ where
             for (i, &d) in rep_dists.iter().enumerate() {
                 topk.push(Neighbor::new(i, d));
             }
-            topk.into_sorted().last().map(|n| n.dist).unwrap_or(Dist::INFINITY)
+            topk.into_sorted()
+                .last()
+                .map(|n| n.dist)
+                .unwrap_or(Dist::INFINITY)
         } else {
             Dist::INFINITY
         };
@@ -425,8 +431,14 @@ mod tests {
         // routing noticeably weaker than the dedicated one-shot build, but
         // it must still beat chance by a wide margin and essentially always
         // land in the right neighborhood.
-        assert!(exact_hits >= 50, "distributed one-shot recall too low: {exact_hits}/100");
-        assert!(near_misses >= 95, "one-shot answers left the neighborhood: {near_misses}/100");
+        assert!(
+            exact_hits >= 50,
+            "distributed one-shot recall too low: {exact_hits}/100"
+        );
+        assert!(
+            near_misses >= 95,
+            "one-shot answers left the neighborhood: {near_misses}/100"
+        );
     }
 
     #[test]

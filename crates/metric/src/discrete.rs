@@ -72,9 +72,7 @@ impl Levenshtein {
             curr[0] = i + 1;
             for (j, &cb) in b.iter().enumerate() {
                 let sub_cost = if ca == cb { 0 } else { 1 };
-                curr[j + 1] = (prev[j] + sub_cost)
-                    .min(prev[j + 1] + 1)
-                    .min(curr[j] + 1);
+                curr[j + 1] = (prev[j] + sub_cost).min(prev[j + 1] + 1).min(curr[j] + 1);
             }
             std::mem::swap(&mut prev, &mut curr);
         }
@@ -172,7 +170,10 @@ mod tests {
             for b in words {
                 let lb = Levenshtein.dist_lower_bound(a, b);
                 let d = Levenshtein.dist(a, b);
-                assert!(lb <= d, "lower bound {lb} exceeds distance {d} for {a:?},{b:?}");
+                assert!(
+                    lb <= d,
+                    "lower bound {lb} exceeds distance {d} for {a:?},{b:?}"
+                );
             }
         }
     }
@@ -185,7 +186,10 @@ mod tests {
 
     #[test]
     fn hamming_counts_differing_positions() {
-        assert_eq!(<Hamming as Metric<[u8]>>::dist(&Hamming, b"10110", b"10011"), 2.0);
+        assert_eq!(
+            <Hamming as Metric<[u8]>>::dist(&Hamming, b"10110", b"10011"),
+            2.0
+        );
         assert_eq!(<Hamming as Metric<str>>::dist(&Hamming, "abc", "abd"), 1.0);
         assert_eq!(<Hamming as Metric<str>>::dist(&Hamming, "abc", "abc"), 0.0);
     }

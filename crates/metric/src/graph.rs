@@ -67,8 +67,7 @@ impl GraphDataset {
 
     /// Builds an unweighted graph (every edge has weight 1).
     pub fn from_unweighted_edges(n: usize, edges: &[(usize, usize)]) -> Self {
-        let weighted: Vec<(usize, usize, f64)> =
-            edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+        let weighted: Vec<(usize, usize, f64)> = edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
         Self::from_edges(n, &weighted)
     }
 

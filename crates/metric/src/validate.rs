@@ -80,7 +80,10 @@ impl std::fmt::Display for MetricViolation {
                 b,
                 forward,
                 backward,
-            } => write!(f, "ρ(x{a}, x{b}) = {forward} but ρ(x{b}, x{a}) = {backward}"),
+            } => write!(
+                f,
+                "ρ(x{a}, x{b}) = {forward} but ρ(x{b}, x{a}) = {backward}"
+            ),
             MetricViolation::TriangleInequality {
                 a,
                 b,
@@ -129,7 +132,7 @@ where
         }
         for b in 0..n {
             let d = metric.dist(data.get(a), data.get(b));
-            if !(d >= 0.0) || !d.is_finite() {
+            if !d.is_finite() || d < 0.0 {
                 return Err(MetricViolation::NotNonNegative { a, b, value: d });
             }
             let back = metric.dist(data.get(b), data.get(a));
@@ -259,7 +262,10 @@ mod tests {
         }
         let pts = VectorSet::from_rows(&[[0.0f32], [1.0]]);
         let err = check_metric_axioms(&pts, &Overclaiming, 2, 1e-9).unwrap_err();
-        assert!(matches!(err, MetricViolation::LowerBoundExceedsDistance { .. }));
+        assert!(matches!(
+            err,
+            MetricViolation::LowerBoundExceedsDistance { .. }
+        ));
     }
 
     #[test]

@@ -227,7 +227,10 @@ mod tests {
             let a: Vec<f32> = (0..d).map(|i| i as f32).collect();
             let b: Vec<f32> = (0..d).map(|i| (i as f32) + 1.0).collect();
             // every coordinate differs by exactly 1
-            assert!((Euclidean.dist(&a, &b) - (d as f64).sqrt()).abs() < EPS, "d={d}");
+            assert!(
+                (Euclidean.dist(&a, &b) - (d as f64).sqrt()).abs() < EPS,
+                "d={d}"
+            );
         }
     }
 

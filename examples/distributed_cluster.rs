@@ -15,17 +15,20 @@
 use rbc::distributed::{ClusterConfig, DistributedRbc};
 use rbc::prelude::*;
 
+#[path = "util/scale.rs"]
+mod util;
+use util::scaled;
+
 fn main() {
-    let n = 40_000;
+    let n = scaled(40_000);
     println!("generating {n} database points (robot-arm workload) and 400 queries ...");
     let database = rbc::data::robot_arm_trajectories(n, 7, 5);
     let queries = rbc::data::robot_arm_trajectories(400, 7, 6);
     let dim = database.dim();
 
     // Build the exact RBC on the "coordinator", then shard it.
-    let params = RbcParams::standard(database.len(), 7).with_n_reps(
-        ((database.len() as f64).sqrt() * 2.0) as usize,
-    );
+    let params = RbcParams::standard(database.len(), 7)
+        .with_n_reps(((database.len() as f64).sqrt() * 2.0) as usize);
     let rbc = ExactRbc::build(&database, Euclidean, params, RbcConfig::default());
     println!(
         "built the exact RBC: {} representatives over {} points",

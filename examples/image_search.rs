@@ -22,11 +22,15 @@
 
 use std::time::Instant;
 
-use rbc::prelude::*;
 use rbc::data::{tiny_image_patches, RandomProjection};
+use rbc::prelude::*;
+
+#[path = "util/scale.rs"]
+mod util;
+use util::scaled;
 
 fn main() {
-    let n_images = 30_000;
+    let n_images = scaled(30_000);
     let patch_side = 16; // 256-pixel patches
     let target_dim = 16;
     let k = 5;
@@ -35,7 +39,10 @@ fn main() {
     let patches = tiny_image_patches(n_images, patch_side, 6, 11);
     let query_patches = tiny_image_patches(200, patch_side, 6, 12);
 
-    println!("projecting {}-d pixel descriptors down to {target_dim}-d ...", patch_side * patch_side);
+    println!(
+        "projecting {}-d pixel descriptors down to {target_dim}-d ...",
+        patch_side * patch_side
+    );
     let projection = RandomProjection::new(patch_side * patch_side, target_dim, 13);
     let database = projection.project(&patches);
     let queries = projection.project(&query_patches);

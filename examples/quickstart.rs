@@ -11,10 +11,14 @@ use std::time::Instant;
 
 use rbc::prelude::*;
 
+#[path = "util/scale.rs"]
+mod util;
+use util::scaled;
+
 fn main() {
     // A database with low intrinsic dimension (3) embedded in 24 ambient
     // dimensions — the regime the RBC is designed for.
-    let n = 20_000;
+    let n = scaled(20_000);
     println!("generating {n} database points and 500 queries ...");
     let database = rbc::data::low_dim_manifold(n, 3, 24, 0.01, 1);
     let queries = rbc::data::low_dim_manifold(500, 3, 24, 0.01, 2);

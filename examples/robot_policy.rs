@@ -21,11 +21,15 @@
 
 use std::time::Instant;
 
-use rbc::prelude::*;
 use rbc::data::robot_arm_trajectories;
+use rbc::prelude::*;
+
+#[path = "util/scale.rs"]
+mod util;
+use util::scaled;
 
 fn main() {
-    let archive_size = 50_000;
+    let archive_size = scaled(50_000);
     let control_steps = 300;
     let k = 8; // neighbors used for the local regression
 
@@ -63,7 +67,7 @@ fn main() {
 
         // k-NN regression over the torque-like features (every third
         // coordinate starting at index 2).
-        let mut torque = vec![0.0f64; 7];
+        let mut torque = [0.0f64; 7];
         for n in &neighbors {
             let row = archive.point(n.index);
             for j in 0..7 {
@@ -78,7 +82,12 @@ fn main() {
     let mean_evals = evals_per_query.iter().sum::<u64>() as f64 / evals_per_query.len() as f64;
 
     println!("\ncontrol-loop results over {control_steps} steps:");
-    println!("  latency  p50 = {:.0} us, p95 = {:.0} us, p99 = {:.0} us", pct(0.5), pct(0.95), pct(0.99));
+    println!(
+        "  latency  p50 = {:.0} us, p95 = {:.0} us, p99 = {:.0} us",
+        pct(0.5),
+        pct(0.95),
+        pct(0.99)
+    );
     println!(
         "  work     {:.0} distance evals/query (brute force would need {})",
         mean_evals,
@@ -103,5 +112,8 @@ fn main() {
             agree += 1;
         }
     }
-    println!("  checked  {agree}/{} sampled steps agree exactly with brute force", (incoming.len() + 49) / 50);
+    println!(
+        "  checked  {agree}/{} sampled steps agree exactly with brute force",
+        incoming.len().div_ceil(50)
+    );
 }

@@ -64,8 +64,12 @@ fn corrupt(word: &str, seed: u64) -> String {
     out.into_iter().collect()
 }
 
+#[path = "util/scale.rs"]
+mod util;
+use util::scaled;
+
 fn main() {
-    let dictionary_size = 20_000;
+    let dictionary_size = scaled(20_000);
     let stream_length = 400;
 
     println!("building a synthetic dictionary of {dictionary_size} words ...");
@@ -77,7 +81,12 @@ fn main() {
         params.n_reps
     );
     let t = Instant::now();
-    let exact = ExactRbc::build(&dictionary, Levenshtein, params.clone(), RbcConfig::default());
+    let exact = ExactRbc::build(
+        &dictionary,
+        Levenshtein,
+        params.clone(),
+        RbcConfig::default(),
+    );
     println!("  exact build    : {:.2} s", t.elapsed().as_secs_f64());
     let t = Instant::now();
     let one_shot = OneShotRbc::build(&dictionary, Levenshtein, params, RbcConfig::default());
@@ -107,7 +116,10 @@ fn main() {
     }
     let elapsed = t.elapsed();
 
-    println!("\nstreamed {stream_length} misspelled lookups in {:.2} s:", elapsed.as_secs_f64());
+    println!(
+        "\nstreamed {stream_length} misspelled lookups in {:.2} s:",
+        elapsed.as_secs_f64()
+    );
     println!(
         "  exact RBC      : {:.1}% corrected within 1 edit, {:.0} edit-distance evals/query (dictionary = {})",
         100.0 * exact_hits as f64 / stream_length as f64,

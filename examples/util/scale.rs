@@ -1,0 +1,18 @@
+//! Shared helper for the example binaries, included via `#[path]` so each
+//! example stays a standalone target while the scaling logic lives once.
+
+/// Database size scaled by the `RBC_EXAMPLE_SCALE` env var (default 1.0),
+/// so CI can smoke-run every example on tiny inputs.
+///
+/// # Panics
+/// Panics if the variable is set but not a positive number — a typo'd
+/// override should fail loudly, not silently run the full-size workload.
+pub fn scaled(n: usize) -> usize {
+    match std::env::var("RBC_EXAMPLE_SCALE") {
+        Err(_) => n,
+        Ok(raw) => match raw.parse::<f64>() {
+            Ok(scale) if scale > 0.0 => ((n as f64 * scale) as usize).max(256),
+            _ => panic!("RBC_EXAMPLE_SCALE must be a positive number, got {raw:?}"),
+        },
+    }
+}

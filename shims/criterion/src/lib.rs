@@ -1,0 +1,280 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides the macro/builder surface the workspace's benches use
+//! ([`criterion_group!`], [`criterion_main!`], benchmark groups, throughput
+//! annotations) backed by a deliberately simple harness: each benchmark runs
+//! a short warm-up followed by a fixed number of timed iterations and prints
+//! the mean wall-clock time per iteration. No statistics, plots, or saved
+//! baselines — enough to smoke-run every bench target and compare orders of
+//! magnitude, while `cargo bench --no-run` keeps them compiling in CI.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's traditional name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation attached to a benchmark group (recorded, echoed in
+/// the report line).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a name and a parameter, rendered `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark id: strings or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Renders the id as the label printed in reports.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed call to warm caches and page in code.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / self.iterations as u32);
+    }
+}
+
+/// Shared measurement settings, configurable through the same builder calls
+/// real criterion accepts.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the shim's time budget is per-iteration
+    /// count, not wall-clock.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id();
+        let mut bencher = Bencher {
+            iterations: self.sample_size as u64,
+            mean: None,
+        };
+        f(&mut bencher);
+        self.report(&label, &bencher);
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into_benchmark_id();
+        let mut bencher = Bencher {
+            iterations: self.sample_size as u64,
+            mean: None,
+        };
+        f(&mut bencher, input);
+        self.report(&label, &bencher);
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, bencher: &Bencher) {
+        let mean = match bencher.mean {
+            Some(mean) => format!("{mean:?}/iter"),
+            None => "no measurement (b.iter was not called)".to_string(),
+        };
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                println!("bench {}/{label}: {mean} ({n} elems)", self.name)
+            }
+            Some(Throughput::Bytes(n)) => {
+                println!("bench {}/{label}: {mean} ({n} bytes)", self.name)
+            }
+            None => println!("bench {}/{label}: {mean}", self.name),
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, with or without a custom
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; the shim runs
+            // everything unconditionally, so arguments are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs_closures() {
+        let mut criterion = Criterion::default().sample_size(3);
+        let mut group = criterion.benchmark_group("demo");
+        let mut calls = 0u32;
+        group.throughput(Throughput::Elements(4));
+        group.bench_function(BenchmarkId::new("count", 4), |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        // warm-up call + 3 timed iterations
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("n", 32).into_benchmark_id(), "n/32");
+        assert_eq!(BenchmarkId::from_parameter(7).into_benchmark_id(), "7");
+        assert_eq!("plain".into_benchmark_id(), "plain");
+    }
+}

@@ -1,0 +1,538 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Supports the surface this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), numeric range
+//! strategies, tuple strategies, [`collection::vec`], `any::<bool>()`, and
+//! simple `"[a-c]{0,12}"`-style regex string strategies, plus the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Unlike real proptest there is **no shrinking** and no persisted failure
+//! database: each test runs its configured number of cases on inputs drawn
+//! from a deterministic per-test RNG (seeded by hashing the test name), so
+//! failures reproduce exactly across runs and machines. Failures arrive as
+//! plain `assert!` panics; each case prints its number before running, and
+//! the test harness shows captured output only for failing tests, so the
+//! last `proptest case N` line identifies the failing case.
+
+use rand::prelude::*;
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Runs one generated test case; the closure returns `Err(())`-free
+/// [`Result`] purely so `prop_assume!` can early-return. Public for the
+/// macro expansion, not intended for direct use.
+#[doc(hidden)]
+pub fn run_case<F: FnOnce() -> Result<(), ()>>(case: F) {
+    let _ = case();
+}
+
+/// Builds the deterministic RNG for one test case.
+///
+/// Used by the generated test bodies; public so the macro expansion can call
+/// it, not intended for direct use.
+pub fn test_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name, mixed with the case number.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash ^ ((case as u64) << 32 | 0x9e37))
+}
+
+/// Strategies: recipes for generating random values of some type.
+pub mod strategy {
+    use rand::prelude::*;
+
+    /// A recipe for generating values of type [`Self::Value`].
+    ///
+    /// This shim's strategies are plain samplers — there is no shrink tree.
+    pub trait Strategy {
+        /// The type of value the strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample_once(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! numeric_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample_once(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.start..self.end)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample_once(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(*self.start()..=*self.end())
+                }
+            }
+        )*};
+    }
+
+    numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample_once(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.start..self.end)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample_once(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample_once(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample_once(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// String strategy parsed from a `"[a-c]{lo,hi}"`-style pattern; see
+    /// [`Strategy` impl for `&str`](trait.Strategy.html#impl-Strategy-for-%26str).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample_once(&self, rng: &mut StdRng) -> String {
+            crate::string::sample_pattern(self, rng)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::prelude::*;
+
+    /// A permitted size or size range for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Exclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                lo: exact,
+                hi: exact + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose length lies in `size` and whose elements
+    /// come from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample_once(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample_once(rng)).collect()
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::prelude::*;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value of this type.
+        fn arbitrary_with(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_with(rng: &mut StdRng) -> Self {
+            rng.gen::<bool>()
+        }
+    }
+
+    macro_rules! arbitrary_uniform {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_with(rng: &mut StdRng) -> Self {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+
+    arbitrary_uniform!(u32, u64, usize, f32, f64);
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct AnyStrategy<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn sample_once(&self, rng: &mut StdRng) -> T {
+            T::arbitrary_with(rng)
+        }
+    }
+
+    /// The strategy of all values of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Tiny regex-pattern string generator backing `"[a-c]{0,12}"` strategies.
+pub mod string {
+    use rand::prelude::*;
+
+    /// Samples a string from a pattern of literal characters and
+    /// `[class]{lo,hi}` / `[class]{n}` / `[class]` atoms, where a class is
+    /// single characters and `a-z` ranges.
+    ///
+    /// # Panics
+    /// Panics on syntax this mini-parser does not understand, naming the
+    /// pattern — extend it here if a test needs more.
+    pub fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| unsupported(pattern, "unclosed character class"))
+                        + i;
+                    let class = expand_class(&chars[i + 1..close], pattern);
+                    i = close + 1;
+                    let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                        let close_brace = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .unwrap_or_else(|| unsupported(pattern, "unclosed repetition"))
+                            + i;
+                        let spec: String = chars[i + 1..close_brace].iter().collect();
+                        i = close_brace + 1;
+                        parse_repetition(&spec, pattern)
+                    } else {
+                        (1, 1)
+                    };
+                    let count = if lo == hi {
+                        lo
+                    } else {
+                        rng.gen_range(lo..hi + 1)
+                    };
+                    for _ in 0..count {
+                        out.push(class[rng.gen_range(0..class.len())]);
+                    }
+                }
+                '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' => unsupported(
+                    pattern,
+                    "only literals and [class]{lo,hi} atoms are supported",
+                ),
+                '\\' => {
+                    i += 1;
+                    if i >= chars.len() {
+                        unsupported(pattern, "dangling escape");
+                    }
+                    out.push(chars[i]);
+                    i += 1;
+                }
+                literal => {
+                    out.push(literal);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn unsupported(pattern: &str, reason: &str) -> ! {
+        panic!("proptest shim: unsupported string pattern {pattern:?}: {reason}")
+    }
+
+    fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+        let mut class = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (lo, hi) = (body[i], body[i + 2]);
+                if lo > hi {
+                    unsupported(pattern, "descending class range");
+                }
+                class.extend(lo..=hi);
+                i += 3;
+            } else {
+                class.push(body[i]);
+                i += 1;
+            }
+        }
+        if class.is_empty() {
+            unsupported(pattern, "empty character class");
+        }
+        class
+    }
+
+    fn parse_repetition(spec: &str, pattern: &str) -> (usize, usize) {
+        let parse = |s: &str| -> usize {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| unsupported(pattern, "non-numeric repetition bound"))
+        };
+        match spec.split_once(',') {
+            Some((lo, hi)) => (parse(lo), parse(hi)),
+            None => {
+                let n = parse(spec);
+                (n, n)
+            }
+        }
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a [`proptest!`] test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Skips the current case when its random inputs don't satisfy a
+/// precondition. Only meaningful inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pattern in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over many sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    // Captured by the harness and shown only on failure,
+                    // where the last such line identifies the failing case.
+                    ::std::println!("proptest case {case} of {}", stringify!($name));
+                    let mut rng = $crate::test_rng(stringify!($name), case);
+                    let ($($pat,)+) = (
+                        $($crate::strategy::Strategy::sample_once(&($strategy), &mut rng),)+
+                    );
+                    $crate::run_case(move || {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    });
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (Vec<f32>, u8)> {
+        (prop::collection::vec(-1.0f32..1.0, 3..6), 0u8..4)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0f64..5.0, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vecs_have_requested_sizes((v, tag) in pair()) {
+            prop_assert!(v.len() >= 3 && v.len() < 6);
+            prop_assert!(tag < 4);
+            for x in &v {
+                prop_assert!((-1.0..1.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn string_patterns_match_their_class(s in "[a-c]{0,12}") {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u64..100, flag in any::<bool>()) {
+            prop_assume!(flag);
+            prop_assert!(n < 100);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let strat = prop::collection::vec(0u64..1000, 5);
+        let a = strat.sample_once(&mut crate::test_rng("t", 3));
+        let b = strat.sample_once(&mut crate::test_rng("t", 3));
+        let c = strat.sample_once(&mut crate::test_rng("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

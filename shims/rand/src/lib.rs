@@ -1,0 +1,277 @@
+//! Offline stand-in for [`rand`](https://crates.io/crates/rand) 0.8.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of the rand 0.8 API the workspace uses: [`rngs::StdRng`] seeded
+//! with [`SeedableRng::seed_from_u64`], [`Rng::gen`], [`Rng::gen_range`] over
+//! half-open numeric ranges, and [`Rng::sample`] with a
+//! [`distributions::Distribution`].
+//!
+//! The generator is SplitMix64 — not cryptographic, but fast, seedable, and
+//! statistically fine for the synthetic workloads and randomized tests here.
+//! Streams differ from the real `StdRng` (ChaCha12). **Caution when swapping
+//! the real crate back in:** several tests and doctests hard-code thresholds
+//! calibrated against this stream (seeded recall/hit-rate assertions, the
+//! `rbc-core` doctest's recovered index), so a different stream can turn
+//! them red without any code being wrong — recalibrate those constants
+//! rather than debugging the library.
+
+/// Distributions that can be sampled through [`Rng::sample`].
+pub mod distributions {
+    use crate::RngCore;
+
+    /// A sampling distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value using `rng` as the entropy source.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+/// The random number generators this shim provides.
+pub mod rngs {
+    use crate::{RngCore, SeedableRng};
+
+    /// A seedable 64-bit generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Pre-mix so that seeds 0 and 1 do not produce nearby streams.
+            let mut rng = StdRng { state };
+            rng.next_u64();
+            rng
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// The usual glob-import surface: `use rand::prelude::*;`.
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+use distributions::Distribution;
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Generators that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Uniformly draws a `f64` in `[0, 1)` from 53 random bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniformly draws a `f32` in `[0, 1)` from 24 random bits.
+///
+/// Generated natively in `f32` precision: narrowing a 53-bit `f64` draw
+/// instead would round values just below 1.0 *up to exactly 1.0*, breaking
+/// the half-open contract about once per 2^25 draws.
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+/// Types [`Rng::gen`] can produce with a standard (uniform) distribution.
+pub trait StandardSample: Sized {
+    /// Draws one value from the type's standard distribution.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f32(rng)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for usize {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! float_range {
+    ($($t:ty => $unit:ident),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "gen_range requires a non-empty range"
+                );
+                let v = self.start + $unit(rng) * (self.end - self.start);
+                // The affine map can round up to the excluded `end` (e.g. a
+                // unit draw just below 1.0 times a span that rounds up);
+                // clamp to the largest value strictly below it.
+                if v < self.end {
+                    v
+                } else {
+                    self.end.next_down()
+                }
+            }
+        }
+    )*};
+}
+
+float_range!(f32 => unit_f32, f64 => unit_f64);
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "gen_range requires a non-empty range"
+                );
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = rng.next_u64() as u128 % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range requires a non-empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = rng.next_u64() as u128 % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience methods every [`RngCore`] gets, mirroring rand's `Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value from the type's standard distribution (`f64`/`f32` in
+    /// `[0, 1)`, uniform integers, fair `bool`).
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
+
+    /// Draws one value from `dist`.
+    fn sample<T, D: Distribution<T>>(&mut self, dist: D) -> T
+    where
+        Self: Sized,
+    {
+        dist.sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&i));
+            let s = rng.gen_range(-10i64..-2);
+            assert!((-10..-2).contains(&s));
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0f64;
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        // Mean of 1000 uniform draws should be near 0.5.
+        assert!((sum / 1000.0 - 0.5).abs() < 0.05);
+    }
+}

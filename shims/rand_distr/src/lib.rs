@@ -1,0 +1,203 @@
+//! Offline stand-in for [`rand_distr`](https://crates.io/crates/rand_distr).
+//!
+//! Provides the two distributions this workspace samples: [`Normal`]
+//! (Box–Muller transform) and [`Uniform`] (affine map of a unit draw), both
+//! pluggable into `rand::Rng::sample` via the shimmed
+//! [`rand::distributions::Distribution`] trait.
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+
+/// The float widths the distributions are generic over (sealed).
+pub trait Float:
+    Copy
+    + PartialOrd
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + private::Sealed
+{
+    /// Converts from `f64`, rounding as needed.
+    fn from_f64(v: f64) -> Self;
+
+    /// True when the value is neither infinite nor NaN.
+    fn is_finite_val(self) -> bool;
+
+    /// Uniform draw in `[0, 1)` at this type's native precision. (Narrowing
+    /// a `f64` draw to `f32` can round up to exactly 1.0, breaking the
+    /// half-open contract.)
+    fn unit_draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+
+    /// The largest value strictly below `self`.
+    fn prev_value(self) -> Self;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+impl Float for f32 {
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    fn is_finite_val(self) -> bool {
+        self.is_finite()
+    }
+
+    fn unit_draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    fn prev_value(self) -> Self {
+        self.next_down()
+    }
+}
+
+impl Float for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    fn is_finite_val(self) -> bool {
+        self.is_finite()
+    }
+
+    fn unit_draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+
+    fn prev_value(self) -> Self {
+        self.next_down()
+    }
+}
+
+/// Error returned by [`Normal::new`] for non-finite or negative spread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Uniformly draws a `f64` in `[0, 1)` from 53 random bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Draws a standard normal variate via the Box–Muller transform.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite; u2 in [0, 1).
+    let u1 = 1.0 - unit_f64(rng);
+    let u2 = unit_f64(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A normal (Gaussian) distribution with the given mean and standard
+/// deviation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates the distribution; fails if `std_dev` is negative or not
+    /// finite.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        if !std_dev.is_finite_val() || std_dev < F::from_f64(0.0) {
+            return Err(NormalError);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The distribution's mean.
+    pub fn mean(&self) -> F {
+        self.mean
+    }
+
+    /// The distribution's standard deviation.
+    pub fn std_dev(&self) -> F {
+        self.std_dev
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        self.mean + self.std_dev * F::from_f64(standard_normal(rng))
+    }
+}
+
+/// A uniform distribution over the half-open range `[low, high)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl<F: Float> Uniform<F> {
+    /// Creates the distribution over `[low, high)`.
+    ///
+    /// # Panics
+    /// Panics if `low >= high`.
+    pub fn new(low: F, high: F) -> Self {
+        assert!(low < high, "Uniform requires low < high");
+        Self { low, high }
+    }
+}
+
+impl<F: Float> Distribution<F> for Uniform<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let v = self.low + F::unit_draw(rng) * (self.high - self.low);
+        // The affine map can round up to the excluded `high`; clamp to the
+        // largest value strictly below it.
+        if v < self.high {
+            v
+        } else {
+            self.high.prev_value()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let dist = Normal::new(3.0f64, 2.0).unwrap();
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.sample(dist)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_std_dev() {
+        assert_eq!(Normal::new(0.0f64, -1.0), Err(NormalError));
+        assert!(Normal::new(0.0f64, f64::NAN).is_err());
+        assert!(Normal::new(0.0f32, 0.5).is_ok());
+        assert_eq!(Normal::new(2.0f32, 0.5).unwrap().mean(), 2.0);
+        assert_eq!(Normal::new(2.0f32, 0.5).unwrap().std_dev(), 0.5);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let u = Uniform::new(0.25f32, 0.75);
+        for _ in 0..1000 {
+            let x = rng.sample(u);
+            assert!((0.25..0.75).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Offline stand-in for [`rayon`](https://crates.io/crates/rayon).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the *subset* of the rayon API its code actually
+//! uses, implemented on [`std::thread::scope`]. Parallelism is real: work is
+//! split into one contiguous chunk per worker thread and joined in order, so
+//! results are deterministic and identical to a sequential run.
+//!
+//! Differences from real rayon, by design:
+//!
+//! * iterators are materialised eagerly (`map` runs its closure in parallel
+//!   immediately instead of building a lazy pipeline), which is fine for the
+//!   coarse-grained index/query loops this workspace runs;
+//! * there is no work stealing — each worker gets one contiguous chunk;
+//! * [`ThreadPool::install`] pins the *degree* of parallelism (via a
+//!   thread-local) rather than moving work onto dedicated worker threads.
+//!
+//! Swapping back to the real crate is a one-line change in the workspace
+//! manifest; no source code references anything outside rayon's public API.
+
+use std::cell::Cell;
+
+/// The traits that make `.par_iter()` / `.into_par_iter()` resolve.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Number of worker threads parallel operations on this thread will use.
+///
+/// Inside [`ThreadPool::install`] this is the pool's configured size;
+/// elsewhere it is [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(default_threads)
+}
+
+/// Error returned when a [`ThreadPoolBuilder`] cannot build a pool.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    message: String,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] with a fixed worker count.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings (host parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads; `0` means host parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Accepted for API compatibility; this shim spawns unnamed scoped
+    /// threads, so the closure is ignored.
+    pub fn thread_name<F>(self, _f: F) -> Self
+    where
+        F: Fn(usize) -> String,
+    {
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.num_threads {
+            Some(0) | None => default_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A handle that pins the degree of parallelism for work run inside
+/// [`install`](ThreadPool::install).
+pub struct ThreadPool {
+    threads: usize,
+}
+
+/// Restores the previous installed-thread-count on drop, so panics inside
+/// `install` cannot leak the setting.
+struct InstallGuard {
+    previous: Option<usize>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED_THREADS.with(|c| c.set(self.previous));
+    }
+}
+
+impl ThreadPool {
+    /// The configured number of worker threads.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// iterators it executes, and returns its result.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let previous = INSTALLED_THREADS.with(|c| c.replace(Some(self.threads)));
+        let _guard = InstallGuard { previous };
+        op()
+    }
+}
+
+/// Maps `f` over `items` using up to [`current_num_threads`] scoped threads,
+/// preserving input order in the output.
+fn parallel_map_vec<T, R, F>(items: Vec<T>, min_len: usize, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads();
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads).max(min_len.max(1));
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(n.div_ceil(chunk));
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// An eagerly evaluated parallel iterator over an owned collection of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+    min_len: usize,
+}
+
+impl<T: Send> ParIter<T> {
+    fn new(items: Vec<T>) -> Self {
+        Self { items, min_len: 1 }
+    }
+
+    /// Lower bound on the number of items a worker processes; mirrors
+    /// rayon's splitting hint.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter::new(parallel_map_vec(self.items, self.min_len, &f))
+    }
+
+    /// Applies `f` in parallel and flattens the returned iterators,
+    /// preserving order.
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParIter<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(T) -> I + Sync,
+    {
+        let produce = |t: T| f(t).into_iter().collect::<Vec<_>>();
+        let nested = parallel_map_vec(self.items, self.min_len, &produce);
+        ParIter::new(nested.into_iter().flatten().collect())
+    }
+
+    /// Collects the items into any [`FromIterator`] collection.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Folds the items with `op`, starting from `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Folds the items with `op`; `None` if there are no items.
+    pub fn reduce_with<OP>(self, op: OP) -> Option<T>
+    where
+        OP: Fn(T, T) -> T,
+    {
+        self.items.into_iter().reduce(op)
+    }
+}
+
+/// Conversion into a [`ParIter`], mirroring rayon's trait of the same name.
+pub trait IntoParallelIterator {
+    /// The type of item the parallel iterator yields.
+    type Item: Send;
+
+    /// Consumes `self` and returns a parallel iterator over its items.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter::new(self)
+    }
+}
+
+impl<T: Send> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter::new(self.collect())
+    }
+}
+
+/// Borrowing parallel iteration over slices (and anything that derefs to
+/// one, like `Vec`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T` items.
+    fn par_iter(&self) -> ParIter<&T>;
+
+    /// Parallel iterator over contiguous chunks of at most `size` items.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter::new(self.iter().collect())
+    }
+
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        ParIter::new(self.chunks(size.max(1)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let got: Vec<u64> = (0..1000u64).into_par_iter().map(|i| i * i).collect();
+        let want: Vec<u64> = (0..1000u64).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let got: u64 = (0..10_000u64).into_par_iter().map(|i| i * 3).sum();
+        let want: u64 = (0..10_000u64).map(|i| i * 3).sum();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        assert_eq!(pool.install(current_num_threads), 3);
+        // The setting does not leak out of install().
+        assert_eq!(current_num_threads(), default_threads());
+    }
+
+    #[test]
+    fn reduce_and_chunks_work() {
+        let v: Vec<u32> = (1..=100).collect();
+        let total: u32 = v.par_chunks(7).map(|c| c.iter().sum::<u32>()).sum();
+        assert_eq!(total, 5050);
+        let max = v.par_iter().map(|&x| x).reduce(|| 0, u32::max);
+        assert_eq!(max, 100);
+        let none: Option<u32> = Vec::<u32>::new().into_par_iter().reduce_with(u32::max);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let got: Vec<usize> = (0..5usize)
+            .into_par_iter()
+            .flat_map_iter(|i| vec![i; i])
+            .collect();
+        let want: Vec<usize> = (0..5usize).flat_map(|i| vec![i; i]).collect();
+        assert_eq!(got, want);
+    }
+}

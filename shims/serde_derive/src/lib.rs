@@ -1,0 +1,342 @@
+//! Offline stand-in for [`serde_derive`](https://crates.io/crates/serde_derive).
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually derives on: non-generic structs with named
+//! fields, and non-generic enums whose variants are all unit variants.
+//! Anything else produces a `compile_error!` naming the limitation.
+//!
+//! `syn`/`quote` are unavailable offline, so the input is parsed directly
+//! from the [`proc_macro::TokenStream`] and the generated impls are emitted
+//! as formatted source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input turned out to be.
+enum Input {
+    /// A struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// An enum of unit variants and/or struct variants with named fields.
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant: a name, plus field names when it is a struct variant.
+struct Variant {
+    name: String,
+    /// `None` for a unit variant, `Some(fields)` for a struct variant.
+    fields: Option<Vec<String>>,
+}
+
+/// Parses a `struct`/`enum` definition out of the derive input tokens.
+///
+/// Returns `Err(message)` for shapes the shim does not support.
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility/auxiliary keywords
+    // until the `struct` or `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break "struct";
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                i += 1;
+                break "enum";
+            }
+            Some(_) => i += 1,
+            None => return Err("expected a struct or enum definition".into()),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected the type name after `struct`/`enum`".into()),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim: cannot derive for generic type `{name}`; add explicit impls instead"
+        ));
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde shim: tuple struct `{name}` is unsupported; use named fields"
+                ));
+            }
+            Some(_) => i += 1,
+            None => {
+                return Err(format!(
+                    "serde shim: `{name}` has no braced body (unit structs are unsupported)"
+                ))
+            }
+        }
+    };
+
+    if kind == "struct" {
+        Ok(Input::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        })
+    } else {
+        Ok(Input::Enum {
+            name,
+            variants: parse_variants(body)?,
+        })
+    }
+}
+
+/// Extracts field names from the brace body of a named-field struct.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut expecting_name = true;
+    // Angle brackets are plain puncts, not token groups, so a `,` inside
+    // `Vec<(A, B)>`-style generic arguments must not end the field.
+    let mut angle_depth = 0usize;
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            // Field attribute, e.g. `#[serde(...)]`: skip marker + group.
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if expecting_name && id.to_string() == "pub" => {
+                i += 1;
+                // Skip a possible `(crate)` / `(super)` restriction.
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if expecting_name => {
+                fields.push(id.to_string());
+                expecting_name = false;
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                i += 1;
+            }
+            // `,` at the top level separates fields.
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                expecting_name = true;
+                i += 1;
+            }
+            // Anything else is part of the field's type; skip it.
+            _ => i += 1,
+        }
+    }
+    Ok(fields)
+}
+
+/// Extracts variants from the brace body of an enum. Unit variants and
+/// struct variants (named fields) are supported; tuple variants are not.
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let fields = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        Some(parse_named_fields(g.stream())?)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        return Err(format!(
+                            "serde shim: tuple variant `{name}` is unsupported; use named fields"
+                        ));
+                    }
+                    _ => None,
+                };
+                match tokens.get(i) {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(other) => {
+                        return Err(format!(
+                            "serde shim: unexpected token `{other}` after enum variant `{name}`"
+                        ));
+                    }
+                }
+                variants.push(Variant { name, fields });
+            }
+            other => {
+                return Err(format!(
+                    "serde shim: unexpected token `{other}` in enum body"
+                ));
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Derives the shimmed `serde::Serialize` for plain structs and unit enums.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(message) => return error(&message),
+    };
+    let code = match parsed {
+        Input::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                        ),
+                        Some(fields) => {
+                            // Externally tagged: { "Variant": { fields... } }.
+                            let binders = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => \
+                                 ::serde::Value::Object(::std::vec![(\
+                                     ::std::string::String::from({vname:?}), \
+                                     ::serde::Value::Object(::std::vec![{entries}])\
+                                 )]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives the shimmed `serde::Deserialize` for plain structs and unit enums.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(message) => return error(&message),
+    };
+    let code = match parsed {
+        Input::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::object_field(v, {f:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|fields| (&v.name, fields)))
+                .map(|(vname, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::object_field(inner, {f:?})?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "if let ::std::option::Option::Some(inner) = v.get({vname:?}) {{\n\
+                             return ::std::result::Result::Ok({name}::{vname} {{ {inits} }});\n\
+                         }}\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::serde::Value::Str(s) = v {{\n\
+                             return match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(\
+                                     ::serde::Error::custom(::std::format!(\
+                                         \"unknown {name} variant `{{other}}`\"))),\n\
+                             }};\n\
+                         }}\n\
+                         {tagged_arms}\n\
+                         ::std::result::Result::Err(::serde::Error::custom(\
+                             \"unrecognised value for enum {name}\"))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

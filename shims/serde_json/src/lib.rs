@@ -1,0 +1,148 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json).
+//!
+//! Renders the shimmed [`serde::Value`] model as JSON text. Only the
+//! serialization direction is implemented — this workspace writes benchmark
+//! records, it does not parse JSON.
+
+use serde::Serialize;
+pub use serde::Value;
+
+/// Error type for JSON serialization (kept for signature compatibility;
+/// rendering a [`Value`] tree cannot actually fail).
+#[derive(Clone, Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact single-line JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON with two-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders `v`; `indent = Some(width)` selects pretty mode at nesting
+/// `level`, `None` selects compact mode.
+fn render(v: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+    let pad = |out: &mut String, level: usize| {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) if f.is_finite() => {
+            // `{:?}` keeps a trailing `.0` on whole numbers, matching how
+            // real serde_json distinguishes floats from integers.
+            out.push_str(&format!("{f:?}"));
+        }
+        Value::Float(_) => out.push_str("null"),
+        Value::Str(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, level + 1);
+                render(item, indent, level + 1, out);
+            }
+            pad(out, level);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, level + 1);
+                escape_into(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, indent, level + 1, out);
+            }
+            pad(out, level);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_objects_with_spaced_keys() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("x".into())),
+            ("value".into(), Value::Float(1.5)),
+        ]);
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"value\": 1.5"), "got: {s}");
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn compact_mode_has_no_whitespace() {
+        let v = Value::Array(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(to_string(&v).unwrap(), "[1,2]");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = to_string(&Value::Str("a\"b\\c\n".into())).unwrap();
+        assert_eq!(s, r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn whole_floats_keep_their_point() {
+        assert_eq!(to_string(&Value::Float(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string(&Value::Float(f64::NAN)).unwrap(), "null");
+    }
+}

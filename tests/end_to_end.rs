@@ -56,7 +56,9 @@ fn one_shot_recall_improves_with_larger_parameter() {
 
     let recall_at = |mult: f64| -> f64 {
         let nr = (((db.len() as f64).sqrt() * mult).ceil() as usize).clamp(1, db.len());
-        let params = RbcParams::standard(db.len(), 11).with_n_reps(nr).with_list_size(nr);
+        let params = RbcParams::standard(db.len(), 11)
+            .with_n_reps(nr)
+            .with_list_size(nr);
         let rbc = OneShotRbc::build(&db, Euclidean, params, RbcConfig::default());
         let (answers, _) = rbc.query_batch(&queries);
         answers
@@ -76,7 +78,10 @@ fn one_shot_recall_improves_with_larger_parameter() {
     // The bio analogue has intrinsic dimension ~8, so even generous
     // parameters do not reach near-perfect recall at this tiny scale; the
     // requirement is that it is clearly better than chance and substantial.
-    assert!(high > 0.6, "generous parameters should give decent recall, got {high}");
+    assert!(
+        high > 0.6,
+        "generous parameters should give decent recall, got {high}"
+    );
 }
 
 #[test]
@@ -135,7 +140,12 @@ fn random_projection_preserves_neighbors_well_enough_to_index() {
     let db_lo = proj.project(&db_hi);
     let q_lo = proj.project(&q_hi);
 
-    let rbc = ExactRbc::build(&db_lo, Euclidean, RbcParams::standard(db_lo.len(), 13), RbcConfig::default());
+    let rbc = ExactRbc::build(
+        &db_lo,
+        Euclidean,
+        RbcParams::standard(db_lo.len(), 13),
+        RbcConfig::default(),
+    );
     let scan = LinearScan::new(&db_hi, Euclidean);
     let mut rank_sum = 0.0;
     for qi in 0..q_lo.len() {
@@ -187,7 +197,9 @@ fn simt_model_prefers_one_shot_over_brute_force_on_catalog_workload() {
     let (db, queries) = (g.database, g.queries);
     let n = db.len();
     let nr = (((n as f64).sqrt()) * 2.0) as usize;
-    let params = RbcParams::standard(n, 19).with_n_reps(nr).with_list_size(nr);
+    let params = RbcParams::standard(n, 19)
+        .with_n_reps(nr)
+        .with_list_size(nr);
     let rbc = OneShotRbc::build(&db, Euclidean, params, RbcConfig::default());
 
     let mut rep = Vec::new();

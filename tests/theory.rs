@@ -30,7 +30,12 @@ fn lemma1_owner_of_nn_is_within_3_gamma() {
     let queries = manifold(200, 2);
     let bf = BruteForce::new();
 
-    let rbc = ExactRbc::build(&db, Euclidean, RbcParams::standard(db.len(), 3), RbcConfig::default());
+    let rbc = ExactRbc::build(
+        &db,
+        Euclidean,
+        RbcParams::standard(db.len(), 3),
+        RbcConfig::default(),
+    );
     let rep_indices = rbc.rep_indices();
 
     for qi in 0..queries.len() {
