@@ -30,6 +30,7 @@
 #![deny(unsafe_code)]
 
 pub mod cover_tree;
+pub mod index_impls;
 pub mod kd_tree;
 pub mod linear;
 pub mod lsh;

@@ -2,7 +2,7 @@
 
 use rayon::prelude::*;
 
-use rbc_metric::{Dataset, Dist, Metric};
+use rbc_metric::{Dataset, Dist, Metric, QueryBatch};
 
 use crate::neighbor::Neighbor;
 use crate::stats::BfStats;
@@ -46,6 +46,23 @@ impl BfConfig {
             ..Self::default()
         }
     }
+
+    /// Checks the configuration for degenerate values.
+    ///
+    /// A zero `query_tile` or `db_tile` would make every tiled loop spin
+    /// without advancing; historically these were silently clamped to 1,
+    /// which hid the misconfiguration. Callers that accept configurations
+    /// from the outside ([`BruteForce::with_config`], the RBC builders and
+    /// the serving layer) reject them instead.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.query_tile == 0 {
+            return Err("BfConfig::query_tile must be at least 1 (got 0)".into());
+        }
+        if self.db_tile == 0 {
+            return Err("BfConfig::db_tile must be at least 1 (got 0)".into());
+        }
+        Ok(())
+    }
 }
 
 /// The brute-force primitive `BF(Q, X[L])` with a fixed configuration.
@@ -64,7 +81,13 @@ impl BruteForce {
     }
 
     /// Primitive with an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics if `config` fails [`BfConfig::validate`] (zero tile sizes).
     pub fn with_config(config: BfConfig) -> Self {
+        if let Err(message) = config.validate() {
+            panic!("invalid brute-force configuration: {message}");
+        }
         Self { config }
     }
 
@@ -148,6 +171,40 @@ impl BruteForce {
             .map(|mut v| v.pop().unwrap_or_else(Neighbor::farthest))
             .collect();
         (nn, stats)
+    }
+
+    /// k-NN for a batch of *individually owned* queries (e.g. `Vec<f32>`
+    /// buffers or `String`s accumulated by an online serving layer),
+    /// without first copying them into a contiguous dataset.
+    ///
+    /// This is the entry point a micro-batching scheduler wants: it
+    /// coalesces queries that arrived one at a time and hands the slice
+    /// over directly, so the only data movement is the one unavoidable
+    /// read during the distance computation.
+    pub fn knn_items<O, D, M>(
+        &self,
+        queries: &[O],
+        db: &D,
+        metric: &M,
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, BfStats)
+    where
+        D: Dataset,
+        O: std::borrow::Borrow<D::Item> + Sync,
+        M: Metric<D::Item>,
+    {
+        self.knn(&QueryBatch::new(queries), db, metric, k)
+    }
+
+    /// 1-NN for a batch of individually owned queries (see
+    /// [`knn_items`](Self::knn_items)).
+    pub fn nn_items<O, D, M>(&self, queries: &[O], db: &D, metric: &M) -> (Vec<Neighbor>, BfStats)
+    where
+        D: Dataset,
+        O: std::borrow::Borrow<D::Item> + Sync,
+        M: Metric<D::Item>,
+    {
+        self.nn(&QueryBatch::new(queries), db, metric)
     }
 
     /// All items of `db` within distance `radius` of each query, sorted by
@@ -653,5 +710,54 @@ mod tests {
         let db = cloud(10, 2, 22);
         let queries = cloud(1, 2, 23);
         let _ = BruteForce::new().knn(&queries, &db, &Euclidean, 0);
+    }
+
+    #[test]
+    fn owned_query_batch_matches_dataset_batch() {
+        let db = cloud(120, 4, 24);
+        let queries = cloud(9, 4, 25);
+        let owned: Vec<Vec<f32>> = queries.iter().map(<[f32]>::to_vec).collect();
+        let bf = BruteForce::new();
+        let (from_set, set_stats) = bf.knn(&queries, &db, &Euclidean, 3);
+        let (from_items, item_stats) = bf.knn_items(&owned, &db, &Euclidean, 3);
+        assert_eq!(from_set, from_items);
+        assert_eq!(set_stats, item_stats);
+
+        let (nn_set, _) = bf.nn(&queries, &db, &Euclidean);
+        let (nn_items, _) = bf.nn_items(&owned, &db, &Euclidean);
+        assert_eq!(nn_set, nn_items);
+    }
+
+    #[test]
+    fn validate_flags_zero_tiles() {
+        assert!(BfConfig::default().validate().is_ok());
+        let zero_q = BfConfig {
+            query_tile: 0,
+            ..BfConfig::default()
+        };
+        assert!(zero_q.validate().unwrap_err().contains("query_tile"));
+        let zero_db = BfConfig {
+            db_tile: 0,
+            ..BfConfig::default()
+        };
+        assert!(zero_db.validate().unwrap_err().contains("db_tile"));
+    }
+
+    #[test]
+    #[should_panic(expected = "query_tile must be at least 1")]
+    fn zero_query_tile_is_rejected_at_construction() {
+        let _ = BruteForce::with_config(BfConfig {
+            query_tile: 0,
+            ..BfConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "db_tile must be at least 1")]
+    fn zero_db_tile_is_rejected_at_construction() {
+        let _ = BruteForce::with_config(BfConfig {
+            db_tile: 0,
+            ..BfConfig::default()
+        });
     }
 }

@@ -1,0 +1,258 @@
+//! [`SearchIndex`]: the uniform searchable-index abstraction the online
+//! serving layer (`rbc-serve`) schedules over.
+//!
+//! The paper's batching economics — a batch of queries shares every
+//! database tile, turning memory-bound matrix–vector work into
+//! compute-bound matrix–matrix work (§3) — apply to *any* index whose
+//! search factors through the brute-force primitive. This trait captures
+//! the minimal contract a query scheduler needs: single-query k-NN, a
+//! coalesced batched k-NN, and the distance-evaluation work counter that
+//! the whole workspace uses in place of wall-clock for verifying theory.
+//!
+//! Implementations live next to the structures themselves: [`OneShotRbc`]
+//! and [`ExactRbc`] here, the comparator structures in `rbc-baselines`.
+//! All of them are `Send + Sync` whenever their database and metric are,
+//! so a built index can be shared behind an `Arc` by a pool of worker
+//! threads; the `send_sync_audit` test below pins that property down.
+
+use rbc_bruteforce::Neighbor;
+use rbc_metric::{Dataset, Metric, QueryBatch};
+
+use crate::exact::ExactRbc;
+use crate::one_shot::OneShotRbc;
+
+/// A built nearest-neighbor index that can answer k-NN queries one at a
+/// time or as a coalesced batch.
+///
+/// The two result channels mirror the rest of the workspace: neighbors
+/// (database indices + distances, ascending) and the number of distance
+/// evaluations spent, the paper's work measure.
+///
+/// # Contract
+///
+/// * `search_batch(&[q], k)` must return exactly the answers of
+///   `search(q, k)` for each query — batching is an execution strategy,
+///   never an approximation. (Probabilistic indexes like [`OneShotRbc`]
+///   answer both paths from the same realised structure, so the agreement
+///   holds per built index even though two builds may differ.)
+/// * Results are sorted by ascending distance and contain at most `k`
+///   entries (fewer only if the index holds fewer than `k` items).
+/// * **Prefix consistency**: for `k' > k`, the first `min(k, len)`
+///   entries of `search(q, k')` must equal `search(q, k)`. Every index in
+///   this workspace satisfies this because candidate sets do not depend
+///   on `k` and ties break deterministically by index. A serving layer
+///   relies on it to execute a mixed-`k` micro-batch at the largest
+///   requested `k` and truncate per request; an implementation whose
+///   candidate set shrinks with `k` must not be served with mixed-`k`
+///   batching.
+pub trait SearchIndex {
+    /// Borrowed query type, e.g. `[f32]` for vector indexes or `str` for
+    /// string dictionaries.
+    type Query: ?Sized + Sync;
+
+    /// Number of items the index was built over.
+    fn size(&self) -> usize;
+
+    /// The `k` nearest neighbors of one query, plus distance evaluations
+    /// spent.
+    fn search(&self, query: &Self::Query, k: usize) -> (Vec<Neighbor>, u64);
+
+    /// k-NN for a coalesced batch of queries; per-query results are in
+    /// input order. The default implementation loops over [`search`]
+    /// sequentially — indexes with a genuinely batched path override it.
+    ///
+    /// [`search`]: Self::search
+    fn search_batch(&self, queries: &[&Self::Query], k: usize) -> (Vec<Vec<Neighbor>>, u64) {
+        let mut results = Vec::with_capacity(queries.len());
+        let mut evals = 0u64;
+        for q in queries {
+            let (neighbors, work) = self.search(q, k);
+            evals += work;
+            results.push(neighbors);
+        }
+        (results, evals)
+    }
+}
+
+/// Every `&I` is as searchable as `I` itself; the serving layer relies on
+/// this when an index is shared rather than owned.
+impl<I: SearchIndex + ?Sized> SearchIndex for &I {
+    type Query = I::Query;
+
+    fn size(&self) -> usize {
+        (**self).size()
+    }
+
+    fn search(&self, query: &Self::Query, k: usize) -> (Vec<Neighbor>, u64) {
+        (**self).search(query, k)
+    }
+
+    fn search_batch(&self, queries: &[&Self::Query], k: usize) -> (Vec<Vec<Neighbor>>, u64) {
+        (**self).search_batch(queries, k)
+    }
+}
+
+impl<I: SearchIndex + ?Sized> SearchIndex for std::sync::Arc<I> {
+    type Query = I::Query;
+
+    fn size(&self) -> usize {
+        (**self).size()
+    }
+
+    fn search(&self, query: &Self::Query, k: usize) -> (Vec<Neighbor>, u64) {
+        (**self).search(query, k)
+    }
+
+    fn search_batch(&self, queries: &[&Self::Query], k: usize) -> (Vec<Vec<Neighbor>>, u64) {
+        (**self).search_batch(queries, k)
+    }
+}
+
+impl<D, M> SearchIndex for ExactRbc<D, M>
+where
+    D: Dataset,
+    M: Metric<D::Item>,
+{
+    type Query = D::Item;
+
+    fn size(&self) -> usize {
+        self.database().len()
+    }
+
+    fn search(&self, query: &D::Item, k: usize) -> (Vec<Neighbor>, u64) {
+        let (neighbors, stats) = self.query_k(query, k);
+        (neighbors, stats.total_distance_evals())
+    }
+
+    fn search_batch(&self, queries: &[&D::Item], k: usize) -> (Vec<Vec<Neighbor>>, u64) {
+        let (results, stats) = self.query_batch_k(&QueryBatch::new(queries), k);
+        (results, stats.total_distance_evals())
+    }
+}
+
+impl<D, M> SearchIndex for OneShotRbc<D, M>
+where
+    D: Dataset,
+    M: Metric<D::Item>,
+{
+    type Query = D::Item;
+
+    fn size(&self) -> usize {
+        self.database().len()
+    }
+
+    fn search(&self, query: &D::Item, k: usize) -> (Vec<Neighbor>, u64) {
+        let (neighbors, stats) = self.query_k(query, k);
+        (neighbors, stats.total_distance_evals())
+    }
+
+    fn search_batch(&self, queries: &[&D::Item], k: usize) -> (Vec<Vec<Neighbor>>, u64) {
+        let (results, stats) = self.query_batch_k(&QueryBatch::new(queries), k);
+        (results, stats.total_distance_evals())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{RbcConfig, RbcParams};
+    use rbc_metric::{Euclidean, VectorSet};
+
+    fn cloud(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                row.push(((state >> 33) as f32 / u32::MAX as f32) * 10.0 - 5.0);
+            }
+            rows.push(row);
+        }
+        VectorSet::from_rows(&rows)
+    }
+
+    /// The Send + Sync audit: a built index must be shareable by a pool of
+    /// worker threads behind an `Arc`. These are compile-time facts; the
+    /// test exists so removing the property fails loudly.
+    #[test]
+    fn send_sync_audit() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExactRbc<VectorSet, Euclidean>>();
+        assert_send_sync::<OneShotRbc<VectorSet, Euclidean>>();
+        assert_send_sync::<ExactRbc<&VectorSet, Euclidean>>();
+        assert_send_sync::<OneShotRbc<&VectorSet, Euclidean>>();
+        assert_send_sync::<ExactRbc<rbc_metric::StringSet, rbc_metric::Levenshtein>>();
+    }
+
+    #[test]
+    fn trait_search_agrees_with_inherent_queries() {
+        let db = cloud(400, 5, 1);
+        let queries = cloud(12, 5, 2);
+        let exact = ExactRbc::build(
+            db.clone(),
+            Euclidean,
+            RbcParams::standard(400, 3),
+            RbcConfig::default(),
+        );
+        let one_shot = OneShotRbc::build(
+            db.clone(),
+            Euclidean,
+            RbcParams::standard(400, 3),
+            RbcConfig::default(),
+        );
+
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            let (via_trait, work) = SearchIndex::search(&exact, q, 3);
+            let (direct, stats) = exact.query_k(q, 3);
+            assert_eq!(via_trait, direct);
+            assert_eq!(work, stats.total_distance_evals());
+
+            let (os_trait, _) = SearchIndex::search(&one_shot, q, 3);
+            let (os_direct, _) = one_shot.query_k(q, 3);
+            assert_eq!(os_trait, os_direct);
+        }
+        assert_eq!(SearchIndex::size(&exact), 400);
+        assert_eq!(SearchIndex::size(&one_shot), 400);
+    }
+
+    #[test]
+    fn batched_search_matches_single_searches() {
+        let db = cloud(300, 4, 4);
+        let queries = cloud(10, 4, 5);
+        let exact = ExactRbc::build(
+            db,
+            Euclidean,
+            RbcParams::standard(300, 6),
+            RbcConfig::default(),
+        );
+        let refs: Vec<&[f32]> = (0..queries.len()).map(|i| queries.point(i)).collect();
+        let (batched, _) = exact.search_batch(&refs, 2);
+        for (qi, per_q) in batched.iter().enumerate() {
+            let (single, _) = exact.search(queries.point(qi), 2);
+            assert_eq!(per_q, &single);
+        }
+    }
+
+    #[test]
+    fn arc_and_reference_wrappers_delegate() {
+        let db = cloud(200, 3, 7);
+        let exact = std::sync::Arc::new(ExactRbc::build(
+            db.clone(),
+            Euclidean,
+            RbcParams::standard(200, 8),
+            RbcConfig::default(),
+        ));
+        let q = db.point(11);
+        let (from_arc, _) = exact.search(q, 1);
+        let (from_ref, _) = (*exact).search(q, 1);
+        assert_eq!(from_arc, from_ref);
+        assert_eq!(SearchIndex::size(&exact), 200);
+        let refs = [q];
+        let (batched, _) = SearchIndex::search_batch(&exact, &refs, 1);
+        assert_eq!(batched[0], from_arc);
+    }
+}

@@ -78,6 +78,7 @@
 #![deny(unsafe_code)]
 
 pub mod exact;
+pub mod index;
 pub mod one_shot;
 pub mod params;
 pub mod rank;
@@ -85,6 +86,7 @@ pub mod reps;
 pub mod stats;
 
 pub use exact::ExactRbc;
+pub use index::SearchIndex;
 pub use one_shot::OneShotRbc;
 pub use params::{RbcConfig, RbcParams};
 pub use rank::{mean_rank, rank_of};

@@ -324,6 +324,52 @@ impl<'a, D: Dataset> Dataset for SubsetView<'a, D> {
     }
 }
 
+/// A [`Dataset`] view over a slice of individually owned (or borrowed)
+/// items — the coalesced query matrix `Q` of an online micro-batch.
+///
+/// A serving layer accumulates queries one at a time (`Vec<f32>`, `String`,
+/// `&[f32]`, …); this adapter presents the accumulated slice to the
+/// brute-force primitive directly, without first copying the items into a
+/// contiguous [`VectorSet`]/`StringSet`. Any element type that derefs to
+/// the item via [`std::borrow::Borrow`] works, including plain references.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryBatch<'a, T: ?Sized, O> {
+    items: &'a [O],
+    _item: std::marker::PhantomData<fn() -> &'a T>,
+}
+
+impl<'a, T, O> QueryBatch<'a, T, O>
+where
+    T: ?Sized + Sync,
+    O: std::borrow::Borrow<T> + Sync,
+{
+    /// Wraps a slice of owned or borrowed items as a dataset.
+    pub fn new(items: &'a [O]) -> Self {
+        Self {
+            items,
+            _item: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'a, T, O> Dataset for QueryBatch<'a, T, O>
+where
+    T: ?Sized + Sync,
+    O: std::borrow::Borrow<T> + Sync,
+{
+    type Item = T;
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> &T {
+        self.items[i].borrow()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +479,23 @@ mod tests {
         let collected: Vec<Vec<f32>> = s.iter().map(|p| p.to_vec()).collect();
         assert_eq!(collected.len(), 4);
         assert_eq!(collected[1], vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn query_batch_works_over_owned_and_borrowed_items() {
+        let owned: Vec<Vec<f32>> = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let batch: QueryBatch<[f32], Vec<f32>> = QueryBatch::new(&owned);
+        assert_eq!(Dataset::len(&batch), 2);
+        assert_eq!(batch.get(1), &[3.0, 4.0][..]);
+
+        let refs: Vec<&[f32]> = owned.iter().map(Vec::as_slice).collect();
+        let ref_batch: QueryBatch<[f32], &[f32]> = QueryBatch::new(&refs);
+        assert_eq!(ref_batch.get(0), &[1.0, 2.0][..]);
+
+        let strings = vec!["abc".to_string(), "de".to_string()];
+        let str_batch: QueryBatch<str, String> = QueryBatch::new(&strings);
+        assert_eq!(str_batch.get(0), "abc");
+        assert!(!Dataset::is_empty(&str_batch));
     }
 
     #[test]

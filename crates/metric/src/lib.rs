@@ -38,7 +38,7 @@ pub mod metric;
 pub mod validate;
 pub mod vector;
 
-pub use dataset::{Dataset, SubsetView, VectorSet, VectorSetBuilder};
+pub use dataset::{Dataset, QueryBatch, SubsetView, VectorSet, VectorSetBuilder};
 pub use discrete::{Hamming, Levenshtein, StringSet};
 pub use graph::{GraphDataset, ShortestPath};
 pub use metric::{Dist, Metric};

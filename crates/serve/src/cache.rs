@@ -1,0 +1,414 @@
+//! An optional LRU answer cache, composed *under* the engine.
+//!
+//! [`CachedIndex`] wraps any [`SearchIndex`] and is itself a
+//! [`SearchIndex`], so caching is orthogonal to scheduling: wrap the index
+//! before handing it to [`Engine::start`](crate::engine::Engine::start)
+//! and repeated queries are answered without any distance evaluations.
+//! Point lookups repeat heavily in real serving traffic (hot documents,
+//! retried requests, popular spell-corrections), which is why NCAM-style
+//! serving stacks put a result cache in front of the searcher.
+//!
+//! Keys are the *exact bytes* of the query (plus `k`): two queries hit the
+//! same entry only if they are bit-identical, so a hit is always the exact
+//! answer — the cache never introduces approximation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rbc_bruteforce::Neighbor;
+use rbc_core::SearchIndex;
+
+/// Queries that can serve as exact cache keys.
+///
+/// The returned bytes must uniquely determine the query: equal bytes ⇒
+/// equal answers. Implementations exist for the workspace's query types
+/// (`[f32]` vectors, `str` strings, `usize` graph vertices).
+pub trait CacheKey {
+    /// Serialises the query into its identity bytes.
+    fn cache_key(&self) -> Vec<u8>;
+}
+
+impl CacheKey for [f32] {
+    fn cache_key(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(self.len() * 4);
+        for v in self {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        bytes
+    }
+}
+
+impl CacheKey for str {
+    fn cache_key(&self) -> Vec<u8> {
+        self.as_bytes().to_vec()
+    }
+}
+
+impl CacheKey for usize {
+    fn cache_key(&self) -> Vec<u8> {
+        (*self as u64).to_le_bytes().to_vec()
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot<V> {
+    key: Vec<u8>,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map from key bytes to values.
+///
+/// Classic slab + doubly-linked recency list: `get`, `insert` and
+/// eviction are all O(1) (amortised over the hash map).
+#[derive(Debug)]
+pub struct LruCache<V> {
+    capacity: usize,
+    map: HashMap<Vec<u8>, usize>,
+    slots: Vec<Slot<V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl<V> LruCache<V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a zero-capacity cache is a
+    /// misconfiguration, not a useful degenerate case.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LruCache capacity must be at least 1 (got 0)");
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Looks a key up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &[u8]) -> Option<&V> {
+        let slot = *self.map.get(key)?;
+        if slot != self.head {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+        Some(&self.slots[slot].value)
+    }
+
+    /// Inserts (or refreshes) a key, evicting the least recently used
+    /// entry when at capacity.
+    pub fn insert(&mut self, key: Vec<u8>, value: V) {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].value = value;
+            if slot != self.head {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            let old_key = std::mem::take(&mut self.slots[victim].key);
+            self.map.remove(&old_key);
+            self.free.push(victim);
+        }
+        let slot = match self.free.pop() {
+            Some(reused) => {
+                self.slots[reused] = Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                reused
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.push_front(slot);
+        self.map.insert(key, slot);
+    }
+}
+
+/// A [`SearchIndex`] wrapper that answers repeated queries from an LRU
+/// cache.
+///
+/// Cache hits cost zero distance evaluations and are excluded from the
+/// inner index's batches; misses are forwarded (batched together when
+/// they arrived batched) and their answers cached on the way out.
+#[derive(Debug)]
+pub struct CachedIndex<I> {
+    inner: I,
+    cache: Mutex<LruCache<Vec<Neighbor>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<I: SearchIndex> CachedIndex<I>
+where
+    I::Query: CacheKey,
+{
+    /// Wraps `inner` with a cache of at most `capacity` answers.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero (see [`LruCache::new`]); to serve
+    /// uncached, hand the engine the bare index instead.
+    pub fn new(inner: I, capacity: usize) -> Self {
+        Self {
+            inner,
+            cache: Mutex::new(LruCache::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped index.
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn key_of(query: &I::Query, k: usize) -> Vec<u8> {
+        let mut key = query.cache_key();
+        key.extend_from_slice(&(k as u64).to_le_bytes());
+        key
+    }
+}
+
+impl<I: SearchIndex> SearchIndex for CachedIndex<I>
+where
+    I::Query: CacheKey,
+{
+    type Query = I::Query;
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn search(&self, query: &Self::Query, k: usize) -> (Vec<Neighbor>, u64) {
+        let key = Self::key_of(query, k);
+        if let Some(hit) = self.cache.lock().expect("cache lock poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (hit.clone(), 0);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (answer, evals) = self.inner.search(query, k);
+        self.cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key, answer.clone());
+        (answer, evals)
+    }
+
+    fn search_batch(&self, queries: &[&Self::Query], k: usize) -> (Vec<Vec<Neighbor>>, u64) {
+        let mut results: Vec<Option<Vec<Neighbor>>> = vec![None; queries.len()];
+        let mut miss_positions = Vec::new();
+        {
+            let mut cache = self.cache.lock().expect("cache lock poisoned");
+            for (i, q) in queries.iter().enumerate() {
+                match cache.get(&Self::key_of(q, k)) {
+                    Some(hit) => results[i] = Some(hit.clone()),
+                    None => miss_positions.push(i),
+                }
+            }
+        }
+        self.hits.fetch_add(
+            (queries.len() - miss_positions.len()) as u64,
+            Ordering::Relaxed,
+        );
+        self.misses
+            .fetch_add(miss_positions.len() as u64, Ordering::Relaxed);
+
+        let mut evals = 0u64;
+        if !miss_positions.is_empty() {
+            let missed: Vec<&Self::Query> = miss_positions.iter().map(|&i| queries[i]).collect();
+            let (answers, work) = self.inner.search_batch(&missed, k);
+            evals = work;
+            let mut cache = self.cache.lock().expect("cache lock poisoned");
+            for (&i, answer) in miss_positions.iter().zip(answers) {
+                cache.insert(Self::key_of(queries[i], k), answer.clone());
+                results[i] = Some(answer);
+            }
+        }
+        (
+            results
+                .into_iter()
+                .map(|r| r.expect("every position filled"))
+                .collect(),
+            evals,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbc_core::{ExactRbc, RbcConfig, RbcParams};
+    use rbc_metric::{Euclidean, VectorSet};
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru = LruCache::new(2);
+        lru.insert(b"a".to_vec(), 1);
+        lru.insert(b"b".to_vec(), 2);
+        assert_eq!(lru.get(b"a"), Some(&1)); // refresh a; b is now LRU
+        lru.insert(b"c".to_vec(), 3);
+        assert_eq!(lru.get(b"b"), None);
+        assert_eq!(lru.get(b"a"), Some(&1));
+        assert_eq!(lru.get(b"c"), Some(&3));
+        assert_eq!(lru.len(), 2);
+        assert!(!lru.is_empty());
+    }
+
+    #[test]
+    fn lru_insert_refreshes_existing_keys() {
+        let mut lru = LruCache::new(2);
+        lru.insert(b"a".to_vec(), 1);
+        lru.insert(b"b".to_vec(), 2);
+        lru.insert(b"a".to_vec(), 10); // refresh + overwrite; b is LRU
+        lru.insert(b"c".to_vec(), 3);
+        assert_eq!(lru.get(b"a"), Some(&10));
+        assert_eq!(lru.get(b"b"), None);
+    }
+
+    #[test]
+    fn lru_capacity_one_works() {
+        let mut lru = LruCache::new(1);
+        for i in 0..10u32 {
+            lru.insert(vec![i as u8], i);
+            assert_eq!(lru.len(), 1);
+            assert_eq!(lru.get(&[i as u8]), Some(&i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = LruCache::<u32>::new(0);
+    }
+
+    #[test]
+    fn cache_keys_distinguish_k_and_query() {
+        let a = [1.0f32, 2.0];
+        let b = [1.0f32, 2.5];
+        assert_ne!(a.cache_key(), b.cache_key());
+        assert_ne!("ab".cache_key(), "ac".cache_key());
+        assert_ne!(3usize.cache_key(), 4usize.cache_key());
+    }
+
+    fn toy_index() -> ExactRbc<VectorSet, Euclidean> {
+        let rows: Vec<Vec<f32>> = (0..200)
+            .map(|i| vec![(i % 17) as f32, (i % 23) as f32, i as f32 * 0.01])
+            .collect();
+        let db = VectorSet::from_rows(&rows);
+        ExactRbc::build(
+            db,
+            Euclidean,
+            RbcParams::standard(200, 1),
+            RbcConfig::default(),
+        )
+    }
+
+    #[test]
+    fn repeated_queries_hit_and_cost_zero_evals() {
+        let cached = CachedIndex::new(toy_index(), 16);
+        let q = vec![3.0f32, 5.0, 0.4];
+        let (first, evals_first) = cached.search(&q, 2);
+        assert!(evals_first > 0);
+        let (second, evals_second) = cached.search(&q, 2);
+        assert_eq!(first, second);
+        assert_eq!(evals_second, 0);
+        assert_eq!(cached.hits(), 1);
+        assert_eq!(cached.misses(), 1);
+        // Different k is a different entry.
+        let (_, evals_k3) = cached.search(&q, 3);
+        assert!(evals_k3 > 0);
+    }
+
+    #[test]
+    fn batch_path_mixes_hits_and_misses_in_order() {
+        let cached = CachedIndex::new(toy_index(), 16);
+        let a = vec![1.0f32, 1.0, 0.1];
+        let b = vec![9.0f32, 2.0, 0.7];
+        let c = vec![4.0f32, 8.0, 1.3];
+        let (direct_a, _) = cached.inner().search(&a, 1);
+        let (direct_b, _) = cached.inner().search(&b, 1);
+        let (direct_c, _) = cached.inner().search(&c, 1);
+
+        // Warm only b.
+        let (_, _) = cached.search(&b, 1);
+        let queries: Vec<&[f32]> = vec![&a, &b, &c];
+        let (batch, evals) = cached.search_batch(&queries, 1);
+        assert_eq!(batch, vec![direct_a, direct_b, direct_c]);
+        assert!(evals > 0);
+        assert_eq!(cached.hits(), 1);
+        assert_eq!(cached.misses(), 3); // warmup b + misses a, c
+
+        // Everything warm now: a full-hit batch costs nothing.
+        let (batch2, evals2) = cached.search_batch(&queries, 1);
+        assert_eq!(batch2, batch);
+        assert_eq!(evals2, 0);
+    }
+}

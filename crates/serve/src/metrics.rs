@@ -1,0 +1,345 @@
+//! Serving metrics: throughput, achieved batch sizes, latency percentiles.
+//!
+//! Counters are lock-free atomics; the two histograms sit behind mutexes
+//! that are touched once per *batch*, not once per query, so accounting
+//! cost stays off the per-query path. A [`MetricsSnapshot`] is a plain
+//! serialisable struct, so `serve_bench` can write it straight into the
+//! JSON reports the rest of `rbc-bench` produces.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+/// Number of power-of-two latency buckets (bucket `i` covers
+/// `[2^i, 2^{i+1})` microseconds; 40 buckets reach ~12.7 days).
+const LATENCY_BUCKETS: usize = 40;
+
+/// Log-scaled latency histogram with exact count/sum/max.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; LATENCY_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (63 - us.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile in microseconds (`q` in `[0, 1]`).
+    ///
+    /// Resolution is the power-of-two bucket the quantile lands in; the
+    /// reported value is the bucket's upper bound capped at the observed
+    /// maximum, so quantiles are monotone and never exceed `max_us`.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+}
+
+/// Shared metrics sink for one engine.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    started: Instant,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
+    distance_evals: AtomicU64,
+    /// `batch_hist[s]` counts executed batches of live size `s`; index 0
+    /// is unused (empty batches are not executed).
+    batch_hist: Mutex<Vec<u64>>,
+    latency: Mutex<LatencyHistogram>,
+}
+
+impl ServeMetrics {
+    /// Creates a sink sized for batches up to `max_batch`.
+    pub fn new(max_batch: usize) -> Self {
+        Self {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_queries: AtomicU64::new(0),
+            distance_evals: AtomicU64::new(0),
+            batch_hist: Mutex::new(vec![0; max_batch + 1]),
+            latency: Mutex::new(LatencyHistogram::default()),
+        }
+    }
+
+    pub(crate) fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rolls back a [`record_submitted`](Self::record_submitted) whose
+    /// enqueue then failed (submissions are counted before the request is
+    /// published so `completed` can never overtake `submitted`).
+    pub(crate) fn unrecord_submitted(&self) {
+        self.submitted.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records requests failed because their batch's search panicked.
+    pub(crate) fn record_failed(&self, requests: usize) {
+        self.failed.fetch_add(requests as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one executed batch: its live size, the work it cost, and
+    /// the per-request latencies.
+    pub(crate) fn record_batch(&self, live: usize, evals: u64, latencies: &[Duration]) {
+        debug_assert!(live > 0, "empty batches are not executed");
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_queries
+            .fetch_add(live as u64, Ordering::Relaxed);
+        self.completed.fetch_add(live as u64, Ordering::Relaxed);
+        self.distance_evals.fetch_add(evals, Ordering::Relaxed);
+        {
+            let mut hist = self.batch_hist.lock().expect("metrics lock poisoned");
+            let slot = live.min(hist.len() - 1);
+            hist[slot] += 1;
+        }
+        let mut latency = self.latency.lock().expect("metrics lock poisoned");
+        for &sample in latencies {
+            latency.record(sample);
+        }
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let uptime = self.started.elapsed();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_queries = self.batched_queries.load(Ordering::Relaxed);
+        let batch_size_histogram: Vec<BatchSizeBucket> = {
+            let hist = self.batch_hist.lock().expect("metrics lock poisoned");
+            hist.iter()
+                .enumerate()
+                .filter(|(_, &count)| count > 0)
+                .map(|(batch_size, &count)| BatchSizeBucket {
+                    batch_size: batch_size as u64,
+                    count,
+                })
+                .collect()
+        };
+        let latency = self.latency.lock().expect("metrics lock poisoned").clone();
+        MetricsSnapshot {
+            uptime_secs: uptime.as_secs_f64(),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            shed: self.shed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched_queries as f64 / batches as f64
+            },
+            batch_size_histogram,
+            distance_evals: self.distance_evals.load(Ordering::Relaxed),
+            throughput_qps: if uptime.as_secs_f64() > 0.0 {
+                completed as f64 / uptime.as_secs_f64()
+            } else {
+                0.0
+            },
+            latency_mean_us: latency.mean_us(),
+            latency_p50_us: latency.quantile_us(0.50),
+            latency_p95_us: latency.quantile_us(0.95),
+            latency_p99_us: latency.quantile_us(0.99),
+            latency_max_us: latency.max_us,
+        }
+    }
+}
+
+/// One bar of the achieved-batch-size histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct BatchSizeBucket {
+    /// Live batch size.
+    pub batch_size: u64,
+    /// Number of executed batches of exactly this size.
+    pub count: u64,
+}
+
+/// A serialisable point-in-time copy of an engine's metrics.
+#[derive(Clone, Debug, Serialize)]
+pub struct MetricsSnapshot {
+    /// Seconds since the engine started.
+    pub uptime_secs: f64,
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered (their batch was executed).
+    pub completed: u64,
+    /// Requests shed because their deadline expired before execution.
+    pub shed: u64,
+    /// Non-blocking submissions rejected because the queue was full.
+    pub rejected: u64,
+    /// Requests failed because the index panicked executing their batch.
+    pub failed: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Mean live queries per executed batch — the coalescing the paper's
+    /// batching economics depend on; 1.0 means no coalescing happened.
+    pub mean_batch_size: f64,
+    /// Histogram of achieved (live) batch sizes; only non-empty bars.
+    pub batch_size_histogram: Vec<BatchSizeBucket>,
+    /// Total distance evaluations spent by executed batches.
+    pub distance_evals: u64,
+    /// Completed queries per second of uptime.
+    pub throughput_qps: f64,
+    /// Mean submission-to-completion latency, microseconds.
+    pub latency_mean_us: f64,
+    /// Median latency (bucket upper bound), microseconds.
+    pub latency_p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub latency_p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub latency_p99_us: u64,
+    /// Worst observed latency, microseconds.
+    pub latency_max_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded() {
+        let mut h = LatencyHistogram::default();
+        for us in [3u64, 10, 10, 50, 400, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 6);
+        let p50 = h.quantile_us(0.50);
+        let p95 = h.quantile_us(0.95);
+        let p99 = h.quantile_us(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 <= h.max_us);
+        assert!(h.mean_us() > 0.0);
+        assert_eq!(LatencyHistogram::default().quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn quantile_hits_the_right_bucket_for_a_bimodal_load() {
+        let mut h = LatencyHistogram::default();
+        // 90 fast samples (~8us), 10 slow (~8ms).
+        for _ in 0..90 {
+            h.record(Duration::from_micros(8));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(8));
+        }
+        assert!(h.quantile_us(0.50) < 100);
+        assert!(h.quantile_us(0.95) > 4_000);
+    }
+
+    #[test]
+    fn batch_accounting_feeds_the_snapshot() {
+        let m = ServeMetrics::new(8);
+        m.record_submitted();
+        m.record_submitted();
+        m.record_submitted();
+        m.record_shed();
+        m.record_batch(
+            2,
+            100,
+            &[Duration::from_micros(40), Duration::from_micros(60)],
+        );
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.mean_batch_size, 2.0);
+        assert_eq!(s.distance_evals, 100);
+        assert_eq!(
+            s.batch_size_histogram,
+            vec![BatchSizeBucket {
+                batch_size: 2,
+                count: 1
+            }]
+        );
+        assert!(s.latency_p50_us > 0);
+        assert!(s.throughput_qps > 0.0);
+    }
+
+    #[test]
+    fn oversized_batches_clamp_into_the_last_bar() {
+        let m = ServeMetrics::new(4);
+        m.record_batch(9, 1, &[Duration::from_micros(1)]);
+        let s = m.snapshot();
+        assert_eq!(s.batch_size_histogram[0].batch_size, 4);
+    }
+
+    #[test]
+    fn snapshot_serialises_to_json() {
+        let m = ServeMetrics::new(4);
+        m.record_batch(3, 42, &[Duration::from_micros(5); 3]);
+        let json = serde_json::to_string(&m.snapshot()).unwrap();
+        assert!(json.contains("\"mean_batch_size\""));
+        assert!(json.contains("\"latency_p99_us\""));
+        assert!(json.contains("\"batch_size_histogram\""));
+    }
+}

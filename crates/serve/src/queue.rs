@@ -1,0 +1,251 @@
+//! The bounded pending queue and the batch-closing rule.
+//!
+//! This is the heart of the scheduler: producers push requests in, worker
+//! threads pull *micro-batches* out. A batch is closed as soon as either
+//! it is full (`max_batch` pending) or the oldest pending request has
+//! waited `linger` — the classic size-or-time coalescing policy (NCAM,
+//! buffer k-d trees). The queue is bounded; a full queue blocks
+//! [`push`](SubmitQueue::push) (backpressure) and fails
+//! [`try_push`](SubmitQueue::try_push).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::config::ServeError;
+use crate::ticket::TicketCell;
+
+/// One enqueued query awaiting its batch.
+#[derive(Debug)]
+pub(crate) struct Request<O> {
+    /// The owned query payload.
+    pub query: O,
+    /// How many neighbors the producer asked for.
+    pub k: usize,
+    /// Absolute shed deadline, if any.
+    pub deadline: Option<Instant>,
+    /// When the request entered the queue (latency measurement starts
+    /// here, so queueing and lingering are part of the reported latency).
+    pub submitted_at: Instant,
+    /// Completion slot shared with the producer's [`Ticket`](crate::Ticket).
+    pub ticket: Arc<TicketCell>,
+}
+
+#[derive(Debug)]
+struct State<O> {
+    pending: VecDeque<Request<O>>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue of pending requests with batch-closing semantics.
+#[derive(Debug)]
+pub(crate) struct SubmitQueue<O> {
+    capacity: usize,
+    state: Mutex<State<O>>,
+    /// Signalled when `pending` gains an element or the queue closes.
+    not_empty: Condvar,
+    /// Signalled when `pending` loses elements (backpressure release).
+    not_full: Condvar,
+}
+
+impl<O> SubmitQueue<O> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        debug_assert!(capacity > 0, "queue capacity validated by ServeConfig");
+        Self {
+            capacity,
+            state: Mutex::new(State {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a request, blocking while the queue is at capacity.
+    pub(crate) fn push(&self, request: Request<O>) -> Result<(), (Request<O>, ServeError)> {
+        let mut state = self.state.lock().expect("serve queue lock poisoned");
+        while state.pending.len() >= self.capacity && !state.closed {
+            state = self
+                .not_full
+                .wait(state)
+                .expect("serve queue lock poisoned");
+        }
+        if state.closed {
+            return Err((request, ServeError::Shutdown));
+        }
+        state.pending.push_back(request);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues a request or fails immediately when the queue is full.
+    pub(crate) fn try_push(&self, request: Request<O>) -> Result<(), (Request<O>, ServeError)> {
+        let mut state = self.state.lock().expect("serve queue lock poisoned");
+        if state.closed {
+            return Err((request, ServeError::Shutdown));
+        }
+        if state.pending.len() >= self.capacity {
+            return Err((request, ServeError::QueueFull));
+        }
+        state.pending.push_back(request);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a batch can be closed and returns it; `None` once the
+    /// queue is closed *and* drained (worker shutdown signal).
+    ///
+    /// Closing rule: dispatch when `max_batch` requests are pending, when
+    /// the oldest pending request has waited `linger`, or unconditionally
+    /// during shutdown (drain). Multiple workers may close batches
+    /// concurrently; each call drains at most `max_batch` requests.
+    pub(crate) fn next_batch(&self, max_batch: usize, linger: Duration) -> Option<Vec<Request<O>>> {
+        let mut state = self.state.lock().expect("serve queue lock poisoned");
+        loop {
+            if state.pending.is_empty() {
+                if state.closed {
+                    return None;
+                }
+                state = self
+                    .not_empty
+                    .wait(state)
+                    .expect("serve queue lock poisoned");
+                continue;
+            }
+            if state.pending.len() >= max_batch || state.closed {
+                break;
+            }
+            let oldest = state.pending.front().expect("nonempty").submitted_at;
+            let waited = oldest.elapsed();
+            if waited >= linger {
+                break;
+            }
+            let (guard, _timeout) = self
+                .not_empty
+                .wait_timeout(state, linger - waited)
+                .expect("serve queue lock poisoned");
+            state = guard;
+        }
+        let take = state.pending.len().min(max_batch);
+        let batch: Vec<Request<O>> = state.pending.drain(..take).collect();
+        self.not_full.notify_all();
+        Some(batch)
+    }
+
+    /// Closes the queue: further pushes fail with
+    /// [`ServeError::Shutdown`], and workers drain what remains.
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock().expect("serve queue lock poisoned");
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Number of requests currently pending (diagnostic).
+    pub(crate) fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .expect("serve queue lock poisoned")
+            .pending
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ticket::Ticket;
+
+    fn request(query: u32) -> Request<u32> {
+        let (_ticket, cell) = Ticket::new();
+        Request {
+            query,
+            k: 1,
+            deadline: None,
+            submitted_at: Instant::now(),
+            ticket: cell,
+        }
+    }
+
+    #[test]
+    fn try_push_reports_queue_full_and_returns_the_request() {
+        let queue = SubmitQueue::new(2);
+        queue.try_push(request(1)).unwrap();
+        queue.try_push(request(2)).unwrap();
+        let (returned, err) = queue.try_push(request(3)).unwrap_err();
+        assert_eq!(err, ServeError::QueueFull);
+        assert_eq!(returned.query, 3);
+        assert_eq!(queue.depth(), 2);
+    }
+
+    #[test]
+    fn full_batch_is_dispatched_without_waiting_for_linger() {
+        let queue = SubmitQueue::new(16);
+        for i in 0..5 {
+            queue.try_push(request(i)).unwrap();
+        }
+        // linger is an hour: only the size trigger can fire.
+        let batch = queue
+            .next_batch(4, Duration::from_secs(3600))
+            .expect("open queue");
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch[0].query, 0);
+        assert_eq!(queue.depth(), 1);
+    }
+
+    #[test]
+    fn linger_expiry_dispatches_a_partial_batch() {
+        let queue = SubmitQueue::new(16);
+        queue.try_push(request(7)).unwrap();
+        let start = Instant::now();
+        let batch = queue
+            .next_batch(64, Duration::from_millis(10))
+            .expect("open queue");
+        assert_eq!(batch.len(), 1);
+        assert!(
+            start.elapsed() >= Duration::from_millis(9),
+            "batch closed before the linger elapsed"
+        );
+    }
+
+    #[test]
+    fn close_drains_remaining_then_signals_shutdown() {
+        let queue = SubmitQueue::new(16);
+        queue.try_push(request(1)).unwrap();
+        queue.try_push(request(2)).unwrap();
+        queue.close();
+        let batch = queue.next_batch(64, Duration::from_secs(3600)).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(queue.next_batch(64, Duration::from_secs(3600)).is_none());
+        let (_, err) = queue.try_push(request(3)).unwrap_err();
+        assert_eq!(err, ServeError::Shutdown);
+        let (_, err) = queue.push(request(4)).unwrap_err();
+        assert_eq!(err, ServeError::Shutdown);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_capacity() {
+        let queue = Arc::new(SubmitQueue::new(1));
+        queue.try_push(request(1)).unwrap();
+        let q2 = Arc::clone(&queue);
+        let producer = std::thread::spawn(move || q2.push(request(2)).map_err(|(_, e)| e));
+        // Give the producer time to block, then free a slot.
+        std::thread::sleep(Duration::from_millis(5));
+        let batch = queue.next_batch(1, Duration::ZERO).unwrap();
+        assert_eq!(batch[0].query, 1);
+        producer.join().unwrap().unwrap();
+        assert_eq!(queue.depth(), 1);
+    }
+
+    #[test]
+    fn waiting_worker_wakes_on_push() {
+        let queue = Arc::new(SubmitQueue::<u32>::new(4));
+        let q2 = Arc::clone(&queue);
+        let worker =
+            std::thread::spawn(move || q2.next_batch(8, Duration::from_millis(1)).map(|b| b.len()));
+        std::thread::sleep(Duration::from_millis(5));
+        queue.try_push(request(9)).unwrap();
+        assert_eq!(worker.join().unwrap(), Some(1));
+    }
+}

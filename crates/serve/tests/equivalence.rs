@@ -1,0 +1,182 @@
+//! The serving engine is an execution strategy, not an approximation:
+//! under every batching policy and under heavy producer contention, each
+//! served answer must be *identical* — same indices, same distances — to
+//! a direct sequential `query_k` call on the same built index.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rbc_core::{ExactRbc, OneShotRbc, RbcConfig, RbcParams, SearchIndex};
+use rbc_metric::{Euclidean, VectorSet};
+use rbc_serve::{Engine, ServeConfig, ServeReply};
+
+/// Deterministic pseudo-random cloud (LCG; no RNG dependency needed).
+fn cloud(n: usize, dim: usize, seed: u64) -> VectorSet {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut row = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            row.push(((state >> 33) as f32 / u32::MAX as f32) * 10.0 - 5.0);
+        }
+        rows.push(row);
+    }
+    VectorSet::from_rows(&rows)
+}
+
+/// Drives `producers` threads through a fresh engine over `index` and
+/// checks every reply against the direct single-query answer. Returns the
+/// replies (for batch-size assertions) and the final metrics' mean
+/// achieved batch size.
+fn run_load_test<I>(
+    index: Arc<I>,
+    config: ServeConfig,
+    producers: usize,
+    queries_per_producer: usize,
+    k: usize,
+) -> (Vec<ServeReply>, f64)
+where
+    I: SearchIndex<Query = [f32]> + Send + Sync + 'static,
+{
+    let query_pool = cloud(64, 6, 0xC0FFEE);
+    let engine = Engine::start(Arc::clone(&index), config).expect("valid config");
+
+    let mut replies = Vec::new();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for p in 0..producers {
+            let handle = engine.handle();
+            let query_pool = &query_pool;
+            let index = Arc::clone(&index);
+            joins.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                for i in 0..queries_per_producer {
+                    let qi = (p * 31 + i * 7) % query_pool.len();
+                    let query = query_pool.point(qi).to_vec();
+                    let ticket = handle.submit(query.clone(), k).expect("submit");
+                    let reply = ticket.wait().expect("served");
+                    // The acceptance bar: identical indices AND distances.
+                    let (direct, _) = index.search(&query, k);
+                    assert_eq!(
+                        reply.neighbors, direct,
+                        "producer {p} query {i}: served answer diverged from direct query"
+                    );
+                    out.push(reply);
+                }
+                out
+            }));
+        }
+        for join in joins {
+            replies.extend(join.join().expect("producer panicked"));
+        }
+    });
+
+    let snapshot = engine.shutdown();
+    assert_eq!(
+        snapshot.completed,
+        (producers * queries_per_producer) as u64
+    );
+    assert_eq!(snapshot.shed, 0);
+    (replies, snapshot.mean_batch_size)
+}
+
+#[test]
+fn exact_rbc_served_answers_equal_direct_answers_across_policies() {
+    let db = cloud(1200, 6, 1);
+    let index = Arc::new(ExactRbc::build(
+        db,
+        Euclidean,
+        RbcParams::standard(1200, 2),
+        RbcConfig::default(),
+    ));
+    let policies = [
+        // Degenerate per-query dispatch: batching must not be load-bearing
+        // for correctness.
+        ServeConfig::default()
+            .with_max_batch(1)
+            .with_linger(Duration::ZERO)
+            .with_workers(1),
+        // Small batches, short linger, two workers racing for batches.
+        ServeConfig::default()
+            .with_max_batch(4)
+            .with_linger(Duration::from_micros(200))
+            .with_workers(2),
+        // Large batches with a generous linger.
+        ServeConfig::default()
+            .with_max_batch(64)
+            .with_linger(Duration::from_millis(2))
+            .with_workers(1),
+        // Tiny queue: the backpressure path must also preserve answers.
+        ServeConfig::default()
+            .with_max_batch(8)
+            .with_linger(Duration::from_micros(500))
+            .with_queue_capacity(4)
+            .with_workers(2),
+    ];
+    for (pi, policy) in policies.into_iter().enumerate() {
+        let (replies, _) = run_load_test(Arc::clone(&index), policy, 2, 20, 3);
+        assert_eq!(replies.len(), 40, "policy {pi}");
+        if policy.max_batch == 1 {
+            assert!(
+                replies.iter().all(|r| r.batch_size == 1),
+                "policy {pi}: max_batch = 1 must never coalesce"
+            );
+        }
+        assert!(
+            replies.iter().all(|r| r.batch_size <= policy.max_batch),
+            "policy {pi}: achieved batch exceeded max_batch"
+        );
+    }
+}
+
+#[test]
+fn one_shot_rbc_served_answers_equal_direct_answers() {
+    let db = cloud(1000, 6, 3);
+    // One-shot is probabilistic across *builds*; a single built structure
+    // answers deterministically, which is what serving equivalence needs.
+    let index = Arc::new(OneShotRbc::build(
+        db,
+        Euclidean,
+        RbcParams::standard(1000, 4),
+        RbcConfig::default(),
+    ));
+    for max_batch in [1usize, 16] {
+        let policy = ServeConfig::default()
+            .with_max_batch(max_batch)
+            .with_linger(Duration::from_millis(1))
+            .with_workers(2);
+        let (replies, _) = run_load_test(Arc::clone(&index), policy, 2, 15, 2);
+        assert_eq!(replies.len(), 30);
+    }
+}
+
+#[test]
+fn heavy_contention_coalesces_and_stays_exact() {
+    let db = cloud(1500, 6, 5);
+    let index = Arc::new(ExactRbc::build(
+        db,
+        Euclidean,
+        RbcParams::standard(1500, 6),
+        RbcConfig::default(),
+    ));
+    // One worker, a generous linger and four producers hammering it: the
+    // scheduler must actually coalesce (mean achieved batch size > 1)
+    // while every answer stays bit-identical to the direct query.
+    let policy = ServeConfig::default()
+        .with_max_batch(64)
+        .with_linger(Duration::from_millis(2))
+        .with_workers(1);
+    let (replies, mean_batch_size) = run_load_test(Arc::clone(&index), policy, 4, 50, 3);
+    assert_eq!(replies.len(), 200);
+    assert!(
+        mean_batch_size > 1.0,
+        "4 concurrent producers against one worker must coalesce, got mean batch {mean_batch_size}"
+    );
+    assert!(
+        replies.iter().any(|r| r.batch_size > 1),
+        "no reply ever shared a batch"
+    );
+}

@@ -1,22 +1,28 @@
 //! General metric spaces and streaming queries: nearest-neighbor search
-//! over *strings* under edit distance.
+//! over *strings* under edit distance, served online.
 //!
 //! The paper stresses that the RBC is defined for arbitrary metrics — "the
 //! edit distance on strings and the shortest path distance on the nodes of
 //! a graph" are its examples (§6). This example builds both RBC variants
 //! over a synthetic dictionary of strings with Levenshtein distance and
-//! serves a stream of misspelled lookups, the classic spell-correction
-//! workload. It also demonstrates the exact structure's ε-range queries.
+//! serves a *concurrent stream* of misspelled lookups — the classic
+//! spell-correction workload — through the `rbc-serve` engine: four
+//! producer threads submit typos one at a time, and the scheduler
+//! coalesces them into micro-batches so the edit-distance kernels run over
+//! query matrices rather than lone strings. Instead of one bare wall-clock
+//! total, the engines report achieved batch sizes and latency percentiles.
+//! It also demonstrates the exact structure's ε-range queries.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example streaming_queries
 //! ```
 
-use std::time::Instant;
+use std::time::Duration;
 
 use rbc::core::{ExactRbc, OneShotRbc, RbcConfig, RbcParams};
 use rbc::metric::{Dataset, Levenshtein, StringSet};
+use rbc::serve::{Engine, ServeConfig};
 
 /// Deterministic pseudo-random word generator (no external corpus needed).
 fn synth_word(seed: u64, min_len: usize, max_len: usize) -> String {
@@ -70,7 +76,9 @@ use util::scaled;
 
 fn main() {
     let dictionary_size = scaled(20_000);
-    let stream_length = 400;
+    let producers = 4;
+    let stream_per_producer = 100;
+    let stream_length = producers * stream_per_producer;
 
     println!("building a synthetic dictionary of {dictionary_size} words ...");
     let dictionary = StringSet::new((0..dictionary_size).map(|i| synth_word(i as u64, 4, 12)));
@@ -80,62 +88,99 @@ fn main() {
         "building exact and one-shot RBC indexes under edit distance ({} representatives) ...",
         params.n_reps
     );
-    let t = Instant::now();
     let exact = ExactRbc::build(
-        &dictionary,
+        dictionary.clone(),
         Levenshtein,
         params.clone(),
         RbcConfig::default(),
     );
-    println!("  exact build    : {:.2} s", t.elapsed().as_secs_f64());
-    let t = Instant::now();
-    let one_shot = OneShotRbc::build(&dictionary, Levenshtein, params, RbcConfig::default());
-    println!("  one-shot build : {:.2} s", t.elapsed().as_secs_f64());
+    let one_shot = OneShotRbc::build(
+        dictionary.clone(),
+        Levenshtein,
+        params,
+        RbcConfig::default(),
+    );
 
-    // Stream misspelled queries through both indexes.
-    let mut exact_hits = 0usize;
-    let mut one_shot_agrees = 0usize;
-    let mut exact_evals = 0u64;
-    let mut one_shot_evals = 0u64;
-    let t = Instant::now();
-    for i in 0..stream_length {
-        let original_idx = (i * 37) % dictionary.len();
-        let typo = corrupt(dictionary.get(original_idx), 0xABCD + i as u64);
-
-        let (best, stats) = exact.query(typo.as_str());
-        exact_evals += stats.total_distance_evals();
-        if best.index == original_idx || best.dist <= 1.0 {
-            exact_hits += 1;
-        }
-
-        let (fast, fstats) = one_shot.query(typo.as_str());
-        one_shot_evals += fstats.total_distance_evals();
-        if fast.index == best.index {
-            one_shot_agrees += 1;
-        }
-    }
-    let elapsed = t.elapsed();
+    // Serve both indexes online: typos arrive one at a time from several
+    // concurrent producers, and each engine coalesces them into
+    // micro-batches of edit-distance work.
+    let policy = ServeConfig::default()
+        .with_max_batch(32)
+        .with_linger(Duration::from_millis(1));
+    let exact_engine = Engine::start(exact, policy).expect("valid serving configuration");
+    let one_shot_engine = Engine::start(one_shot, policy).expect("valid serving configuration");
 
     println!(
-        "\nstreamed {stream_length} misspelled lookups in {:.2} s:",
-        elapsed.as_secs_f64()
+        "streaming {stream_length} misspelled lookups from {producers} concurrent producers ..."
     );
+    let (exact_hits, one_shot_agrees): (usize, usize) = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for p in 0..producers {
+            let exact_handle = exact_engine.handle();
+            let one_shot_handle = one_shot_engine.handle();
+            let dictionary = &dictionary;
+            joins.push(scope.spawn(move || {
+                let mut hits = 0usize;
+                let mut agrees = 0usize;
+                for i in 0..stream_per_producer {
+                    let original_idx = ((p * stream_per_producer + i) * 37) % dictionary.len();
+                    let typo =
+                        corrupt(dictionary.get(original_idx), 0xABCD + (p * 1000 + i) as u64);
+
+                    let exact_ticket = exact_handle.submit(typo.clone(), 1).expect("submit");
+                    let one_shot_ticket = one_shot_handle.submit(typo, 1).expect("submit");
+
+                    let best = exact_ticket.wait().expect("served").neighbors[0];
+                    if best.index == original_idx || best.dist <= 1.0 {
+                        hits += 1;
+                    }
+                    let fast = one_shot_ticket.wait().expect("served").neighbors[0];
+                    if fast.index == best.index {
+                        agrees += 1;
+                    }
+                }
+                (hits, agrees)
+            }));
+        }
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("producer panicked"))
+            .fold((0, 0), |(h, a), (ph, pa)| (h + ph, a + pa))
+    });
+
+    // ε-range search: every dictionary word within edit distance 2 of a
+    // query (what a spell-checker shows as suggestions). Range queries are
+    // not k-NN traffic, so they bypass the engine — but the engine happily
+    // lends out its index, so no second build is needed.
+    let query = corrupt(dictionary.get(5), 0xF00D);
+    let (suggestions, _) = exact_engine.index().query_range(query.as_str(), 2.0);
+
+    let exact_stats = exact_engine.shutdown();
+    let one_shot_stats = one_shot_engine.shutdown();
+
+    println!("\nserved {stream_length} lookups per index:");
     println!(
         "  exact RBC      : {:.1}% corrected within 1 edit, {:.0} edit-distance evals/query (dictionary = {})",
         100.0 * exact_hits as f64 / stream_length as f64,
-        exact_evals as f64 / stream_length as f64,
+        exact_stats.distance_evals as f64 / stream_length as f64,
         dictionary.len()
     );
     println!(
         "  one-shot RBC   : agrees with exact on {:.1}% of queries, {:.0} evals/query",
         100.0 * one_shot_agrees as f64 / stream_length as f64,
-        one_shot_evals as f64 / stream_length as f64
+        one_shot_stats.distance_evals as f64 / stream_length as f64
     );
+    for (name, stats) in [("exact", &exact_stats), ("one-shot", &one_shot_stats)] {
+        println!(
+            "  {name:<9} serve : mean batch {:.1} over {} batches, latency p50 {} us / p95 {} us / p99 {} us",
+            stats.mean_batch_size,
+            stats.batches,
+            stats.latency_p50_us,
+            stats.latency_p95_us,
+            stats.latency_p99_us
+        );
+    }
 
-    // ε-range search: every dictionary word within edit distance 2 of a
-    // query (what a spell-checker shows as suggestions).
-    let query = corrupt(dictionary.get(5), 0xF00D);
-    let (suggestions, _) = exact.query_range(query.as_str(), 2.0);
     println!("\nsuggestions within edit distance 2 of {query:?}:");
     for s in suggestions.iter().take(8) {
         println!("  {:<14} (distance {})", dictionary.get(s.index), s.dist);

@@ -19,6 +19,9 @@
 //! * [`distributed`] (`rbc-distributed`) — the paper's future-work
 //!   extension: the database sharded across (simulated) cluster nodes by
 //!   representative, with communication-cost accounting.
+//! * [`serve`] (`rbc-serve`) — the online query-serving engine: concurrent
+//!   producers' queries coalesced into micro-batches (with deadlines, an
+//!   answer cache, and latency accounting) over any [`SearchIndex`].
 //!
 //! ## Quickstart
 //!
@@ -49,16 +52,23 @@ pub use rbc_data as data;
 pub use rbc_device as device;
 pub use rbc_distributed as distributed;
 pub use rbc_metric as metric;
+pub use rbc_serve as serve;
 
 pub use rbc_bruteforce::{BfConfig, BruteForce, Neighbor};
-pub use rbc_core::{ExactRbc, OneShotRbc, QueryStats, RbcConfig, RbcParams, SearchStats};
+pub use rbc_core::{
+    ExactRbc, OneShotRbc, QueryStats, RbcConfig, RbcParams, SearchIndex, SearchStats,
+};
 pub use rbc_metric::{Dataset, Dist, Euclidean, Metric, VectorSet};
+pub use rbc_serve::{CachedIndex, Engine, ServeConfig, ServeError, ServeHandle, Ticket};
 
 /// Everything a typical application needs in scope.
 pub mod prelude {
     pub use rbc_bruteforce::{BfConfig, BruteForce, Neighbor};
-    pub use rbc_core::{ExactRbc, OneShotRbc, QueryStats, RbcConfig, RbcParams, SearchStats};
+    pub use rbc_core::{
+        ExactRbc, OneShotRbc, QueryStats, RbcConfig, RbcParams, SearchIndex, SearchStats,
+    };
     pub use rbc_metric::{Dataset, Dist, Euclidean, Manhattan, Metric, VectorSet};
+    pub use rbc_serve::{CachedIndex, Engine, ServeConfig, ServeError, ServeHandle, Ticket};
 }
 
 #[cfg(test)]

@@ -100,4 +100,31 @@ fn facade_modules_expose_the_workspace_crates() {
     let _ = rbc::device::MachineProfile::host();
     let _ = rbc::distributed::ClusterConfig::default();
     let _ = rbc::metric::Manhattan.dist(db.point(0), db.point(1));
+    let _ = rbc::serve::ServeConfig::default();
+}
+
+#[test]
+fn facade_serves_an_index_end_to_end() {
+    // The serving engine composed purely from prelude re-exports: submit a
+    // couple of queries and check the answers against direct calls.
+    let db = VectorSet::from_rows(&random_rows(400, 5, 9));
+    let queries = VectorSet::from_rows(&random_rows(10, 5, 1009));
+    let index = ExactRbc::build(
+        db,
+        Euclidean,
+        RbcParams::standard(400, 11),
+        RbcConfig::default(),
+    );
+    let engine = Engine::start(index, ServeConfig::default()).expect("valid config");
+    let handle = engine.handle();
+    let tickets: Vec<Ticket> = (0..queries.len())
+        .map(|qi| handle.submit(queries.point(qi).to_vec(), 2).unwrap())
+        .collect();
+    for (qi, ticket) in tickets.into_iter().enumerate() {
+        let reply = ticket.wait().expect("served");
+        let (direct, _) = engine.index().query_k(queries.point(qi), 2);
+        assert_eq!(reply.neighbors, direct, "query {qi}");
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.completed, 10);
 }
