@@ -1,0 +1,231 @@
+//! `batch_bench` — query-major vs list-major batched exact search.
+//!
+//! Not a paper artifact: the paper's tables batch queries but never ask
+//! *how* stage 2 should be parallelised. This binary answers that with an
+//! A/B sweep on one built exact RBC: the same clustered query stream is
+//! executed at batch sizes {1, 16, 256} under both [`BatchStrategy`]
+//! variants, and for each cell we report distance evaluations (arithmetic
+//! work — strategy-independent up to pruning order), **list-tile passes**
+//! (memory traffic — what list-major batching reduces), the achieved
+//! tile-sharing factor, and wall-clock. Tile shapes come from the
+//! device layer (`MachineProfile::host().tile_policy()`), so the sweep
+//! measures the policy an actual machine profile would run with.
+//!
+//! At batch size 1 a list-major call explicitly degenerates to the
+//! query-major execution (nothing to share, and query-major's
+//! nearest-list-first scan order tightens thresholds fastest), so the two
+//! rows coincide; from batch size 16 up, clustered queries co-travel
+//! through the same ownership lists and list-major streams strictly fewer
+//! tiles at the cost of somewhat more distance evaluations (its
+//! thresholds tighten in list order, not nearest-first). The full grid is
+//! written as JSON under `results/batch_bench.json`.
+//!
+//! Usage: `batch_bench [--n N] [--queries N] [--clusters N] [--dim N]
+//! [--k N] [--seed N]`
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use rbc_bench::{write_json_records, Table};
+use rbc_bruteforce::BfConfig;
+use rbc_core::{BatchStrategy, ExactRbc, RbcConfig, RbcParams, SearchStats};
+use rbc_data::gaussian_mixture;
+use rbc_device::MachineProfile;
+use rbc_metric::{Dataset, Euclidean, VectorSet};
+
+struct Options {
+    n: usize,
+    queries: usize,
+    clusters: usize,
+    dim: usize,
+    k: usize,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            n: 20_000,
+            queries: 256,
+            clusters: 24,
+            dim: 12,
+            k: 1,
+            seed: 0,
+        }
+    }
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
+        it.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage(&format!("{flag} needs an integer value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--n" => opts.n = need(&mut args, "--n").max(2),
+            "--queries" => opts.queries = need(&mut args, "--queries").max(1),
+            "--clusters" => opts.clusters = need(&mut args, "--clusters").max(1),
+            "--dim" => opts.dim = need(&mut args, "--dim").max(1),
+            "--k" => opts.k = need(&mut args, "--k").max(1),
+            "--seed" => opts.seed = need(&mut args, "--seed") as u64,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    opts
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!(
+        "usage: batch_bench [--n N] [--queries N] [--clusters N] [--dim N] [--k N] [--seed N]"
+    );
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}
+
+/// One cell of the strategy × batch-size grid, flattened for JSON.
+#[derive(Serialize)]
+struct Record {
+    strategy: String,
+    batch_size: usize,
+    queries: usize,
+    k: usize,
+    total_distance_evals: u64,
+    list_tile_passes: u64,
+    list_scans: u64,
+    reps_examined: u64,
+    tile_sharing_factor: f64,
+    elapsed_ms: f64,
+}
+
+/// Runs the whole query stream through `rbc` in `batch_size` chunks under
+/// `strategy`, merging per-chunk stats.
+fn run_sweep<D: Dataset<Item = [f32]>>(
+    rbc: &ExactRbc<D, Euclidean>,
+    queries: &VectorSet,
+    batch_size: usize,
+    k: usize,
+    strategy: BatchStrategy,
+) -> (Vec<Vec<rbc_bruteforce::Neighbor>>, SearchStats, f64) {
+    let start = Instant::now();
+    let mut stats = SearchStats::default();
+    let mut answers = Vec::with_capacity(queries.len());
+    let mut begin = 0usize;
+    while begin < queries.len() {
+        let end = (begin + batch_size).min(queries.len());
+        let indices: Vec<usize> = (begin..end).collect();
+        let chunk = queries.subset(&indices);
+        let (chunk_answers, chunk_stats) = rbc.query_batch_k_with_strategy(&chunk, k, strategy);
+        stats.merge(&chunk_stats);
+        answers.extend(chunk_answers);
+        begin = end;
+    }
+    (answers, stats, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let opts = parse_options();
+    println!(
+        "batch_bench: n = {}, {} clustered queries ({} clusters, dim {}), k = {}\n",
+        opts.n, opts.queries, opts.clusters, opts.dim, opts.k
+    );
+
+    println!("generating clustered workload and building the exact RBC ...");
+    let database = gaussian_mixture(opts.n, opts.dim, opts.clusters, 0.03, 7 + opts.seed);
+    let queries = gaussian_mixture(opts.queries, opts.dim, opts.clusters, 0.03, 8 + opts.seed);
+    // Tile shapes are a device decision: take the host profile's policy
+    // and shrink the database tile so tile-pass counts are meaningful at
+    // ownership-list granularity (lists are ~√n points long).
+    let tile_policy = BfConfig {
+        db_tile: 64,
+        ..MachineProfile::host().tile_policy()
+    };
+    let config = RbcConfig {
+        bf: tile_policy,
+        ..RbcConfig::default()
+    };
+    let rbc = ExactRbc::build(
+        &database,
+        Euclidean,
+        RbcParams::standard(opts.n, 42 + opts.seed),
+        config,
+    );
+
+    let mut records = Vec::new();
+    let mut table = Table::new(
+        "offline batched exact search: query-major vs list-major",
+        &[
+            "strategy",
+            "batch",
+            "evals/q",
+            "tile passes",
+            "scans",
+            "share",
+            "ms",
+        ],
+    );
+
+    for batch_size in [1usize, 16, 256] {
+        let mut reference: Option<Vec<Vec<rbc_bruteforce::Neighbor>>> = None;
+        let mut passes_by_strategy = Vec::new();
+        for (name, strategy) in [
+            ("query-major", BatchStrategy::QueryMajor),
+            ("list-major", BatchStrategy::ListMajor),
+        ] {
+            let (answers, stats, elapsed_ms) =
+                run_sweep(&rbc, &queries, batch_size, opts.k, strategy);
+            match &reference {
+                None => reference = Some(answers),
+                Some(expected) => assert_eq!(
+                    expected, &answers,
+                    "strategies disagreed at batch size {batch_size}"
+                ),
+            }
+            passes_by_strategy.push(stats.list_tile_passes);
+            table.row(&[
+                name.to_string(),
+                batch_size.to_string(),
+                format!("{:.0}", stats.evals_per_query()),
+                stats.list_tile_passes.to_string(),
+                stats.list_scans.to_string(),
+                format!("{:.2}", stats.tile_sharing_factor()),
+                format!("{elapsed_ms:.1}"),
+            ]);
+            records.push(Record {
+                strategy: name.to_string(),
+                batch_size,
+                queries: opts.queries,
+                k: opts.k,
+                total_distance_evals: stats.total_distance_evals(),
+                list_tile_passes: stats.list_tile_passes,
+                list_scans: stats.list_scans,
+                reps_examined: stats.reps_examined,
+                tile_sharing_factor: stats.tile_sharing_factor(),
+                elapsed_ms,
+            });
+        }
+        if batch_size >= 16 {
+            let (qm_passes, lm_passes) = (passes_by_strategy[0], passes_by_strategy[1]);
+            assert!(
+                lm_passes < qm_passes,
+                "list-major must stream fewer list tiles at batch size {batch_size} \
+                 (got {lm_passes} vs {qm_passes})"
+            );
+        }
+    }
+
+    println!();
+    table.print();
+    println!("\nanswers identical across strategies at every batch size.");
+
+    match write_json_records("batch_bench", &records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(error) => eprintln!("could not write JSON records: {error}"),
+    }
+}

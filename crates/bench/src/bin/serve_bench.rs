@@ -23,7 +23,7 @@ use rbc_bench::{write_json_records, Table};
 use rbc_core::{ExactRbc, RbcConfig, RbcParams, SearchIndex};
 use rbc_data::low_dim_manifold;
 use rbc_metric::{Euclidean, VectorSet};
-use rbc_serve::{CachedIndex, Engine, MetricsSnapshot, ServeConfig};
+use rbc_serve::{CacheCounters, CachedIndex, Engine, MetricsSnapshot, ServeConfig};
 
 struct Options {
     n: usize,
@@ -88,7 +88,10 @@ fn usage(error: &str) -> ! {
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }
 
-/// One measured serving policy, flattened for the JSON report.
+/// One measured serving policy, flattened for the JSON report. Cache
+/// hit/miss counts and the hit rate ride inside the snapshot, which the
+/// engine fills from the registered [`CacheCounters`] (zero for uncached
+/// policies).
 #[derive(Serialize)]
 struct Record {
     policy: String,
@@ -96,17 +99,27 @@ struct Record {
     linger_us: u64,
     producers: usize,
     requests: usize,
-    cache_hits: u64,
     snapshot: MetricsSnapshot,
 }
 
 /// Runs `producers` threads of `requests_per_producer` submissions each
 /// through a fresh engine over `index` and returns the final metrics.
-fn drive<I>(index: I, policy: ServeConfig, opts: &Options, queries: &VectorSet) -> MetricsSnapshot
+/// When the index is cache-wrapped, its counters are registered so the
+/// returned snapshot carries hit/miss counts and the hit rate.
+fn drive<I>(
+    index: I,
+    policy: ServeConfig,
+    opts: &Options,
+    queries: &VectorSet,
+    cache: Option<Arc<CacheCounters>>,
+) -> MetricsSnapshot
 where
     I: SearchIndex<Query = [f32]> + Send + Sync + 'static,
 {
     let engine = Engine::start(index, policy).expect("valid policy");
+    if let Some(counters) = cache {
+        engine.track_cache(counters);
+    }
     std::thread::scope(|scope| {
         for p in 0..opts.producers {
             let handle = engine.handle();
@@ -162,7 +175,7 @@ fn main() {
             .with_max_batch(max_batch)
             .with_linger(linger)
             .with_queue_capacity(4096);
-        let snapshot = drive(Arc::clone(&index), policy, &opts, &queries);
+        let snapshot = drive(Arc::clone(&index), policy, &opts, &queries, None);
         table.row(&[
             format!("batch<={max_batch}"),
             max_batch.to_string(),
@@ -182,7 +195,6 @@ fn main() {
             linger_us: linger.as_micros() as u64,
             producers: opts.producers,
             requests: opts.producers * opts.requests_per_producer,
-            cache_hits: 0,
             snapshot,
         });
     }
@@ -195,7 +207,13 @@ fn main() {
         .with_linger(linger)
         .with_queue_capacity(4096);
     let cached = Arc::new(cached);
-    let snapshot = drive(Arc::clone(&cached), policy, &opts, &queries);
+    let snapshot = drive(
+        Arc::clone(&cached),
+        policy,
+        &opts,
+        &queries,
+        Some(cached.counters()),
+    );
     table.row(&[
         "batch<=32+cache".to_string(),
         "32".to_string(),
@@ -215,16 +233,16 @@ fn main() {
         linger_us: linger.as_micros() as u64,
         producers: opts.producers,
         requests: opts.producers * opts.requests_per_producer,
-        cache_hits: cached.hits(),
         snapshot,
     });
 
     println!();
     table.print();
     println!(
-        "\ncached run: {} hits / {} misses",
+        "\ncached run: {} hits / {} misses ({:.1}% hit rate)",
         cached.hits(),
-        cached.misses()
+        cached.misses(),
+        cached.hit_rate() * 100.0
     );
 
     match write_json_records("serve_bench", &records) {

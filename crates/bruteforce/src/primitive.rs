@@ -1,5 +1,7 @@
 //! The brute-force primitive itself: batched, tiled, parallel scans.
 
+use std::sync::Mutex;
+
 use rayon::prelude::*;
 
 use rbc_metric::{Dataset, Dist, Metric, QueryBatch};
@@ -63,6 +65,44 @@ impl BfConfig {
         }
         Ok(())
     }
+}
+
+/// Per-query cursor state for a shared ownership-list scan
+/// ([`BruteForce::knn_group_in_list`]).
+///
+/// The `query` field indexes both the query dataset and the accumulator
+/// slice; the remaining fields drive the per-query sorted-list
+/// triangle-inequality cut inside the shared tile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GroupCursor {
+    /// Position of the query within the batch — also the index of its
+    /// top-k accumulator in the accumulator slice.
+    pub query: usize,
+    /// Distance from this query to the list's representative, `ρ(q, r)`.
+    pub d_to_rep: Dist,
+    /// Static cap folded into the pruning threshold (the exact search's
+    /// `γ_k`); `Dist::INFINITY` leaves only the evolving top-k threshold.
+    pub threshold_cap: Dist,
+}
+
+/// Work accounting of one shared list scan.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GroupScanStats {
+    /// Database tiles streamed through memory. A tile is counted **once**
+    /// no matter how many queries of the group consumed it — this is the
+    /// memory-traffic measure that list-major batching reduces.
+    pub tile_passes: u64,
+    /// Total distance evaluations across all cursors. Always one per
+    /// `(query, point)` pair: a distance belongs to exactly one query and
+    /// can never be shared, only the tile it reads can.
+    pub distance_evals: u64,
+    /// Candidates skipped by the per-query sorted-list cut (summed over
+    /// cursors, including the tail skipped when a cursor retires).
+    pub points_skipped: u64,
+    /// Distance evaluations attributed to each cursor, parallel to the
+    /// input cursor slice (lets callers keep per-query tail statistics
+    /// exact even though the scan itself is shared).
+    pub evals_per_cursor: Vec<u64>,
 }
 
 /// The brute-force primitive `BF(Q, X[L])` with a fixed configuration.
@@ -348,6 +388,133 @@ impl BruteForce {
             collect_chunk(list)
         };
         (merged.into_sorted(), stats)
+    }
+
+    /// Streams the sub-database `X[L]` once, in `db_tile`-sized tiles, for
+    /// a *group* of queries, merging candidates into per-query top-k
+    /// accumulators behind fine-grained locks.
+    ///
+    /// This is the stage-2 kernel of the list-major batched RBC search:
+    /// instead of every query privately re-reading each ownership list it
+    /// survived to (query-major execution), a list is streamed once per
+    /// tile and shared by every query whose pruning rules selected it.
+    /// With strict thresholds (`shrink == 1.0`) results are identical to
+    /// per-query scans because stale thresholds only prune *less* and the
+    /// accumulators implement a total order with deterministic
+    /// tie-breaking; only the amount of memory traffic changes.
+    ///
+    /// When `sorted_cut` is set, `member_dists` must hold the ascending
+    /// distances of `members` to the list's representative; each cursor's
+    /// `d_to_rep` and `threshold_cap` then drive the triangle-inequality
+    /// cut (thresholds divided by `shrink`, the `(1+ε)` relaxation). A
+    /// cursor whose forward cut fires is retired from the remaining tiles,
+    /// and the scan stops as soon as every cursor has retired. Members
+    /// flagged in `skip` are never evaluated (the exact search skips
+    /// representatives, which its first stage already answered).
+    ///
+    /// The accumulator lock is taken twice per (tile, cursor) and only for
+    /// `O(k)`/`O(db_tile · log k)` bookkeeping: once to snapshot the
+    /// current top-k, once to merge the tile's fresh candidates. All
+    /// distance arithmetic runs outside the lock against the snapshot
+    /// (which keeps tightening from the tile's own candidates), so
+    /// concurrent groups sharing a query never serialise their distance
+    /// evaluations — a snapshot threshold can lag the shared one, which
+    /// costs at most a few extra evaluations, never a wrong answer.
+    #[allow(clippy::too_many_arguments)] // deliberately a flat kernel signature
+    pub fn knn_group_in_list<Q, D, M>(
+        &self,
+        queries: &Q,
+        db: &D,
+        metric: &M,
+        members: &[usize],
+        member_dists: &[Dist],
+        cursors: &[GroupCursor],
+        shrink: f64,
+        sorted_cut: bool,
+        skip: Option<&[bool]>,
+        accumulators: &[Mutex<TopK>],
+    ) -> GroupScanStats
+    where
+        Q: Dataset,
+        D: Dataset<Item = Q::Item>,
+        M: Metric<Q::Item>,
+    {
+        assert!(
+            !sorted_cut || member_dists.len() == members.len(),
+            "sorted-list cut needs one representative distance per member"
+        );
+        let db_tile = self.config.db_tile.max(1);
+        let mut stats = GroupScanStats {
+            evals_per_cursor: vec![0; cursors.len()],
+            ..GroupScanStats::default()
+        };
+        // Cursor positions still consuming tiles; a cursor leaves when its
+        // sorted-list cut proves no later member can help it.
+        let mut active: Vec<usize> = (0..cursors.len()).collect();
+        let mut tile_start = 0usize;
+        while tile_start < members.len() && !active.is_empty() {
+            let tile_end = (tile_start + db_tile).min(members.len());
+            stats.tile_passes += 1;
+            active.retain(|&ci| {
+                let cursor = &cursors[ci];
+                let q = queries.get(cursor.query);
+                // Snapshot the shared top-k (O(k)) so the distance loop
+                // runs without the lock. The snapshot keeps tightening
+                // from this tile's own candidates; it can only lag the
+                // shared threshold, which prunes less — never wrongly.
+                let mut local = accumulators[cursor.query]
+                    .lock()
+                    .expect("top-k accumulator lock poisoned")
+                    .clone();
+                let mut fresh: Vec<Neighbor> = Vec::new();
+                let mut retired = false;
+                for pos in tile_start..tile_end {
+                    let member = members[pos];
+                    if skip.is_some_and(|flags| flags[member]) {
+                        continue;
+                    }
+                    if sorted_cut {
+                        let threshold = local.threshold().min(cursor.threshold_cap) / shrink;
+                        let d_xr = member_dists[pos];
+                        if d_xr - cursor.d_to_rep > threshold {
+                            // Members are sorted by d_xr: no later entry can
+                            // pass either, so retire this cursor for good.
+                            stats.points_skipped += (members.len() - pos) as u64;
+                            retired = true;
+                            break;
+                        }
+                        if cursor.d_to_rep - d_xr > threshold {
+                            stats.points_skipped += 1;
+                            continue;
+                        }
+                    }
+                    stats.distance_evals += 1;
+                    stats.evals_per_cursor[ci] += 1;
+                    let candidate = Neighbor::new(member, metric.dist(q, db.get(member)));
+                    // Buffer only candidates the local snapshot admits: a
+                    // rejected candidate is beaten by k entries that the
+                    // shared accumulator has already seen (snapshot) or is
+                    // about to see (fresh), so it can never re-enter.
+                    if local.push(candidate) {
+                        fresh.push(candidate);
+                    }
+                }
+                if !fresh.is_empty() {
+                    let mut topk = accumulators[cursor.query]
+                        .lock()
+                        .expect("top-k accumulator lock poisoned");
+                    for candidate in fresh {
+                        topk.push(candidate);
+                    }
+                }
+                if retired {
+                    return false;
+                }
+                true
+            });
+            tile_start = tile_end;
+        }
+        stats
     }
 
     /// k-NN of a single query against the whole database.
@@ -726,6 +893,157 @@ mod tests {
         let (nn_set, _) = bf.nn(&queries, &db, &Euclidean);
         let (nn_items, _) = bf.nn_items(&owned, &db, &Euclidean);
         assert_eq!(nn_set, nn_items);
+    }
+
+    /// Reference for the group kernel: each query's scan of the full list,
+    /// done privately.
+    fn private_scans(
+        queries: &VectorSet,
+        db: &VectorSet,
+        list: &[usize],
+        k: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        let bf = BruteForce::new();
+        (0..queries.len())
+            .map(|qi| {
+                bf.knn_single_in_list(queries.point(qi), db, list, &Euclidean, k)
+                    .0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn group_scan_matches_private_scans_and_shares_tiles() {
+        let db = cloud(300, 5, 30);
+        let queries = cloud(12, 5, 31);
+        let list: Vec<usize> = (0..300).filter(|i| i % 2 == 0).collect();
+        let k = 4;
+        let bf = BruteForce::with_config(BfConfig {
+            db_tile: 32,
+            ..BfConfig::default()
+        });
+        let accumulators: Vec<Mutex<TopK>> = (0..queries.len())
+            .map(|_| Mutex::new(TopK::new(k)))
+            .collect();
+        let cursors: Vec<GroupCursor> = (0..queries.len())
+            .map(|qi| GroupCursor {
+                query: qi,
+                d_to_rep: 0.0,
+                threshold_cap: Dist::INFINITY,
+            })
+            .collect();
+        let stats = bf.knn_group_in_list(
+            &queries,
+            &db,
+            &Euclidean,
+            &list,
+            &[],
+            &cursors,
+            1.0,
+            false,
+            None,
+            &accumulators,
+        );
+        let got: Vec<Vec<Neighbor>> = accumulators
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().into_sorted())
+            .collect();
+        assert_eq!(got, private_scans(&queries, &db, &list, k));
+        // Every (query, point) pair is evaluated exactly once ...
+        assert_eq!(stats.distance_evals, (queries.len() * list.len()) as u64);
+        assert_eq!(stats.evals_per_cursor, vec![list.len() as u64; 12]);
+        // ... but the tiles are streamed once for the whole group, not once
+        // per query: 150 members at db_tile=32 is 5 shared passes.
+        assert_eq!(stats.tile_passes, list.len().div_ceil(32) as u64);
+    }
+
+    #[test]
+    fn group_scan_sorted_cut_retires_cursors_early() {
+        // One-dimensional line: members sorted by distance to the
+        // representative at the origin; a query sitting at the origin with
+        // a tight threshold cap must stop after the near prefix.
+        let db = VectorSet::from_rows(
+            &(0..100)
+                .map(|i| vec![i as f32, 0.0])
+                .collect::<Vec<Vec<f32>>>(),
+        );
+        let queries = VectorSet::from_rows(&[[0.0f32, 0.0]]);
+        let members: Vec<usize> = (0..100).collect();
+        let member_dists: Vec<Dist> = (0..100).map(|i| i as Dist).collect();
+        let bf = BruteForce::with_config(BfConfig {
+            db_tile: 10,
+            ..BfConfig::default()
+        });
+        let accumulators = vec![Mutex::new(TopK::new(1))];
+        let cursors = [GroupCursor {
+            query: 0,
+            d_to_rep: 0.0,
+            threshold_cap: 5.0,
+        }];
+        let stats = bf.knn_group_in_list(
+            &queries,
+            &db,
+            &Euclidean,
+            &members,
+            &member_dists,
+            &cursors,
+            1.0,
+            true,
+            None,
+            &accumulators,
+        );
+        // The forward cut fires at d_xr > threshold; the true NN (distance
+        // 0) tightens the threshold to 0 after the first evaluation, so the
+        // cursor retires within the first tile and later tiles never stream.
+        assert_eq!(stats.tile_passes, 1);
+        assert!(stats.distance_evals < 10);
+        assert!(stats.points_skipped > 90);
+        let best = accumulators[0].lock().unwrap().best().unwrap();
+        assert_eq!(best.index, 0);
+        assert_eq!(best.dist, 0.0);
+    }
+
+    #[test]
+    fn group_scan_honours_skip_flags() {
+        let db = cloud(40, 3, 32);
+        let queries = cloud(3, 3, 33);
+        let members: Vec<usize> = (0..40).collect();
+        let mut skip = vec![false; 40];
+        skip[7] = true;
+        skip[23] = true;
+        let bf = BruteForce::new();
+        let accumulators: Vec<Mutex<TopK>> = (0..3).map(|_| Mutex::new(TopK::new(40))).collect();
+        let cursors: Vec<GroupCursor> = (0..3)
+            .map(|qi| GroupCursor {
+                query: qi,
+                d_to_rep: 0.0,
+                threshold_cap: Dist::INFINITY,
+            })
+            .collect();
+        let stats = bf.knn_group_in_list(
+            &queries,
+            &db,
+            &Euclidean,
+            &members,
+            &[],
+            &cursors,
+            1.0,
+            false,
+            Some(&skip),
+            &accumulators,
+        );
+        assert_eq!(stats.distance_evals, 3 * 38);
+        for acc in accumulators {
+            let found: Vec<usize> = acc
+                .into_inner()
+                .unwrap()
+                .into_sorted()
+                .iter()
+                .map(|n| n.index)
+                .collect();
+            assert!(!found.contains(&7) && !found.contains(&23));
+            assert_eq!(found.len(), 38);
+        }
     }
 
     #[test]

@@ -60,15 +60,22 @@ impl TopK {
         }
     }
 
-    /// Offers a candidate; keeps it only if it is among the best `k` so far.
+    /// Offers a candidate; keeps it only if it is among the best `k` so
+    /// far. Returns whether the candidate was admitted (callers batching
+    /// pushes against a snapshot use this to skip candidates that can no
+    /// longer matter).
     #[inline]
-    pub fn push(&mut self, cand: Neighbor) {
+    pub fn push(&mut self, cand: Neighbor) -> bool {
         if self.heap.len() < self.k {
             self.heap.push(cand);
             self.sift_up(self.heap.len() - 1);
+            true
         } else if cand < self.heap[0] {
             self.heap[0] = cand;
             self.sift_down(0);
+            true
+        } else {
+            false
         }
     }
 
@@ -162,6 +169,16 @@ mod tests {
         assert_eq!(t.threshold(), 4.0);
         t.push(Neighbor::new(2, 1.0));
         assert_eq!(t.threshold(), 2.0);
+    }
+
+    #[test]
+    fn push_reports_admission() {
+        let mut t = TopK::new(2);
+        assert!(t.push(Neighbor::new(0, 4.0))); // filling up
+        assert!(t.push(Neighbor::new(1, 2.0))); // filling up
+        assert!(t.push(Neighbor::new(2, 3.0))); // beats the kth (4.0)
+        assert!(!t.push(Neighbor::new(3, 3.0))); // ties the kth: rejected
+        assert!(!t.push(Neighbor::new(4, 9.0))); // worse: rejected
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! Stage-1 planning for list-major batched search.
+//!
+//! Cayton's argument is that metric search should be recast as batched
+//! brute-force kernels so the hardware sees dense, regular work. The
+//! query-major batch path gets this for stage 1 (`BF(Q, R)` is one dense
+//! call) but loses it in stage 2: every query privately re-scans the
+//! ownership lists it survived to, so a list selected by many queries of
+//! the batch is streamed through memory once *per query*.
+//!
+//! [`BatchPlan`] inverts that. After stage 1 has produced the full
+//! query × representative distance matrix, the plan applies the paper's
+//! pruning rules (eq. 1 / eq. 2, exactly as the query-major path does) per
+//! query and then groups the survivors *by list*: for each ownership list,
+//! the set of batch positions that must scan it. Stage 2 execution then
+//! parallelises over lists and streams each list's tiles once for its
+//! whole group — the `BF(Q_group, X[L])` shape — merging candidates into
+//! per-query top-k accumulators.
+//!
+//! The plan is pure bookkeeping: building it costs no distance
+//! evaluations, and because the survivor sets are identical to the
+//! query-major path's, the two strategies return bit-identical answers in
+//! exact mode (pruning with strict thresholds only ever discards points
+//! that provably cannot enter the final top-k, and ties break
+//! deterministically by index). With `epsilon > 0` the cut is allowed to
+//! discard points inside the `(1+ε)` margin, so the strategies still each
+//! honour the approximation guarantee but may return different eligible
+//! answers.
+
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+
+use rbc_bruteforce::{BruteForce, GroupCursor, GroupScanStats, Neighbor, TopK};
+use rbc_metric::{Dataset, Dist, Metric};
+
+use crate::params::RbcConfig;
+use crate::reps::OwnershipList;
+use crate::stats::SearchStats;
+
+/// The queries that must scan one ownership list.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ListGroup {
+    /// Position of the list (and of its representative) in the structure.
+    pub list_index: usize,
+    /// Batch positions of the queries whose pruning rules selected this
+    /// list, ascending.
+    pub queries: Vec<usize>,
+}
+
+/// An inverted stage-2 execution plan: for every ownership list that any
+/// query must scan, the group of queries that scan it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BatchPlan {
+    /// Non-empty list groups, ordered by ascending list index.
+    pub groups: Vec<ListGroup>,
+    /// Per-query pruning cap `γ_k` — the k-th smallest representative
+    /// distance, a valid upper bound on the k-th NN distance because
+    /// representatives are database points. `INFINITY` (pruning disabled)
+    /// when fewer than `k` representatives exist.
+    pub gamma_k: Vec<Dist>,
+    /// Number of queries the plan covers.
+    pub queries: usize,
+    /// Total (query, list) scan pairs — the number of *private* list scans
+    /// query-major execution would perform for the same batch.
+    pub pairs: usize,
+}
+
+impl BatchPlan {
+    /// Builds the exact-search plan from the stage-1 distance matrix
+    /// `rep_dists` (row-major, one row of `lists.len()` distances per
+    /// query), applying the radius bound (eq. 1) and the Lemma 1 bound
+    /// (eq. 2) per query exactly as the query-major path does, then
+    /// inverting the survivor sets into list groups.
+    ///
+    /// # Panics
+    /// Panics if `rep_dists.len()` is not a multiple of `lists.len()`.
+    pub fn plan_exact(
+        rep_dists: &[Dist],
+        lists: &[OwnershipList],
+        k: usize,
+        config: &RbcConfig,
+    ) -> Self {
+        let n_lists = lists.len();
+        assert!(n_lists > 0, "cannot plan over zero ownership lists");
+        assert!(
+            rep_dists.len().is_multiple_of(n_lists),
+            "distance matrix does not tile into rows of {n_lists}"
+        );
+        let nq = rep_dists.len() / n_lists;
+        let shrink = 1.0 + config.epsilon;
+
+        let mut gamma_k = Vec::with_capacity(nq);
+        let mut per_list: Vec<Vec<usize>> = vec![Vec::new(); n_lists];
+        let mut pairs = 0usize;
+        for qi in 0..nq {
+            let row = &rep_dists[qi * n_lists..(qi + 1) * n_lists];
+            let gamma = if k <= row.len() {
+                kth_smallest(row, k)
+            } else {
+                Dist::INFINITY
+            };
+            gamma_k.push(gamma);
+            for (ri, list) in lists.iter().enumerate() {
+                if list.is_empty() {
+                    continue;
+                }
+                let d_qr = row[ri];
+                if config.use_radius_bound && d_qr >= gamma / shrink + list.radius {
+                    // eq. (1): every owned point is at distance
+                    // ≥ d_qr − ψ_r ≥ γ/(1+ε); the list cannot improve the
+                    // answer beyond the allowed approximation.
+                    continue;
+                }
+                if config.use_lemma1_bound && d_qr > 3.0 * gamma {
+                    // eq. (2) / Lemma 1, generalised to γ_k for k-NN.
+                    continue;
+                }
+                per_list[ri].push(qi);
+                pairs += 1;
+            }
+        }
+
+        let groups = per_list
+            .into_iter()
+            .enumerate()
+            .filter(|(_, queries)| !queries.is_empty())
+            .map(|(list_index, queries)| ListGroup {
+                list_index,
+                queries,
+            })
+            .collect();
+        Self {
+            groups,
+            gamma_k,
+            queries: nq,
+            pairs,
+        }
+    }
+
+    /// Builds the one-shot plan: each query scans exactly the list of its
+    /// nearest representative, so the groups partition the batch by argmin
+    /// of each row (smallest distance, ties broken towards the lower list
+    /// index — the same deterministic rule as the `BF(q, R)` reduction of
+    /// the query-major path).
+    ///
+    /// # Panics
+    /// Panics if `rep_dists.len()` is not a multiple of `n_lists`.
+    pub fn plan_one_shot(rep_dists: &[Dist], n_lists: usize) -> Self {
+        assert!(n_lists > 0, "cannot plan over zero ownership lists");
+        assert!(
+            rep_dists.len().is_multiple_of(n_lists),
+            "distance matrix does not tile into rows of {n_lists}"
+        );
+        let nq = rep_dists.len() / n_lists;
+        let mut per_list: Vec<Vec<usize>> = vec![Vec::new(); n_lists];
+        for qi in 0..nq {
+            let row = &rep_dists[qi * n_lists..(qi + 1) * n_lists];
+            let nearest = row
+                .iter()
+                .enumerate()
+                .map(|(ri, &d)| Neighbor::new(ri, d))
+                .fold(Neighbor::farthest(), Neighbor::closer);
+            per_list[nearest.index].push(qi);
+        }
+        let groups: Vec<ListGroup> = per_list
+            .into_iter()
+            .enumerate()
+            .filter(|(_, queries)| !queries.is_empty())
+            .map(|(list_index, queries)| ListGroup {
+                list_index,
+                queries,
+            })
+            .collect();
+        Self {
+            groups,
+            gamma_k: Vec::new(),
+            queries: nq,
+            pairs: nq,
+        }
+    }
+
+    /// Mean number of queries sharing each planned list scan — how many
+    /// private query-major scans one shared list-major scan replaces.
+    /// `0.0` for an empty plan.
+    pub fn sharing_factor(&self) -> f64 {
+        if self.groups.is_empty() {
+            0.0
+        } else {
+            self.pairs as f64 / self.groups.len() as f64
+        }
+    }
+}
+
+/// Executes a planned list-major stage 2, shared by the exact and
+/// one-shot searches: parallelise over the plan's groups, stream each
+/// group's list once through the shared kernel
+/// ([`BruteForce::knn_group_in_list`]), fold the group stats into a
+/// batch-level [`SearchStats`] (attributing evaluations back to queries so
+/// `max_query_evals` stays exact), and extract the sorted per-query
+/// answers.
+///
+/// `cursor` builds the per-`(list_index, query)` cursor state — the only
+/// part that differs between the two searches (the exact search threads
+/// `ρ(q, r)` and `γ_k` through it; the one-shot search runs uncut).
+/// `accumulators` arrive pre-seeded (the exact search seeds the
+/// representatives); `rep_evals_per_query` and `rep_distance_evals`
+/// account the stage-1 work the caller already performed.
+#[allow(clippy::too_many_arguments)] // crate-private execution plumbing
+pub(crate) fn execute_list_major<Q, D, M, F>(
+    bf: &BruteForce,
+    parallel: bool,
+    queries: &Q,
+    db: &D,
+    metric: &M,
+    lists: &[OwnershipList],
+    plan: &BatchPlan,
+    cursor: F,
+    shrink: f64,
+    sorted_cut: bool,
+    skip: Option<&[bool]>,
+    accumulators: Vec<Mutex<TopK>>,
+    rep_evals_per_query: u64,
+    rep_distance_evals: u64,
+) -> (Vec<Vec<Neighbor>>, SearchStats)
+where
+    Q: Dataset,
+    D: Dataset<Item = Q::Item>,
+    M: Metric<Q::Item>,
+    F: Fn(usize, usize) -> GroupCursor + Sync,
+{
+    let scan = |gi: usize| -> GroupScanStats {
+        let group = &plan.groups[gi];
+        let list = &lists[group.list_index];
+        let cursors: Vec<GroupCursor> = group
+            .queries
+            .iter()
+            .map(|&qi| cursor(group.list_index, qi))
+            .collect();
+        bf.knn_group_in_list(
+            queries,
+            db,
+            metric,
+            &list.members,
+            &list.member_dists,
+            &cursors,
+            shrink,
+            sorted_cut,
+            skip,
+            &accumulators,
+        )
+    };
+    let per_group: Vec<GroupScanStats> = if parallel {
+        (0..plan.groups.len()).into_par_iter().map(scan).collect()
+    } else {
+        (0..plan.groups.len()).map(scan).collect()
+    };
+
+    let mut per_query_evals = vec![rep_evals_per_query; plan.queries];
+    let mut agg = SearchStats {
+        queries: plan.queries as u64,
+        rep_distance_evals,
+        reps_examined: plan.pairs as u64,
+        list_scans: plan.groups.len() as u64,
+        ..SearchStats::default()
+    };
+    for (group, scan_stats) in plan.groups.iter().zip(&per_group) {
+        agg.list_distance_evals += scan_stats.distance_evals;
+        agg.list_points_skipped += scan_stats.points_skipped;
+        agg.list_tile_passes += scan_stats.tile_passes;
+        for (&qi, &evals) in group.queries.iter().zip(&scan_stats.evals_per_cursor) {
+            per_query_evals[qi] += evals;
+        }
+    }
+    agg.max_query_evals = per_query_evals.iter().copied().max().unwrap_or(0);
+
+    let results: Vec<Vec<Neighbor>> = accumulators
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("top-k accumulator lock poisoned")
+                .into_sorted()
+        })
+        .collect();
+    (results, agg)
+}
+
+/// The `k`-th smallest value of `values` (1-based `k`), linear time.
+pub(crate) fn kth_smallest(values: &[Dist], k: usize) -> Dist {
+    debug_assert!(k >= 1 && k <= values.len());
+    if k == 1 {
+        return values.iter().copied().fold(Dist::INFINITY, Dist::min);
+    }
+    let mut worst_of_best = TopK::new(k);
+    for (i, &v) in values.iter().enumerate() {
+        worst_of_best.push(Neighbor::new(i, v));
+    }
+    worst_of_best
+        .into_sorted()
+        .last()
+        .map(|n| n.dist)
+        .unwrap_or(Dist::INFINITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::RbcConfig;
+
+    fn singleton_lists(radii: &[Dist]) -> Vec<OwnershipList> {
+        radii
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                // One real member at distance r, so radius = r.
+                OwnershipList::from_pairs(i, vec![(100 + i, r)])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_plan_inverts_the_survivor_sets() {
+        // Two queries over three lists; distances chosen so that query 0
+        // keeps lists {0, 1} and query 1 keeps lists {1, 2}.
+        let lists = singleton_lists(&[1.0, 1.0, 1.0]);
+        let rep_dists = vec![
+            1.0, 1.5, 9.0, // query 0: γ = 1.0, list 2 fails both bounds
+            9.0, 1.5, 1.0, // query 1: mirror image
+        ];
+        let plan = BatchPlan::plan_exact(&rep_dists, &lists, 1, &RbcConfig::default());
+        assert_eq!(plan.queries, 2);
+        assert_eq!(plan.pairs, 4);
+        assert_eq!(plan.groups.len(), 3);
+        assert_eq!(plan.groups[0].queries, vec![0]);
+        assert_eq!(plan.groups[1].queries, vec![0, 1]);
+        assert_eq!(plan.groups[2].queries, vec![1]);
+        assert_eq!(plan.gamma_k, vec![1.0, 1.0]);
+        assert!((plan.sharing_factor() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_plan_prunes_like_the_query_major_rules() {
+        let lists = singleton_lists(&[0.5, 0.0]);
+        let rep_dists = vec![2.0, 1.0]; // γ = 1.0
+        let plan = BatchPlan::plan_exact(&rep_dists, &lists, 1, &RbcConfig::default());
+        // List 0: d_qr = 2.0 ≥ γ(1.0) + ψ(0.5) → pruned by eq. 1.
+        // List 1: d_qr = 1.0 ≥ γ(1.0) + ψ(0.0) → also pruned: this is the
+        // all-lists-pruned corner, where stage 1 alone answers the query.
+        assert!(plan.groups.is_empty());
+        assert_eq!(plan.pairs, 0);
+        assert_eq!(plan.sharing_factor(), 0.0);
+    }
+
+    #[test]
+    fn empty_lists_are_never_planned() {
+        let mut lists = singleton_lists(&[1.0, 1.0]);
+        lists.push(OwnershipList::from_pairs(2, vec![]));
+        let rep_dists = vec![1.0, 1.2, 0.1];
+        let plan = BatchPlan::plan_exact(&rep_dists, &lists, 1, &RbcConfig::default());
+        assert!(plan.groups.iter().all(|g| g.list_index < 2));
+    }
+
+    #[test]
+    fn one_shot_plan_groups_by_nearest_with_index_tiebreak() {
+        let rep_dists = vec![
+            1.0, 2.0, 3.0, // query 0 → list 0
+            2.0, 1.0, 1.0, // query 1 → tie between 1 and 2 → list 1
+            5.0, 4.0, 0.5, // query 2 → list 2
+            1.0, 1.0, 1.0, // query 3 → three-way tie → list 0
+        ];
+        let plan = BatchPlan::plan_one_shot(&rep_dists, 3);
+        assert_eq!(plan.queries, 4);
+        assert_eq!(plan.pairs, 4);
+        assert_eq!(plan.groups.len(), 3);
+        assert_eq!(plan.groups[0].queries, vec![0, 3]);
+        assert_eq!(plan.groups[1].queries, vec![1]);
+        assert_eq!(plan.groups[2].queries, vec![2]);
+        assert!((plan.sharing_factor() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kth_smallest_helper_is_correct() {
+        let v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(kth_smallest(&v, 1), 1.0);
+        assert_eq!(kth_smallest(&v, 3), 3.0);
+        assert_eq!(kth_smallest(&v, 5), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not tile")]
+    fn ragged_distance_matrix_rejected() {
+        let lists = singleton_lists(&[1.0, 1.0]);
+        let _ = BatchPlan::plan_exact(&[1.0, 2.0, 3.0], &lists, 1, &RbcConfig::default());
+    }
+}

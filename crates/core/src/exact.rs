@@ -20,12 +20,15 @@
 //!   modified to return a `(1+ε)`-approximate NN with less work; setting
 //!   `epsilon > 0` tightens every pruning threshold by `1/(1+ε)`.
 
+use std::sync::Mutex;
+
 use rayon::prelude::*;
 
-use rbc_bruteforce::{BfConfig, BruteForce, Neighbor, TopK};
+use rbc_bruteforce::{BfConfig, BruteForce, GroupCursor, Neighbor, TopK};
 use rbc_metric::{Dataset, Dist, Metric};
 
-use crate::params::{RbcConfig, RbcParams};
+use crate::batch_plan::{self, kth_smallest, BatchPlan};
+use crate::params::{BatchStrategy, RbcConfig, RbcParams};
 use crate::reps::{sample_representatives, OwnershipList};
 use crate::stats::{QueryStats, SearchStats};
 
@@ -121,6 +124,8 @@ where
         let mut list_evals = 0u64;
         let mut skipped = 0u64;
         let mut reps_examined = 0usize;
+        let mut tile_passes = 0u64;
+        let db_tile = self.config.bf.db_tile.max(1);
         for (ri, list) in self.lists.iter().enumerate() {
             if list.is_empty() {
                 continue;
@@ -132,7 +137,9 @@ where
                 continue;
             }
             reps_examined += 1;
+            let mut visited = 0usize;
             for (pos, &member) in list.members.iter().enumerate() {
+                visited = pos + 1;
                 let d_xr = list.member_dists[pos];
                 if self.config.sorted_list_pruning {
                     if d_xr > d_qr + radius {
@@ -151,6 +158,7 @@ where
                     hits.push(Neighbor::new(member, d));
                 }
             }
+            tile_passes += visited.div_ceil(db_tile) as u64;
         }
         hits.sort();
         let stats = QueryStats {
@@ -159,6 +167,7 @@ where
             reps_total: self.rep_indices.len(),
             reps_examined,
             list_points_skipped: skipped,
+            list_tile_passes: tile_passes,
         };
         (hits, stats)
     }
@@ -176,8 +185,44 @@ where
         (nn, stats)
     }
 
-    /// Batch exact k-NN search.
+    /// Batch exact k-NN search, executed with the configured
+    /// [`BatchStrategy`] (list-major by default).
     pub fn query_batch_k<Q>(&self, queries: &Q, k: usize) -> (Vec<Vec<Neighbor>>, SearchStats)
+    where
+        Q: Dataset<Item = D::Item>,
+    {
+        self.query_batch_k_with_strategy(queries, k, self.config.batch_strategy)
+    }
+
+    /// Batch exact k-NN search with an explicit execution strategy,
+    /// overriding the built configuration. In exact mode (`epsilon == 0`)
+    /// both strategies return bit-identical answers; this entry point
+    /// exists so benchmarks and equivalence tests can A/B them on one
+    /// built structure. With `epsilon > 0` each strategy independently
+    /// honours the `(1+ε)` guarantee but the returned eligible answers may
+    /// differ (see [`BatchStrategy`]).
+    pub fn query_batch_k_with_strategy<Q>(
+        &self,
+        queries: &Q,
+        k: usize,
+        strategy: BatchStrategy,
+    ) -> (Vec<Vec<Neighbor>>, SearchStats)
+    where
+        Q: Dataset<Item = D::Item>,
+    {
+        match strategy {
+            BatchStrategy::QueryMajor => self.query_batch_k_query_major(queries, k),
+            BatchStrategy::ListMajor => self.query_batch_k_list_major(queries, k),
+        }
+    }
+
+    /// The query-major batch path: parallelise across queries, each query
+    /// scanning its own surviving lists.
+    fn query_batch_k_query_major<Q>(
+        &self,
+        queries: &Q,
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, SearchStats)
     where
         Q: Dataset<Item = D::Item>,
     {
@@ -200,6 +245,83 @@ where
             results.push(res);
         }
         (results, agg)
+    }
+
+    /// The list-major batch path (see the crate-level "Batched search
+    /// architecture" notes): one dense `BF(Q, R)` stage, an inverted
+    /// [`BatchPlan`], then a parallel loop over *ownership lists* in which
+    /// each list's tiles are streamed once and shared by every query whose
+    /// pruning rules selected the list.
+    fn query_batch_k_list_major<Q>(
+        &self,
+        queries: &Q,
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, SearchStats)
+    where
+        Q: Dataset<Item = D::Item>,
+    {
+        assert!(k > 0, "k must be at least 1");
+        let nq = queries.len();
+        if nq == 0 {
+            return (Vec::new(), SearchStats::default());
+        }
+        if nq == 1 {
+            // A single-query batch has no tiles to share; the query-major
+            // path is strictly better for it because it scans the query's
+            // surviving lists nearest-representative-first, tightening the
+            // top-k threshold as fast as possible.
+            return self.query_batch_k_query_major(queries, k);
+        }
+        let bf = BruteForce::with_config(self.config.bf);
+        let n_reps = self.rep_indices.len();
+
+        // Stage 1: one dense BF(Q, R) pass, all distances retained.
+        let rep_view = self.db.subset(&self.rep_indices);
+        let (rep_dists, rep_stats) = bf.pairwise(queries, &rep_view, &self.metric);
+
+        // Invert the survivor sets: for each list, who must scan it.
+        let plan = BatchPlan::plan_exact(&rep_dists, &self.lists, k, &self.config);
+
+        // Seed every accumulator with the representatives (same corner-case
+        // and (1+ε)-soundness argument as the single-query path).
+        let accumulators: Vec<Mutex<TopK>> = (0..nq)
+            .map(|qi| {
+                let row = &rep_dists[qi * n_reps..(qi + 1) * n_reps];
+                let mut topk = TopK::new(k);
+                for (ri, &rep_index) in self.rep_indices.iter().enumerate() {
+                    topk.push(Neighbor::new(rep_index, row[ri]));
+                }
+                Mutex::new(topk)
+            })
+            .collect();
+
+        // Stage 2: parallelise across lists. Each group streams its list's
+        // tiles once for all of its queries; the per-query thresholds keep
+        // tightening globally because the accumulators are shared.
+        let inner_bf = BruteForce::with_config(BfConfig {
+            parallel: false,
+            ..self.config.bf
+        });
+        batch_plan::execute_list_major(
+            &inner_bf,
+            self.config.bf.parallel,
+            queries,
+            &self.db,
+            &self.metric,
+            &self.lists,
+            &plan,
+            |list_index, qi| GroupCursor {
+                query: qi,
+                d_to_rep: rep_dists[qi * n_reps + list_index],
+                threshold_cap: plan.gamma_k[qi],
+            },
+            1.0 + self.config.epsilon,
+            self.config.sorted_list_pruning,
+            Some(&self.rep_flags),
+            accumulators,
+            n_reps as u64,
+            rep_stats.distance_evals,
+        )
     }
 
     fn query_k_with(
@@ -270,11 +392,15 @@ where
         }
         let mut list_evals = 0u64;
         let mut skipped = 0u64;
+        let mut tile_passes = 0u64;
+        let db_tile = bf.config().db_tile.max(1);
         let reps_examined = candidates.len();
         for &ri in &candidates {
             let list = &self.lists[ri];
             let d_qr = rep_dists[ri];
+            let mut visited = 0usize;
             for (pos, &member) in list.members.iter().enumerate() {
+                visited = pos + 1;
                 if self.rep_flags[member] {
                     // Already answered from stage 1; skipping avoids both a
                     // redundant evaluation and a duplicate k-NN entry.
@@ -301,6 +427,7 @@ where
                     self.metric.dist(query, self.db.get(member)),
                 ));
             }
+            tile_passes += visited.div_ceil(db_tile) as u64;
         }
 
         let stats = QueryStats {
@@ -309,6 +436,7 @@ where
             reps_total: self.rep_indices.len(),
             reps_examined,
             list_points_skipped: skipped,
+            list_tile_passes: tile_passes,
         };
         (topk.into_sorted(), stats)
     }
@@ -355,23 +483,6 @@ where
     pub fn build_distance_evals(&self) -> u64 {
         self.build_distance_evals
     }
-}
-
-/// The `k`-th smallest value of `values` (1-based `k`), linear time.
-fn kth_smallest(values: &[Dist], k: usize) -> Dist {
-    debug_assert!(k >= 1 && k <= values.len());
-    if k == 1 {
-        return values.iter().copied().fold(Dist::INFINITY, Dist::min);
-    }
-    let mut worst_of_best = TopK::new(k);
-    for (i, &v) in values.iter().enumerate() {
-        worst_of_best.push(Neighbor::new(i, v));
-    }
-    worst_of_best
-        .into_sorted()
-        .last()
-        .map(|n| n.dist)
-        .unwrap_or(Dist::INFINITY)
 }
 
 #[cfg(test)]
@@ -666,11 +777,82 @@ mod tests {
     }
 
     #[test]
-    fn kth_smallest_helper_is_correct() {
-        let v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
-        assert_eq!(kth_smallest(&v, 1), 1.0);
-        assert_eq!(kth_smallest(&v, 3), 3.0);
-        assert_eq!(kth_smallest(&v, 5), 5.0);
+    fn list_major_and_query_major_agree_bit_for_bit() {
+        let db = clustered_cloud(900, 6, 40);
+        let queries = random_cloud(48, 6, 41);
+        let rbc = ExactRbc::build(
+            &db,
+            Euclidean,
+            RbcParams::standard(db.len(), 42),
+            RbcConfig::default(),
+        );
+        for k in [1usize, 4, 16] {
+            let (lm, lm_stats) =
+                rbc.query_batch_k_with_strategy(&queries, k, BatchStrategy::ListMajor);
+            let (qm, qm_stats) =
+                rbc.query_batch_k_with_strategy(&queries, k, BatchStrategy::QueryMajor);
+            assert_eq!(lm, qm, "k={k}");
+            // Same pruning decisions, so the same (query, list) pairs ...
+            assert_eq!(lm_stats.reps_examined, qm_stats.reps_examined);
+            assert_eq!(lm_stats.queries, qm_stats.queries);
+            // ... but fewer physical scans whenever queries co-travel.
+            assert!(lm_stats.list_scans <= qm_stats.list_scans);
+            assert!(lm_stats.tile_sharing_factor() >= qm_stats.tile_sharing_factor());
+        }
+    }
+
+    #[test]
+    fn list_major_shares_tiles_on_clustered_queries() {
+        // Clustered queries land in the same ownership lists, so the
+        // list-major plan must serve several queries per physical scan and
+        // stream strictly fewer tiles than the query-major path.
+        let db = clustered_cloud(1500, 8, 43);
+        let queries = clustered_cloud(64, 8, 44);
+        let rbc = ExactRbc::build(
+            &db,
+            Euclidean,
+            RbcParams::standard(db.len(), 45),
+            RbcConfig::default(),
+        );
+        let (lm, lm_stats) = rbc.query_batch_k_with_strategy(&queries, 1, BatchStrategy::ListMajor);
+        let (qm, qm_stats) =
+            rbc.query_batch_k_with_strategy(&queries, 1, BatchStrategy::QueryMajor);
+        assert_eq!(lm, qm);
+        assert!(
+            lm_stats.tile_sharing_factor() > 1.5,
+            "sharing factor too low: {}",
+            lm_stats.tile_sharing_factor()
+        );
+        assert!(
+            lm_stats.list_tile_passes < qm_stats.list_tile_passes,
+            "list-major streamed {} tiles, query-major {}",
+            lm_stats.list_tile_passes,
+            qm_stats.list_tile_passes
+        );
+    }
+
+    #[test]
+    fn all_lists_pruned_corner_case_is_answered_from_stage_one() {
+        // Every point its own representative: every ownership list is a
+        // singleton holding the representative itself, so stage 2 has
+        // nothing to contribute and both strategies must answer entirely
+        // from the seeded stage-1 distances.
+        let db = random_cloud(60, 4, 46);
+        let params = RbcParams::standard(db.len(), 47).with_n_reps(10 * db.len());
+        let rbc = ExactRbc::build(&db, Euclidean, params, RbcConfig::default());
+        assert_eq!(rbc.num_reps(), db.len());
+        let queries = random_cloud(9, 4, 48);
+        for k in [1usize, 5, db.len()] {
+            let (lm, lm_stats) =
+                rbc.query_batch_k_with_strategy(&queries, k, BatchStrategy::ListMajor);
+            let (qm, _) = rbc.query_batch_k_with_strategy(&queries, k, BatchStrategy::QueryMajor);
+            assert_eq!(lm, qm, "k={k}");
+            assert_eq!(lm_stats.list_distance_evals, 0, "k={k}");
+            for (qi, per_q) in lm.iter().enumerate() {
+                let want = brute_knn(&db, queries.point(qi), k);
+                assert_eq!(per_q, &want, "k={k} query {qi}");
+            }
+        }
     }
 
     #[test]

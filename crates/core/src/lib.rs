@@ -37,6 +37,39 @@
 //! ([`QueryStats`] / [`SearchStats`]) so the `√n` scaling can be verified
 //! directly — this is what the benchmark harness and EXPERIMENTS.md do.
 //!
+//! # Batched search architecture
+//!
+//! Batched queries (`query_batch_k` on either structure, and everything
+//! the serving layer routes through [`SearchIndex::search_batch`]) run in
+//! two stages, selectable per call via [`BatchStrategy`]:
+//!
+//! 1. **Stage 1 — plan.** One dense `BF(Q, R)` call produces the full
+//!    query × representative distance matrix. From it, a [`BatchPlan`]
+//!    applies the per-query pruning rules (eq. 1 / eq. 2 for the exact
+//!    structure; nearest-representative argmin for the one-shot) and then
+//!    *inverts* the survivor sets: for each ownership list, the group of
+//!    batch positions that must scan it.
+//! 2. **Stage 2 — list-major execution.** The default
+//!    [`BatchStrategy::ListMajor`] parallelises over ownership *lists*,
+//!    not queries: each planned list streams its members tile by tile
+//!    **once** through `rbc_bruteforce`'s shared group-scan kernel, and
+//!    every query in the group consumes the hot tile, merging candidates
+//!    into per-query top-k accumulators behind fine-grained locks. The
+//!    per-query sorted-list cut still applies inside the shared tile, and
+//!    a query retires from a list as soon as the cut fires.
+//!
+//! The old behaviour — every query privately re-reading each list it
+//! survived to — remains available as [`BatchStrategy::QueryMajor`] for
+//! A/B benchmarking (`query_batch_k_with_strategy`, and the `batch_bench`
+//! binary in `rbc-bench`). In exact mode (`epsilon == 0`) both strategies
+//! return bit-identical answers: pruning only ever discards points that
+//! provably cannot enter the final top-k and ties break deterministically
+//! by index, so only the memory traffic changes. With `epsilon > 0` the
+//! cut is deliberately lossy, so each strategy independently honours the
+//! `(1+ε)` guarantee but their chosen eligible answers may differ.
+//! [`SearchStats::tile_sharing_factor`] reports how many private scans
+//! each shared scan replaced.
+//!
 //! # Quick example
 //!
 //! ```
@@ -77,6 +110,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod batch_plan;
 pub mod exact;
 pub mod index;
 pub mod one_shot;
@@ -85,10 +119,11 @@ pub mod rank;
 pub mod reps;
 pub mod stats;
 
+pub use batch_plan::{BatchPlan, ListGroup};
 pub use exact::ExactRbc;
 pub use index::SearchIndex;
 pub use one_shot::OneShotRbc;
-pub use params::{RbcConfig, RbcParams};
+pub use params::{BatchStrategy, RbcConfig, RbcParams};
 pub use rank::{mean_rank, rank_of};
 pub use reps::{sample_representatives, OwnershipList};
 pub use stats::{QueryStats, SearchStats};

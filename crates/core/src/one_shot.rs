@@ -7,12 +7,15 @@
 //! answer is the true nearest neighbor with probability at least `1 − δ`
 //! when `n_r = s = c·√(n·ln(1/δ))` (Theorem 2).
 
+use std::sync::Mutex;
+
 use rayon::prelude::*;
 
-use rbc_bruteforce::{BfConfig, BruteForce, Neighbor};
-use rbc_metric::{Dataset, Metric};
+use rbc_bruteforce::{BfConfig, BruteForce, GroupCursor, Neighbor, TopK};
+use rbc_metric::{Dataset, Dist, Metric};
 
-use crate::params::{RbcConfig, RbcParams};
+use crate::batch_plan::{self, BatchPlan};
+use crate::params::{BatchStrategy, RbcConfig, RbcParams};
 use crate::reps::{sample_representatives, OwnershipList};
 use crate::stats::{QueryStats, SearchStats};
 
@@ -110,8 +113,40 @@ where
         (nn, stats)
     }
 
-    /// Batch k-NN search.
+    /// Batch k-NN search, executed with the configured [`BatchStrategy`]
+    /// (list-major by default).
     pub fn query_batch_k<Q>(&self, queries: &Q, k: usize) -> (Vec<Vec<Neighbor>>, SearchStats)
+    where
+        Q: Dataset<Item = D::Item>,
+    {
+        self.query_batch_k_with_strategy(queries, k, self.config.batch_strategy)
+    }
+
+    /// Batch k-NN search with an explicit execution strategy, overriding
+    /// the built configuration. Both strategies answer from the same
+    /// realised structure and return bit-identical results; this entry
+    /// point exists so benchmarks and equivalence tests can A/B them.
+    pub fn query_batch_k_with_strategy<Q>(
+        &self,
+        queries: &Q,
+        k: usize,
+        strategy: BatchStrategy,
+    ) -> (Vec<Vec<Neighbor>>, SearchStats)
+    where
+        Q: Dataset<Item = D::Item>,
+    {
+        match strategy {
+            BatchStrategy::QueryMajor => self.query_batch_k_query_major(queries, k),
+            BatchStrategy::ListMajor => self.query_batch_k_list_major(queries, k),
+        }
+    }
+
+    /// The query-major batch path: parallelise across queries.
+    fn query_batch_k_query_major<Q>(
+        &self,
+        queries: &Q,
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, SearchStats)
     where
         Q: Dataset<Item = D::Item>,
     {
@@ -136,6 +171,68 @@ where
         (results, agg)
     }
 
+    /// The list-major batch path: one dense `BF(Q, R)` stage, queries
+    /// grouped by their chosen representative, then a parallel loop over
+    /// the chosen *lists* in which each list's tiles are streamed once for
+    /// its whole group (`BF(Q_group, X[L_r])`). Each query belongs to
+    /// exactly one group, so the shared kernel's accumulator locks are
+    /// uncontended here.
+    fn query_batch_k_list_major<Q>(
+        &self,
+        queries: &Q,
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, SearchStats)
+    where
+        Q: Dataset<Item = D::Item>,
+    {
+        assert!(k > 0, "k must be at least 1");
+        let nq = queries.len();
+        if nq == 0 {
+            return (Vec::new(), SearchStats::default());
+        }
+        if nq == 1 {
+            // A single-query batch has no tiles to share; skip the
+            // planning and accumulator-locking overhead (the work
+            // performed is identical either way).
+            return self.query_batch_k_query_major(queries, k);
+        }
+        let bf = BruteForce::with_config(self.config.bf);
+        let n_reps = self.rep_indices.len();
+
+        // Stage 1: one dense BF(Q, R) pass; argmin per row picks the
+        // representative (ties to the lower index, like the query-major
+        // reduction).
+        let rep_view = self.db.subset(&self.rep_indices);
+        let (rep_dists, rep_stats) = bf.pairwise(queries, &rep_view, &self.metric);
+        let plan = BatchPlan::plan_one_shot(&rep_dists, n_reps);
+
+        let accumulators: Vec<Mutex<TopK>> = (0..nq).map(|_| Mutex::new(TopK::new(k))).collect();
+        let inner_bf = BruteForce::with_config(BfConfig {
+            parallel: false,
+            ..self.config.bf
+        });
+        batch_plan::execute_list_major(
+            &inner_bf,
+            self.config.bf.parallel,
+            queries,
+            &self.db,
+            &self.metric,
+            &self.lists,
+            &plan,
+            |_, qi| GroupCursor {
+                query: qi,
+                d_to_rep: 0.0,
+                threshold_cap: Dist::INFINITY,
+            },
+            1.0,
+            false,
+            None,
+            accumulators,
+            n_reps as u64,
+            rep_stats.distance_evals,
+        )
+    }
+
     fn query_k_with(
         &self,
         query: &D::Item,
@@ -158,6 +255,7 @@ where
             reps_total: self.rep_indices.len(),
             reps_examined: 1,
             list_points_skipped: 0,
+            list_tile_passes: list.len().div_ceil(bf.config().db_tile.max(1)) as u64,
         };
         (neighbors, stats)
     }
@@ -395,6 +493,34 @@ mod tests {
         for (qi, batched) in batch.iter().enumerate() {
             let (single, _) = rbc.query(queries.point(qi));
             assert_eq!(*batched, single);
+        }
+    }
+
+    #[test]
+    fn list_major_and_query_major_agree_and_share_scans() {
+        let db = clustered_cloud(800, 6, 30);
+        let queries = clustered_cloud(40, 6, 31);
+        let rbc = OneShotRbc::build(
+            &db,
+            Euclidean,
+            RbcParams::standard(db.len(), 32),
+            RbcConfig::default(),
+        );
+        for k in [1usize, 3, 8] {
+            let (lm, lm_stats) =
+                rbc.query_batch_k_with_strategy(&queries, k, BatchStrategy::ListMajor);
+            let (qm, qm_stats) =
+                rbc.query_batch_k_with_strategy(&queries, k, BatchStrategy::QueryMajor);
+            assert_eq!(lm, qm, "k={k}");
+            assert_eq!(
+                lm_stats.total_distance_evals(),
+                qm_stats.total_distance_evals()
+            );
+            assert_eq!(lm_stats.max_query_evals, qm_stats.max_query_evals);
+            // 40 clustered queries choose far fewer than 40 distinct
+            // representatives, so the shared scans must coalesce.
+            assert!(lm_stats.list_scans < qm_stats.list_scans);
+            assert!(lm_stats.tile_sharing_factor() > 1.0);
         }
     }
 

@@ -22,6 +22,11 @@ pub struct QueryStats {
     /// Candidate points skipped by the sorted-list triangle-inequality cut
     /// (exact search only).
     pub list_points_skipped: u64,
+    /// Ownership-list tiles this query streamed in stage 2. A single query
+    /// always pays for its own tiles, so this is a private count; batched
+    /// list-major execution is where tiles get shared (see
+    /// [`SearchStats::list_tile_passes`]).
+    pub list_tile_passes: u64,
 }
 
 impl QueryStats {
@@ -41,24 +46,59 @@ impl QueryStats {
 }
 
 /// Aggregated work over a batch of queries.
+///
+/// # Counter semantics
+///
+/// Two kinds of stage-2 work are counted, and they deliberately scale
+/// differently under list-major (tile-sharing) execution:
+///
+/// * **Distance evaluations** (`list_distance_evals`) are always counted
+///   once per `(query, point)` pair. A distance belongs to exactly one
+///   query; no execution strategy can share it, so this number measures
+///   arithmetic work and is strategy-independent up to pruning-order
+///   effects.
+/// * **Tile passes** (`list_tile_passes`) are counted once per *shared*
+///   tile stream. When list-major execution streams one ownership-list
+///   tile for a group of co-travelling queries, that is **one** pass — not
+///   one per query sharing it. Query-major execution gives every query a
+///   private pass over every list it scans, so there the count equals the
+///   sum of per-query passes. This number measures memory traffic, the
+///   resource the paper's batching argument is about.
+///
+/// `reps_examined` stays a per-(query, list) count under both strategies
+/// (it answers "how well did pruning work per query"), while `list_scans`
+/// counts physical scans — so `reps_examined / list_scans` is the achieved
+/// tile-sharing factor (see [`tile_sharing_factor`]).
+///
+/// [`tile_sharing_factor`]: SearchStats::tile_sharing_factor
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SearchStats {
     /// Number of queries aggregated.
     pub queries: u64,
     /// Sum of first-stage distance evaluations.
     pub rep_distance_evals: u64,
-    /// Sum of second-stage distance evaluations.
+    /// Sum of second-stage distance evaluations (per `(query, point)`
+    /// pair; see the type-level counter semantics).
     pub list_distance_evals: u64,
-    /// Sum of representatives examined.
+    /// Sum of representatives examined (per `(query, list)` pair).
     pub reps_examined: u64,
     /// Sum of points skipped by the sorted-list cut.
     pub list_points_skipped: u64,
     /// Maximum total evaluations over any single query (tail behaviour).
     pub max_query_evals: u64,
+    /// Stage-2 list tiles streamed through memory, counted once per
+    /// shared pass (see the type-level counter semantics).
+    pub list_tile_passes: u64,
+    /// Physical stage-2 list scans performed: list-major counts each
+    /// shared group scan once; query-major performs one private scan per
+    /// `(query, list)` pair, making this equal to `reps_examined`.
+    pub list_scans: u64,
 }
 
 impl SearchStats {
-    /// Folds one query's stats into the aggregate.
+    /// Folds one query's stats into the aggregate. A solo query streams
+    /// its tiles privately, so each of its list scans counts as one
+    /// physical scan and its tile passes add unshared.
     pub fn absorb(&mut self, q: &QueryStats) {
         self.queries += 1;
         self.rep_distance_evals += q.rep_distance_evals;
@@ -66,6 +106,8 @@ impl SearchStats {
         self.reps_examined += q.reps_examined as u64;
         self.list_points_skipped += q.list_points_skipped;
         self.max_query_evals = self.max_query_evals.max(q.total_distance_evals());
+        self.list_tile_passes += q.list_tile_passes;
+        self.list_scans += q.reps_examined as u64;
     }
 
     /// Merges another aggregate into this one.
@@ -76,6 +118,8 @@ impl SearchStats {
         self.reps_examined += other.reps_examined;
         self.list_points_skipped += other.list_points_skipped;
         self.max_query_evals = self.max_query_evals.max(other.max_query_evals);
+        self.list_tile_passes += other.list_tile_passes;
+        self.list_scans += other.list_scans;
     }
 
     /// Total distance evaluations across both stages and all queries.
@@ -98,6 +142,19 @@ impl SearchStats {
             0.0
         } else {
             self.reps_examined as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean number of queries served per physical list scan — the achieved
+    /// stage-2 tile-sharing factor. Query-major execution is always `1.0`
+    /// (every scan serves one query); list-major execution exceeds `1.0`
+    /// whenever co-travelling queries selected the same ownership lists.
+    /// `0.0` when no list was scanned at all.
+    pub fn tile_sharing_factor(&self) -> f64 {
+        if self.list_scans == 0 {
+            0.0
+        } else {
+            self.reps_examined as f64 / self.list_scans as f64
         }
     }
 
@@ -135,6 +192,7 @@ mod tests {
             reps_total: 10,
             reps_examined: 3,
             list_points_skipped: 2,
+            list_tile_passes: 4,
         }
     }
 
@@ -156,6 +214,26 @@ mod tests {
         assert_eq!(agg.max_query_evals, 60);
         assert_eq!(agg.evals_per_query(), 45.0);
         assert_eq!(agg.reps_examined_per_query(), 3.0);
+        // Solo queries stream privately: one physical scan per examined
+        // list, so the sharing factor is exactly 1.
+        assert_eq!(agg.list_tile_passes, 8);
+        assert_eq!(agg.list_scans, 6);
+        assert_eq!(agg.tile_sharing_factor(), 1.0);
+    }
+
+    #[test]
+    fn tile_sharing_factor_reflects_shared_scans() {
+        // A list-major batch: 6 (query, list) pairs served by 2 physical
+        // scans means each scan carried 3 queries.
+        let agg = SearchStats {
+            queries: 3,
+            reps_examined: 6,
+            list_scans: 2,
+            list_tile_passes: 2,
+            ..SearchStats::default()
+        };
+        assert_eq!(agg.tile_sharing_factor(), 3.0);
+        assert_eq!(SearchStats::default().tile_sharing_factor(), 0.0);
     }
 
     #[test]

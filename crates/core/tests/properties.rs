@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 use rbc_bruteforce::{BruteForce, Neighbor};
-use rbc_core::{ExactRbc, OneShotRbc, RbcConfig, RbcParams};
+use rbc_core::{BatchStrategy, ExactRbc, OneShotRbc, RbcConfig, RbcParams};
 use rbc_metric::{Euclidean, Manhattan, Metric, VectorSet};
 
 const DIM: usize = 3;
@@ -199,8 +199,12 @@ proptest! {
         }
     }
 
-    /// Work accounting is consistent: total evals reported by a batch equal
-    /// the sum over single queries, and never exceed brute-force work.
+    /// Work accounting is consistent. Query-major batches are literally the
+    /// per-query searches run in parallel, so their totals match the sum
+    /// over single queries exactly. List-major batches share list tiles and
+    /// tighten thresholds in a different order, so only the answers are
+    /// bit-identical — their work must still respect the brute-force bound
+    /// and account every stage-1 evaluation.
     #[test]
     fn work_accounting_is_consistent(
         db_rows in cloud(4..50),
@@ -211,15 +215,129 @@ proptest! {
         let queries = VectorSet::from_rows(&q_rows);
         let params = RbcParams::standard(db.len(), seed);
         let rbc = ExactRbc::build(&db, Euclidean, params, RbcConfig::default());
-        let (_, batch_stats) = rbc.query_batch(&queries);
+        let (_, qm_stats) =
+            rbc.query_batch_k_with_strategy(&queries, 1, BatchStrategy::QueryMajor);
         let mut total_single = 0u64;
         for qi in 0..queries.len() {
             let (_, qs) = rbc.query(queries.point(qi));
             total_single += qs.total_distance_evals();
         }
-        prop_assert_eq!(batch_stats.total_distance_evals(), total_single);
-        // Never worse than brute force plus the representative scan.
+        prop_assert_eq!(qm_stats.total_distance_evals(), total_single);
+        // Query-major scans are private: sharing factor is exactly 1 (or 0
+        // when every list was pruned for every query).
+        let qm_sharing = qm_stats.tile_sharing_factor();
+        prop_assert!(qm_sharing == 0.0 || (qm_sharing - 1.0).abs() < 1e-12);
+
+        let (_, lm_stats) =
+            rbc.query_batch_k_with_strategy(&queries, 1, BatchStrategy::ListMajor);
         let bound = (queries.len() * (db.len() + rbc.num_reps())) as u64;
-        prop_assert!(batch_stats.total_distance_evals() <= bound);
+        prop_assert!(lm_stats.total_distance_evals() <= bound);
+        prop_assert!(qm_stats.total_distance_evals() <= bound);
+        // Stage 1 is identical under both strategies.
+        prop_assert_eq!(lm_stats.rep_distance_evals, qm_stats.rep_distance_evals);
+        // Both count the same (query, list) survivor pairs; list-major
+        // never performs more physical scans than query-major.
+        prop_assert_eq!(lm_stats.reps_examined, qm_stats.reps_examined);
+        prop_assert!(lm_stats.list_scans <= qm_stats.list_scans);
+    }
+
+    /// The tentpole equivalence: list-major `query_batch_k` returns
+    /// bit-identical neighbors and ordering to the query-major path and to
+    /// per-query `query_k`, across k ∈ {1, 5, n}, on uniform data.
+    #[test]
+    fn list_major_is_bit_identical_uniform(
+        db_rows in cloud(2..70),
+        q_rows in cloud(1..10),
+        n_reps in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let queries = VectorSet::from_rows(&q_rows);
+        let params = RbcParams::standard(db.len(), seed).with_n_reps(n_reps.min(db.len()));
+        let rbc = ExactRbc::build(&db, Euclidean, params, RbcConfig::default());
+        for k in [1usize, 5, db.len()] {
+            let (lm, _) =
+                rbc.query_batch_k_with_strategy(&queries, k, BatchStrategy::ListMajor);
+            let (qm, _) =
+                rbc.query_batch_k_with_strategy(&queries, k, BatchStrategy::QueryMajor);
+            prop_assert_eq!(&lm, &qm);
+            for (qi, batched) in lm.iter().enumerate() {
+                let (single, _) = rbc.query_k(queries.point(qi), k);
+                prop_assert_eq!(batched, &single);
+            }
+        }
+    }
+
+    /// Same equivalence on clustered data, where many queries select the
+    /// same ownership lists and the shared accumulators see real
+    /// contention — plus the degenerate all-lists-pruned corner (every
+    /// point its own representative, so stage 2 contributes nothing).
+    #[test]
+    fn list_major_is_bit_identical_clustered_and_degenerate(
+        centers in prop::collection::vec(prop::collection::vec(-20.0f32..20.0, DIM), 2..6),
+        assignments in prop::collection::vec(0usize..6, 8..60),
+        offsets in prop::collection::vec(-0.4f32..0.4, 8..60),
+        n_queries in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        // Clustered cloud: each point is a center plus a small offset.
+        let db_rows: Vec<Vec<f32>> = assignments
+            .iter()
+            .zip(offsets.iter().cycle())
+            .map(|(&c, &off)| {
+                centers[c % centers.len()].iter().map(|&v| v + off).collect()
+            })
+            .collect();
+        let db = VectorSet::from_rows(&db_rows);
+        let q_rows: Vec<Vec<f32>> = (0..n_queries)
+            .map(|i| {
+                centers[i % centers.len()]
+                    .iter()
+                    .map(|&v| v + 0.05 * (i as f32 + 1.0))
+                    .collect()
+            })
+            .collect();
+        let queries = VectorSet::from_rows(&q_rows);
+
+        for n_reps in [db.len().isqrt().max(1), db.len()] {
+            let params = RbcParams::standard(db.len(), seed).with_n_reps(n_reps);
+            let rbc = ExactRbc::build(&db, Euclidean, params, RbcConfig::default());
+            for k in [1usize, 5, db.len()] {
+                let (lm, _) =
+                    rbc.query_batch_k_with_strategy(&queries, k, BatchStrategy::ListMajor);
+                let (qm, _) =
+                    rbc.query_batch_k_with_strategy(&queries, k, BatchStrategy::QueryMajor);
+                prop_assert_eq!(&lm, &qm);
+                for (qi, batched) in lm.iter().enumerate() {
+                    let (single, _) = rbc.query_k(queries.point(qi), k);
+                    prop_assert_eq!(batched, &single);
+                }
+            }
+        }
+    }
+
+    /// The one-shot structure's two batch strategies answer from the same
+    /// realised lists, so they must agree bit-for-bit too.
+    #[test]
+    fn one_shot_list_major_is_bit_identical(
+        db_rows in cloud(2..60),
+        q_rows in cloud(1..8),
+        seed in 0u64..500,
+    ) {
+        let db = VectorSet::from_rows(&db_rows);
+        let queries = VectorSet::from_rows(&q_rows);
+        let params = RbcParams::standard(db.len(), seed);
+        let rbc = OneShotRbc::build(&db, Euclidean, params, RbcConfig::default());
+        for k in [1usize, 5, db.len()] {
+            let (lm, _) =
+                rbc.query_batch_k_with_strategy(&queries, k, BatchStrategy::ListMajor);
+            let (qm, _) =
+                rbc.query_batch_k_with_strategy(&queries, k, BatchStrategy::QueryMajor);
+            prop_assert_eq!(&lm, &qm);
+            for (qi, batched) in lm.iter().enumerate() {
+                let (single, _) = rbc.query_k(queries.point(qi), k);
+                prop_assert_eq!(batched, &single);
+            }
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! Pinned CPU thread pools modelling the paper's CPU platforms.
 
 use rayon::ThreadPool;
+use rbc_bruteforce::BfConfig;
 
 /// A named machine configuration from the paper's evaluation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,6 +44,24 @@ impl MachineProfile {
             threads: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
+        }
+    }
+
+    /// The brute-force tile policy this profile wants, threaded into the
+    /// RBC via `RbcConfig { bf: profile.tile_policy(), .. }` so tile shapes
+    /// stay a *device* decision rather than being hard-coded in the search
+    /// layer.
+    ///
+    /// Heuristics, not measurements: wider machines get more query tiles in
+    /// flight (so every worker has a tile of its own) and a larger database
+    /// tile (server parts have the last-level cache to keep it hot); a
+    /// single-core profile runs sequentially, which is also what the
+    /// paper's single-core Cover Tree protocol requires.
+    pub fn tile_policy(&self) -> BfConfig {
+        BfConfig {
+            query_tile: (self.threads * 2).clamp(8, 64),
+            db_tile: if self.threads >= 16 { 512 } else { 256 },
+            parallel: self.threads > 1,
         }
     }
 }
@@ -130,6 +149,25 @@ mod tests {
         assert_eq!(MachineProfile::desktop_quadcore().threads, 4);
         assert_eq!(MachineProfile::single_core().threads, 1);
         assert!(MachineProfile::host().threads >= 1);
+    }
+
+    #[test]
+    fn tile_policy_tracks_the_machine_shape() {
+        let server = MachineProfile::server_48core().tile_policy();
+        assert_eq!(server.query_tile, 64);
+        assert_eq!(server.db_tile, 512);
+        assert!(server.parallel);
+        assert!(server.validate().is_ok());
+
+        let desktop = MachineProfile::desktop_quadcore().tile_policy();
+        assert_eq!(desktop.query_tile, 8);
+        assert_eq!(desktop.db_tile, 256);
+        assert!(desktop.parallel);
+
+        let single = MachineProfile::single_core().tile_policy();
+        assert!(!single.parallel);
+        assert!(single.validate().is_ok());
+        assert!(MachineProfile::host().tile_policy().validate().is_ok());
     }
 
     #[test]

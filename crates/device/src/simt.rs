@@ -23,6 +23,7 @@
 //! only ratios between algorithms run on the same model are, and those are
 //! what Table 2 reports.
 
+use rbc_bruteforce::BfConfig;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the modeled device.
@@ -55,6 +56,22 @@ impl Default for SimtConfig {
             scatter_penalty: 8.0,
             kernel_launch_overhead: 10_000.0,
             divergence_penalty: 16.0,
+        }
+    }
+}
+
+impl SimtConfig {
+    /// The brute-force tile policy for algorithms whose work profiles will
+    /// be fed to this device model: a warp of queries advances through
+    /// each database tile in lockstep, so the query tile equals the warp
+    /// width (coalesced loads are shared across the warp), and the host
+    /// execution runs sequentially because the model supplies its own
+    /// scheduling.
+    pub fn tile_policy(&self) -> BfConfig {
+        BfConfig {
+            query_tile: self.warp_width.max(1),
+            db_tile: 256,
+            parallel: false,
         }
     }
 }
@@ -307,6 +324,14 @@ impl SimtDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tile_policy_matches_the_warp() {
+        let policy = SimtConfig::default().tile_policy();
+        assert_eq!(policy.query_tile, 32);
+        assert!(!policy.parallel);
+        assert!(policy.validate().is_ok());
+    }
 
     #[test]
     fn uniform_kernel_has_full_utilization() {

@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use rbc_bruteforce::Neighbor;
 use rbc_core::SearchIndex;
@@ -183,6 +183,50 @@ impl<V> LruCache<V> {
     }
 }
 
+/// Shared hit/miss counters of a [`CachedIndex`].
+///
+/// The counters live behind an `Arc` so they can be handed to an
+/// [`Engine`](crate::engine::Engine) via
+/// [`track_cache`](crate::engine::Engine::track_cache): metrics snapshots
+/// then report cache effectiveness alongside throughput and latency
+/// instead of the counters living only on the index wrapper.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheCounters {
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to be forwarded to the inner index so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served from the cache; `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits();
+        let total = hits + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    pub(crate) fn record_hits(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_misses(&self, n: u64) {
+        self.misses.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
 /// A [`SearchIndex`] wrapper that answers repeated queries from an LRU
 /// cache.
 ///
@@ -193,8 +237,7 @@ impl<V> LruCache<V> {
 pub struct CachedIndex<I> {
     inner: I,
     cache: Mutex<LruCache<Vec<Neighbor>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    counters: Arc<CacheCounters>,
 }
 
 impl<I: SearchIndex> CachedIndex<I>
@@ -210,8 +253,7 @@ where
         Self {
             inner,
             cache: Mutex::new(LruCache::new(capacity)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            counters: Arc::new(CacheCounters::default()),
         }
     }
 
@@ -220,14 +262,26 @@ where
         &self.inner
     }
 
+    /// A shared handle onto this cache's hit/miss counters, for
+    /// registering with an engine's metrics
+    /// ([`Engine::track_cache`](crate::engine::Engine::track_cache)).
+    pub fn counters(&self) -> Arc<CacheCounters> {
+        Arc::clone(&self.counters)
+    }
+
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.counters.hits()
     }
 
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.counters.misses()
+    }
+
+    /// Fraction of lookups served from the cache; `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        self.counters.hit_rate()
     }
 
     fn key_of(query: &I::Query, k: usize) -> Vec<u8> {
@@ -250,10 +304,10 @@ where
     fn search(&self, query: &Self::Query, k: usize) -> (Vec<Neighbor>, u64) {
         let key = Self::key_of(query, k);
         if let Some(hit) = self.cache.lock().expect("cache lock poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.record_hits(1);
             return (hit.clone(), 0);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters.record_misses(1);
         let (answer, evals) = self.inner.search(query, k);
         self.cache
             .lock()
@@ -274,12 +328,9 @@ where
                 }
             }
         }
-        self.hits.fetch_add(
-            (queries.len() - miss_positions.len()) as u64,
-            Ordering::Relaxed,
-        );
-        self.misses
-            .fetch_add(miss_positions.len() as u64, Ordering::Relaxed);
+        self.counters
+            .record_hits((queries.len() - miss_positions.len()) as u64);
+        self.counters.record_misses(miss_positions.len() as u64);
 
         let mut evals = 0u64;
         if !miss_positions.is_empty() {
@@ -382,6 +433,13 @@ mod tests {
         assert_eq!(evals_second, 0);
         assert_eq!(cached.hits(), 1);
         assert_eq!(cached.misses(), 1);
+        assert_eq!(cached.hit_rate(), 0.5);
+        // The shared counter handle sees the same numbers the wrapper does.
+        let counters = cached.counters();
+        assert_eq!(counters.hits(), 1);
+        assert_eq!(counters.misses(), 1);
+        assert_eq!(counters.hit_rate(), 0.5);
+        assert_eq!(CacheCounters::default().hit_rate(), 0.0);
         // Different k is a different entry.
         let (_, evals_k3) = cached.search(&q, 3);
         assert!(evals_k3 > 0);

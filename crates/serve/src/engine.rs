@@ -207,6 +207,14 @@ where
         self.metrics.snapshot()
     }
 
+    /// Registers an answer cache's counters (see
+    /// [`CachedIndex::counters`](crate::cache::CachedIndex::counters)) so
+    /// metrics snapshots report cache hits, misses and the hit rate
+    /// alongside throughput and latency.
+    pub fn track_cache(&self, counters: Arc<crate::cache::CacheCounters>) {
+        self.metrics.track_cache(counters);
+    }
+
     /// Stops intake, drains every pending request, joins the workers, and
     /// returns the final metrics. Tickets of drained requests resolve
     /// normally (or as shed, if their deadline passed while queued).
@@ -520,6 +528,35 @@ mod tests {
         let snapshot = engine.shutdown();
         assert_eq!(snapshot.failed, 1);
         assert_eq!(snapshot.completed, 1);
+    }
+
+    #[test]
+    fn tracked_cache_shows_up_in_snapshots() {
+        let db = cloud(200, 4, 9);
+        let index = ExactRbc::build(
+            db.clone(),
+            Euclidean,
+            RbcParams::standard(200, 10),
+            RbcConfig::default(),
+        );
+        let cached = crate::cache::CachedIndex::new(index, 32);
+        let counters = cached.counters();
+        let engine = Engine::start(
+            cached,
+            ServeConfig::default().with_linger(Duration::from_micros(100)),
+        )
+        .expect("valid config");
+        engine.track_cache(counters);
+        let handle = engine.handle();
+        let hot = db.point(7).to_vec();
+        for _ in 0..6 {
+            handle.submit(hot.clone(), 1).unwrap().wait().unwrap();
+        }
+        let snapshot = engine.shutdown();
+        assert_eq!(snapshot.cache_hits + snapshot.cache_misses, 6);
+        assert!(snapshot.cache_misses >= 1);
+        assert!(snapshot.cache_hits >= 1, "repeated query never hit");
+        assert!(snapshot.cache_hit_rate > 0.0 && snapshot.cache_hit_rate < 1.0);
     }
 
     #[test]

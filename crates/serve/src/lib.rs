@@ -73,7 +73,7 @@ pub mod metrics;
 mod queue;
 pub mod ticket;
 
-pub use cache::{CacheKey, CachedIndex, LruCache};
+pub use cache::{CacheCounters, CacheKey, CachedIndex, LruCache};
 pub use config::{ServeConfig, ServeError};
 pub use engine::{Engine, ServeHandle};
 pub use metrics::{BatchSizeBucket, LatencyHistogram, MetricsSnapshot, ServeMetrics};

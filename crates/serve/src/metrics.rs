@@ -7,10 +7,12 @@
 //! JSON reports the rest of `rbc-bench` produces.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::Serialize;
+
+use crate::cache::CacheCounters;
 
 /// Number of power-of-two latency buckets (bucket `i` covers
 /// `[2^i, 2^{i+1})` microseconds; 40 buckets reach ~12.7 days).
@@ -103,6 +105,9 @@ pub struct ServeMetrics {
     /// is unused (empty batches are not executed).
     batch_hist: Mutex<Vec<u64>>,
     latency: Mutex<LatencyHistogram>,
+    /// Answer-cache counters, when an engine serves a `CachedIndex` and
+    /// registered it; `None` means snapshots report zero cache activity.
+    cache: Mutex<Option<Arc<CacheCounters>>>,
 }
 
 impl ServeMetrics {
@@ -120,7 +125,14 @@ impl ServeMetrics {
             distance_evals: AtomicU64::new(0),
             batch_hist: Mutex::new(vec![0; max_batch + 1]),
             latency: Mutex::new(LatencyHistogram::default()),
+            cache: Mutex::new(None),
         }
+    }
+
+    /// Registers an answer cache's counters so snapshots report hit/miss
+    /// counts and the hit rate. Replaces any previously tracked cache.
+    pub fn track_cache(&self, counters: Arc<CacheCounters>) {
+        *self.cache.lock().expect("metrics lock poisoned") = Some(counters);
     }
 
     pub(crate) fn record_submitted(&self) {
@@ -185,6 +197,12 @@ impl ServeMetrics {
                 .collect()
         };
         let latency = self.latency.lock().expect("metrics lock poisoned").clone();
+        let (cache_hits, cache_misses, cache_hit_rate) = self
+            .cache
+            .lock()
+            .expect("metrics lock poisoned")
+            .as_ref()
+            .map_or((0, 0, 0.0), |c| (c.hits(), c.misses(), c.hit_rate()));
         MetricsSnapshot {
             uptime_secs: uptime.as_secs_f64(),
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -210,6 +228,9 @@ impl ServeMetrics {
             latency_p95_us: latency.quantile_us(0.95),
             latency_p99_us: latency.quantile_us(0.99),
             latency_max_us: latency.max_us,
+            cache_hits,
+            cache_misses,
+            cache_hit_rate,
         }
     }
 }
@@ -259,6 +280,14 @@ pub struct MetricsSnapshot {
     pub latency_p99_us: u64,
     /// Worst observed latency, microseconds.
     pub latency_max_us: u64,
+    /// Answer-cache hits (0 when no cache is tracked; see
+    /// [`ServeMetrics::track_cache`]).
+    pub cache_hits: u64,
+    /// Answer-cache misses (0 when no cache is tracked).
+    pub cache_misses: u64,
+    /// Fraction of lookups served from the answer cache (0.0 when no
+    /// cache is tracked or before any lookup).
+    pub cache_hit_rate: f64,
 }
 
 #[cfg(test)]
@@ -341,5 +370,31 @@ mod tests {
         assert!(json.contains("\"mean_batch_size\""));
         assert!(json.contains("\"latency_p99_us\""));
         assert!(json.contains("\"batch_size_histogram\""));
+        assert!(json.contains("\"cache_hit_rate\""));
+    }
+
+    #[test]
+    fn untracked_cache_reports_zero_activity() {
+        let m = ServeMetrics::new(4);
+        let s = m.snapshot();
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.cache_misses, 0);
+        assert_eq!(s.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn tracked_cache_counters_flow_into_the_snapshot() {
+        let m = ServeMetrics::new(4);
+        let counters = Arc::new(CacheCounters::default());
+        m.track_cache(Arc::clone(&counters));
+        assert_eq!(m.snapshot().cache_hits, 0);
+        // Counters are read live at snapshot time, so activity recorded
+        // after registration must show up.
+        counters.record_hits(3);
+        counters.record_misses(1);
+        let s = m.snapshot();
+        assert_eq!(s.cache_hits, 3);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hit_rate, 0.75);
     }
 }

@@ -108,6 +108,22 @@ fn main() {
     );
     assert_eq!(mismatches, 0, "served answers must match direct queries");
 
+    // The engine's batches run the list-major stage 2, so queries that
+    // landed in the same micro-batch shared ownership-list tiles. Replay
+    // the query pool as one offline batch to show the sharing the serving
+    // path inherits: how many queries each physical list scan served.
+    let (_, batch_stats) = index.query_batch_k(&query_pool, 1);
+    println!(
+        "  tile sharing    : {:.1} queries per list scan ({} shared scans covered {} query-list pairs)",
+        batch_stats.tile_sharing_factor(),
+        batch_stats.list_scans,
+        batch_stats.reps_examined
+    );
+    assert!(
+        batch_stats.tile_sharing_factor() >= 1.0,
+        "list-major batching should never scan more often than query-major"
+    );
+
     // --- Deadlines: shed instead of serving stale answers -----------------
     let engine = Engine::start(
         Arc::clone(&index),
@@ -142,6 +158,9 @@ fn main() {
     let cached = Arc::new(CachedIndex::new(Arc::clone(&index), 128));
     let engine = Engine::start(Arc::clone(&cached), ServeConfig::default())
         .expect("valid serving configuration");
+    // Register the cache so the engine's own metrics snapshot carries the
+    // hit/miss counters and hit rate.
+    engine.track_cache(cached.counters());
     let handle = engine.handle();
     let hot_query = query_pool.point(3).to_vec();
     let _ = hot_query[..].cache_key(); // the trait behind the cache's exactness
@@ -154,9 +173,10 @@ fn main() {
     }
     let stats = engine.shutdown();
     println!(
-        "\nanswer cache on a hot query: {} hits / {} misses, {} distance evals total",
-        cached.hits(),
-        cached.misses(),
+        "\nanswer cache on a hot query: {} hits / {} misses ({:.0}% hit rate), {} distance evals total",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_hit_rate * 100.0,
         stats.distance_evals
     );
 }

@@ -56,7 +56,7 @@ pub use rbc_serve as serve;
 
 pub use rbc_bruteforce::{BfConfig, BruteForce, Neighbor};
 pub use rbc_core::{
-    ExactRbc, OneShotRbc, QueryStats, RbcConfig, RbcParams, SearchIndex, SearchStats,
+    BatchStrategy, ExactRbc, OneShotRbc, QueryStats, RbcConfig, RbcParams, SearchIndex, SearchStats,
 };
 pub use rbc_metric::{Dataset, Dist, Euclidean, Metric, VectorSet};
 pub use rbc_serve::{CachedIndex, Engine, ServeConfig, ServeError, ServeHandle, Ticket};
@@ -65,7 +65,8 @@ pub use rbc_serve::{CachedIndex, Engine, ServeConfig, ServeError, ServeHandle, T
 pub mod prelude {
     pub use rbc_bruteforce::{BfConfig, BruteForce, Neighbor};
     pub use rbc_core::{
-        ExactRbc, OneShotRbc, QueryStats, RbcConfig, RbcParams, SearchIndex, SearchStats,
+        BatchStrategy, ExactRbc, OneShotRbc, QueryStats, RbcConfig, RbcParams, SearchIndex,
+        SearchStats,
     };
     pub use rbc_metric::{Dataset, Dist, Euclidean, Manhattan, Metric, VectorSet};
     pub use rbc_serve::{CachedIndex, Engine, ServeConfig, ServeError, ServeHandle, Ticket};
