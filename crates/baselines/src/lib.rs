@@ -16,7 +16,7 @@
 //!   justify why the evaluation focuses on higher-dimensional data.
 //! * [`LshIndex`] — p-stable Locality-Sensitive Hashing for `ℓ2`, the
 //!   alternative approximate approach the related-work section contrasts
-//!   the RBC against (§2, ref [16]).
+//!   the RBC against (§2, ref \[16\]).
 //! * [`LinearScan`] — brute force behind the same counting interface, the
 //!   baseline every speedup in the paper is measured against.
 //!

@@ -1,7 +1,7 @@
 //! Locality-Sensitive Hashing (LSH) for Euclidean data.
 //!
 //! The paper's related-work section singles out LSH (Indyk & Motwani, ref
-//! [16]) as the other major line of attack on high-dimensional NN search,
+//! \[16\]) as the other major line of attack on high-dimensional NN search,
 //! noting its three practical limitations: it is approximate only, it is
 //! tied to particular distance functions rather than general metrics, and
 //! its parameters are awkward to set (§2). This implementation exists so

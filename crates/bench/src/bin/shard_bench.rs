@@ -1,0 +1,279 @@
+//! `shard_bench` — the routed batch protocol across cluster sizes.
+//!
+//! Not a paper artifact: the paper's conclusion sketches sharding the
+//! database by representative and defers "I/O and communication costs" to
+//! future work. This binary measures exactly those costs for the routed
+//! list-major batch protocol (`DistributedRbc::query_batch_exact`): the
+//! same clustered query stream is replayed in micro-batches of several
+//! sizes against clusters of several node counts, and for each cell we
+//! report worker/coordinator work, per-batch fan-out, bytes on the wire,
+//! modeled communication time, and the observed per-node load skew.
+//!
+//! Two properties are asserted, so the binary doubles as an end-to-end
+//! check in CI:
+//!
+//! * **bit-identity** — every sharded batched answer equals the
+//!   centralized list-major `ExactRbc::query_batch_k` answer, at every
+//!   node count and batch size (sharding is placement, not
+//!   approximation);
+//! * **sublinear bytes-per-batch growth** — from batch size 16 up, bytes
+//!   on the wire per *query* strictly shrink as batches grow, because the
+//!   protocol sends one message per node per batch (headers amortise over
+//!   the micro-batch) instead of one per `(query, node)` pair.
+//!
+//! The full grid is written as JSON under `results/shard_bench.json`.
+//!
+//! Usage: `shard_bench [--n N] [--queries N] [--clusters N] [--dim N]
+//! [--k N] [--seed N]`
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use rbc_bench::{write_json_records, Table};
+use rbc_bruteforce::BfConfig;
+use rbc_core::{ExactRbc, RbcConfig, RbcParams};
+use rbc_data::gaussian_mixture;
+use rbc_device::MachineProfile;
+use rbc_distributed::{eval_skew, ClusterConfig, DistributedQueryStats, DistributedRbc};
+use rbc_metric::{Dataset, Euclidean, VectorSet};
+
+struct Options {
+    n: usize,
+    queries: usize,
+    clusters: usize,
+    dim: usize,
+    k: usize,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            n: 20_000,
+            queries: 256,
+            clusters: 24,
+            dim: 12,
+            k: 1,
+            seed: 0,
+        }
+    }
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
+        it.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage(&format!("{flag} needs an integer value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--n" => opts.n = need(&mut args, "--n").max(2),
+            "--queries" => opts.queries = need(&mut args, "--queries").max(16),
+            "--clusters" => opts.clusters = need(&mut args, "--clusters").max(1),
+            "--dim" => opts.dim = need(&mut args, "--dim").max(1),
+            "--k" => opts.k = need(&mut args, "--k").max(1),
+            "--seed" => opts.seed = need(&mut args, "--seed") as u64,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    opts
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!(
+        "usage: shard_bench [--n N] [--queries N] [--clusters N] [--dim N] [--k N] [--seed N]"
+    );
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}
+
+/// One cell of the nodes × batch-size grid, flattened for JSON.
+#[derive(Serialize)]
+struct Record {
+    nodes: usize,
+    batch_size: usize,
+    batches: usize,
+    queries: usize,
+    k: usize,
+    coordinator_evals: u64,
+    worker_evals: u64,
+    max_node_evals: u64,
+    nodes_contacted: u64,
+    messages_out: u64,
+    bytes_out: u64,
+    bytes_in: u64,
+    bytes_per_query: f64,
+    modeled_comm_us_per_batch: f64,
+    eval_skew: f64,
+    elapsed_ms: f64,
+}
+
+/// Replays the whole query stream through `index` in `batch_size` chunks,
+/// merging the per-chunk stats.
+fn run_sweep<D: Dataset<Item = [f32]>>(
+    index: &DistributedRbc<D, Euclidean>,
+    queries: &VectorSet,
+    batch_size: usize,
+    k: usize,
+) -> (
+    Vec<Vec<rbc_bruteforce::Neighbor>>,
+    DistributedQueryStats,
+    usize,
+    f64,
+) {
+    let start = Instant::now();
+    let mut stats = DistributedQueryStats::default();
+    let mut answers = Vec::with_capacity(queries.len());
+    let mut batches = 0usize;
+    let mut begin = 0usize;
+    while begin < queries.len() {
+        let end = (begin + batch_size).min(queries.len());
+        let indices: Vec<usize> = (begin..end).collect();
+        let chunk = queries.subset(&indices);
+        let (chunk_answers, chunk_stats) = index.query_batch_exact(&chunk, k);
+        stats.merge(&chunk_stats);
+        answers.extend(chunk_answers);
+        batches += 1;
+        begin = end;
+    }
+    (answers, stats, batches, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let opts = parse_options();
+    println!(
+        "shard_bench: n = {}, {} clustered queries ({} clusters, dim {}), k = {}\n",
+        opts.n, opts.queries, opts.clusters, opts.dim, opts.k
+    );
+
+    println!("generating clustered workload and building the exact RBC ...");
+    let database = gaussian_mixture(opts.n, opts.dim, opts.clusters, 0.03, 7 + opts.seed);
+    let queries = gaussian_mixture(opts.queries, opts.dim, opts.clusters, 0.03, 8 + opts.seed);
+    let tile_policy = BfConfig {
+        db_tile: 64,
+        ..MachineProfile::host().tile_policy()
+    };
+    let config = RbcConfig {
+        bf: tile_policy,
+        ..RbcConfig::default()
+    };
+    let rbc = ExactRbc::build(
+        &database,
+        Euclidean,
+        RbcParams::standard(opts.n, 42 + opts.seed),
+        config,
+    );
+    // The centralized list-major answers every sharded cell must hit bit
+    // for bit (exact search: answers are chunking-independent).
+    let (reference, _) = rbc.query_batch_k(&queries, opts.k);
+
+    let batch_sizes: Vec<usize> = [1usize, 16, 64, 256]
+        .into_iter()
+        .filter(|&b| b <= opts.queries)
+        .collect();
+
+    let mut records = Vec::new();
+    let mut table = Table::new(
+        "sharded batched exact search: routed list-major protocol",
+        &[
+            "nodes",
+            "batch",
+            "evals/q",
+            "busiest",
+            "msgs",
+            "B/query",
+            "comm us/b",
+            "skew",
+            "ms",
+        ],
+    );
+
+    for nodes in [1usize, 4, 8, 16] {
+        let index = DistributedRbc::from_exact(
+            rbc.clone(),
+            ClusterConfig::with_nodes(nodes),
+            database.dim(),
+        );
+        // (batch size, batches, bytes per query) for the sublinearity check.
+        let mut bytes_curve: Vec<(usize, usize, f64)> = Vec::new();
+        for &batch_size in &batch_sizes {
+            let (answers, stats, batches, elapsed_ms) =
+                run_sweep(&index, &queries, batch_size, opts.k);
+            assert_eq!(
+                answers, reference,
+                "sharded answers diverged from the centralized list-major \
+                 search at {nodes} nodes, batch size {batch_size}"
+            );
+            let bytes_per_query = stats.comm.total_bytes() as f64 / opts.queries as f64;
+            bytes_curve.push((batch_size, batches, bytes_per_query));
+            table.row(&[
+                nodes.to_string(),
+                batch_size.to_string(),
+                format!("{:.0}", stats.total_evals() as f64 / opts.queries as f64),
+                format!("{:.0}", stats.max_node_evals),
+                stats.comm.messages_out.to_string(),
+                format!("{bytes_per_query:.0}"),
+                format!("{:.1}", stats.comm.modeled_time_us / batches as f64),
+                format!("{:.2}", eval_skew(&stats.per_node)),
+                format!("{elapsed_ms:.1}"),
+            ]);
+            records.push(Record {
+                nodes,
+                batch_size,
+                batches,
+                queries: opts.queries,
+                k: opts.k,
+                coordinator_evals: stats.coordinator_evals,
+                worker_evals: stats.worker_evals,
+                max_node_evals: stats.max_node_evals,
+                nodes_contacted: stats.nodes_contacted,
+                messages_out: stats.comm.messages_out,
+                bytes_out: stats.comm.bytes_out,
+                bytes_in: stats.comm.bytes_in,
+                bytes_per_query,
+                modeled_comm_us_per_batch: stats.comm.modeled_time_us / batches as f64,
+                eval_skew: eval_skew(&stats.per_node),
+                elapsed_ms,
+            });
+        }
+        // Per-batch fan-out makes bytes on the wire grow sublinearly in
+        // the batch size: per-query bytes must strictly shrink between
+        // batch sizes >= 16 (whenever the larger size actually coalesces
+        // the stream into fewer fan-out rounds).
+        for pair in bytes_curve
+            .iter()
+            .filter(|(b, _, _)| *b >= 16)
+            .collect::<Vec<_>>()
+            .windows(2)
+        {
+            let (b1, rounds1, per_query1) = *pair[0];
+            let (b2, rounds2, per_query2) = *pair[1];
+            if rounds2 < rounds1 {
+                assert!(
+                    per_query2 < per_query1,
+                    "bytes per query did not shrink from batch {b1} to {b2} \
+                     at {nodes} nodes ({per_query1:.1} -> {per_query2:.1})"
+                );
+            }
+        }
+    }
+
+    println!();
+    table.print();
+    println!(
+        "\nanswers bit-identical to the centralized list-major search at \
+         every node count and batch size."
+    );
+    println!("bytes per query shrink as batches grow (headers amortise per node per batch).");
+
+    match write_json_records("shard_bench", &records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(error) => eprintln!("could not write JSON records: {error}"),
+    }
+}

@@ -179,6 +179,45 @@ impl BatchPlan {
         }
     }
 
+    /// Splits the plan by an external ownership map over lists: sub-plan
+    /// `o` keeps exactly the groups whose list is owned by owner `o`
+    /// (`owner_of_list[group.list_index]`), in the original group order.
+    ///
+    /// This is how a distributed RBC routes one coordinator-side plan to
+    /// the cluster nodes holding the shards: `queries` and `gamma_k` are
+    /// carried into every sub-plan (each node prunes against the same
+    /// per-query caps, and accumulator slices stay indexed by batch
+    /// position), while `pairs` is recomputed per owner so each sub-plan's
+    /// [`sharing_factor`](Self::sharing_factor) describes only the work
+    /// that owner performs. Executing every sub-plan and merging the
+    /// per-query partial top-k results is equivalent to executing the
+    /// whole plan (see `rbc-distributed`).
+    ///
+    /// # Panics
+    /// Panics if a planned list has no owner (`owner_of_list` too short)
+    /// or an owner index is out of range.
+    pub fn split_by_owner(&self, owner_of_list: &[usize], owners: usize) -> Vec<BatchPlan> {
+        let mut parts: Vec<BatchPlan> = (0..owners)
+            .map(|_| BatchPlan {
+                groups: Vec::new(),
+                gamma_k: self.gamma_k.clone(),
+                queries: self.queries,
+                pairs: 0,
+            })
+            .collect();
+        for group in &self.groups {
+            let owner = owner_of_list[group.list_index];
+            assert!(
+                owner < owners,
+                "list {} owned by {owner}, but only {owners} owners exist",
+                group.list_index
+            );
+            parts[owner].pairs += group.queries.len();
+            parts[owner].groups.push(group.clone());
+        }
+        parts
+    }
+
     /// Mean number of queries sharing each planned list scan — how many
     /// private query-major scans one shared list-major scan replaces.
     /// `0.0` for an empty plan.
@@ -203,10 +242,19 @@ impl BatchPlan {
 /// part that differs between the two searches (the exact search threads
 /// `ρ(q, r)` and `γ_k` through it; the one-shot search runs uncut).
 /// `accumulators` arrive pre-seeded (the exact search seeds the
-/// representatives); `rep_evals_per_query` and `rep_distance_evals`
-/// account the stage-1 work the caller already performed.
-#[allow(clippy::too_many_arguments)] // crate-private execution plumbing
-pub(crate) fn execute_list_major<Q, D, M, F>(
+/// representatives; a distributed worker node starts from empty
+/// accumulators and lets the coordinator seed the merge instead) and must
+/// hold one entry per batch position (`plan.queries`). `parallel` selects
+/// whether groups run on the rayon pool or the calling thread;
+/// `rep_evals_per_query` and `rep_distance_evals` account the stage-1
+/// work the caller already performed.
+///
+/// This is public so `rbc-distributed` can execute the per-node sub-plans
+/// produced by [`BatchPlan::split_by_owner`] through the exact same
+/// kernel as the centralized search; it is execution plumbing, not a
+/// user-facing search entry point.
+#[allow(clippy::too_many_arguments)] // deliberately a flat execution-plumbing signature
+pub fn execute_list_major<Q, D, M, F>(
     bf: &BruteForce,
     parallel: bool,
     queries: &Q,
@@ -375,6 +423,42 @@ mod tests {
         assert_eq!(plan.groups[1].queries, vec![1]);
         assert_eq!(plan.groups[2].queries, vec![2]);
         assert!((plan.sharing_factor() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_by_owner_routes_groups_and_recomputes_pairs() {
+        let lists = singleton_lists(&[1.0, 1.0, 1.0]);
+        let rep_dists = vec![
+            1.0, 1.5, 9.0, // query 0 keeps lists {0, 1}
+            9.0, 1.5, 1.0, // query 1 keeps lists {1, 2}
+        ];
+        let plan = BatchPlan::plan_exact(&rep_dists, &lists, 1, &RbcConfig::default());
+        // Lists 0 and 1 on owner 1, list 2 on owner 0; owner 2 idle.
+        let parts = plan.split_by_owner(&[1, 1, 0], 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].groups.len(), 1);
+        assert_eq!(parts[0].groups[0].list_index, 2);
+        assert_eq!(parts[0].pairs, 1);
+        assert_eq!(parts[1].groups.len(), 2);
+        assert_eq!(parts[1].pairs, 3);
+        assert!(parts[2].groups.is_empty());
+        assert_eq!(parts[2].pairs, 0);
+        // Every sub-plan keeps the batch-wide query count and caps so the
+        // per-node executions stay indexed by batch position.
+        for part in &parts {
+            assert_eq!(part.queries, plan.queries);
+            assert_eq!(part.gamma_k, plan.gamma_k);
+        }
+        let total_pairs: usize = parts.iter().map(|p| p.pairs).sum();
+        assert_eq!(total_pairs, plan.pairs);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 1 owners exist")]
+    fn split_by_owner_rejects_out_of_range_owner() {
+        let lists = singleton_lists(&[1.0]);
+        let plan = BatchPlan::plan_exact(&[0.5], &lists, 1, &RbcConfig::default());
+        let _ = plan.split_by_owner(&[3], 1);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! The paper evaluates the one-shot algorithm by the *rank* of the returned
 //! point: the number of database points strictly closer to the query than
 //! the returned point. A rank of 0 means the exact nearest neighbor was
-//! returned, 1 means the second nearest, and so on (§7.2, citing [25]).
+//! returned, 1 means the second nearest, and so on (§7.2, citing \[25\]).
 //! Figure 1 plots speedup against the rank averaged over queries.
 
 use rayon::prelude::*;

@@ -146,7 +146,7 @@ pub fn low_dim_manifold(
 /// from a Barrett WAM arm). Each point records, for a 7-joint arm, the
 /// joint angle, angular velocity, and a torque-like quantity (3 × 7 = 21
 /// features) sampled along smooth random trajectories — the same shape of
-/// data used for inverse-dynamics learning in the paper's reference [22].
+/// data used for inverse-dynamics learning in the paper's reference \[22\].
 /// The intrinsic dimensionality is low because every feature is a smooth
 /// function of the 7 joint angles over time.
 pub fn robot_arm_trajectories(n: usize, joints: usize, seed: u64) -> VectorSet {

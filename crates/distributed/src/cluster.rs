@@ -46,15 +46,60 @@ impl ClusterConfig {
         }
     }
 
+    /// Checks the cluster model for degenerate values.
+    ///
+    /// A zero node count leaves no shard to route to, and a zero (or
+    /// non-finite, or negative) bandwidth / negative latency would turn
+    /// every modeled message time into nonsense. Callers that accept
+    /// configurations from the outside ([`DistributedRbc::from_exact`])
+    /// reject them instead of computing garbage — the same pattern as
+    /// `BfConfig::validate` in `rbc-bruteforce`.
+    ///
+    /// [`DistributedRbc::from_exact`]: crate::DistributedRbc::from_exact
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("ClusterConfig::nodes must be at least 1 (got 0)".into());
+        }
+        if !self.bandwidth_mb_per_s.is_finite() || self.bandwidth_mb_per_s <= 0.0 {
+            return Err(format!(
+                "ClusterConfig::bandwidth_mb_per_s must be a positive finite number (got {})",
+                self.bandwidth_mb_per_s
+            ));
+        }
+        if !self.latency_us.is_finite() || self.latency_us < 0.0 {
+            return Err(format!(
+                "ClusterConfig::latency_us must be a non-negative finite number (got {})",
+                self.latency_us
+            ));
+        }
+        if self.bytes_per_coord == 0 {
+            return Err("ClusterConfig::bytes_per_coord must be at least 1 (got 0)".into());
+        }
+        Ok(())
+    }
+
     /// Bytes on the wire for one query vector of the given dimensionality.
     pub fn query_message_bytes(&self, dim: usize) -> u64 {
-        (self.header_bytes + dim * self.bytes_per_coord) as u64
+        self.batch_query_message_bytes(dim, 1)
     }
 
     /// Bytes on the wire for a reply carrying `k` neighbor records
     /// (index + distance per record).
     pub fn reply_message_bytes(&self, k: usize) -> u64 {
-        (self.header_bytes + k * (8 + 8)) as u64
+        self.batch_reply_message_bytes(k, 1)
+    }
+
+    /// Bytes on the wire for one message carrying `queries` query vectors
+    /// of the given dimensionality — the per-batch fan-out payload: one
+    /// header, many queries.
+    pub fn batch_query_message_bytes(&self, dim: usize, queries: usize) -> u64 {
+        (self.header_bytes + queries * dim * self.bytes_per_coord) as u64
+    }
+
+    /// Bytes on the wire for one reply carrying a `k`-record result set
+    /// (index + distance per record) for each of `queries` queries.
+    pub fn batch_reply_message_bytes(&self, k: usize, queries: usize) -> u64 {
+        (self.header_bytes + queries * k * (8 + 8)) as u64
     }
 
     /// Modeled time to deliver one message of the given size.
@@ -97,6 +142,44 @@ impl CommCost {
             // Parallel fan-out: one round trip, not `targets` of them.
             modeled_time_us: config.message_time_us(out_bytes) + config.message_time_us(in_bytes),
         }
+    }
+
+    /// Records one *batched* fan-out round: node `nd` receives a single
+    /// message carrying `queries_per_node[nd]` query payloads (skipped
+    /// entirely when that count is zero) and answers with a single reply
+    /// carrying one `k`-record result set per delivered query.
+    ///
+    /// This is the accounting shape of the routed batch protocol: one
+    /// query payload per *node* per batch instead of one message per
+    /// `(query, node)` pair, so the per-message header is amortised over
+    /// the whole micro-batch and total bytes grow sublinearly in batch
+    /// size. Modeled time is one parallel round trip — the coordinator
+    /// fans all messages out at once and waits for the slowest request and
+    /// the slowest reply.
+    pub fn batched_round(
+        config: &ClusterConfig,
+        queries_per_node: &[usize],
+        dim: usize,
+        k: usize,
+    ) -> Self {
+        let mut cost = Self::default();
+        let mut slowest_out = 0.0f64;
+        let mut slowest_in = 0.0f64;
+        for &queries in queries_per_node {
+            if queries == 0 {
+                continue;
+            }
+            let out_bytes = config.batch_query_message_bytes(dim, queries);
+            let in_bytes = config.batch_reply_message_bytes(k, queries);
+            cost.messages_out += 1;
+            cost.messages_in += 1;
+            cost.bytes_out += out_bytes;
+            cost.bytes_in += in_bytes;
+            slowest_out = slowest_out.max(config.message_time_us(out_bytes));
+            slowest_in = slowest_in.max(config.message_time_us(in_bytes));
+        }
+        cost.modeled_time_us = slowest_out + slowest_in;
+        cost
     }
 
     /// Merges the cost of another query/round into this accumulator.
@@ -167,5 +250,75 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_rejected() {
         let _ = ClusterConfig::with_nodes(0);
+    }
+
+    #[test]
+    fn validate_accepts_the_default_and_rejects_degenerate_models() {
+        assert!(ClusterConfig::default().validate().is_ok());
+        let zero_nodes = ClusterConfig {
+            nodes: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(zero_nodes.validate().unwrap_err().contains("nodes"));
+        let zero_bandwidth = ClusterConfig {
+            bandwidth_mb_per_s: 0.0,
+            ..ClusterConfig::default()
+        };
+        assert!(zero_bandwidth.validate().unwrap_err().contains("bandwidth"));
+        let nan_latency = ClusterConfig {
+            latency_us: f64::NAN,
+            ..ClusterConfig::default()
+        };
+        assert!(nan_latency.validate().unwrap_err().contains("latency_us"));
+        let zero_coord = ClusterConfig {
+            bytes_per_coord: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(zero_coord
+            .validate()
+            .unwrap_err()
+            .contains("bytes_per_coord"));
+    }
+
+    #[test]
+    fn batched_round_amortises_headers_over_the_batch() {
+        let c = ClusterConfig::default();
+        // 3 nodes contacted, carrying 4 + 1 + 3 queries; one idle node.
+        let cost = CommCost::batched_round(&c, &[4, 1, 0, 3], 16, 2);
+        assert_eq!(cost.messages_out, 3);
+        assert_eq!(cost.messages_in, 3);
+        assert_eq!(
+            cost.bytes_out,
+            c.batch_query_message_bytes(16, 4)
+                + c.batch_query_message_bytes(16, 1)
+                + c.batch_query_message_bytes(16, 3)
+        );
+        // The same routing as 8 per-query fan-outs pays 8 headers; the
+        // batched round pays 3.
+        let per_query_bytes = 8 * c.query_message_bytes(16);
+        assert!(cost.bytes_out < per_query_bytes);
+        // Modeled time is one round trip dominated by the largest pair.
+        let largest = c.message_time_us(c.batch_query_message_bytes(16, 4))
+            + c.message_time_us(c.batch_reply_message_bytes(2, 4));
+        assert!((cost.modeled_time_us - largest).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_round_with_no_queries_costs_nothing() {
+        let c = ClusterConfig::default();
+        assert_eq!(
+            CommCost::batched_round(&c, &[0, 0, 0], 16, 1),
+            CommCost::default()
+        );
+    }
+
+    #[test]
+    fn batch_message_bytes_reduce_to_the_single_query_case() {
+        let c = ClusterConfig::default();
+        assert_eq!(
+            c.batch_query_message_bytes(10, 1),
+            c.query_message_bytes(10)
+        );
+        assert_eq!(c.batch_reply_message_bytes(3, 1), c.reply_message_bytes(3));
     }
 }

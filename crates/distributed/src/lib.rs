@@ -11,7 +11,8 @@
 //!
 //! * the coordinator builds an exact RBC over the database and assigns
 //!   whole ownership lists to worker nodes, balancing the number of points
-//!   per node ([`partition`]);
+//!   per node ([`partition`]) — or replays an explicit assignment, for
+//!   studying skewed placements;
 //! * every node holds only its shard of the database; the coordinator
 //!   keeps the (small, `O(√n)`) representative set;
 //! * an **exact** query runs the usual first stage locally on the
@@ -30,14 +31,53 @@
 //! how node count, pruning effectiveness, and payload sizes interact —
 //! exactly the "I/O and communication costs" the paper defers to future
 //! work.
+//!
+//! # Sharded serving architecture
+//!
+//! [`DistributedRbc`] is a first-class batched
+//! [`SearchIndex`](rbc_core::SearchIndex), which is how the sharding
+//! layer and the online serving layer (`rbc-serve`) compose into one
+//! system. A micro-batch closed by the serving engine flows through the
+//! routed list-major protocol
+//! ([`query_batch_exact`](DistributedRbc::query_batch_exact)):
+//!
+//! 1. **Plan once, centrally.** The coordinator runs one dense `BF(Q, R)`
+//!    pass and the paper's pruning rules, producing the same inverted
+//!    [`BatchPlan`](rbc_core::BatchPlan) the centralized list-major
+//!    search executes: for each ownership list, the group of queries that
+//!    must scan it.
+//! 2. **Route groups to shards.** The plan is split by the list-to-node
+//!    assignment (`BatchPlan::split_by_owner`): every node receives only
+//!    the groups for lists it owns, in **one** message per node per batch
+//!    carrying the distinct query payloads those groups need — not one
+//!    message per `(query, node)` pair, so headers amortise and bytes on
+//!    the wire grow sublinearly in the batch size.
+//! 3. **Scan shards, merge partials.** Each node streams its lists' tiles
+//!    once per group through the shared group-scan kernel
+//!    (`rbc_bruteforce::BruteForce::knn_group_in_list`) and replies with
+//!    per-query partial top-k sets; the coordinator merges them with the
+//!    representative candidates stage 1 already evaluated. With
+//!    `epsilon == 0` the merged answers are bit-identical to the
+//!    centralized search (and to brute force).
+//!
+//! Work and traffic are observable per node: every result carries
+//! [`NodeLoad`] records (who worked, who got the bytes — load skew is a
+//! first-class measurement), and a shared [`ClusterLoad`] accumulates
+//! them so a live serving engine can snapshot per-node totals alongside
+//! its throughput and latency metrics
+//! (`rbc_serve::ServeMetrics::track_cluster`). The `shard_bench` binary
+//! in `rbc-bench` sweeps node counts × batch sizes over this protocol and
+//! pins the bit-identity and the sublinear bytes-per-batch growth in CI.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod cluster;
 pub mod distributed;
+pub mod load;
 pub mod partition;
 
 pub use cluster::{ClusterConfig, CommCost};
 pub use distributed::{DistributedQueryStats, DistributedRbc};
+pub use load::{eval_skew, ClusterLoad, NodeLoad};
 pub use partition::{partition_lists, NodeAssignment};

@@ -1,0 +1,251 @@
+//! Per-node load accounting: who did the work, who got the bytes.
+//!
+//! The routed batch protocol makes load skew a first-class concern — a
+//! node owning the popular ownership lists executes most of the groups
+//! while the others idle. Two views are provided:
+//!
+//! * [`NodeLoad`] — the per-node slice of one query or batch, carried in
+//!   `DistributedQueryStats::per_node` so every result reports exactly
+//!   which nodes worked and how much crossed each link;
+//! * [`ClusterLoad`] — cumulative lock-free counters shared behind an
+//!   `Arc`, absorbed after every (batch) query, so a live serving engine
+//!   can snapshot per-node totals without touching the query path (the
+//!   same pattern as `rbc-serve`'s cache counters).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Serialize;
+
+/// Work and traffic attributed to one cluster node by one query or batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct NodeLoad {
+    /// The node this record describes.
+    pub node: usize,
+    /// Query payloads delivered to this node (distinct queries whose
+    /// surviving lists it owns).
+    pub queries: u64,
+    /// List groups (shared scans) this node executed.
+    pub groups: u64,
+    /// Distance evaluations this node performed.
+    pub evals: u64,
+    /// Bytes sent from the coordinator to this node.
+    pub bytes_out: u64,
+    /// Bytes this node returned to the coordinator.
+    pub bytes_in: u64,
+}
+
+impl NodeLoad {
+    /// An idle record for `node`.
+    pub fn idle(node: usize) -> Self {
+        Self {
+            node,
+            ..Self::default()
+        }
+    }
+
+    /// Total bytes on this node's link, both directions.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_out + self.bytes_in
+    }
+
+    /// Adds another record for the same node into this one.
+    ///
+    /// # Panics
+    /// Panics if the records describe different nodes.
+    pub fn accumulate(&mut self, other: &NodeLoad) {
+        assert_eq!(self.node, other.node, "cannot merge loads of two nodes");
+        self.queries += other.queries;
+        self.groups += other.groups;
+        self.evals += other.evals;
+        self.bytes_out += other.bytes_out;
+        self.bytes_in += other.bytes_in;
+    }
+}
+
+/// Ratio of the busiest to the least-busy *working* node by distance
+/// evaluations (1.0 = perfectly balanced; nodes that did nothing are
+/// ignored unless all did nothing). The skew measure used by
+/// `shard_bench` and the serving snapshot.
+pub fn eval_skew(loads: &[NodeLoad]) -> f64 {
+    let max = loads.iter().map(|l| l.evals).max().unwrap_or(0);
+    if max == 0 {
+        return 1.0;
+    }
+    // max > 0 guarantees at least one working node, so the minimum over
+    // working nodes is well-defined and positive.
+    let min_working = loads
+        .iter()
+        .map(|l| l.evals)
+        .filter(|&e| e > 0)
+        .min()
+        .expect("a node with max > 0 evals exists");
+    max as f64 / min_working as f64
+}
+
+#[derive(Debug, Default)]
+struct NodeCounters {
+    queries: AtomicU64,
+    groups: AtomicU64,
+    evals: AtomicU64,
+    bytes_out: AtomicU64,
+    bytes_in: AtomicU64,
+}
+
+/// Cumulative per-node counters for a shard set, shared behind an `Arc`.
+///
+/// A `DistributedRbc` owns one and absorbs every query's
+/// [`NodeLoad`] records into it; anything holding the `Arc` (the serving
+/// engine's metrics, a dashboard) can [`snapshot`](Self::snapshot) the
+/// totals at any time. Counters are relaxed atomics — the snapshot is a
+/// point-in-time read, not a consistent cut, exactly like the rest of the
+/// serving metrics.
+#[derive(Debug)]
+pub struct ClusterLoad {
+    nodes: Vec<NodeCounters>,
+}
+
+impl ClusterLoad {
+    /// Zeroed counters for a cluster of `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            nodes: (0..nodes).map(|_| NodeCounters::default()).collect(),
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Adds a batch's per-node records into the cumulative counters.
+    /// Records for nodes outside the tracked range are ignored (they can
+    /// only come from merging stats of differently-sized clusters).
+    pub fn absorb(&self, per_node: &[NodeLoad]) {
+        for load in per_node {
+            let Some(counters) = self.nodes.get(load.node) else {
+                continue;
+            };
+            counters.queries.fetch_add(load.queries, Ordering::Relaxed);
+            counters.groups.fetch_add(load.groups, Ordering::Relaxed);
+            counters.evals.fetch_add(load.evals, Ordering::Relaxed);
+            counters
+                .bytes_out
+                .fetch_add(load.bytes_out, Ordering::Relaxed);
+            counters
+                .bytes_in
+                .fetch_add(load.bytes_in, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of every node's totals.
+    pub fn snapshot(&self) -> Vec<NodeLoad> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(node, c)| NodeLoad {
+                node,
+                queries: c.queries.load(Ordering::Relaxed),
+                groups: c.groups.load(Ordering::Relaxed),
+                evals: c.evals.load(Ordering::Relaxed),
+                bytes_out: c.bytes_out.load(Ordering::Relaxed),
+                bytes_in: c.bytes_in.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates_and_snapshot_reads_back() {
+        let load = ClusterLoad::new(3);
+        load.absorb(&[
+            NodeLoad {
+                node: 0,
+                queries: 2,
+                groups: 3,
+                evals: 10,
+                bytes_out: 100,
+                bytes_in: 40,
+            },
+            NodeLoad::idle(1),
+        ]);
+        load.absorb(&[NodeLoad {
+            node: 0,
+            queries: 1,
+            groups: 1,
+            evals: 5,
+            bytes_out: 50,
+            bytes_in: 20,
+        }]);
+        let snap = load.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].queries, 3);
+        assert_eq!(snap[0].evals, 15);
+        assert_eq!(snap[0].bytes_total(), 210);
+        assert_eq!(snap[1], NodeLoad::idle(1));
+        assert_eq!(snap[2], NodeLoad::idle(2));
+    }
+
+    #[test]
+    fn out_of_range_records_are_ignored() {
+        let load = ClusterLoad::new(1);
+        load.absorb(&[NodeLoad {
+            node: 7,
+            evals: 100,
+            ..NodeLoad::default()
+        }]);
+        assert_eq!(load.snapshot()[0].evals, 0);
+    }
+
+    #[test]
+    fn accumulate_merges_same_node_records() {
+        let mut a = NodeLoad {
+            node: 2,
+            queries: 1,
+            groups: 2,
+            evals: 3,
+            bytes_out: 4,
+            bytes_in: 5,
+        };
+        a.accumulate(&NodeLoad {
+            node: 2,
+            queries: 10,
+            groups: 20,
+            evals: 30,
+            bytes_out: 40,
+            bytes_in: 50,
+        });
+        assert_eq!(a.queries, 11);
+        assert_eq!(a.bytes_total(), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "two nodes")]
+    fn accumulate_rejects_mismatched_nodes() {
+        let mut a = NodeLoad::idle(0);
+        a.accumulate(&NodeLoad::idle(1));
+    }
+
+    #[test]
+    fn eval_skew_ignores_idle_nodes() {
+        let loads = vec![
+            NodeLoad {
+                node: 0,
+                evals: 90,
+                ..NodeLoad::default()
+            },
+            NodeLoad {
+                node: 1,
+                evals: 30,
+                ..NodeLoad::default()
+            },
+            NodeLoad::idle(2),
+        ];
+        assert_eq!(eval_skew(&loads), 3.0);
+        assert_eq!(eval_skew(&[NodeLoad::idle(0)]), 1.0);
+        assert_eq!(eval_skew(&[]), 1.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Property-based tests for the routed batch protocol.
+//!
+//! The essential invariant of the sharded list-major search: for any
+//! clustered point cloud, any cluster size, and any `k`, the batched
+//! distributed answers are **bit-identical** to the centralized
+//! list-major `ExactRbc::query_batch_k` answers — sharding is a placement
+//! decision, never an approximation. On top of that, the per-node
+//! accounting must stay consistent with the aggregates, including under a
+//! deliberately skewed assignment where one node owns almost every list.
+
+use proptest::prelude::*;
+use rbc_core::{BatchStrategy, ExactRbc, RbcConfig, RbcParams};
+use rbc_distributed::{eval_skew, ClusterConfig, DistributedRbc, NodeAssignment, NodeLoad};
+use rbc_metric::{Dataset, VectorSet};
+// The Euclidean metric lives in rbc-metric.
+use rbc_metric::Euclidean;
+
+const DIM: usize = 3;
+
+/// Strategy for a handful of well-separated cluster centers.
+fn centers() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-40.0f32..40.0, DIM), 2..6)
+}
+
+/// Clustered rows: each point a small deterministic offset from one of the
+/// centers — the workload where queries co-travel through the same
+/// ownership lists, so the routed groups are non-trivial.
+fn clustered(centers: &[Vec<f32>], n: usize, nq: usize, seed: u64) -> (VectorSet, VectorSet) {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let mut offset = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 40) as f32 / (1u32 << 24) as f32 - 0.5
+    };
+    let mut point = |i: usize| -> Vec<f32> {
+        centers[i % centers.len()]
+            .iter()
+            .map(|&c| c + offset())
+            .collect()
+    };
+    let db: Vec<Vec<f32>> = (0..n).map(&mut point).collect();
+    let queries: Vec<Vec<f32>> = (0..nq).map(|i| point(i * 7 + 3)).collect();
+    (VectorSet::from_rows(&db), VectorSet::from_rows(&queries))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sharded batched answers equal centralized list-major answers
+    /// bit for bit, across node counts {1, 3, 8} on clustered data.
+    #[test]
+    fn sharded_batch_equals_centralized_list_major(
+        cs in centers(),
+        n in 8usize..120,
+        nq in 2usize..24,
+        n_reps in 1usize..40,
+        k in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let (db, queries) = clustered(&cs, n, nq, seed);
+        let params = RbcParams::standard(db.len(), seed).with_n_reps(n_reps.min(db.len()));
+        let rbc = ExactRbc::build(&db, Euclidean, params, RbcConfig::default());
+        let (want, _) = rbc.query_batch_k_with_strategy(&queries, k, BatchStrategy::ListMajor);
+        for nodes in [1usize, 3, 8] {
+            let sharded = DistributedRbc::from_exact(
+                rbc.clone(),
+                ClusterConfig::with_nodes(nodes),
+                db.dim(),
+            );
+            let (got, stats) = sharded.query_batch_exact(&queries, k);
+            prop_assert_eq!(&got, &want, "nodes = {}", nodes);
+            // Aggregate/per-node consistency.
+            prop_assert_eq!(stats.queries, queries.len() as u64);
+            prop_assert!(stats.nodes_contacted <= nodes as u64);
+            prop_assert_eq!(stats.per_node.len(), nodes);
+            let evals: u64 = stats.per_node.iter().map(|l| l.evals).sum();
+            prop_assert_eq!(evals, stats.worker_evals);
+            let max_evals = stats.per_node.iter().map(|l| l.evals).max().unwrap_or(0);
+            prop_assert_eq!(max_evals, stats.max_node_evals);
+            let bytes: u64 = stats.per_node.iter().map(|l| l.bytes_total()).sum();
+            prop_assert_eq!(bytes, stats.comm.total_bytes());
+            // One message per contacted node per batch, both directions.
+            prop_assert_eq!(stats.comm.messages_out, stats.nodes_contacted);
+            prop_assert_eq!(stats.comm.messages_in, stats.nodes_contacted);
+        }
+    }
+
+    /// The per-query exact protocol and the batched protocol agree with
+    /// each other (both are pinned to brute force elsewhere).
+    #[test]
+    fn batched_and_per_query_protocols_agree(
+        cs in centers(),
+        n in 8usize..80,
+        nq in 2usize..16,
+        k in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        let (db, queries) = clustered(&cs, n, nq, seed);
+        let rbc = ExactRbc::build(
+            &db,
+            Euclidean,
+            RbcParams::standard(db.len(), seed),
+            RbcConfig::default(),
+        );
+        let sharded = DistributedRbc::from_exact(rbc, ClusterConfig::with_nodes(3), db.dim());
+        let (batched, _) = sharded.query_batch_exact(&queries, k);
+        for (qi, from_batch) in batched.iter().enumerate() {
+            let (single, _) = sharded.query_exact(queries.point(qi), k);
+            prop_assert_eq!(from_batch, &single, "query {}", qi);
+        }
+    }
+}
+
+/// Builds an assignment that parks every ownership list on node 0 except
+/// the last list, which goes to node 1 (node 2 stays empty) — the skewed
+/// placement the balanced LPT partition would never produce.
+fn skewed_assignment(list_sizes: &[usize], nodes: usize) -> NodeAssignment {
+    assert!(nodes >= 2 && list_sizes.len() >= 2);
+    let mut node_of_list = vec![0usize; list_sizes.len()];
+    *node_of_list.last_mut().unwrap() = 1;
+    let mut lists_of_node: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+    let mut points_per_node = vec![0usize; nodes];
+    for (list, &node) in node_of_list.iter().enumerate() {
+        lists_of_node[node].push(list);
+        points_per_node[node] += list_sizes[list];
+    }
+    NodeAssignment {
+        node_of_list,
+        lists_of_node,
+        points_per_node,
+    }
+}
+
+#[test]
+fn skewed_partition_keeps_answers_identical_and_makes_the_skew_observable() {
+    // Clustered data so batches co-travel; one node owns (almost) all of it.
+    let centers = [[-30.0f32, 0.0, 9.0], [25.0, -14.0, 3.0], [4.0, 31.0, -22.0]];
+    let rows: Vec<Vec<f32>> = (0..900)
+        .map(|i| {
+            let c = centers[i % centers.len()];
+            let wobble = (i as f32 * 0.7919).sin() * 0.4;
+            vec![c[0] + wobble, c[1] - wobble * 0.5, c[2] + wobble * 0.25]
+        })
+        .collect();
+    let db = VectorSet::from_rows(&rows);
+    let query_ids: Vec<usize> = (0..db.len()).step_by(31).collect();
+    let queries = db.subset(&query_ids);
+    let rbc = ExactRbc::build(
+        &db,
+        Euclidean,
+        RbcParams::standard(db.len(), 5),
+        RbcConfig::default(),
+    );
+    let list_sizes: Vec<usize> = rbc.lists().iter().map(|l| l.len()).collect();
+    assert!(list_sizes.len() >= 2, "need at least two lists to skew");
+
+    let balanced = DistributedRbc::from_exact(rbc.clone(), ClusterConfig::with_nodes(3), db.dim());
+    let skewed = DistributedRbc::from_exact_with_assignment(
+        rbc.clone(),
+        ClusterConfig::with_nodes(3),
+        skewed_assignment(&list_sizes, 3),
+        db.dim(),
+    );
+
+    for k in [1usize, 4] {
+        let (want, _) = rbc.query_batch_k(&queries, k);
+        let (from_balanced, _) = balanced.query_batch_exact(&queries, k);
+        let (from_skewed, stats) = skewed.query_batch_exact(&queries, k);
+        assert_eq!(from_balanced, want, "balanced placement changed answers");
+        assert_eq!(from_skewed, want, "skewed placement changed answers");
+
+        // The skew must be visible in the per-node records: node 0 does
+        // (almost) all the work, node 2 none at all.
+        assert_eq!(stats.per_node.len(), 3);
+        assert_eq!(stats.per_node[2], NodeLoad::idle(2));
+        assert!(
+            stats.per_node[0].evals >= stats.per_node[1].evals,
+            "the node owning most lists must do most of the work"
+        );
+        assert!(stats.per_node[0].groups > stats.per_node[1].groups);
+        assert!(eval_skew(&stats.per_node) >= 1.0);
+        assert!(stats.nodes_contacted <= 2, "node 2 owns nothing to contact");
+    }
+}
+
+#[test]
+fn single_node_cluster_degenerates_to_the_centralized_search_with_one_link() {
+    let rows: Vec<Vec<f32>> = (0..300)
+        .map(|i| vec![(i % 17) as f32, (i % 23) as f32 * 0.5, i as f32 * 0.01])
+        .collect();
+    let db = VectorSet::from_rows(&rows);
+    let queries = db.subset(&[3, 77, 150, 299]);
+    let rbc = ExactRbc::build(
+        &db,
+        Euclidean,
+        RbcParams::standard(db.len(), 9),
+        RbcConfig::default(),
+    );
+    let sharded = DistributedRbc::from_exact(rbc.clone(), ClusterConfig::with_nodes(1), db.dim());
+    let (got, stats) = sharded.query_batch_exact(&queries, 2);
+    let (want, _) = rbc.query_batch_k(&queries, 2);
+    assert_eq!(got, want);
+    assert_eq!(stats.nodes_contacted, 1);
+    assert_eq!(
+        stats.comm.messages_out, 1,
+        "one batch, one node, one message"
+    );
+}

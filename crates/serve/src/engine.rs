@@ -215,6 +215,15 @@ where
         self.metrics.track_cache(counters);
     }
 
+    /// Registers a sharded index's per-node load counters (see
+    /// `DistributedRbc::load` in `rbc-distributed`) so metrics snapshots
+    /// report each node's queries, distance evaluations and bytes
+    /// alongside throughput and latency — the serving-side view of shard
+    /// skew.
+    pub fn track_cluster(&self, load: Arc<rbc_distributed::ClusterLoad>) {
+        self.metrics.track_cluster(load);
+    }
+
     /// Stops intake, drains every pending request, joins the workers, and
     /// returns the final metrics. Tickets of drained requests resolve
     /// normally (or as shed, if their deadline passed while queued).
@@ -557,6 +566,46 @@ mod tests {
         assert!(snapshot.cache_misses >= 1);
         assert!(snapshot.cache_hits >= 1, "repeated query never hit");
         assert!(snapshot.cache_hit_rate > 0.0 && snapshot.cache_hit_rate < 1.0);
+    }
+
+    #[test]
+    fn serving_a_sharded_index_reports_per_node_loads() {
+        let db = cloud(400, 4, 11);
+        let index = ExactRbc::build(
+            db.clone(),
+            Euclidean,
+            RbcParams::standard(400, 12),
+            RbcConfig::default(),
+        );
+        let sharded = rbc_distributed::DistributedRbc::from_exact(
+            index,
+            rbc_distributed::ClusterConfig::with_nodes(4),
+            db.dim(),
+        );
+        let load = sharded.load();
+        let engine = Engine::start(
+            sharded,
+            ServeConfig::default().with_linger(Duration::from_micros(100)),
+        )
+        .expect("valid config");
+        engine.track_cluster(load);
+        let handle = engine.handle();
+        for i in 0..20 {
+            let reply = handle
+                .submit(db.point(i).to_vec(), 2)
+                .unwrap()
+                .wait()
+                .expect("served");
+            // Self-queries on duplicate-free data recover the point.
+            assert_eq!(reply.neighbors[0].index, i);
+        }
+        let snapshot = engine.shutdown();
+        assert_eq!(snapshot.completed, 20);
+        assert_eq!(snapshot.node_loads.len(), 4);
+        let routed: u64 = snapshot.node_loads.iter().map(|l| l.queries).sum();
+        let moved: u64 = snapshot.node_loads.iter().map(|l| l.bytes_total()).sum();
+        assert!(routed > 0, "no query ever reached a shard");
+        assert!(moved > 0, "no bytes accounted on any link");
     }
 
     #[test]

@@ -82,3 +82,8 @@ pub use ticket::{ServeReply, Ticket};
 // Re-exported so downstream code can name the trait bound without adding
 // a direct `rbc-core` dependency.
 pub use rbc_core::SearchIndex;
+
+// Re-exported so snapshot consumers can name the per-node load records of
+// a served sharded index (see [`ServeMetrics::track_cluster`]) without a
+// direct `rbc-distributed` dependency.
+pub use rbc_distributed::{ClusterLoad, NodeLoad};

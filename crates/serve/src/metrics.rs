@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use rbc_distributed::{ClusterLoad, NodeLoad};
 use serde::Serialize;
 
 use crate::cache::CacheCounters;
@@ -108,6 +109,10 @@ pub struct ServeMetrics {
     /// Answer-cache counters, when an engine serves a `CachedIndex` and
     /// registered it; `None` means snapshots report zero cache activity.
     cache: Mutex<Option<Arc<CacheCounters>>>,
+    /// Per-node load counters, when an engine serves a sharded
+    /// (`DistributedRbc`) index and registered it; `None` means snapshots
+    /// report no node loads.
+    cluster: Mutex<Option<Arc<ClusterLoad>>>,
 }
 
 impl ServeMetrics {
@@ -126,6 +131,7 @@ impl ServeMetrics {
             batch_hist: Mutex::new(vec![0; max_batch + 1]),
             latency: Mutex::new(LatencyHistogram::default()),
             cache: Mutex::new(None),
+            cluster: Mutex::new(None),
         }
     }
 
@@ -133,6 +139,15 @@ impl ServeMetrics {
     /// counts and the hit rate. Replaces any previously tracked cache.
     pub fn track_cache(&self, counters: Arc<CacheCounters>) {
         *self.cache.lock().expect("metrics lock poisoned") = Some(counters);
+    }
+
+    /// Registers a sharded index's cumulative per-node counters (see
+    /// `DistributedRbc::load`) so snapshots report each node's queries,
+    /// evaluations and bytes alongside throughput and latency — making
+    /// shard skew visible from the serving layer. Replaces any previously
+    /// tracked cluster.
+    pub fn track_cluster(&self, load: Arc<ClusterLoad>) {
+        *self.cluster.lock().expect("metrics lock poisoned") = Some(load);
     }
 
     pub(crate) fn record_submitted(&self) {
@@ -203,6 +218,12 @@ impl ServeMetrics {
             .expect("metrics lock poisoned")
             .as_ref()
             .map_or((0, 0, 0.0), |c| (c.hits(), c.misses(), c.hit_rate()));
+        let node_loads = self
+            .cluster
+            .lock()
+            .expect("metrics lock poisoned")
+            .as_ref()
+            .map_or_else(Vec::new, |load| load.snapshot());
         MetricsSnapshot {
             uptime_secs: uptime.as_secs_f64(),
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -231,6 +252,7 @@ impl ServeMetrics {
             cache_hits,
             cache_misses,
             cache_hit_rate,
+            node_loads,
         }
     }
 }
@@ -288,6 +310,11 @@ pub struct MetricsSnapshot {
     /// Fraction of lookups served from the answer cache (0.0 when no
     /// cache is tracked or before any lookup).
     pub cache_hit_rate: f64,
+    /// Cumulative per-node load of the served sharded index — one record
+    /// per cluster node, so shard skew is observable from the serving
+    /// layer. Empty unless a cluster is tracked (see
+    /// [`ServeMetrics::track_cluster`]).
+    pub node_loads: Vec<NodeLoad>,
 }
 
 #[cfg(test)]
@@ -366,11 +393,41 @@ mod tests {
     fn snapshot_serialises_to_json() {
         let m = ServeMetrics::new(4);
         m.record_batch(3, 42, &[Duration::from_micros(5); 3]);
+        m.track_cluster(Arc::new(ClusterLoad::new(2)));
         let json = serde_json::to_string(&m.snapshot()).unwrap();
         assert!(json.contains("\"mean_batch_size\""));
         assert!(json.contains("\"latency_p99_us\""));
         assert!(json.contains("\"batch_size_histogram\""));
         assert!(json.contains("\"cache_hit_rate\""));
+        assert!(json.contains("\"node_loads\""));
+    }
+
+    #[test]
+    fn untracked_cluster_reports_no_node_loads() {
+        let m = ServeMetrics::new(4);
+        assert!(m.snapshot().node_loads.is_empty());
+    }
+
+    #[test]
+    fn tracked_cluster_loads_flow_into_the_snapshot() {
+        let m = ServeMetrics::new(4);
+        let load = Arc::new(ClusterLoad::new(3));
+        m.track_cluster(Arc::clone(&load));
+        assert_eq!(m.snapshot().node_loads.len(), 3);
+        // Loads are read live at snapshot time, so activity recorded
+        // after registration must show up.
+        load.absorb(&[NodeLoad {
+            node: 1,
+            queries: 4,
+            groups: 2,
+            evals: 100,
+            bytes_out: 640,
+            bytes_in: 80,
+        }]);
+        let s = m.snapshot();
+        assert_eq!(s.node_loads[1].evals, 100);
+        assert_eq!(s.node_loads[1].bytes_total(), 720);
+        assert_eq!(s.node_loads[0], NodeLoad::idle(0));
     }
 
     #[test]

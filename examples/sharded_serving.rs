@@ -1,0 +1,165 @@
+//! Sharded serving: the serving layer and the sharding layer composed
+//! into one system.
+//!
+//! `rbc-serve` coalesces a live stream of requests into micro-batches;
+//! `rbc-distributed` shards the database by representative across a
+//! (simulated) cluster. Because `DistributedRbc` is a batched
+//! `SearchIndex`, the engine can put one on top of the other: every
+//! micro-batch the scheduler closes runs stage 1 once on the coordinator,
+//! routes the per-list query groups to the nodes owning those lists (one
+//! message per node per batch), and merges the partial top-k replies —
+//! while the engine's metrics snapshot reports the per-node load so shard
+//! skew is visible from the serving layer.
+//!
+//! Every reply is checked against a direct `query_exact` call: routing
+//! and batching are execution strategies, never approximations.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example sharded_serving
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rbc::distributed::{eval_skew, ClusterConfig, DistributedRbc};
+use rbc::prelude::*;
+
+#[path = "util/scale.rs"]
+mod util;
+use util::scaled;
+
+fn main() {
+    let n = scaled(30_000);
+    let nodes = 8;
+    let producers = 4;
+    let requests_per_producer = 200;
+
+    println!("indexing {n} synthetic points (exact RBC, {nodes}-node cluster) ...");
+    let database = rbc::data::gaussian_mixture(n, 12, 24, 0.03, 7);
+    let query_pool = rbc::data::gaussian_mixture(512, 12, 24, 0.03, 8);
+    let dim = database.dim();
+    let rbc = ExactRbc::build(
+        database,
+        Euclidean,
+        RbcParams::standard(n, 42),
+        RbcConfig::default(),
+    );
+    // A twin index (same deterministic build) for the direct verification
+    // queries, so the served index's load counters reflect only the
+    // engine's routed batches.
+    let verifier = Arc::new(DistributedRbc::from_exact(
+        rbc.clone(),
+        ClusterConfig::with_nodes(nodes),
+        dim,
+    ));
+    let index = Arc::new(DistributedRbc::from_exact(
+        rbc,
+        ClusterConfig::with_nodes(nodes),
+        dim,
+    ));
+    println!(
+        "sharded {} ownership lists over {} nodes (imbalance {:.2})",
+        index.rbc().num_reps(),
+        nodes,
+        index.assignment().imbalance()
+    );
+
+    // Serve the sharded index: micro-batches of up to 64, 500µs linger.
+    let engine = Engine::start(
+        Arc::clone(&index),
+        ServeConfig::default()
+            .with_max_batch(64)
+            .with_linger(Duration::from_micros(500)),
+    )
+    .expect("valid serving configuration");
+    // Register the cluster's load counters so the serving snapshot carries
+    // the per-node view.
+    engine.track_cluster(index.load());
+
+    println!("serving {producers} producers x {requests_per_producer} requests each ...");
+    let mismatches: usize = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for p in 0..producers {
+            let handle = engine.handle();
+            let verifier = Arc::clone(&verifier);
+            let query_pool = &query_pool;
+            joins.push(scope.spawn(move || {
+                let mut mismatches = 0usize;
+                let mut in_flight = std::collections::VecDeque::new();
+                for i in 0..requests_per_producer {
+                    let qi = (p * 97 + i) % query_pool.len();
+                    let query = query_pool.point(qi).to_vec();
+                    let ticket = handle.submit(query.clone(), 3).expect("submit");
+                    in_flight.push_back((query, ticket));
+                    if in_flight.len() >= 16 {
+                        let (query, ticket) = in_flight.pop_front().unwrap();
+                        let reply = ticket.wait().expect("served");
+                        let (direct, _) = verifier.query_exact(&query[..], 3);
+                        if reply.neighbors != direct {
+                            mismatches += 1;
+                        }
+                    }
+                }
+                for (query, ticket) in in_flight {
+                    let reply = ticket.wait().expect("served");
+                    let (direct, _) = verifier.query_exact(&query[..], 3);
+                    if reply.neighbors != direct {
+                        mismatches += 1;
+                    }
+                }
+                mismatches
+            }));
+        }
+        joins.into_iter().map(|j| j.join().unwrap()).sum()
+    });
+
+    let stats = engine.shutdown();
+    println!("\nserved {} queries through the cluster:", stats.completed);
+    println!(
+        "  throughput      : {:.0} queries/s over {} micro-batches",
+        stats.throughput_qps, stats.batches
+    );
+    println!(
+        "  achieved batch  : mean {:.1} queries/batch (max_batch = 64)",
+        stats.mean_batch_size
+    );
+    println!(
+        "  latency         : p50 {} us, p95 {} us, p99 {} us",
+        stats.latency_p50_us, stats.latency_p95_us, stats.latency_p99_us
+    );
+    println!(
+        "  answers checked : {} / {} identical to direct distributed queries",
+        stats.completed as usize - mismatches,
+        stats.completed
+    );
+    assert_eq!(mismatches, 0, "served answers must match direct queries");
+
+    // The per-node view the serving snapshot inherited from the cluster.
+    println!("\nper-node load (from the serving metrics snapshot):");
+    println!("  node  queries   groups     evals     KB out    KB in");
+    for load in &stats.node_loads {
+        println!(
+            "  {:>4}  {:>7}  {:>7}  {:>8}  {:>9.1}  {:>7.1}",
+            load.node,
+            load.queries,
+            load.groups,
+            load.evals,
+            load.bytes_out as f64 / 1024.0,
+            load.bytes_in as f64 / 1024.0,
+        );
+    }
+    assert_eq!(stats.node_loads.len(), nodes);
+    let routed: u64 = stats.node_loads.iter().map(|l| l.queries).sum();
+    assert!(routed > 0, "no query ever reached a shard");
+    println!(
+        "  skew            : busiest/lightest working node = {:.2}x by evals",
+        eval_skew(&stats.node_loads)
+    );
+    println!(
+        "  fan-out         : {:.2} query routings per request ({} total), \
+         one message per node per batch",
+        routed as f64 / stats.completed as f64,
+        routed
+    );
+}
