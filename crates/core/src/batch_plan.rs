@@ -51,7 +51,13 @@ pub struct ListGroup {
 /// query must scan, the group of queries that scan it.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct BatchPlan {
-    /// Non-empty list groups, ordered by ascending list index.
+    /// Non-empty list groups, ordered **largest scan first**: descending
+    /// estimated work (group size × list length for the exact plan, group
+    /// size for the one-shot plan), ties broken toward the lower list
+    /// index. Emitting the heaviest shared scans first improves rayon's
+    /// load balance on skewed list-size distributions — a thread that
+    /// picks up a huge group early is not left holding it alone at the
+    /// tail of the schedule.
     pub groups: Vec<ListGroup>,
     /// Per-query pruning cap `γ_k` — the k-th smallest representative
     /// distance, a valid upper bound on the k-th NN distance because
@@ -120,7 +126,7 @@ impl BatchPlan {
             }
         }
 
-        let groups = per_list
+        let mut groups: Vec<ListGroup> = per_list
             .into_iter()
             .enumerate()
             .filter(|(_, queries)| !queries.is_empty())
@@ -129,6 +135,13 @@ impl BatchPlan {
                 queries,
             })
             .collect();
+        // Largest scans first: work ≈ queries × list members streamed.
+        groups.sort_by_key(|g| {
+            (
+                std::cmp::Reverse(g.queries.len() * lists[g.list_index].len()),
+                g.list_index,
+            )
+        });
         Self {
             groups,
             gamma_k,
@@ -162,7 +175,7 @@ impl BatchPlan {
                 .fold(Neighbor::farthest(), Neighbor::closer);
             per_list[nearest.index].push(qi);
         }
-        let groups: Vec<ListGroup> = per_list
+        let mut groups: Vec<ListGroup> = per_list
             .into_iter()
             .enumerate()
             .filter(|(_, queries)| !queries.is_empty())
@@ -171,6 +184,9 @@ impl BatchPlan {
                 queries,
             })
             .collect();
+        // Largest groups first (list lengths are not known here; the group
+        // size is the schedulable proxy), ties toward the lower list index.
+        groups.sort_by_key(|g| (std::cmp::Reverse(g.queries.len()), g.list_index));
         Self {
             groups,
             gamma_k: Vec::new(),
@@ -179,24 +195,32 @@ impl BatchPlan {
         }
     }
 
-    /// Splits the plan by an external ownership map over lists: sub-plan
-    /// `o` keeps exactly the groups whose list is owned by owner `o`
-    /// (`owner_of_list[group.list_index]`), in the original group order.
+    /// Splits the plan by a routing policy: `route` is called once per
+    /// group (in plan order, i.e. largest scan first) and names the owner
+    /// that will execute it — or `None` when no owner can take it. Sub-plan
+    /// `o` keeps exactly the groups routed to owner `o`, in plan order;
+    /// unroutable groups are returned separately so the caller can degrade
+    /// explicitly instead of silently dropping work.
     ///
     /// This is how a distributed RBC routes one coordinator-side plan to
-    /// the cluster nodes holding the shards: `queries` and `gamma_k` are
-    /// carried into every sub-plan (each node prunes against the same
-    /// per-query caps, and accumulator slices stay indexed by batch
-    /// position), while `pairs` is recomputed per owner so each sub-plan's
-    /// [`sharing_factor`](Self::sharing_factor) describes only the work
-    /// that owner performs. Executing every sub-plan and merging the
-    /// per-query partial top-k results is equivalent to executing the
-    /// whole plan (see `rbc-distributed`).
+    /// the cluster nodes holding the shards — under replication the policy
+    /// picks the least-loaded **live** replica of each group's list, and a
+    /// group whose replicas are all dead comes back in the unroutable set.
+    /// `queries` and `gamma_k` are carried into every sub-plan (each node
+    /// prunes against the same per-query caps, and accumulator slices stay
+    /// indexed by batch position), while `pairs` is recomputed per owner so
+    /// each sub-plan's [`sharing_factor`](Self::sharing_factor) describes
+    /// only the work that owner performs. Executing every sub-plan and
+    /// merging the per-query partial top-k results is equivalent to
+    /// executing the whole plan minus the unroutable groups (see
+    /// `rbc-distributed`).
     ///
     /// # Panics
-    /// Panics if a planned list has no owner (`owner_of_list` too short)
-    /// or an owner index is out of range.
-    pub fn split_by_owner(&self, owner_of_list: &[usize], owners: usize) -> Vec<BatchPlan> {
+    /// Panics if `route` names an owner `>= owners`.
+    pub fn split_routed<F>(&self, owners: usize, mut route: F) -> (Vec<BatchPlan>, Vec<ListGroup>)
+    where
+        F: FnMut(&ListGroup) -> Option<usize>,
+    {
         let mut parts: Vec<BatchPlan> = (0..owners)
             .map(|_| BatchPlan {
                 groups: Vec::new(),
@@ -205,16 +229,37 @@ impl BatchPlan {
                 pairs: 0,
             })
             .collect();
+        let mut unroutable = Vec::new();
         for group in &self.groups {
-            let owner = owner_of_list[group.list_index];
-            assert!(
-                owner < owners,
-                "list {} owned by {owner}, but only {owners} owners exist",
-                group.list_index
-            );
-            parts[owner].pairs += group.queries.len();
-            parts[owner].groups.push(group.clone());
+            match route(group) {
+                Some(owner) => {
+                    assert!(
+                        owner < owners,
+                        "list {} routed to {owner}, but only {owners} owners exist",
+                        group.list_index
+                    );
+                    parts[owner].pairs += group.queries.len();
+                    parts[owner].groups.push(group.clone());
+                }
+                None => unroutable.push(group.clone()),
+            }
         }
+        (parts, unroutable)
+    }
+
+    /// Splits the plan by a total ownership map over lists: sub-plan `o`
+    /// keeps exactly the groups whose list is owned by owner `o`
+    /// (`owner_of_list[group.list_index]`), in plan order — the
+    /// single-owner special case of [`split_routed`](Self::split_routed),
+    /// where every group has exactly one place to go.
+    ///
+    /// # Panics
+    /// Panics if a planned list has no owner (`owner_of_list` too short)
+    /// or an owner index is out of range.
+    pub fn split_by_owner(&self, owner_of_list: &[usize], owners: usize) -> Vec<BatchPlan> {
+        let (parts, unroutable) =
+            self.split_routed(owners, |group| Some(owner_of_list[group.list_index]));
+        debug_assert!(unroutable.is_empty(), "total routes never lose a group");
         parts
     }
 
@@ -378,11 +423,60 @@ mod tests {
         assert_eq!(plan.queries, 2);
         assert_eq!(plan.pairs, 4);
         assert_eq!(plan.groups.len(), 3);
-        assert_eq!(plan.groups[0].queries, vec![0]);
-        assert_eq!(plan.groups[1].queries, vec![0, 1]);
+        // Largest scan first: list 1 serves both queries, then the two
+        // single-query lists in index order.
+        assert_eq!(plan.groups[0].list_index, 1);
+        assert_eq!(plan.groups[0].queries, vec![0, 1]);
+        assert_eq!(plan.groups[1].list_index, 0);
+        assert_eq!(plan.groups[1].queries, vec![0]);
+        assert_eq!(plan.groups[2].list_index, 2);
         assert_eq!(plan.groups[2].queries, vec![1]);
         assert_eq!(plan.gamma_k, vec![1.0, 1.0]);
         assert!((plan.sharing_factor() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_plan_emits_groups_largest_scan_first() {
+        // Three lists of very different sizes; every query keeps them all
+        // (tiny distances, huge radii), so ordering is decided by the
+        // estimated work alone: queries × list length.
+        let lists = vec![
+            OwnershipList::from_pairs(0, (0..2).map(|i| (100 + i, 0.1)).collect()),
+            OwnershipList::from_pairs(1, (0..50).map(|i| (200 + i, 0.1)).collect()),
+            OwnershipList::from_pairs(2, (0..9).map(|i| (300 + i, 0.1)).collect()),
+        ];
+        let rep_dists = vec![0.2, 0.2, 0.2, 0.3, 0.3, 0.3];
+        let plan = BatchPlan::plan_exact(&rep_dists, &lists, 1, &RbcConfig::default());
+        let order: Vec<usize> = plan.groups.iter().map(|g| g.list_index).collect();
+        assert_eq!(order, vec![1, 2, 0], "heaviest shared scans must lead");
+        let works: Vec<usize> = plan
+            .groups
+            .iter()
+            .map(|g| g.queries.len() * lists[g.list_index].len())
+            .collect();
+        assert!(
+            works.windows(2).all(|w| w[0] >= w[1]),
+            "group work must be non-increasing: {works:?}"
+        );
+    }
+
+    #[test]
+    fn one_shot_plan_emits_groups_largest_first_with_index_tiebreak() {
+        // Five queries: three pick list 2, one picks list 0, one list 1.
+        let rep_dists = vec![
+            9.0, 9.0, 1.0, // -> 2
+            9.0, 9.0, 1.0, // -> 2
+            1.0, 9.0, 9.0, // -> 0
+            9.0, 9.0, 1.0, // -> 2
+            9.0, 1.0, 9.0, // -> 1
+        ];
+        let plan = BatchPlan::plan_one_shot(&rep_dists, 3);
+        let order: Vec<usize> = plan.groups.iter().map(|g| g.list_index).collect();
+        assert_eq!(
+            order,
+            vec![2, 0, 1],
+            "largest group first, then ties by index"
+        );
     }
 
     #[test]
@@ -451,6 +545,34 @@ mod tests {
         }
         let total_pairs: usize = parts.iter().map(|p| p.pairs).sum();
         assert_eq!(total_pairs, plan.pairs);
+    }
+
+    #[test]
+    fn split_routed_returns_unroutable_groups_instead_of_dropping_them() {
+        let lists = singleton_lists(&[1.0, 1.0, 1.0]);
+        let rep_dists = vec![
+            1.0, 1.5, 9.0, // query 0 keeps lists {0, 1}
+            9.0, 1.5, 1.0, // query 1 keeps lists {1, 2}
+        ];
+        let plan = BatchPlan::plan_exact(&rep_dists, &lists, 1, &RbcConfig::default());
+        // A policy with no home for list 1 (its "replicas" are all dead).
+        let (parts, unroutable) = plan.split_routed(2, |g| match g.list_index {
+            0 => Some(0),
+            2 => Some(1),
+            _ => None,
+        });
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].groups.len(), 1);
+        assert_eq!(parts[0].groups[0].list_index, 0);
+        assert_eq!(parts[1].groups.len(), 1);
+        assert_eq!(parts[1].groups[0].list_index, 2);
+        assert_eq!(unroutable.len(), 1);
+        assert_eq!(unroutable[0].list_index, 1);
+        assert_eq!(unroutable[0].queries, vec![0, 1]);
+        // Routed + unroutable account for every planned pair.
+        let routed_pairs: usize = parts.iter().map(|p| p.pairs).sum();
+        let lost_pairs: usize = unroutable.iter().map(|g| g.queries.len()).sum();
+        assert_eq!(routed_pairs + lost_pairs, plan.pairs);
     }
 
     #[test]

@@ -182,6 +182,33 @@ impl CommCost {
         cost
     }
 
+    /// Records the one-time cost of **shipping the shards** at placement
+    /// time: node `nd` receives one message carrying its
+    /// `points_per_node[nd]` stored points (replica copies included) of
+    /// the given dimensionality; empty nodes receive nothing and there are
+    /// no replies. Modeled time is one parallel fan-out — the coordinator
+    /// ships all shards at once and waits for the largest transfer.
+    ///
+    /// This is how replicated storage enters the communication ledger:
+    /// replication never adds per-query messages (each group is still
+    /// routed to exactly one replica), but every extra copy is paid for
+    /// up front, here.
+    pub fn placement_round(config: &ClusterConfig, points_per_node: &[usize], dim: usize) -> Self {
+        let mut cost = Self::default();
+        let mut slowest = 0.0f64;
+        for &points in points_per_node {
+            if points == 0 {
+                continue;
+            }
+            let bytes = config.batch_query_message_bytes(dim, points);
+            cost.messages_out += 1;
+            cost.bytes_out += bytes;
+            slowest = slowest.max(config.message_time_us(bytes));
+        }
+        cost.modeled_time_us = slowest;
+        cost
+    }
+
     /// Merges the cost of another query/round into this accumulator.
     pub fn merge(&mut self, other: &CommCost) {
         self.messages_out += other.messages_out;
@@ -310,6 +337,25 @@ mod tests {
             CommCost::batched_round(&c, &[0, 0, 0], 16, 1),
             CommCost::default()
         );
+    }
+
+    #[test]
+    fn placement_round_charges_every_stored_copy_once_up_front() {
+        let c = ClusterConfig::default();
+        let single = CommCost::placement_round(&c, &[600, 400, 0], 16);
+        assert_eq!(single.messages_out, 2, "empty nodes receive no shard");
+        assert_eq!(single.messages_in, 0, "shipping shards has no replies");
+        assert_eq!(
+            single.bytes_out,
+            c.batch_query_message_bytes(16, 600) + c.batch_query_message_bytes(16, 400)
+        );
+        // Replication factor 2 doubles the stored points and (nearly)
+        // doubles the build-time bytes — the storage ledger of redundancy.
+        let replicated = CommCost::placement_round(&c, &[700, 700, 600], 16);
+        assert!(replicated.bytes_out > 2 * single.bytes_out - 3 * 64 - 1);
+        // Modeled time is the largest single transfer, not the sum.
+        let largest = c.message_time_us(c.batch_query_message_bytes(16, 700));
+        assert!((replicated.modeled_time_us - largest).abs() < 1e-9);
     }
 
     #[test]

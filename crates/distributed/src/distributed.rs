@@ -5,24 +5,27 @@ use std::sync::{Arc, Mutex};
 use rayon::prelude::*;
 
 use rbc_bruteforce::{BfConfig, BruteForce, GroupCursor, Neighbor, TopK};
-use rbc_core::batch_plan::{execute_list_major, BatchPlan};
+use rbc_core::batch_plan::{execute_list_major, BatchPlan, ListGroup};
 use rbc_core::{ExactRbc, SearchIndex};
 use rbc_metric::{Dataset, Dist, Metric, QueryBatch};
 
 use crate::cluster::{ClusterConfig, CommCost};
-use crate::load::{ClusterLoad, NodeLoad};
-use crate::partition::{partition_lists, NodeAssignment};
+use crate::load::{ClusterLoad, NodeHealth, NodeLoad};
+use crate::placement::{Placement, PlacementPolicy};
 
 /// Work and communication performed by one distributed query (or a batch).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct DistributedQueryStats {
-    /// Worker nodes that received at least one message. For the batched
-    /// protocol this counts *per-batch* fan-out: a node contacted once for
-    /// a whole micro-batch contributes 1, however many queries it served.
+    /// Fan-out messages sent to worker nodes. For the batched protocol
+    /// this counts *per-batch* contacts: a node contacted once for a whole
+    /// micro-batch contributes 1, however many queries it served; a
+    /// failover retry round contributes one more contact per re-contacted
+    /// node.
     pub nodes_contacted: u64,
-    /// Ownership lists scanned across all contacted nodes. Under the
-    /// batched protocol each shared (list, group) scan counts once,
-    /// however many queries of the batch it served.
+    /// Ownership-list groups actually executed across all contacted
+    /// nodes. Under the batched protocol each shared (list, group) scan
+    /// counts once, however many queries of the batch it served; lost
+    /// groups are *not* counted here (see [`lost_groups`](Self::lost_groups)).
     pub lists_scanned: u64,
     /// Distance evaluations performed on the coordinator (representative
     /// scan).
@@ -37,6 +40,17 @@ pub struct DistributedQueryStats {
     pub comm: CommCost,
     /// Queries aggregated into this record.
     pub queries: u64,
+    /// Groups re-routed to a surviving replica after their first node
+    /// failed mid-batch.
+    pub rerouted_groups: u64,
+    /// Groups lost outright: every replica of their list was dead, so the
+    /// affected queries were answered with a flagged partial result.
+    pub lost_groups: u64,
+    /// Per-query degradation flags, one per query aggregated (in
+    /// aggregation order): `true` when that query lost at least one group
+    /// and its answer is the flagged, provably-correct partial described
+    /// on [`DistributedRbc::query_batch_exact`].
+    pub degraded: Vec<bool>,
     /// Per-node work and traffic, indexed by node (`per_node[i].node == i`),
     /// so load skew across the shards is observable. Idle nodes are
     /// present with zeroed counters.
@@ -49,6 +63,11 @@ impl DistributedQueryStats {
         self.coordinator_evals + self.worker_evals
     }
 
+    /// Queries answered with a flagged partial (degraded) result.
+    pub fn degraded_queries(&self) -> u64 {
+        self.degraded.iter().filter(|&&d| d).count() as u64
+    }
+
     /// Merges another record (e.g. one batch of a stream) into this one.
     pub fn merge(&mut self, other: &Self) {
         self.nodes_contacted += other.nodes_contacted;
@@ -58,6 +77,9 @@ impl DistributedQueryStats {
         self.max_node_evals = self.max_node_evals.max(other.max_node_evals);
         self.comm.merge(&other.comm);
         self.queries += other.queries;
+        self.rerouted_groups += other.rerouted_groups;
+        self.lost_groups += other.lost_groups;
+        self.degraded.extend_from_slice(&other.degraded);
         if self.per_node.len() < other.per_node.len() {
             let start = self.per_node.len();
             self.per_node
@@ -82,12 +104,13 @@ impl DistributedQueryStats {
 }
 
 /// A Random Ball Cover sharded across the nodes of a (simulated) cluster
-/// by representative, as sketched in the paper's conclusion.
+/// by representative, as sketched in the paper's conclusion — with
+/// replicated, skew-aware placement and failover routing on top.
 #[derive(Clone, Debug)]
 pub struct DistributedRbc<D, M> {
     rbc: ExactRbc<D, M>,
     cluster: ClusterConfig,
-    assignment: NodeAssignment,
+    placement: Placement,
     /// True for database indices that are representatives (answered by the
     /// coordinator's first stage, so worker scans skip them).
     rep_flags: Vec<bool>,
@@ -97,6 +120,9 @@ pub struct DistributedRbc<D, M> {
     /// Cumulative per-node counters; `Arc`-shared so clones of this index
     /// (and anything serving it) observe the same totals.
     load: Arc<ClusterLoad>,
+    /// Shared liveness flags; `Arc`-shared so failures injected from a
+    /// test, a bench, or an operator thread are seen by every clone.
+    health: Arc<NodeHealth>,
 }
 
 impl<D, M> DistributedRbc<D, M>
@@ -105,7 +131,8 @@ where
     M: Metric<D::Item>,
 {
     /// Distributes an already-built exact RBC across `cluster.nodes` nodes
-    /// with the balanced (LPT) list assignment.
+    /// with the balanced single-owner (LPT) placement — the
+    /// replication-free baseline.
     ///
     /// `payload_coords` is the number of coordinates a query occupies on
     /// the wire (the dimension, for dense vector data); it only affects the
@@ -115,54 +142,68 @@ where
     /// Panics if `cluster` fails [`ClusterConfig::validate`] (zero nodes,
     /// zero bandwidth, ...).
     pub fn from_exact(rbc: ExactRbc<D, M>, cluster: ClusterConfig, payload_coords: usize) -> Self {
+        Self::from_exact_with_policy(rbc, cluster, PlacementPolicy::SingleOwner, payload_coords)
+    }
+
+    /// Distributes an already-built exact RBC with the placement built by
+    /// `policy` (cold: no traffic observed yet, so the skew-aware policy
+    /// falls back to list sizes as its heat proxy — see
+    /// [`repartitioned`](Self::repartitioned) for the warm path).
+    ///
+    /// # Panics
+    /// Panics if `cluster` fails [`ClusterConfig::validate`].
+    pub fn from_exact_with_policy(
+        rbc: ExactRbc<D, M>,
+        cluster: ClusterConfig,
+        policy: PlacementPolicy,
+        payload_coords: usize,
+    ) -> Self {
         let list_sizes: Vec<usize> = rbc.lists().iter().map(|l| l.len()).collect();
-        let assignment = partition_lists(&list_sizes, cluster.nodes);
-        Self::from_exact_with_assignment(rbc, cluster, assignment, payload_coords)
+        let placement = policy.place(&list_sizes, &[], cluster.nodes);
+        Self::from_exact_with_placement(rbc, cluster, placement, payload_coords)
     }
 
     /// Distributes an already-built exact RBC with an explicit
-    /// list-to-node assignment — for studying skewed placements, draining
-    /// a node, or replaying an assignment recorded elsewhere.
+    /// [`Placement`] — for studying skewed placements, draining a node, or
+    /// replaying a placement recorded elsewhere.
     ///
     /// # Panics
     /// Panics if `cluster` fails [`ClusterConfig::validate`], or if the
-    /// assignment does not cover exactly this structure's ownership lists
-    /// with exactly `cluster.nodes` nodes.
-    pub fn from_exact_with_assignment(
+    /// placement fails [`Placement::validate`] against this structure's
+    /// ownership lists and `cluster.nodes` nodes.
+    pub fn from_exact_with_placement(
         rbc: ExactRbc<D, M>,
         cluster: ClusterConfig,
-        assignment: NodeAssignment,
+        placement: Placement,
         payload_coords: usize,
     ) -> Self {
         cluster
             .validate()
             .unwrap_or_else(|error| panic!("invalid ClusterConfig: {error}"));
-        assert_eq!(
-            assignment.node_of_list.len(),
-            rbc.lists().len(),
-            "assignment must cover every ownership list"
-        );
-        assert_eq!(
-            assignment.nodes(),
-            cluster.nodes,
-            "assignment and cluster disagree on the node count"
-        );
-        assert!(
-            assignment.node_of_list.iter().all(|&nd| nd < cluster.nodes),
-            "assignment routes a list to a node outside the cluster"
-        );
+        let list_sizes: Vec<usize> = rbc.lists().iter().map(|l| l.len()).collect();
+        placement
+            .validate(&list_sizes, cluster.nodes)
+            .unwrap_or_else(|error| panic!("invalid Placement: {error}"));
         let mut rep_flags = vec![false; rbc.database().len()];
         for &r in rbc.rep_indices() {
             rep_flags[r] = true;
         }
-        let load = Arc::new(ClusterLoad::new(cluster.nodes));
+        let primary_points: usize = list_sizes.iter().sum();
+        let load = Arc::new(ClusterLoad::with_placement(
+            cluster.nodes,
+            list_sizes.len(),
+            placement.mean_replication(),
+            placement.storage_overhead(primary_points),
+        ));
+        let health = Arc::new(NodeHealth::new(cluster.nodes));
         Self {
             rbc,
             cluster,
-            assignment,
+            placement,
             rep_flags,
             payload_coords,
             load,
+            health,
         }
     }
 
@@ -176,9 +217,9 @@ where
         self.cluster
     }
 
-    /// The list-to-node assignment.
-    pub fn assignment(&self) -> &NodeAssignment {
-        &self.assignment
+    /// The list-to-replica placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
     }
 
     /// The cumulative per-node load counters, shared behind an `Arc` so a
@@ -188,135 +229,107 @@ where
         Arc::clone(&self.load)
     }
 
-    /// Exact distributed k-NN for one query.
-    ///
-    /// Protocol: the coordinator scans the representative set locally,
-    /// applies the paper's pruning rules (eq. 1 and Lemma 1), forwards the
-    /// query to every node owning at least one surviving list, and merges
-    /// the nodes' partial top-k results. The answer is identical to a
-    /// centralized exact search.
-    pub fn query_exact(&self, query: &D::Item, k: usize) -> (Vec<Neighbor>, DistributedQueryStats) {
-        assert!(k > 0, "k must be at least 1");
-        let db = self.rbc.database();
-        let metric = self.rbc.metric();
-        let reps = self.rbc.rep_indices();
-        let lists = self.rbc.lists();
-
-        // Coordinator stage: all representative distances (retained).
-        let rep_dists: Vec<Dist> = reps
-            .iter()
-            .map(|&r| metric.dist(query, db.get(r)))
-            .collect();
-        let coordinator_evals = rep_dists.len() as u64;
-
-        // γ_k: upper bound on the k-th NN distance (k nearest reps).
-        let gamma_k = if k <= rep_dists.len() {
-            let mut topk = TopK::new(k);
-            for (i, &d) in rep_dists.iter().enumerate() {
-                topk.push(Neighbor::new(i, d));
-            }
-            topk.into_sorted()
-                .last()
-                .map(|n| n.dist)
-                .unwrap_or(Dist::INFINITY)
-        } else {
-            Dist::INFINITY
-        };
-
-        // Pruning: which lists must be consulted.
-        let surviving: Vec<usize> = (0..lists.len())
-            .filter(|&ri| {
-                let list = &lists[ri];
-                if list.is_empty() {
-                    return false;
-                }
-                let d_qr = rep_dists[ri];
-                d_qr < gamma_k + list.radius && d_qr <= 3.0 * gamma_k
-            })
-            .collect();
-
-        // Group surviving lists by owning node.
-        let mut lists_per_node: Vec<Vec<usize>> = vec![Vec::new(); self.cluster.nodes];
-        for &ri in &surviving {
-            lists_per_node[self.assignment.node_of_list[ri]].push(ri);
-        }
-        let contacted: Vec<usize> = (0..self.cluster.nodes)
-            .filter(|&nd| !lists_per_node[nd].is_empty())
-            .collect();
-
-        // Worker stage: each contacted node scans its surviving lists in
-        // parallel with the others, pruning locally against γ_k (no
-        // cross-node chatter during the scan).
-        let per_node: Vec<(TopK, u64)> = contacted
-            .par_iter()
-            .map(|&nd| {
-                let mut topk = TopK::new(k);
-                let mut evals = 0u64;
-                for &ri in &lists_per_node[nd] {
-                    let list = &lists[ri];
-                    let d_qr = rep_dists[ri];
-                    for (pos, &member) in list.members.iter().enumerate() {
-                        if self.rep_flags[member] {
-                            continue;
-                        }
-                        let d_xr = list.member_dists[pos];
-                        let threshold = topk.threshold().min(gamma_k);
-                        if d_xr - d_qr > threshold {
-                            break;
-                        }
-                        if d_qr - d_xr > threshold {
-                            continue;
-                        }
-                        evals += 1;
-                        topk.push(Neighbor::new(member, metric.dist(query, db.get(member))));
-                    }
-                }
-                (topk, evals)
-            })
-            .collect();
-
-        // Coordinator reduce: merge worker results with the representative
-        // candidates it already evaluated.
-        let mut merged = TopK::new(k);
-        for (ri, &rep_index) in reps.iter().enumerate() {
-            merged.push(Neighbor::new(rep_index, rep_dists[ri]));
-        }
-        let mut worker_evals = 0u64;
-        let mut max_node_evals = 0u64;
-        let mut per_node_loads: Vec<NodeLoad> =
-            (0..self.cluster.nodes).map(NodeLoad::idle).collect();
-        for (&nd, (topk, evals)) in contacted.iter().zip(per_node) {
-            merged.merge(&topk);
-            worker_evals += evals;
-            max_node_evals = max_node_evals.max(evals);
-            per_node_loads[nd] = NodeLoad {
-                node: nd,
-                queries: 1,
-                groups: lists_per_node[nd].len() as u64,
-                evals,
-                bytes_out: self.cluster.query_message_bytes(self.payload_coords),
-                bytes_in: self.cluster.reply_message_bytes(k),
-            };
-        }
-
-        let stats = DistributedQueryStats {
-            nodes_contacted: contacted.len() as u64,
-            lists_scanned: surviving.len() as u64,
-            coordinator_evals,
-            worker_evals,
-            max_node_evals,
-            comm: CommCost::fan_out_round(&self.cluster, contacted.len(), self.payload_coords, k),
-            queries: 1,
-            per_node: per_node_loads,
-        };
-        self.load.absorb(&stats.per_node);
-        (merged.into_sorted(), stats)
+    /// The shared node liveness flags, for failing/poisoning/reviving
+    /// nodes from outside the query path (see also the
+    /// [`fail_node`](Self::fail_node) conveniences).
+    pub fn health(&self) -> Arc<NodeHealth> {
+        Arc::clone(&self.health)
     }
 
-    /// One-shot distributed k-NN: the coordinator routes the query to the
-    /// single node owning the nearest representative's list, which answers
-    /// from that list alone. One message out, one message back — the
-    /// property that makes the representative-based sharding attractive.
+    /// Marks `node` as down: the router stops contacting it immediately
+    /// and its lists are served by surviving replicas (or degraded).
+    pub fn fail_node(&self, node: usize) {
+        self.health.fail(node);
+    }
+
+    /// Arms `node` to fail at its next contact — the mid-batch crash: the
+    /// router ships it a sub-plan, the reply never comes, and the affected
+    /// groups are re-routed to surviving replicas within the same batch.
+    pub fn poison_node(&self, node: usize) {
+        self.health.poison(node);
+    }
+
+    /// Brings `node` back into the routable set.
+    pub fn revive_node(&self, node: usize) {
+        self.health.revive(node);
+    }
+
+    /// Observed per-list routed-group frequencies — the traffic signal
+    /// that steers skew-aware replication.
+    pub fn observed_list_traffic(&self) -> Vec<u64> {
+        self.load.list_traffic()
+    }
+
+    /// The one-time communication cost of shipping every stored list copy
+    /// to its node at placement time ([`CommCost::placement_round`]) —
+    /// this is where replicated storage is paid for: replication adds no
+    /// per-query messages (each group still goes to exactly one replica),
+    /// but every extra copy crosses the wire once at build.
+    pub fn placement_comm(&self) -> CommCost {
+        CommCost::placement_round(
+            &self.cluster,
+            &self.placement.points_per_node,
+            self.payload_coords,
+        )
+    }
+
+    /// Distinct queries whose groups a sub-plan carries — the payload size
+    /// of the message delivering it.
+    fn distinct_queries(part: &BatchPlan) -> usize {
+        let mut qs: Vec<usize> = part
+            .groups
+            .iter()
+            .flat_map(|g| g.queries.iter().copied())
+            .collect();
+        qs.sort_unstable();
+        qs.dedup();
+        qs.len()
+    }
+
+    /// Routes a plan's groups to replicas: each group goes to the
+    /// least-loaded **live** replica of its list (load = estimated
+    /// evaluations already routed this batch, accumulated in `est`; ties
+    /// toward the lower node id). Groups whose replicas are all dead come
+    /// back unroutable.
+    fn route_parts(
+        &self,
+        plan: &BatchPlan,
+        live: &[bool],
+        est: &mut [u64],
+    ) -> (Vec<BatchPlan>, Vec<ListGroup>) {
+        let lists = self.rbc.lists();
+        plan.split_routed(self.cluster.nodes, |group| {
+            let cost = (group.queries.len() * lists[group.list_index].len().max(1)) as u64;
+            let chosen = self.placement.replicas_of_list[group.list_index]
+                .iter()
+                .copied()
+                .filter(|&nd| live[nd])
+                .min_by_key(|&nd| (est[nd], nd))?;
+            est[chosen] += cost;
+            Some(chosen)
+        })
+    }
+
+    /// Exact distributed k-NN for one query — the batched protocol run on
+    /// a batch of one: stage 1 on the coordinator, surviving lists routed
+    /// to the least-loaded live replica each, partial top-k results merged
+    /// with the representative candidates. Inherits the full failover
+    /// behaviour of [`query_batch_exact`](Self::query_batch_exact),
+    /// including flagged partial answers when an unreplicated list's node
+    /// is down.
+    pub fn query_exact(&self, query: &D::Item, k: usize) -> (Vec<Neighbor>, DistributedQueryStats) {
+        let (mut results, stats) = self.query_batch_exact(&QueryBatch::new(&[query]), k);
+        (results.pop().expect("one query in, one answer out"), stats)
+    }
+
+    /// One-shot distributed k-NN: the coordinator routes the query to one
+    /// live replica of the nearest representative's list (preferring the
+    /// primary copy), which answers from that list alone. One message out,
+    /// one message back — the property that makes the representative-based
+    /// sharding attractive. If a replica fails at contact, the next live
+    /// one is tried; with every replica dead the query degrades to the
+    /// representative candidates alone (the coordinator's own scan),
+    /// flagged in [`DistributedQueryStats::degraded`].
     ///
     /// Like the centralized one-shot algorithm the answer is approximate;
     /// because the exact structure's lists do not overlap, its recall is a
@@ -333,82 +346,148 @@ where
         let reps = self.rbc.rep_indices();
         let lists = self.rbc.lists();
 
-        let mut best_rep = 0usize;
-        let mut best_dist = Dist::INFINITY;
-        for (ri, &r) in reps.iter().enumerate() {
-            let d = metric.dist(query, db.get(r));
-            if d < best_dist {
-                best_dist = d;
-                best_rep = ri;
-            }
-        }
+        let rep_dists: Vec<Dist> = reps
+            .iter()
+            .map(|&r| metric.dist(query, db.get(r)))
+            .collect();
+        let best_rep = rep_dists
+            .iter()
+            .enumerate()
+            .map(|(ri, &d)| Neighbor::new(ri, d))
+            .fold(Neighbor::farthest(), Neighbor::closer)
+            .index;
         let coordinator_evals = reps.len() as u64;
 
-        let list = &lists[best_rep];
-        let node = self.assignment.node_of_list[best_rep];
-        let mut topk = TopK::new(k);
-        topk.push(Neighbor::new(reps[best_rep], best_dist));
-        let mut evals = 0u64;
-        for &member in &list.members {
-            if self.rep_flags[member] {
-                continue;
-            }
-            evals += 1;
-            topk.push(Neighbor::new(member, metric.dist(query, db.get(member))));
-        }
-
+        // Contact replicas in placement order (primary first) until one
+        // answers; contacts that fail mid-delivery cost a wasted message.
         let mut per_node_loads: Vec<NodeLoad> =
             (0..self.cluster.nodes).map(NodeLoad::idle).collect();
-        per_node_loads[node] = NodeLoad {
-            node,
-            queries: 1,
-            groups: 1,
-            evals,
-            bytes_out: self.cluster.query_message_bytes(self.payload_coords),
-            bytes_in: self.cluster.reply_message_bytes(k),
+        let mut comm = CommCost::default();
+        let mut serving_node = None;
+        for &nd in &self.placement.replicas_of_list[best_rep] {
+            if !self.health.is_live(nd) {
+                continue;
+            }
+            let out_bytes = self.cluster.query_message_bytes(self.payload_coords);
+            comm.messages_out += 1;
+            comm.bytes_out += out_bytes;
+            per_node_loads[nd].bytes_out += out_bytes;
+            if self.health.contact(nd) {
+                serving_node = Some(nd);
+                break;
+            }
+            // The message was sent but the node died receiving it.
+            comm.modeled_time_us += self.cluster.message_time_us(out_bytes);
+        }
+
+        let (topk, evals, degraded) = match serving_node {
+            Some(node) => {
+                let list = &lists[best_rep];
+                let mut topk = TopK::new(k);
+                topk.push(Neighbor::new(reps[best_rep], rep_dists[best_rep]));
+                let mut evals = 0u64;
+                for &member in &list.members {
+                    if self.rep_flags[member] {
+                        continue;
+                    }
+                    evals += 1;
+                    topk.push(Neighbor::new(member, metric.dist(query, db.get(member))));
+                }
+                let in_bytes = self.cluster.reply_message_bytes(k);
+                comm.messages_in += 1;
+                comm.bytes_in += in_bytes;
+                comm.modeled_time_us += self
+                    .cluster
+                    .message_time_us(self.cluster.query_message_bytes(self.payload_coords))
+                    + self.cluster.message_time_us(in_bytes);
+                per_node_loads[node].queries += 1;
+                per_node_loads[node].groups += 1;
+                per_node_loads[node].evals += evals;
+                per_node_loads[node].bytes_in += in_bytes;
+                self.load.record_list_traffic(best_rep);
+                (topk, evals, false)
+            }
+            None => {
+                // Every replica is dead: degrade to the representative
+                // candidates the coordinator already evaluated.
+                let mut topk = TopK::new(k);
+                for (ri, &r) in reps.iter().enumerate() {
+                    topk.push(Neighbor::new(r, rep_dists[ri]));
+                }
+                (topk, 0, true)
+            }
         };
+
         let stats = DistributedQueryStats {
-            nodes_contacted: 1,
-            lists_scanned: 1,
+            nodes_contacted: comm.messages_out,
+            lists_scanned: u64::from(!degraded),
             coordinator_evals,
             worker_evals: evals,
             max_node_evals: evals,
-            comm: CommCost::fan_out_round(&self.cluster, 1, self.payload_coords, k),
+            comm,
             queries: 1,
+            rerouted_groups: 0,
+            lost_groups: u64::from(degraded),
+            degraded: vec![degraded],
             per_node: per_node_loads,
         };
         self.load.absorb(&stats.per_node);
+        self.load
+            .record_outcome(stats.degraded_queries(), 0, stats.lost_groups);
         (topk.into_sorted(), stats)
     }
 
-    /// Batched exact distributed k-NN — the routed list-major protocol.
+    /// Batched exact distributed k-NN — the routed list-major protocol
+    /// with replica-aware failover.
     ///
     /// Stage 1 runs **once** on the coordinator: one dense `BF(Q, R)`
     /// pass, the paper's pruning rules per query, and the inverted
     /// [`BatchPlan`] — exactly the plan the centralized list-major search
-    /// builds. The plan's list groups are then routed to the node owning
-    /// each list ([`BatchPlan::split_by_owner`]); every contacted node
-    /// receives **one** message carrying the distinct queries its groups
-    /// need, executes only its own groups through the shared group-scan
-    /// kernel over its shard, and replies with per-query partial top-k
-    /// results that the coordinator merges with the representative
-    /// candidates it already evaluated.
+    /// builds. The plan's list groups are then routed by policy
+    /// ([`BatchPlan::split_routed`]): each group goes to the least-loaded
+    /// **live** replica of its list, so a replicated hot list spreads its
+    /// groups across all of its homes instead of melting one node. Every
+    /// contacted node receives **one** message carrying the distinct
+    /// queries its groups need, executes only its own groups through the
+    /// shared group-scan kernel over its shard, and replies with per-query
+    /// partial top-k results that the coordinator merges with the
+    /// representative candidates it already evaluated.
     ///
-    /// With `epsilon == 0` the answers are bit-identical to the
-    /// centralized [`ExactRbc::query_batch_k`] (and hence to brute force):
-    /// the plan is the same, every dynamic threshold only ever prunes
-    /// points strictly worse than the true k-th neighbor, and the
-    /// deterministic `(distance, index)` order makes merging per-node
-    /// partial top-k sets equivalent to one global top-k. With
-    /// `epsilon > 0` each node's cut independently honours the `(1+ε)`
-    /// guarantee, but — as with the centralized strategies — the chosen
-    /// eligible answers may differ between protocols.
+    /// **Failover.** A node that dies mid-batch (its contact fails — see
+    /// [`NodeHealth::poison`]) never replies; the coordinator re-routes
+    /// the lost groups to surviving replicas and retries, paying one more
+    /// fan-out round ([`DistributedQueryStats::rerouted_groups`]). A group
+    /// whose replicas are **all** dead is lost
+    /// ([`lost_groups`](DistributedQueryStats::lost_groups)); each
+    /// affected query is answered with a **flagged partial answer**
+    /// (`degraded[qi] == true`): the representative candidates plus every
+    /// surviving group's candidates, truncated to the distances provably
+    /// unaffected by the lost lists — every point of a lost list `ℓ` is at
+    /// distance `≥ ρ(q, rep_ℓ) − ψ_ℓ` by the triangle inequality, so at
+    /// `epsilon == 0` every returned neighbor strictly inside that bound
+    /// is guaranteed to be a true member of the exact top-k, in true rank
+    /// order (the degraded answer is a *prefix* of the exact answer,
+    /// possibly shorter than `k`, possibly empty). With `epsilon > 0` the
+    /// surviving nodes' `(1+ε)`-shrunk cuts may legitimately substitute
+    /// eligible near-neighbors inside the margin, exactly as in the
+    /// non-degraded case, so the prefix guarantee is scoped to `ε = 0`
+    /// like the bit-identity below.
+    ///
+    /// With every node live the answers are bit-identical to the
+    /// centralized [`ExactRbc::query_batch_k`] (and hence to brute force)
+    /// at `epsilon == 0`, **whatever the replication factor**: replication
+    /// changes where a group executes, never whether; every dynamic
+    /// threshold only ever prunes points strictly worse than the true k-th
+    /// neighbor, and the deterministic `(distance, index)` order makes
+    /// merging per-node partial top-k sets equivalent to one global top-k.
     ///
     /// Communication is accounted per **batch** ([`CommCost::batched_round`]):
-    /// one query payload per contacted node per batch rather than one
-    /// message per `(query, node)` pair, so headers amortise and bytes on
-    /// the wire grow sublinearly in batch size. Per-node work and traffic
-    /// are reported in [`DistributedQueryStats::per_node`].
+    /// one query payload per contacted node per fan-out round rather than
+    /// one message per `(query, node)` pair, so headers amortise and bytes
+    /// on the wire grow sublinearly in batch size; a failed contact's
+    /// request bytes are charged (the link carried them) with no reply.
+    /// Per-node work and traffic are reported in
+    /// [`DistributedQueryStats::per_node`].
     pub fn query_batch_exact<Q>(
         &self,
         queries: &Q,
@@ -435,69 +514,147 @@ where
         let (rep_dists, rep_stats) = coordinator_bf.pairwise(queries, &rep_view, metric);
 
         // The same plan the centralized list-major search would execute,
-        // routed to the nodes owning each list.
+        // routed to the least-loaded live replica of each list. "Load" is
+        // the cumulative observed per-node evaluations (`ClusterLoad`)
+        // plus the work already routed within this batch, so a hot group
+        // that spiked one replica last batch is steered to another one
+        // this batch — routing balances *observed traffic*, not storage.
         let plan = BatchPlan::plan_exact(&rep_dists, lists, k, config);
-        let parts = plan.split_by_owner(&self.assignment.node_of_list, self.cluster.nodes);
+        let mut est: Vec<u64> = self.load.snapshot().iter().map(|l| l.evals).collect();
+        let live = self.health.live_view();
+        let (mut parts, mut lost) = self.route_parts(&plan, &live, &mut est);
 
-        // The payload each node receives: its groups' distinct queries.
-        let queries_per_node: Vec<usize> = parts
-            .iter()
-            .map(|part| {
-                let mut qs: Vec<usize> = part
-                    .groups
-                    .iter()
-                    .flat_map(|g| g.queries.iter().copied())
-                    .collect();
-                qs.sort_unstable();
-                qs.dedup();
-                qs.len()
-            })
-            .collect();
-        let contacted: Vec<usize> = (0..self.cluster.nodes)
-            .filter(|&nd| !parts[nd].groups.is_empty())
-            .collect();
-
-        // Worker stage: nodes run in parallel with each other, each
+        // Worker rounds: nodes run in parallel with each other, each
         // executing only its own sub-plan over its shard through the same
         // kernel as the centralized search. Accumulators start empty (the
         // per-query γ_k cap still bounds the cut); the coordinator seeds
-        // the representatives at merge time instead.
+        // the representatives at merge time instead. A contact that fails
+        // (the node died after routing) yields no reply; its groups are
+        // re-routed to surviving replicas and retried next round.
         let node_bf = BruteForce::with_config(BfConfig {
             parallel: false,
             ..config.bf
         });
         let shrink = 1.0 + config.epsilon;
-        let per_node: Vec<(Vec<Vec<Neighbor>>, rbc_core::SearchStats)> = contacted
-            .par_iter()
-            .map(|&nd| {
-                let part = &parts[nd];
-                let accumulators: Vec<Mutex<TopK>> =
-                    (0..nq).map(|_| Mutex::new(TopK::new(k))).collect();
-                execute_list_major(
-                    &node_bf,
-                    false,
-                    queries,
-                    db,
-                    metric,
-                    lists,
-                    part,
-                    |list_index, qi| GroupCursor {
-                        query: qi,
-                        d_to_rep: rep_dists[qi * n_reps + list_index],
-                        threshold_cap: plan.gamma_k[qi],
-                    },
-                    shrink,
-                    config.sorted_list_pruning,
-                    Some(&self.rep_flags),
-                    accumulators,
-                    0,
-                    0,
-                )
-            })
-            .collect();
+        type Reply = (Vec<Vec<Neighbor>>, rbc_core::SearchStats);
+        // (node, executed sub-plan, distinct-query payload, reply).
+        let mut executed: Vec<(usize, BatchPlan, usize, Reply)> = Vec::new();
+        let mut rerouted_groups = 0u64;
+        let mut comm = CommCost::default();
+        let mut per_node_loads: Vec<NodeLoad> =
+            (0..self.cluster.nodes).map(NodeLoad::idle).collect();
+        loop {
+            let contacted: Vec<usize> = (0..self.cluster.nodes)
+                .filter(|&nd| !parts[nd].groups.is_empty())
+                .collect();
+            if contacted.is_empty() {
+                break;
+            }
+            let round: Vec<Option<Reply>> = contacted
+                .par_iter()
+                .map(|&nd| {
+                    if !self.health.contact(nd) {
+                        return None;
+                    }
+                    let part = &parts[nd];
+                    let accumulators: Vec<Mutex<TopK>> =
+                        (0..nq).map(|_| Mutex::new(TopK::new(k))).collect();
+                    Some(execute_list_major(
+                        &node_bf,
+                        false,
+                        queries,
+                        db,
+                        metric,
+                        lists,
+                        part,
+                        |list_index, qi| GroupCursor {
+                            query: qi,
+                            d_to_rep: rep_dists[qi * n_reps + list_index],
+                            threshold_cap: plan.gamma_k[qi],
+                        },
+                        shrink,
+                        config.sorted_list_pruning,
+                        Some(&self.rep_flags),
+                        accumulators,
+                        0,
+                        0,
+                    ))
+                })
+                .collect();
+
+            // Account this round's fan-out and collect failed groups.
+            let mut round_queries_per_node = vec![0usize; self.cluster.nodes];
+            let mut failed_groups: Vec<ListGroup> = Vec::new();
+            for (&nd, reply) in contacted.iter().zip(round) {
+                let part = std::mem::take(&mut parts[nd]);
+                let payload = Self::distinct_queries(&part);
+                match reply {
+                    Some(reply) => {
+                        round_queries_per_node[nd] = payload;
+                        for group in &part.groups {
+                            self.load.record_list_traffic(group.list_index);
+                        }
+                        executed.push((nd, part, payload, reply));
+                    }
+                    None => {
+                        // The request crossed the wire; the reply never
+                        // came. Bytes and wire time are both charged:
+                        // retry rounds are modeled sequentially (the
+                        // coordinator only learns of the failure after
+                        // shipping the request), matching the one-shot
+                        // path's accounting of the same event.
+                        let out_bytes = self
+                            .cluster
+                            .batch_query_message_bytes(self.payload_coords, payload);
+                        comm.messages_out += 1;
+                        comm.bytes_out += out_bytes;
+                        comm.modeled_time_us += self.cluster.message_time_us(out_bytes);
+                        per_node_loads[nd].bytes_out += out_bytes;
+                        failed_groups.extend(part.groups);
+                    }
+                }
+            }
+            comm.merge(&CommCost::batched_round(
+                &self.cluster,
+                &round_queries_per_node,
+                self.payload_coords,
+                k,
+            ));
+            if failed_groups.is_empty() {
+                break;
+            }
+            // Re-route what the dead node dropped among the survivors.
+            let retry = BatchPlan {
+                groups: failed_groups,
+                gamma_k: plan.gamma_k.clone(),
+                queries: plan.queries,
+                pairs: 0,
+            };
+            let live = self.health.live_view();
+            let (retry_parts, newly_lost) = self.route_parts(&retry, &live, &mut est);
+            rerouted_groups += retry_parts.iter().map(|p| p.groups.len()).sum::<usize>() as u64;
+            lost.extend(newly_lost);
+            parts = retry_parts;
+        }
+
+        // Degradation: queries with lost groups are answered with the
+        // provably-unaffected prefix. Every point of lost list ℓ is at
+        // distance ≥ ρ(q, rep_ℓ) − ψ_ℓ, so candidates strictly inside the
+        // smallest such bound keep their exact rank.
+        let mut degraded = vec![false; nq];
+        let mut cutoff = vec![Dist::INFINITY; nq];
+        for group in &lost {
+            let list = &lists[group.list_index];
+            for &qi in &group.queries {
+                degraded[qi] = true;
+                let bound = rep_dists[qi * n_reps + group.list_index] - list.radius;
+                cutoff[qi] = cutoff[qi].min(bound);
+            }
+        }
 
         // Coordinator reduce: representatives (whose exact distances stage
-        // 1 already computed) merged with every node's partial top-k.
+        // 1 already computed) merged with every surviving node's partial
+        // top-k, then the degraded truncation.
         let results: Vec<Vec<Neighbor>> = (0..nq)
             .map(|qi| {
                 let row = &rep_dists[qi * n_reps..(qi + 1) * n_reps];
@@ -505,50 +662,78 @@ where
                 for (ri, &rep_index) in reps.iter().enumerate() {
                     topk.push(Neighbor::new(rep_index, row[ri]));
                 }
-                for (partials, _) in &per_node {
+                for (_, _, _, (partials, _)) in &executed {
                     for &candidate in &partials[qi] {
                         topk.push(candidate);
                     }
                 }
-                topk.into_sorted()
+                let mut sorted = topk.into_sorted();
+                if degraded[qi] {
+                    sorted.retain(|n| n.dist < cutoff[qi]);
+                }
+                sorted
             })
             .collect();
 
-        // Accounting: per-batch fan-out, per-node load.
-        let mut per_node_loads: Vec<NodeLoad> =
-            (0..self.cluster.nodes).map(NodeLoad::idle).collect();
-        let mut worker_evals = 0u64;
-        let mut max_node_evals = 0u64;
-        for (&nd, (_, node_stats)) in contacted.iter().zip(&per_node) {
-            let evals = node_stats.list_distance_evals;
-            worker_evals += evals;
-            max_node_evals = max_node_evals.max(evals);
-            per_node_loads[nd] = NodeLoad {
-                node: nd,
-                queries: queries_per_node[nd] as u64,
-                groups: parts[nd].groups.len() as u64,
-                evals,
+        // Accounting: per-round fan-out, per-node load.
+        let mut lists_scanned = 0u64;
+        for (nd, part, payload, (_, node_stats)) in &executed {
+            let payload = *payload as u64;
+            lists_scanned += part.groups.len() as u64;
+            per_node_loads[*nd].accumulate(&NodeLoad {
+                node: *nd,
+                queries: payload,
+                groups: part.groups.len() as u64,
+                evals: node_stats.list_distance_evals,
                 bytes_out: self
                     .cluster
-                    .batch_query_message_bytes(self.payload_coords, queries_per_node[nd]),
-                bytes_in: self
-                    .cluster
-                    .batch_reply_message_bytes(k, queries_per_node[nd]),
-            };
+                    .batch_query_message_bytes(self.payload_coords, payload as usize),
+                bytes_in: self.cluster.batch_reply_message_bytes(k, payload as usize),
+            });
         }
+        let worker_evals: u64 = per_node_loads.iter().map(|l| l.evals).sum();
+        let max_node_evals = per_node_loads.iter().map(|l| l.evals).max().unwrap_or(0);
 
         let stats = DistributedQueryStats {
-            nodes_contacted: contacted.len() as u64,
-            lists_scanned: plan.groups.len() as u64,
+            nodes_contacted: comm.messages_out,
+            lists_scanned,
             coordinator_evals: rep_stats.distance_evals,
             worker_evals,
             max_node_evals,
-            comm: CommCost::batched_round(&self.cluster, &queries_per_node, self.payload_coords, k),
+            comm,
             queries: nq as u64,
+            rerouted_groups,
+            lost_groups: lost.len() as u64,
+            degraded,
             per_node: per_node_loads,
         };
         self.load.absorb(&stats.per_node);
+        self.load
+            .record_outcome(stats.degraded_queries(), rerouted_groups, stats.lost_groups);
         (results, stats)
+    }
+}
+
+impl<D, M> DistributedRbc<D, M>
+where
+    D: Dataset + Clone,
+    M: Metric<D::Item> + Clone,
+{
+    /// A new index over the same structure whose placement is rebuilt by
+    /// `policy`, **steered by this index's observed per-list traffic** —
+    /// the feedback loop that turns balanced storage into balanced
+    /// traffic: serve a stream, read the skew, repartition, serve on. The
+    /// new index starts with fresh load counters and all nodes live.
+    pub fn repartitioned(&self, policy: PlacementPolicy) -> Self {
+        let list_sizes: Vec<usize> = self.rbc.lists().iter().map(|l| l.len()).collect();
+        let traffic = self.load.list_traffic();
+        let placement = policy.place(&list_sizes, &traffic, self.cluster.nodes);
+        Self::from_exact_with_placement(
+            self.rbc.clone(),
+            self.cluster,
+            placement,
+            self.payload_coords,
+        )
     }
 }
 
@@ -604,25 +789,39 @@ mod tests {
     }
 
     fn build(db: &VectorSet, nodes: usize, seed: u64) -> DistributedRbc<&VectorSet, Euclidean> {
+        build_with_policy(db, nodes, seed, PlacementPolicy::SingleOwner)
+    }
+
+    fn build_with_policy(
+        db: &VectorSet,
+        nodes: usize,
+        seed: u64,
+        policy: PlacementPolicy,
+    ) -> DistributedRbc<&VectorSet, Euclidean> {
         let rbc = ExactRbc::build(
             db,
             Euclidean,
             RbcParams::standard(db.len(), seed),
             RbcConfig::default(),
         );
-        DistributedRbc::from_exact(rbc, ClusterConfig::with_nodes(nodes), db.dim())
+        DistributedRbc::from_exact_with_policy(
+            rbc,
+            ClusterConfig::with_nodes(nodes),
+            policy,
+            db.dim(),
+        )
     }
 
     #[test]
-    fn every_list_lives_on_exactly_one_node_and_loads_are_balanced() {
+    fn single_owner_placement_covers_every_list_and_balances_storage() {
         let db = cloud(2000, 6, 1);
         let dist = build(&db, 8, 2);
-        let a = dist.assignment();
-        assert_eq!(a.nodes(), 8);
-        assert_eq!(a.node_of_list.len(), dist.rbc().lists().len());
-        let total: usize = a.points_per_node.iter().sum();
-        assert_eq!(total, db.len());
-        assert!(a.imbalance() < 2.0, "imbalance {}", a.imbalance());
+        let p = dist.placement();
+        assert_eq!(p.nodes(), 8);
+        assert_eq!(p.lists(), dist.rbc().lists().len());
+        assert!(p.replicas_of_list.iter().all(|r| r.len() == 1));
+        assert_eq!(p.stored_points(), db.len());
+        assert!(p.imbalance() < 2.0, "imbalance {}", p.imbalance());
     }
 
     #[test]
@@ -634,13 +833,14 @@ mod tests {
         for k in [1usize, 4] {
             for qi in 0..queries.len() {
                 let q = queries.point(qi);
-                let (got, _) = dist.query_exact(q, k);
+                let (got, stats) = dist.query_exact(q, k);
                 let (want, _) = bf.knn_single(q, &db, &Euclidean, k);
                 assert_eq!(
                     got.iter().map(|n| n.index).collect::<Vec<_>>(),
                     want.iter().map(|n| n.index).collect::<Vec<_>>(),
                     "k={k} query {qi}"
                 );
+                assert_eq!(stats.degraded, vec![false]);
             }
         }
     }
@@ -664,7 +864,130 @@ mod tests {
             assert_eq!(evals, stats.worker_evals);
             let bytes_out: u64 = stats.per_node.iter().map(|l| l.bytes_out).sum();
             assert_eq!(bytes_out, stats.comm.bytes_out);
+            // No failures: nothing rerouted, lost or degraded.
+            assert_eq!(stats.rerouted_groups, 0);
+            assert_eq!(stats.lost_groups, 0);
+            assert_eq!(stats.degraded_queries(), 0);
         }
+    }
+
+    #[test]
+    fn replicated_placement_keeps_answers_bit_identical_when_all_nodes_live() {
+        let db = cloud(2000, 6, 40);
+        let queries = cloud(64, 6, 41);
+        for policy in [
+            PlacementPolicy::Replicated { factor: 2 },
+            PlacementPolicy::Replicated { factor: 3 },
+            PlacementPolicy::HottestLists {
+                factor: 2,
+                hot_fraction: 0.25,
+            },
+        ] {
+            let dist = build_with_policy(&db, 5, 42, policy);
+            assert!(dist.placement().mean_replication() > 1.0, "{policy:?}");
+            for k in [1usize, 4] {
+                let (got, stats) = dist.query_batch_exact(&queries, k);
+                let (want, _) = dist.rbc().query_batch_k(&queries, k);
+                assert_eq!(got, want, "{policy:?} k={k}");
+                assert_eq!(stats.lost_groups, 0);
+                assert_eq!(stats.degraded_queries(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn failed_node_is_routed_around_when_replicas_exist() {
+        let db = cloud(1800, 5, 50);
+        let queries = cloud(48, 5, 51);
+        let dist = build_with_policy(&db, 4, 52, PlacementPolicy::Replicated { factor: 2 });
+        let (want, _) = dist.rbc().query_batch_k(&queries, 3);
+        dist.fail_node(1);
+        let (got, stats) = dist.query_batch_exact(&queries, 3);
+        assert_eq!(got, want, "replication must absorb a single failure");
+        assert_eq!(stats.lost_groups, 0);
+        assert_eq!(stats.degraded_queries(), 0);
+        // The dead node was never contacted, so it did no work and got no
+        // bytes.
+        assert_eq!(stats.per_node[1], NodeLoad::idle(1));
+    }
+
+    #[test]
+    fn mid_batch_failure_reroutes_groups_to_surviving_replicas() {
+        let db = cloud(1800, 5, 55);
+        let queries = cloud(48, 5, 56);
+        let dist = build_with_policy(&db, 4, 57, PlacementPolicy::Replicated { factor: 2 });
+        let (want, _) = dist.rbc().query_batch_k(&queries, 2);
+        // Node 0 dies on first contact — *after* routing shipped it work.
+        dist.poison_node(0);
+        let (got, stats) = dist.query_batch_exact(&queries, 2);
+        assert_eq!(got, want, "mid-batch failover must not change answers");
+        assert!(
+            stats.rerouted_groups > 0,
+            "the poisoned node owned groups that had to move"
+        );
+        assert_eq!(stats.lost_groups, 0);
+        assert_eq!(stats.degraded_queries(), 0);
+        assert!(!dist.health().is_live(0), "the poisoned node is down now");
+        // The wasted contact is on the ledger: more fan-out messages than
+        // replies.
+        assert!(stats.comm.messages_out > stats.comm.messages_in);
+        // Re-running with node 0 dead needs no retries.
+        let (again, stats2) = dist.query_batch_exact(&queries, 2);
+        assert_eq!(again, want);
+        assert_eq!(stats2.rerouted_groups, 0);
+    }
+
+    #[test]
+    fn unreplicated_loss_returns_flagged_prefix_answers() {
+        let db = cloud(1500, 5, 60);
+        let queries = cloud(40, 5, 61);
+        let dist = build(&db, 4, 62); // single owner: no second homes
+        let (want, _) = dist.rbc().query_batch_k(&queries, 5);
+        dist.fail_node(0);
+        let (got, stats) = dist.query_batch_exact(&queries, 5);
+        assert!(
+            stats.lost_groups > 0,
+            "node 0 owned lists that are now gone"
+        );
+        assert!(stats.degraded_queries() > 0);
+        assert_eq!(stats.degraded.len(), queries.len());
+        let mut verified_prefixes = 0usize;
+        for qi in 0..queries.len() {
+            if stats.degraded[qi] {
+                // A degraded answer is a (possibly empty, possibly full)
+                // prefix of the exact answer.
+                assert!(got[qi].len() <= want[qi].len());
+                assert_eq!(
+                    got[qi][..],
+                    want[qi][..got[qi].len()],
+                    "query {qi}: degraded answer must be a prefix of the truth"
+                );
+                verified_prefixes += 1;
+            } else {
+                assert_eq!(got[qi], want[qi], "undegraded query {qi} must be exact");
+            }
+        }
+        assert!(verified_prefixes > 0);
+        // The cumulative counters saw the degradation.
+        assert_eq!(dist.load().degraded_queries(), stats.degraded_queries());
+        assert_eq!(dist.load().lost_groups(), stats.lost_groups);
+    }
+
+    #[test]
+    fn revived_node_restores_exact_answers() {
+        let db = cloud(1000, 4, 65);
+        let queries = cloud(24, 4, 66);
+        let dist = build(&db, 3, 67);
+        dist.fail_node(2);
+        let (_, degraded_stats) = dist.query_batch_exact(&queries, 2);
+        dist.revive_node(2);
+        let (got, stats) = dist.query_batch_exact(&queries, 2);
+        let (want, _) = dist.rbc().query_batch_k(&queries, 2);
+        assert_eq!(got, want);
+        assert_eq!(stats.lost_groups, 0);
+        // (the earlier degraded run may or may not have lost groups,
+        // depending on whether node 2 owned any surviving list)
+        let _ = degraded_stats;
     }
 
     #[test]
@@ -715,12 +1038,45 @@ mod tests {
             assert_eq!(stats.nodes_contacted, 1);
             assert_eq!(stats.lists_scanned, 1);
             assert_eq!(stats.comm.messages_out, 1);
+            assert_eq!(stats.degraded, vec![false]);
             assert!(!answer.is_empty());
             assert!(answer[0].index < db.len());
             let active: Vec<&NodeLoad> = stats.per_node.iter().filter(|l| l.queries > 0).collect();
             assert_eq!(active.len(), 1);
             assert_eq!(active[0].evals, stats.worker_evals);
         }
+    }
+
+    #[test]
+    fn one_shot_fails_over_to_a_replica_and_degrades_without_one() {
+        let db = cloud(1200, 6, 70);
+        let queries = cloud(20, 6, 71);
+        let replicated = build_with_policy(&db, 4, 72, PlacementPolicy::Replicated { factor: 2 });
+        // With a replica, killing any single node never degrades one-shot.
+        for nd in 0..4 {
+            replicated.fail_node(nd);
+            for qi in 0..queries.len() {
+                let (answer, stats) = replicated.query_one_shot(queries.point(qi), 1);
+                assert_eq!(stats.degraded, vec![false], "node {nd} query {qi}");
+                assert!(!answer.is_empty());
+            }
+            replicated.revive_node(nd);
+        }
+        // Single owner + every node down: the rep candidates still answer,
+        // flagged.
+        let single = build(&db, 2, 73);
+        single.fail_node(0);
+        single.fail_node(1);
+        let (answer, stats) = single.query_one_shot(queries.point(0), 1);
+        assert_eq!(stats.degraded, vec![true]);
+        assert_eq!(stats.lost_groups, 1);
+        assert_eq!(stats.nodes_contacted, 0);
+        assert_eq!(stats.worker_evals, 0);
+        assert!(!answer.is_empty(), "representatives are always available");
+        assert!(
+            answer[0].dist >= 0.0 && answer[0].index < db.len(),
+            "the degraded answer is a real database point"
+        );
     }
 
     #[test]
@@ -784,6 +1140,7 @@ mod tests {
         assert_eq!(merged.total_evals(), s1.total_evals() + s2.total_evals());
         assert!(merged.max_node_evals >= s1.max_node_evals.min(s2.max_node_evals));
         assert!(merged.nodes_contacted_per_query() >= 1.0);
+        assert_eq!(merged.degraded, vec![false, false]);
         // Per-node loads merge elementwise.
         assert_eq!(merged.per_node.len(), 4);
         for nd in 0..4 {
@@ -810,6 +1167,96 @@ mod tests {
                 "node {nd}"
             );
         }
+        // Per-list traffic was recorded for every executed group.
+        let traffic = dist.observed_list_traffic();
+        assert_eq!(traffic.len(), dist.rbc().lists().len());
+        let total: u64 = traffic.iter().sum();
+        assert_eq!(total, single.lists_scanned + batch.lists_scanned);
+    }
+
+    #[test]
+    fn repartitioning_replicates_the_observed_hot_lists() {
+        let db = cloud(1600, 5, 80);
+        // A pathologically hot stream: every query near the same point.
+        let hot_rows: Vec<Vec<f32>> = (0..64).map(|_| db.point(3).to_vec()).collect();
+        let hot = VectorSet::from_rows(&hot_rows);
+        let dist = build(&db, 4, 81);
+        let (_, _) = dist.query_batch_exact(&hot, 1);
+        let traffic = dist.observed_list_traffic();
+        assert!(traffic.iter().any(|&t| t > 0), "traffic was recorded");
+        let rebalanced = dist.repartitioned(PlacementPolicy::HottestLists {
+            factor: 2,
+            hot_fraction: 0.1,
+        });
+        // The hottest observed list is exactly what gained a replica.
+        let hottest = (0..traffic.len())
+            .max_by_key(|&l| (traffic[l], std::cmp::Reverse(l)))
+            .unwrap();
+        assert!(traffic[hottest] > 0);
+        assert_eq!(
+            rebalanced.placement().replicas_of_list[hottest].len(),
+            2,
+            "the observed hot list must be the one replicated"
+        );
+        assert!(rebalanced.placement().mean_replication() > 1.0);
+        // Fresh index: same answers as the original.
+        let queries = cloud(16, 5, 82);
+        let (a, _) = dist.query_batch_exact(&queries, 2);
+        let (b, _) = rebalanced.query_batch_exact(&queries, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replication_spreads_a_hot_stream_across_replicas() {
+        let db = cloud(2400, 6, 90);
+        // Queries drawn from only one cluster: single-owner routing melts
+        // whichever nodes own that cluster's lists, batch after batch.
+        let hot_rows: Vec<Vec<f32>> = (0..96)
+            .map(|i| db.point(12 * (i % 20)).to_vec()) // cluster 0 points
+            .collect();
+        let hot = VectorSet::from_rows(&hot_rows);
+        let single = build_with_policy(&db, 4, 91, PlacementPolicy::SingleOwner);
+        let replicated = build_with_policy(&db, 4, 91, PlacementPolicy::Replicated { factor: 2 });
+        // Replay in micro-batches: the router steers each batch by the
+        // cumulative observed load, so a group that spiked one replica
+        // last batch moves to the other one this batch.
+        let mut s_single = DistributedQueryStats::default();
+        let mut s_rep = DistributedQueryStats::default();
+        for chunk in 0..4 {
+            let indices: Vec<usize> = (chunk * 24..(chunk + 1) * 24).collect();
+            let batch = hot.subset(&indices);
+            let (a, s1) = single.query_batch_exact(&batch, 1);
+            let (b, s2) = replicated.query_batch_exact(&batch, 1);
+            assert_eq!(a, b, "placement never changes answers (chunk {chunk})");
+            s_single.merge(&s1);
+            s_rep.merge(&s2);
+        }
+        let skew_single = crate::load::eval_skew(&s_single.per_node);
+        let skew_rep = crate::load::eval_skew(&s_rep.per_node);
+        assert!(
+            skew_rep < skew_single,
+            "replicated routing must spread the hot stream: {skew_rep:.2} vs {skew_single:.2}"
+        );
+        // The hot stream's critical path (busiest node) must shrink too.
+        let busiest_single = s_single.per_node.iter().map(|l| l.evals).max().unwrap();
+        let busiest_rep = s_rep.per_node.iter().map(|l| l.evals).max().unwrap();
+        assert!(
+            busiest_rep < busiest_single,
+            "the busiest replicated node must do less work: {busiest_rep} vs {busiest_single}"
+        );
+    }
+
+    #[test]
+    fn placement_comm_charges_replicated_storage_up_front() {
+        let db = cloud(1000, 5, 95);
+        let single = build_with_policy(&db, 4, 96, PlacementPolicy::SingleOwner);
+        let replicated = build_with_policy(&db, 4, 96, PlacementPolicy::Replicated { factor: 2 });
+        let base = single.placement_comm();
+        let double = replicated.placement_comm();
+        assert!(double.bytes_out > base.bytes_out, "copies cost bytes");
+        assert_eq!(base.messages_in, 0);
+        assert!(replicated.load().storage_overhead() > 1.9);
+        assert!((single.load().storage_overhead() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -848,8 +1295,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "assignment must cover every ownership list")]
-    fn mismatched_assignment_is_rejected() {
+    #[should_panic(expected = "invalid Placement")]
+    fn mismatched_placement_is_rejected() {
         let db = cloud(200, 3, 36);
         let rbc = ExactRbc::build(
             &db,
@@ -857,8 +1304,8 @@ mod tests {
             RbcParams::standard(db.len(), 37),
             RbcConfig::default(),
         );
-        let bogus = partition_lists(&[1, 2, 3], 2);
-        let _ = DistributedRbc::from_exact_with_assignment(
+        let bogus = Placement::single_owner(&[1, 2, 3], 2);
+        let _ = DistributedRbc::from_exact_with_placement(
             rbc,
             ClusterConfig::with_nodes(2),
             bogus,

@@ -9,10 +9,11 @@
 //!
 //! The design follows that sketch directly:
 //!
-//! * the coordinator builds an exact RBC over the database and assigns
-//!   whole ownership lists to worker nodes, balancing the number of points
-//!   per node ([`partition`]) — or replays an explicit assignment, for
-//!   studying skewed placements;
+//! * the coordinator builds an exact RBC over the database and places
+//!   whole ownership lists onto worker nodes — balanced single-owner
+//!   storage, r-fold replication, or traffic-steered hottest-list
+//!   replication ([`placement`]) — or replays an explicit placement, for
+//!   studying skewed layouts;
 //! * every node holds only its shard of the database; the coordinator
 //!   keeps the (small, `O(√n)`) representative set;
 //! * an **exact** query runs the usual first stage locally on the
@@ -46,12 +47,12 @@
 //!    [`BatchPlan`](rbc_core::BatchPlan) the centralized list-major
 //!    search executes: for each ownership list, the group of queries that
 //!    must scan it.
-//! 2. **Route groups to shards.** The plan is split by the list-to-node
-//!    assignment (`BatchPlan::split_by_owner`): every node receives only
-//!    the groups for lists it owns, in **one** message per node per batch
-//!    carrying the distinct query payloads those groups need — not one
-//!    message per `(query, node)` pair, so headers amortise and bytes on
-//!    the wire grow sublinearly in the batch size.
+//! 2. **Route groups to shards.** The plan is split by the routing policy
+//!    (`BatchPlan::split_routed`): every group goes to the least-loaded
+//!    **live** replica of its list, and every contacted node receives
+//!    **one** message per batch carrying the distinct query payloads its
+//!    groups need — not one message per `(query, node)` pair, so headers
+//!    amortise and bytes on the wire grow sublinearly in the batch size.
 //! 3. **Scan shards, merge partials.** Each node streams its lists' tiles
 //!    once per group through the shared group-scan kernel
 //!    (`rbc_bruteforce::BruteForce::knn_group_in_list`) and replies with
@@ -66,8 +67,53 @@
 //! them so a live serving engine can snapshot per-node totals alongside
 //! its throughput and latency metrics
 //! (`rbc_serve::ServeMetrics::track_cluster`). The `shard_bench` binary
-//! in `rbc-bench` sweeps node counts × batch sizes over this protocol and
-//! pins the bit-identity and the sublinear bytes-per-batch growth in CI.
+//! in `rbc-bench` sweeps node counts × batch sizes × placement policies
+//! over this protocol and pins the bit-identity, the sublinear
+//! bytes-per-batch growth, and the replicated skew reduction in CI.
+//!
+//! # Placement & failover
+//!
+//! Balanced storage is not balanced traffic: the routed protocol showed
+//! 4–9× eval skew on clustered query streams even with perfectly
+//! balanced points-per-node, because the stream concentrates on a few
+//! hot ownership lists — and a single-owner list has no second home when
+//! its node fails. The placement layer closes both gaps.
+//!
+//! **Placement.** Every list has a replica set
+//! ([`Placement::replicas_of_list`]) built by a [`PlacementPolicy`]:
+//!
+//! * [`SingleOwner`](PlacementPolicy::SingleOwner) — the LPT baseline,
+//!   one home per list;
+//! * [`Replicated`](PlacementPolicy::Replicated) — every list on `r`
+//!   distinct nodes, so any single failure leaves full coverage;
+//! * [`HottestLists`](PlacementPolicy::HottestLists) — replicas only for
+//!   the lists that actually receive traffic, steered by the observed
+//!   per-list group frequencies ([`ClusterLoad::list_traffic`]);
+//!   [`DistributedRbc::repartitioned`] closes the feedback loop (serve,
+//!   observe, repartition).
+//!
+//! Replication is paid for in **storage**, not per-query messages: each
+//! group is still routed to exactly one replica (the least-loaded live
+//! one, so a hot list's groups spread across its homes), and the extra
+//! copies cross the wire once at build time
+//! ([`DistributedRbc::placement_comm`]).
+//!
+//! **Failover and the degradation contract.** Node liveness is shared
+//! state ([`NodeHealth`]): a failed node is routed around; a node that
+//! dies **mid-batch** (armed with [`NodeHealth::poison`], which fails the
+//! node at its next contact) never replies, and the coordinator re-routes
+//! its groups to surviving replicas within the same batch
+//! ([`DistributedQueryStats::rerouted_groups`]). Only when **every**
+//! replica of a list is dead are its groups lost, and the affected
+//! queries are answered with a **flagged partial answer**
+//! ([`DistributedQueryStats::degraded`]): the representative candidates
+//! plus all surviving groups' candidates, truncated to distances strictly
+//! below `min_ℓ (ρ(q, rep_ℓ) − ψ_ℓ)` over the lost lists `ℓ` — by the
+//! triangle inequality no lost point can beat such a candidate, so at
+//! `ε = 0` the degraded answer is always a *prefix* of the exact top-k
+//! (possibly shorter than `k`, never wrong; with `ε > 0` the usual
+//! `(1+ε)` substitution margin applies, as everywhere else). Queries that
+//! touched no lost list stay exact and unflagged.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -75,9 +121,9 @@
 pub mod cluster;
 pub mod distributed;
 pub mod load;
-pub mod partition;
+pub mod placement;
 
 pub use cluster::{ClusterConfig, CommCost};
 pub use distributed::{DistributedQueryStats, DistributedRbc};
-pub use load::{eval_skew, ClusterLoad, NodeLoad};
-pub use partition::{partition_lists, NodeAssignment};
+pub use load::{eval_skew, ClusterLoad, NodeHealth, NodeLoad};
+pub use placement::{Placement, PlacementPolicy};

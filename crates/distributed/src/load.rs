@@ -12,7 +12,7 @@
 //!   can snapshot per-node totals without touching the query path (the
 //!   same pattern as `rbc-serve`'s cache counters).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use serde::Serialize;
 
@@ -62,24 +62,26 @@ impl NodeLoad {
     }
 }
 
-/// Ratio of the busiest to the least-busy *working* node by distance
-/// evaluations (1.0 = perfectly balanced; nodes that did nothing are
-/// ignored unless all did nothing). The skew measure used by
-/// `shard_bench` and the serving snapshot.
+/// Ratio of the busiest node's distance evaluations to the perfectly
+/// balanced share (total evaluations over all tracked nodes, idle nodes
+/// included). `1.0` means every node did exactly its share; `3.0` means
+/// the hottest node did three nodes' worth of work — the factor by which
+/// the shard layer's critical path exceeds the ideal, and therefore the
+/// parallel speedup lost to placement skew. Returns `1.0` when no work
+/// was done at all.
+///
+/// This is the skew measure used by `shard_bench` and the serving
+/// snapshot; it deliberately charges idle nodes (a node doing nothing
+/// *is* the skew), unlike a busiest/least-busy-working ratio, which would
+/// reward leaving nodes idle.
 pub fn eval_skew(loads: &[NodeLoad]) -> f64 {
+    let total: u64 = loads.iter().map(|l| l.evals).sum();
     let max = loads.iter().map(|l| l.evals).max().unwrap_or(0);
-    if max == 0 {
+    if total == 0 || loads.is_empty() {
         return 1.0;
     }
-    // max > 0 guarantees at least one working node, so the minimum over
-    // working nodes is well-defined and positive.
-    let min_working = loads
-        .iter()
-        .map(|l| l.evals)
-        .filter(|&e| e > 0)
-        .min()
-        .expect("a node with max > 0 evals exists");
-    max as f64 / min_working as f64
+    let ideal = total as f64 / loads.len() as f64;
+    max as f64 / ideal
 }
 
 #[derive(Debug, Default)]
@@ -99,22 +101,120 @@ struct NodeCounters {
 /// totals at any time. Counters are relaxed atomics — the snapshot is a
 /// point-in-time read, not a consistent cut, exactly like the rest of the
 /// serving metrics.
+///
+/// Beyond the per-node counters it carries three more signals the
+/// placement-and-failover layer runs on:
+///
+/// * **per-list traffic** ([`record_list_traffic`](Self::record_list_traffic)
+///   / [`list_traffic`](Self::list_traffic)) — how many routed groups each
+///   ownership list served, the observed frequency that steers
+///   skew-aware (hottest-list) replication;
+/// * **degradation outcomes** ([`record_outcome`](Self::record_outcome)) —
+///   cumulative degraded queries, re-routed groups, and lost groups, so a
+///   serving snapshot shows whether failover is re-routing cleanly or
+///   shedding coverage;
+/// * a static **placement summary** (mean replication and storage
+///   overhead), set at index build, so the same snapshot shows what the
+///   redundancy costs.
 #[derive(Debug)]
 pub struct ClusterLoad {
     nodes: Vec<NodeCounters>,
+    /// `list_traffic[l]` counts routed groups executed for list `l`.
+    list_traffic: Vec<AtomicU64>,
+    degraded_queries: AtomicU64,
+    rerouted_groups: AtomicU64,
+    lost_groups: AtomicU64,
+    mean_replication: f64,
+    storage_overhead: f64,
 }
 
 impl ClusterLoad {
-    /// Zeroed counters for a cluster of `nodes` nodes.
+    /// Zeroed counters for a cluster of `nodes` nodes with no per-list
+    /// tracking and a replication-free placement summary.
     pub fn new(nodes: usize) -> Self {
+        Self::with_placement(nodes, 0, 1.0, 1.0)
+    }
+
+    /// Zeroed counters for `nodes` nodes and `lists` ownership lists,
+    /// carrying the placement's static summary (mean replicas per list,
+    /// stored-over-primary storage ratio).
+    pub fn with_placement(
+        nodes: usize,
+        lists: usize,
+        mean_replication: f64,
+        storage_overhead: f64,
+    ) -> Self {
         Self {
             nodes: (0..nodes).map(|_| NodeCounters::default()).collect(),
+            list_traffic: (0..lists).map(|_| AtomicU64::new(0)).collect(),
+            degraded_queries: AtomicU64::new(0),
+            rerouted_groups: AtomicU64::new(0),
+            lost_groups: AtomicU64::new(0),
+            mean_replication,
+            storage_overhead,
         }
     }
 
     /// Number of nodes tracked.
     pub fn nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Mean replicas per ownership list in the placement this load
+    /// describes (1.0 = single-owner; set at construction).
+    pub fn mean_replication(&self) -> f64 {
+        self.mean_replication
+    }
+
+    /// Stored points over primary points for the placement (1.0 = no
+    /// replica storage; set at construction).
+    pub fn storage_overhead(&self) -> f64 {
+        self.storage_overhead
+    }
+
+    /// Records one routed group executed for `list`. Out-of-range lists
+    /// are ignored (no per-list tracking was configured).
+    pub fn record_list_traffic(&self, list: usize) {
+        if let Some(counter) = self.list_traffic.get(list) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Cumulative routed-group count per ownership list — the observed
+    /// per-list frequency that steers skew-aware replica placement
+    /// (`PlacementPolicy::HottestLists`). Empty when the load was built
+    /// without per-list tracking.
+    pub fn list_traffic(&self) -> Vec<u64> {
+        self.list_traffic
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Records one batch's degradation outcome: how many queries were
+    /// flagged degraded, how many groups were re-routed after a mid-batch
+    /// node failure, and how many were lost outright (no live replica).
+    pub fn record_outcome(&self, degraded: u64, rerouted: u64, lost: u64) {
+        self.degraded_queries.fetch_add(degraded, Ordering::Relaxed);
+        self.rerouted_groups.fetch_add(rerouted, Ordering::Relaxed);
+        self.lost_groups.fetch_add(lost, Ordering::Relaxed);
+    }
+
+    /// Cumulative queries answered with a flagged partial (degraded)
+    /// result.
+    pub fn degraded_queries(&self) -> u64 {
+        self.degraded_queries.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative groups re-routed to a surviving replica after the node
+    /// first contacted failed mid-batch.
+    pub fn rerouted_groups(&self) -> u64 {
+        self.rerouted_groups.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative groups lost because no live replica existed.
+    pub fn lost_groups(&self) -> u64 {
+        self.lost_groups.load(Ordering::Relaxed)
     }
 
     /// Adds a batch's per-node records into the cumulative counters.
@@ -151,6 +251,102 @@ impl ClusterLoad {
                 bytes_in: c.bytes_in.load(Ordering::Relaxed),
             })
             .collect()
+    }
+}
+
+/// Shared liveness flags for the cluster's nodes, `Arc`-shared like
+/// [`ClusterLoad`] so a test harness, a bench, or an operator thread can
+/// fail and revive nodes while queries are in flight.
+///
+/// Two failure modes are modeled:
+///
+/// * [`fail`](Self::fail) — the node is down *now*: the router never
+///   contacts it (its lists are served by surviving replicas, or lost);
+/// * [`poison`](Self::poison) — the node dies **at its next contact**:
+///   the router, having seen it live, ships it a sub-plan, the "reply"
+///   never comes, and the coordinator must re-route the affected groups
+///   mid-batch. This is the deterministic stand-in for a node crashing
+///   between routing and execution.
+#[derive(Debug)]
+pub struct NodeHealth {
+    live: Vec<AtomicBool>,
+    poisoned: Vec<AtomicBool>,
+}
+
+impl NodeHealth {
+    /// All nodes live, none poisoned.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            live: (0..nodes).map(|_| AtomicBool::new(true)).collect(),
+            poisoned: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn nodes(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether `node` is currently live. Out-of-range nodes are dead.
+    pub fn is_live(&self, node: usize) -> bool {
+        self.live
+            .get(node)
+            .is_some_and(|l| l.load(Ordering::Relaxed))
+    }
+
+    /// Marks `node` as down: the router stops contacting it immediately.
+    pub fn fail(&self, node: usize) {
+        if let Some(live) = self.live.get(node) {
+            live.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Brings `node` back (and clears any pending poison).
+    pub fn revive(&self, node: usize) {
+        if let Some(live) = self.live.get(node) {
+            live.store(true, Ordering::Relaxed);
+        }
+        if let Some(poison) = self.poisoned.get(node) {
+            poison.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Arms `node` to fail at its **next contact** — the mid-batch crash:
+    /// the router sees it live, sends it work, and the contact fails.
+    pub fn poison(&self, node: usize) {
+        if let Some(poison) = self.poisoned.get(node) {
+            poison.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// One liveness flag per node, a point-in-time routing view.
+    pub fn live_view(&self) -> Vec<bool> {
+        self.live
+            .iter()
+            .map(|l| l.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Number of currently live nodes.
+    pub fn live_count(&self) -> usize {
+        self.live
+            .iter()
+            .filter(|l| l.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Attempts to deliver work to `node`; returns whether the contact
+    /// succeeded. A poisoned node fails exactly here — the poison fires
+    /// once, the node goes down, and the caller must re-route.
+    pub fn contact(&self, node: usize) -> bool {
+        let Some(poison) = self.poisoned.get(node) else {
+            return false;
+        };
+        if poison.swap(false, Ordering::Relaxed) {
+            self.live[node].store(false, Ordering::Relaxed);
+            return false;
+        }
+        self.live[node].load(Ordering::Relaxed)
     }
 }
 
@@ -230,7 +426,60 @@ mod tests {
     }
 
     #[test]
-    fn eval_skew_ignores_idle_nodes() {
+    fn list_traffic_and_outcomes_accumulate() {
+        let load = ClusterLoad::with_placement(2, 3, 2.0, 1.5);
+        assert_eq!(load.mean_replication(), 2.0);
+        assert_eq!(load.storage_overhead(), 1.5);
+        load.record_list_traffic(0);
+        load.record_list_traffic(2);
+        load.record_list_traffic(2);
+        load.record_list_traffic(99); // ignored: out of range
+        assert_eq!(load.list_traffic(), vec![1, 0, 2]);
+        load.record_outcome(3, 2, 1);
+        load.record_outcome(1, 0, 0);
+        assert_eq!(load.degraded_queries(), 4);
+        assert_eq!(load.rerouted_groups(), 2);
+        assert_eq!(load.lost_groups(), 1);
+    }
+
+    #[test]
+    fn untracked_lists_report_empty_traffic() {
+        let load = ClusterLoad::new(2);
+        load.record_list_traffic(0);
+        assert!(load.list_traffic().is_empty());
+        assert_eq!(load.mean_replication(), 1.0);
+        assert_eq!(load.storage_overhead(), 1.0);
+    }
+
+    #[test]
+    fn health_failure_and_revival_flow_through_the_routing_view() {
+        let health = NodeHealth::new(3);
+        assert_eq!(health.nodes(), 3);
+        assert_eq!(health.live_count(), 3);
+        health.fail(1);
+        assert!(!health.is_live(1));
+        assert_eq!(health.live_view(), vec![true, false, true]);
+        assert!(!health.contact(1), "a dead node cannot be contacted");
+        health.revive(1);
+        assert!(health.contact(1));
+        assert!(!health.is_live(7), "out-of-range nodes are dead");
+        assert!(!health.contact(7));
+    }
+
+    #[test]
+    fn poison_fires_exactly_once_at_contact_time() {
+        let health = NodeHealth::new(2);
+        health.poison(0);
+        assert!(health.is_live(0), "poison is invisible until contact");
+        assert!(!health.contact(0), "first contact fails");
+        assert!(!health.is_live(0), "the node is down afterwards");
+        assert!(!health.contact(0), "and stays down");
+        health.revive(0);
+        assert!(health.contact(0), "revival clears the poison");
+    }
+
+    #[test]
+    fn eval_skew_is_the_busiest_over_the_ideal_share() {
         let loads = vec![
             NodeLoad {
                 node: 0,
@@ -244,7 +493,22 @@ mod tests {
             },
             NodeLoad::idle(2),
         ];
-        assert_eq!(eval_skew(&loads), 3.0);
+        // total 120 over 3 nodes -> ideal 40; busiest 90 -> 2.25. The
+        // idle node counts: leaving a node idle IS the skew.
+        assert_eq!(eval_skew(&loads), 2.25);
+        let balanced = vec![
+            NodeLoad {
+                node: 0,
+                evals: 50,
+                ..NodeLoad::default()
+            },
+            NodeLoad {
+                node: 1,
+                evals: 50,
+                ..NodeLoad::default()
+            },
+        ];
+        assert_eq!(eval_skew(&balanced), 1.0);
         assert_eq!(eval_skew(&[NodeLoad::idle(0)]), 1.0);
         assert_eq!(eval_skew(&[]), 1.0);
     }

@@ -1,16 +1,21 @@
 //! Property-based tests for the routed batch protocol.
 //!
-//! The essential invariant of the sharded list-major search: for any
+//! The essential invariants of the sharded list-major search: for any
 //! clustered point cloud, any cluster size, and any `k`, the batched
 //! distributed answers are **bit-identical** to the centralized
 //! list-major `ExactRbc::query_batch_k` answers — sharding is a placement
-//! decision, never an approximation. On top of that, the per-node
-//! accounting must stay consistent with the aggregates, including under a
-//! deliberately skewed assignment where one node owns almost every list.
+//! decision, never an approximation — and that stays true under
+//! replication, **whichever single node dies**, while unreplicated loss
+//! degrades to correctly-flagged partial answers that are prefixes of the
+//! exact top-k. On top of that, the per-node accounting must stay
+//! consistent with the aggregates, including under a deliberately skewed
+//! placement where one node owns almost every list.
 
 use proptest::prelude::*;
 use rbc_core::{BatchStrategy, ExactRbc, RbcConfig, RbcParams};
-use rbc_distributed::{eval_skew, ClusterConfig, DistributedRbc, NodeAssignment, NodeLoad};
+use rbc_distributed::{
+    eval_skew, ClusterConfig, DistributedRbc, NodeLoad, Placement, PlacementPolicy,
+};
 use rbc_metric::{Dataset, VectorSet};
 // The Euclidean metric lives in rbc-metric.
 use rbc_metric::Euclidean;
@@ -110,23 +115,126 @@ proptest! {
             prop_assert_eq!(from_batch, &single, "query {}", qi);
         }
     }
+
+    /// Failover invariant: with replication factor >= 2, killing ANY
+    /// single node keeps the batched answers bit-identical to the
+    /// centralized search — whether the node is down before routing
+    /// (`fail`) or dies mid-batch at first contact (`poison`).
+    #[test]
+    fn any_single_node_failure_is_absorbed_by_replication(
+        cs in centers(),
+        n in 12usize..100,
+        nq in 2usize..16,
+        n_reps in 2usize..30,
+        k in 1usize..5,
+        nodes in 2usize..6,
+        seed in 0u64..300,
+    ) {
+        let (db, queries) = clustered(&cs, n, nq, seed);
+        let params = RbcParams::standard(db.len(), seed).with_n_reps(n_reps.min(db.len()));
+        let rbc = ExactRbc::build(&db, Euclidean, params, RbcConfig::default());
+        let (want, _) = rbc.query_batch_k_with_strategy(&queries, k, BatchStrategy::ListMajor);
+        for victim in 0..nodes {
+            // Down before routing: the router never contacts the victim.
+            let sharded = DistributedRbc::from_exact_with_policy(
+                rbc.clone(),
+                ClusterConfig::with_nodes(nodes),
+                PlacementPolicy::Replicated { factor: 2 },
+                db.dim(),
+            );
+            sharded.fail_node(victim);
+            let (got, stats) = sharded.query_batch_exact(&queries, k);
+            prop_assert_eq!(&got, &want, "failed node {}", victim);
+            prop_assert_eq!(stats.lost_groups, 0);
+            prop_assert_eq!(stats.degraded_queries(), 0);
+            prop_assert_eq!(stats.per_node[victim], NodeLoad::idle(victim));
+
+            // Down mid-batch: the victim receives its sub-plan and dies;
+            // its groups must be re-routed, not lost.
+            let sharded = DistributedRbc::from_exact_with_policy(
+                rbc.clone(),
+                ClusterConfig::with_nodes(nodes),
+                PlacementPolicy::Replicated { factor: 2 },
+                db.dim(),
+            );
+            sharded.poison_node(victim);
+            let (got, stats) = sharded.query_batch_exact(&queries, k);
+            prop_assert_eq!(&got, &want, "poisoned node {}", victim);
+            prop_assert_eq!(stats.lost_groups, 0);
+            prop_assert_eq!(stats.degraded_queries(), 0);
+        }
+    }
+
+    /// Degradation contract: killing a node of an UNREPLICATED placement
+    /// flags exactly the queries that lost a group, and every flagged
+    /// answer is a prefix of the exact top-k (never a wrong neighbor,
+    /// never out of order), while unflagged queries stay exact.
+    #[test]
+    fn unreplicated_loss_degrades_to_correct_prefix_answers(
+        cs in centers(),
+        n in 12usize..100,
+        nq in 2usize..16,
+        n_reps in 2usize..30,
+        k in 1usize..5,
+        nodes in 2usize..5,
+        victim_pick in 0usize..5,
+        seed in 0u64..300,
+    ) {
+        let (db, queries) = clustered(&cs, n, nq, seed);
+        let params = RbcParams::standard(db.len(), seed).with_n_reps(n_reps.min(db.len()));
+        let rbc = ExactRbc::build(&db, Euclidean, params, RbcConfig::default());
+        let (want, _) = rbc.query_batch_k_with_strategy(&queries, k, BatchStrategy::ListMajor);
+        let sharded = DistributedRbc::from_exact(
+            rbc.clone(),
+            ClusterConfig::with_nodes(nodes),
+            db.dim(),
+        );
+        let victim = victim_pick % nodes;
+        sharded.fail_node(victim);
+        let (got, stats) = sharded.query_batch_exact(&queries, k);
+        prop_assert_eq!(stats.degraded.len(), queries.len());
+        for qi in 0..queries.len() {
+            if stats.degraded[qi] {
+                prop_assert!(got[qi].len() <= want[qi].len());
+                prop_assert_eq!(
+                    &got[qi][..],
+                    &want[qi][..got[qi].len()],
+                    "query {}: flagged partial answer must be a prefix of the exact top-k",
+                    qi
+                );
+            } else {
+                prop_assert_eq!(&got[qi], &want[qi], "unflagged query {} must stay exact", qi);
+            }
+        }
+        // Flags are consistent with the loss ledger: lost groups imply at
+        // least one flagged query, no lost groups imply none.
+        if stats.lost_groups > 0 {
+            prop_assert!(stats.degraded_queries() > 0);
+        } else {
+            prop_assert_eq!(stats.degraded_queries(), 0);
+        }
+    }
 }
 
-/// Builds an assignment that parks every ownership list on node 0 except
+/// Builds a placement that parks every ownership list on node 0 except
 /// the last list, which goes to node 1 (node 2 stays empty) — the skewed
-/// placement the balanced LPT partition would never produce.
-fn skewed_assignment(list_sizes: &[usize], nodes: usize) -> NodeAssignment {
+/// placement the balanced LPT constructors would never produce.
+fn skewed_placement(list_sizes: &[usize], nodes: usize) -> Placement {
     assert!(nodes >= 2 && list_sizes.len() >= 2);
-    let mut node_of_list = vec![0usize; list_sizes.len()];
-    *node_of_list.last_mut().unwrap() = 1;
+    let last = list_sizes.len() - 1;
+    let replicas_of_list: Vec<Vec<usize>> = (0..list_sizes.len())
+        .map(|list| vec![usize::from(list == last)])
+        .collect();
     let mut lists_of_node: Vec<Vec<usize>> = vec![Vec::new(); nodes];
     let mut points_per_node = vec![0usize; nodes];
-    for (list, &node) in node_of_list.iter().enumerate() {
-        lists_of_node[node].push(list);
-        points_per_node[node] += list_sizes[list];
+    for (list, replicas) in replicas_of_list.iter().enumerate() {
+        for &node in replicas {
+            lists_of_node[node].push(list);
+            points_per_node[node] += list_sizes[list];
+        }
     }
-    NodeAssignment {
-        node_of_list,
+    Placement {
+        replicas_of_list,
         lists_of_node,
         points_per_node,
     }
@@ -156,10 +264,10 @@ fn skewed_partition_keeps_answers_identical_and_makes_the_skew_observable() {
     assert!(list_sizes.len() >= 2, "need at least two lists to skew");
 
     let balanced = DistributedRbc::from_exact(rbc.clone(), ClusterConfig::with_nodes(3), db.dim());
-    let skewed = DistributedRbc::from_exact_with_assignment(
+    let skewed = DistributedRbc::from_exact_with_placement(
         rbc.clone(),
         ClusterConfig::with_nodes(3),
-        skewed_assignment(&list_sizes, 3),
+        skewed_placement(&list_sizes, 3),
         db.dim(),
     );
 

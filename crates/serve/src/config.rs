@@ -16,8 +16,15 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Longest time a pending query may wait for co-travellers before its
     /// batch is dispatched anyway. `Duration::ZERO` dispatches whatever is
-    /// pending immediately.
+    /// pending immediately. With [`adaptive_linger`](Self::adaptive_linger)
+    /// set this is the SLO *ceiling*, not the wait itself.
     pub linger: Duration,
+    /// Scale the linger from the observed arrival rate: the effective
+    /// linger becomes the expected time to fill the batch (inter-arrival
+    /// EWMA × free slots), capped by `linger` as the latency SLO. Heavy
+    /// traffic dispatches as soon as further waiting stops buying
+    /// co-travellers; light traffic never waits past the SLO.
+    pub adaptive_linger: bool,
     /// Bound on the pending queue. When full, [`submit`] blocks
     /// (backpressure) and [`try_submit`] returns
     /// [`ServeError::QueueFull`].
@@ -36,6 +43,7 @@ impl Default for ServeConfig {
         Self {
             max_batch: 32,
             linger: Duration::from_millis(1),
+            adaptive_linger: false,
             queue_capacity: 1024,
             workers: 2,
         }
@@ -54,6 +62,14 @@ impl ServeConfig {
     #[must_use]
     pub fn with_linger(mut self, linger: Duration) -> Self {
         self.linger = linger;
+        self
+    }
+
+    /// Enables or disables arrival-rate-adaptive lingering (see
+    /// [`adaptive_linger`](Self::adaptive_linger)).
+    #[must_use]
+    pub fn with_adaptive_linger(mut self, adaptive: bool) -> Self {
+        self.adaptive_linger = adaptive;
         self
     }
 
@@ -170,10 +186,13 @@ mod tests {
         let c = ServeConfig::default()
             .with_max_batch(7)
             .with_linger(Duration::from_micros(300))
+            .with_adaptive_linger(true)
             .with_queue_capacity(9)
             .with_workers(3);
         assert_eq!(c.max_batch, 7);
         assert_eq!(c.linger, Duration::from_micros(300));
+        assert!(c.adaptive_linger);
+        assert!(!ServeConfig::default().adaptive_linger);
         assert_eq!(c.queue_capacity, 9);
         assert_eq!(c.workers, 3);
     }

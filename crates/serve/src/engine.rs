@@ -168,7 +168,11 @@ where
                 std::thread::Builder::new()
                     .name(format!("rbc-serve-{worker_id}"))
                     .spawn(move || {
-                        while let Some(batch) = queue.next_batch(config.max_batch, config.linger) {
+                        while let Some(batch) = queue.next_batch(
+                            config.max_batch,
+                            config.linger,
+                            config.adaptive_linger,
+                        ) {
                             execute_batch(&*index, batch, &metrics);
                         }
                     })
@@ -429,6 +433,36 @@ mod tests {
             assert_eq!(reply.neighbors, direct);
         }
         drop(engine); // exercise Drop-based shutdown
+    }
+
+    #[test]
+    fn adaptive_linger_serves_bursts_without_waiting_out_the_slo() {
+        // An SLO no test should ever wait out: only the adaptive policy
+        // (expected fill time ≈ 0 under a burst) can dispatch these fast.
+        let engine = toy_engine(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_max_batch(64)
+                .with_linger(Duration::from_secs(120))
+                .with_adaptive_linger(true),
+        );
+        let handle = engine.handle();
+        let queries = cloud(6, 4, 8);
+        let tickets: Vec<Ticket> = (0..queries.len())
+            .map(|i| handle.submit(queries.point(i).to_vec(), 2).unwrap())
+            .collect();
+        let start = Instant::now();
+        for (qi, ticket) in tickets.into_iter().enumerate() {
+            let reply = ticket.wait().expect("served");
+            let (direct, _) = engine.index().query_k(queries.point(qi), 2);
+            assert_eq!(reply.neighbors, direct, "query {qi}");
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "adaptive linger must dispatch the burst long before the SLO"
+        );
+        let snapshot = engine.shutdown();
+        assert_eq!(snapshot.completed, 6);
     }
 
     #[test]

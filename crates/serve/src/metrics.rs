@@ -218,12 +218,22 @@ impl ServeMetrics {
             .expect("metrics lock poisoned")
             .as_ref()
             .map_or((0, 0, 0.0), |c| (c.hits(), c.misses(), c.hit_rate()));
-        let node_loads = self
-            .cluster
-            .lock()
-            .expect("metrics lock poisoned")
+        let cluster = self.cluster.lock().expect("metrics lock poisoned");
+        let node_loads = cluster
             .as_ref()
             .map_or_else(Vec::new, |load| load.snapshot());
+        let (degraded_queries, rerouted_groups, lost_groups) =
+            cluster.as_ref().map_or((0, 0, 0), |load| {
+                (
+                    load.degraded_queries(),
+                    load.rerouted_groups(),
+                    load.lost_groups(),
+                )
+            });
+        let (mean_replication, storage_overhead) = cluster.as_ref().map_or((0.0, 0.0), |load| {
+            (load.mean_replication(), load.storage_overhead())
+        });
+        drop(cluster);
         MetricsSnapshot {
             uptime_secs: uptime.as_secs_f64(),
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -253,6 +263,11 @@ impl ServeMetrics {
             cache_misses,
             cache_hit_rate,
             node_loads,
+            degraded_queries,
+            rerouted_groups,
+            lost_groups,
+            mean_replication,
+            storage_overhead,
         }
     }
 }
@@ -315,6 +330,22 @@ pub struct MetricsSnapshot {
     /// layer. Empty unless a cluster is tracked (see
     /// [`ServeMetrics::track_cluster`]).
     pub node_loads: Vec<NodeLoad>,
+    /// Queries answered with a flagged partial (degraded) result because
+    /// an unreplicated shard was down (0 when no cluster is tracked) —
+    /// the serving-side view of the degradation contract.
+    pub degraded_queries: u64,
+    /// Groups re-routed to a surviving replica after a mid-batch node
+    /// failure (0 when no cluster is tracked).
+    pub rerouted_groups: u64,
+    /// Groups lost outright because no live replica existed (0 when no
+    /// cluster is tracked).
+    pub lost_groups: u64,
+    /// Mean replicas per ownership list of the served placement (1.0 =
+    /// single-owner; 0.0 when no cluster is tracked).
+    pub mean_replication: f64,
+    /// Stored points over primary points of the served placement (1.0 =
+    /// no replica storage; 0.0 when no cluster is tracked).
+    pub storage_overhead: f64,
 }
 
 #[cfg(test)]
@@ -405,7 +436,33 @@ mod tests {
     #[test]
     fn untracked_cluster_reports_no_node_loads() {
         let m = ServeMetrics::new(4);
-        assert!(m.snapshot().node_loads.is_empty());
+        let s = m.snapshot();
+        assert!(s.node_loads.is_empty());
+        assert_eq!(s.degraded_queries, 0);
+        assert_eq!(s.rerouted_groups, 0);
+        assert_eq!(s.lost_groups, 0);
+        assert_eq!(s.mean_replication, 0.0);
+        assert_eq!(s.storage_overhead, 0.0);
+    }
+
+    #[test]
+    fn degradation_and_replica_distribution_flow_into_the_snapshot() {
+        let m = ServeMetrics::new(4);
+        let load = Arc::new(ClusterLoad::with_placement(3, 5, 2.0, 1.8));
+        m.track_cluster(Arc::clone(&load));
+        let s = m.snapshot();
+        assert_eq!(s.mean_replication, 2.0);
+        assert_eq!(s.storage_overhead, 1.8);
+        assert_eq!(s.degraded_queries, 0);
+        // Outcomes recorded after registration show up live.
+        load.record_outcome(4, 7, 2);
+        let s = m.snapshot();
+        assert_eq!(s.degraded_queries, 4);
+        assert_eq!(s.rerouted_groups, 7);
+        assert_eq!(s.lost_groups, 2);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"degraded_queries\""));
+        assert!(json.contains("\"mean_replication\""));
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! buffer k-d trees). The queue is bounded; a full queue blocks
 //! [`push`](SubmitQueue::push) (backpressure) and fails
 //! [`try_push`](SubmitQueue::try_push).
+//!
+//! With the **adaptive** linger policy the configured linger becomes an
+//! SLO ceiling rather than the wait itself: the queue keeps an EWMA of
+//! the observed inter-arrival gap, and the effective linger is the
+//! expected time to *fill* the batch at the current arrival rate
+//! (`gap × free slots`), capped by the configured linger. Heavy traffic
+//! thus dispatches the moment further waiting stops buying co-travellers,
+//! instead of taxing every batch with the full SLO.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -14,6 +22,11 @@ use std::time::{Duration, Instant};
 
 use crate::config::ServeError;
 use crate::ticket::TicketCell;
+
+/// Smoothing factor of the inter-arrival EWMA: each new gap contributes a
+/// quarter, so the estimate tracks bursts within a few arrivals without
+/// whiplashing on a single straggler.
+const ARRIVAL_EWMA_ALPHA: f64 = 0.25;
 
 /// One enqueued query awaiting its batch.
 #[derive(Debug)]
@@ -35,6 +48,25 @@ pub(crate) struct Request<O> {
 struct State<O> {
     pending: VecDeque<Request<O>>,
     closed: bool,
+    /// When the previous request arrived, for the inter-arrival EWMA.
+    last_arrival: Option<Instant>,
+    /// EWMA of the inter-arrival gap in microseconds; `None` until two
+    /// arrivals have been observed.
+    ewma_gap_us: Option<f64>,
+}
+
+impl<O> State<O> {
+    /// Folds one arrival into the inter-arrival EWMA.
+    fn observe_arrival(&mut self, now: Instant) {
+        if let Some(prev) = self.last_arrival {
+            let gap = now.duration_since(prev).as_secs_f64() * 1e6;
+            self.ewma_gap_us = Some(match self.ewma_gap_us {
+                Some(ewma) => ARRIVAL_EWMA_ALPHA * gap + (1.0 - ARRIVAL_EWMA_ALPHA) * ewma,
+                None => gap,
+            });
+        }
+        self.last_arrival = Some(now);
+    }
 }
 
 /// A bounded MPMC queue of pending requests with batch-closing semantics.
@@ -56,6 +88,8 @@ impl<O> SubmitQueue<O> {
             state: Mutex::new(State {
                 pending: VecDeque::new(),
                 closed: false,
+                last_arrival: None,
+                ewma_gap_us: None,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -74,6 +108,7 @@ impl<O> SubmitQueue<O> {
         if state.closed {
             return Err((request, ServeError::Shutdown));
         }
+        state.observe_arrival(Instant::now());
         state.pending.push_back(request);
         self.not_empty.notify_one();
         Ok(())
@@ -88,6 +123,7 @@ impl<O> SubmitQueue<O> {
         if state.pending.len() >= self.capacity {
             return Err((request, ServeError::QueueFull));
         }
+        state.observe_arrival(Instant::now());
         state.pending.push_back(request);
         self.not_empty.notify_one();
         Ok(())
@@ -97,10 +133,19 @@ impl<O> SubmitQueue<O> {
     /// queue is closed *and* drained (worker shutdown signal).
     ///
     /// Closing rule: dispatch when `max_batch` requests are pending, when
-    /// the oldest pending request has waited `linger`, or unconditionally
-    /// during shutdown (drain). Multiple workers may close batches
-    /// concurrently; each call drains at most `max_batch` requests.
-    pub(crate) fn next_batch(&self, max_batch: usize, linger: Duration) -> Option<Vec<Request<O>>> {
+    /// the oldest pending request has waited the effective linger, or
+    /// unconditionally during shutdown (drain). With `adaptive` set the
+    /// effective linger is the expected time to fill the batch at the
+    /// observed arrival rate (inter-arrival EWMA × free slots), capped by
+    /// `linger` as the SLO; otherwise it is `linger` itself. Multiple
+    /// workers may close batches concurrently; each call drains at most
+    /// `max_batch` requests.
+    pub(crate) fn next_batch(
+        &self,
+        max_batch: usize,
+        linger: Duration,
+        adaptive: bool,
+    ) -> Option<Vec<Request<O>>> {
         let mut state = self.state.lock().expect("serve queue lock poisoned");
         loop {
             if state.pending.is_empty() {
@@ -116,14 +161,29 @@ impl<O> SubmitQueue<O> {
             if state.pending.len() >= max_batch || state.closed {
                 break;
             }
+            // Recomputed every wake-up: both the pending count and the
+            // arrival-rate estimate move while we wait.
+            let effective = if adaptive {
+                match state.ewma_gap_us {
+                    Some(gap_us) => {
+                        let free_slots = (max_batch - state.pending.len()) as f64;
+                        Duration::from_secs_f64((gap_us * free_slots).max(0.0) * 1e-6).min(linger)
+                    }
+                    // No rate observed yet (a single lone arrival): the
+                    // SLO is all we have.
+                    None => linger,
+                }
+            } else {
+                linger
+            };
             let oldest = state.pending.front().expect("nonempty").submitted_at;
             let waited = oldest.elapsed();
-            if waited >= linger {
+            if waited >= effective {
                 break;
             }
             let (guard, _timeout) = self
                 .not_empty
-                .wait_timeout(state, linger - waited)
+                .wait_timeout(state, effective - waited)
                 .expect("serve queue lock poisoned");
             state = guard;
         }
@@ -187,7 +247,7 @@ mod tests {
         }
         // linger is an hour: only the size trigger can fire.
         let batch = queue
-            .next_batch(4, Duration::from_secs(3600))
+            .next_batch(4, Duration::from_secs(3600), false)
             .expect("open queue");
         assert_eq!(batch.len(), 4);
         assert_eq!(batch[0].query, 0);
@@ -200,7 +260,7 @@ mod tests {
         queue.try_push(request(7)).unwrap();
         let start = Instant::now();
         let batch = queue
-            .next_batch(64, Duration::from_millis(10))
+            .next_batch(64, Duration::from_millis(10), false)
             .expect("open queue");
         assert_eq!(batch.len(), 1);
         assert!(
@@ -210,14 +270,82 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_linger_dispatches_fast_arrivals_well_before_the_slo() {
+        let queue = SubmitQueue::new(64);
+        // Four near-simultaneous arrivals: the observed gap is ~zero, so
+        // the expected fill time — and hence the effective linger — is
+        // tiny even though the configured SLO is an hour.
+        for i in 0..4 {
+            queue.try_push(request(i)).unwrap();
+        }
+        let start = Instant::now();
+        let batch = queue
+            .next_batch(64, Duration::from_secs(3600), true)
+            .expect("open queue");
+        assert_eq!(batch.len(), 4);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "adaptive dispatch must not wait out the hour-long SLO"
+        );
+    }
+
+    #[test]
+    fn adaptive_linger_is_capped_by_the_configured_slo() {
+        let queue = SubmitQueue::new(64);
+        // Two arrivals 25ms apart: expected fill time for the remaining
+        // 62 slots is ~1.5s, so the 15ms SLO must cap the wait.
+        queue.try_push(request(1)).unwrap();
+        std::thread::sleep(Duration::from_millis(25));
+        queue.try_push(request(2)).unwrap();
+        let start = Instant::now();
+        let batch = queue
+            .next_batch(64, Duration::from_millis(15), true)
+            .expect("open queue");
+        assert_eq!(batch.len(), 2);
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "the SLO cap must bound the adaptive wait"
+        );
+    }
+
+    #[test]
+    fn adaptive_linger_with_no_observed_rate_falls_back_to_the_slo() {
+        let queue = SubmitQueue::new(16);
+        queue.try_push(request(9)).unwrap();
+        let start = Instant::now();
+        // One lone arrival: no inter-arrival gap has ever been observed,
+        // so the configured linger governs exactly as in fixed mode.
+        let batch = queue
+            .next_batch(16, Duration::from_millis(10), true)
+            .expect("open queue");
+        assert_eq!(batch.len(), 1);
+        assert!(start.elapsed() >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn arrival_ewma_tracks_the_gap() {
+        let queue = SubmitQueue::new(16);
+        queue.try_push(request(0)).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        queue.try_push(request(1)).unwrap();
+        let state = queue.state.lock().unwrap();
+        let gap = state.ewma_gap_us.expect("two arrivals seed the EWMA");
+        assert!(gap >= 4_000.0, "observed gap ~5ms, got {gap}us");
+    }
+
+    #[test]
     fn close_drains_remaining_then_signals_shutdown() {
         let queue = SubmitQueue::new(16);
         queue.try_push(request(1)).unwrap();
         queue.try_push(request(2)).unwrap();
         queue.close();
-        let batch = queue.next_batch(64, Duration::from_secs(3600)).unwrap();
+        let batch = queue
+            .next_batch(64, Duration::from_secs(3600), false)
+            .unwrap();
         assert_eq!(batch.len(), 2);
-        assert!(queue.next_batch(64, Duration::from_secs(3600)).is_none());
+        assert!(queue
+            .next_batch(64, Duration::from_secs(3600), false)
+            .is_none());
         let (_, err) = queue.try_push(request(3)).unwrap_err();
         assert_eq!(err, ServeError::Shutdown);
         let (_, err) = queue.push(request(4)).unwrap_err();
@@ -232,7 +360,7 @@ mod tests {
         let producer = std::thread::spawn(move || q2.push(request(2)).map_err(|(_, e)| e));
         // Give the producer time to block, then free a slot.
         std::thread::sleep(Duration::from_millis(5));
-        let batch = queue.next_batch(1, Duration::ZERO).unwrap();
+        let batch = queue.next_batch(1, Duration::ZERO, false).unwrap();
         assert_eq!(batch[0].query, 1);
         producer.join().unwrap().unwrap();
         assert_eq!(queue.depth(), 1);
@@ -242,8 +370,10 @@ mod tests {
     fn waiting_worker_wakes_on_push() {
         let queue = Arc::new(SubmitQueue::<u32>::new(4));
         let q2 = Arc::clone(&queue);
-        let worker =
-            std::thread::spawn(move || q2.next_batch(8, Duration::from_millis(1)).map(|b| b.len()));
+        let worker = std::thread::spawn(move || {
+            q2.next_batch(8, Duration::from_millis(1), false)
+                .map(|b| b.len())
+        });
         std::thread::sleep(Duration::from_millis(5));
         queue.try_push(request(9)).unwrap();
         assert_eq!(worker.join().unwrap(), Some(1));

@@ -39,7 +39,7 @@ fn main() {
     for nodes in [2usize, 4, 8, 16] {
         let cluster = ClusterConfig::with_nodes(nodes);
         let index = DistributedRbc::from_exact(rbc.clone(), cluster, dim);
-        let assignment = index.assignment();
+        let placement = index.placement();
         let (answers, stats) = index.query_batch_exact(&queries, 1);
 
         // Verify against local brute force on a sample of queries.
@@ -56,7 +56,7 @@ fn main() {
 
         println!(
             "\n{nodes:>2} nodes: shard imbalance {:.2}, {} / {} sampled answers exact",
-            assignment.imbalance(),
+            placement.imbalance(),
             agree,
             checked
         );

@@ -18,11 +18,14 @@
 //!   (GPU-like) cost model used by the Table 2 reproduction.
 //! * [`distributed`] (`rbc-distributed`) — the paper's future-work
 //!   extension: the database sharded across (simulated) cluster nodes by
-//!   representative, with communication-cost accounting. A
-//!   [`DistributedRbc`] is itself a batched
-//!   [`SearchIndex`], so the serving engine can route micro-batches
-//!   through the cluster (one query payload per node per batch) and
-//!   surface per-node load in its metrics.
+//!   representative, with replicated skew-aware placement
+//!   ([`PlacementPolicy`]), failover routing to the least-loaded live
+//!   replica, flagged partial answers when coverage is lost, and
+//!   communication-cost accounting. A [`DistributedRbc`] is itself a
+//!   batched [`SearchIndex`], so the serving engine can route
+//!   micro-batches through the cluster (one query payload per node per
+//!   batch) and surface per-node load, replica distribution, and
+//!   degradation counters in its metrics.
 //! * [`serve`] (`rbc-serve`) — the online query-serving engine: concurrent
 //!   producers' queries coalesced into micro-batches (with deadlines, an
 //!   answer cache, and latency accounting) over any [`SearchIndex`].
@@ -62,7 +65,7 @@ pub use rbc_bruteforce::{BfConfig, BruteForce, Neighbor};
 pub use rbc_core::{
     BatchStrategy, ExactRbc, OneShotRbc, QueryStats, RbcConfig, RbcParams, SearchIndex, SearchStats,
 };
-pub use rbc_distributed::{ClusterConfig, DistributedRbc};
+pub use rbc_distributed::{ClusterConfig, DistributedRbc, Placement, PlacementPolicy};
 pub use rbc_metric::{Dataset, Dist, Euclidean, Metric, VectorSet};
 pub use rbc_serve::{CachedIndex, Engine, ServeConfig, ServeError, ServeHandle, Ticket};
 
@@ -73,7 +76,7 @@ pub mod prelude {
         BatchStrategy, ExactRbc, OneShotRbc, QueryStats, RbcConfig, RbcParams, SearchIndex,
         SearchStats,
     };
-    pub use rbc_distributed::{ClusterConfig, DistributedRbc};
+    pub use rbc_distributed::{ClusterConfig, DistributedRbc, PlacementPolicy};
     pub use rbc_metric::{Dataset, Dist, Euclidean, Manhattan, Metric, VectorSet};
     pub use rbc_serve::{CachedIndex, Engine, ServeConfig, ServeError, ServeHandle, Ticket};
 }
