@@ -34,12 +34,20 @@ use rbc_data::gaussian_mixture;
 use rbc_device::MachineProfile;
 use rbc_metric::{Dataset, Euclidean, VectorSet};
 
+/// Command-line configuration of the A/B sweep.
 struct Options {
+    /// Database size.
     n: usize,
+    /// Length of the clustered query stream.
     queries: usize,
+    /// Clusters in the Gaussian-mixture workload (more clusters =
+    /// less co-travel for list-major batching to exploit).
     clusters: usize,
+    /// Ambient dimension.
     dim: usize,
+    /// Neighbors requested per query.
     k: usize,
+    /// Base RNG seed for the database, stream, and representatives.
     seed: u64,
 }
 

@@ -25,17 +25,25 @@ use rbc_data::low_dim_manifold;
 use rbc_metric::{Euclidean, VectorSet};
 use rbc_serve::{CacheCounters, CachedIndex, Engine, MetricsSnapshot, ServeConfig};
 
+/// Command-line configuration of the serving sweep.
 struct Options {
+    /// Database size.
     n: usize,
+    /// Distinct queries the producers cycle through (a finite pool, so
+    /// the cached-serving row has repeats to hit on).
     query_pool: usize,
+    /// Concurrent producer threads hammering the engine.
     producers: usize,
+    /// Requests each producer submits over its lifetime.
     requests_per_producer: usize,
     /// Outstanding requests each producer keeps in flight (pipelining).
     /// Depth 1 is a closed loop — submit, wait, repeat — which can never
     /// fill a batch beyond the producer count; real serving clients
     /// pipeline, which is what lets micro-batches actually fill.
     depth: usize,
+    /// Neighbors requested per query.
     k: usize,
+    /// Base RNG seed for the database and query pool.
     seed: u64,
 }
 

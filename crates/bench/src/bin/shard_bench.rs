@@ -11,9 +11,10 @@
 //!    micro-batches of several sizes against single-owner clusters of
 //!    several node counts: worker/coordinator work, per-batch fan-out,
 //!    bytes on the wire, modeled communication time, observed skew.
-//! 2. **Placement sweep** — a *skewed* stream (queries drawn from a few
-//!    of the database's clusters, the traffic shape that melts one node
-//!    under single-owner placement) replayed against single-owner,
+//! 2. **Placement sweep** — a *skewed* stream (Zipf-weighted cluster
+//!    choice via `rbc_data::adversarial::skewed_queries`, the traffic
+//!    shape that melts one node under single-owner placement) replayed
+//!    against single-owner,
 //!    2-fold-replicated, and traffic-steered hottest-list placements,
 //!    plus failure cells: one node down before the stream, and one node
 //!    dying mid-batch.
@@ -51,19 +52,35 @@ use serde::Serialize;
 use rbc_bench::{write_json_records, Table};
 use rbc_bruteforce::BfConfig;
 use rbc_core::{ExactRbc, RbcConfig, RbcParams};
-use rbc_data::gaussian_mixture;
+use rbc_data::{gaussian_mixture, skewed_queries};
 use rbc_device::MachineProfile;
 use rbc_distributed::{
     eval_skew, ClusterConfig, DistributedQueryStats, DistributedRbc, PlacementPolicy,
 };
 use rbc_metric::{Dataset, Euclidean, VectorSet};
 
+/// Zipf concentration of the placement-sweep stream: heavy enough that
+/// single-owner placement visibly melts (eval skew well above 1), mild
+/// enough that the hot traffic spans several ownership lists so 2-fold
+/// replication can actually rebalance it (the asserted excess-skew
+/// halving). The `trajectory` harness records the same generator's
+/// stream (at its own concentration) without asserting.
+const SKEW_CONCENTRATION: f64 = 1.0;
+
+/// Command-line configuration of the cluster and placement sweeps.
 struct Options {
+    /// Database size.
     n: usize,
+    /// Length of each replayed query stream.
     queries: usize,
+    /// Clusters in the Gaussian-mixture workload (also the cluster
+    /// count the Zipf-skewed stream weights over).
     clusters: usize,
+    /// Ambient dimension.
     dim: usize,
+    /// Neighbors requested per query.
     k: usize,
+    /// Base RNG seed for the database, streams, and representatives.
     seed: u64,
     /// Focused failover smoke: replication factor (with `fail_node`).
     replication: Option<usize>,
@@ -384,12 +401,21 @@ fn main() {
 
     // ---- Placement sweep: the skewed stream. -------------------------
     //
-    // The generator draws cluster centers from the seed alone, so asking
-    // for fewer clusters under the same seed yields a stream concentrated
-    // on the database's *first* few clusters — the traffic shape where
-    // balanced storage is not balanced traffic.
-    let hot_clusters = (opts.clusters / 8).max(1);
-    let skewed = gaussian_mixture(opts.queries, opts.dim, hot_clusters, 0.03, 7 + opts.seed);
+    // `skewed_queries` reconstructs the database's own cluster centers
+    // from its seed and Zipf-weights the cluster choice, so a handful of
+    // clusters carry most of the traffic — the shape where balanced
+    // storage is not balanced traffic. The same generator feeds the
+    // `trajectory` harness, so this sweep and the committed trajectory
+    // baselines stress the identical stream.
+    let skewed = skewed_queries(
+        opts.queries,
+        opts.dim,
+        opts.clusters,
+        0.03,
+        SKEW_CONCENTRATION,
+        7 + opts.seed,
+        9 + opts.seed,
+    );
     let (skewed_reference, _) = rbc.query_batch_k(&skewed, opts.k);
     let nodes = 8usize;
     // The batch size the skew cells replay at — always one of the sizes
@@ -403,7 +429,7 @@ fn main() {
         .max()
         .expect("--queries is floored at 16, so batch size 16 is always swept");
     println!(
-        "\nplacement sweep: {} queries drawn from {hot_clusters} of the {} clusters, \
+        "\nplacement sweep: {} Zipf-skewed queries over the {} clusters, \
          {nodes} nodes, batch {replay_batch}",
         opts.queries, opts.clusters
     );
@@ -504,7 +530,7 @@ fn main() {
             elapsed_ms,
         ));
     }
-    assert_sublinear_bytes(&bytes_curve, nodes, "replicated-2");
+    assert_amortised_bytes(&bytes_curve, nodes, "replicated-2");
     // Skew reduction: the *excess* skew (how far above the perfect 1.0 the
     // busiest node sits) must at least halve — the floor-aware form of
     // "skew reduced 2x" that stays meaningful when the baseline is mild.
@@ -625,6 +651,29 @@ fn main() {
     match write_json_records("shard_bench", &records) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(error) => eprintln!("could not write JSON records: {error}"),
+    }
+}
+
+/// The endpoint form of the amortisation claim, for *replicated*
+/// placements under skewed traffic: least-loaded replica steering may
+/// trade a few header bytes between adjacent batch sizes (splitting a
+/// hot list's groups across both replicas contacts more nodes), so the
+/// window-by-window monotonicity of [`assert_sublinear_bytes`] is too
+/// strong — but coalescing the whole stream into fewer fan-out rounds
+/// must still cost fewer bytes per query than the smallest batching.
+fn assert_amortised_bytes(bytes_curve: &[(usize, usize, f64)], nodes: usize, placement: &str) {
+    let coalescing: Vec<&(usize, usize, f64)> =
+        bytes_curve.iter().filter(|(b, _, _)| *b >= 16).collect();
+    if let (Some((b1, rounds1, per_query1)), Some((b2, rounds2, per_query2))) =
+        (coalescing.first(), coalescing.last())
+    {
+        if rounds2 < rounds1 {
+            assert!(
+                per_query2 < per_query1,
+                "bytes per query did not amortise from batch {b1} to {b2} \
+                 at {nodes} nodes ({placement}: {per_query1:.1} -> {per_query2:.1})"
+            );
+        }
     }
 }
 

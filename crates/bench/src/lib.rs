@@ -1,7 +1,9 @@
 //! Shared harness code for regenerating every table and figure of the RBC
-//! paper.
+//! paper, measuring the post-paper layers, and gating CI on the perf
+//! trajectory.
 //!
-//! Each binary in `src/bin/` reproduces one experiment:
+//! The paper-artifact binaries in `src/bin/` each reproduce one
+//! experiment:
 //!
 //! | Binary   | Paper artifact | What it prints |
 //! |----------|----------------|----------------|
@@ -12,20 +14,47 @@
 //! | `table2` | Table 2        | one-shot vs. brute force on the SIMT device model |
 //! | `table3` | Table 3        | Cover Tree (1 core) vs. exact RBC (4 cores), total query seconds |
 //!
-//! Every binary accepts `--scale <f64>` (default 0.005) to grow or shrink
-//! the synthetic datasets relative to the paper's sizes, `--queries <n>` to
-//! cap the query count, and `--datasets a,b,c` to restrict the run. Results
-//! are printed as aligned text tables and also written as JSON records
-//! under `results/` so EXPERIMENTS.md can cite them.
+//! These accept `--scale <f64>` (default 0.005) to grow or shrink the
+//! synthetic datasets relative to the paper's sizes, `--queries <n>` to
+//! cap the query count, and `--datasets a,b,c` to restrict the run
+//! (parsed by [`BenchOptions`]). Results are printed as aligned text
+//! tables and also written as JSON records under `results/` so
+//! EXPERIMENTS.md can cite them.
+//!
+//! The post-paper binaries measure what the workspace adds on top, each
+//! with its own flags (see its module docs):
+//!
+//! | Binary        | Layer | What it measures |
+//! |---------------|-------|------------------|
+//! | `batch_bench` | `rbc-core`        | query-major vs. list-major batching: tile passes, sharing factor |
+//! | `serve_bench` | `rbc-serve`       | micro-batch policy sweep under concurrent producers, plus cached serving |
+//! | `shard_bench` | `rbc-distributed` | routed batch protocol across node counts, placements, and failures (asserting bit-identity, byte amortisation, skew halving, lossless failover) |
+//! | `trajectory`  | all of the above  | the perf-trajectory harness: every engine over matched and hostile streams, into the schema-versioned `BENCH_<area>.json` baselines, with the `--check` regression gate CI runs |
+//!
+//! Library support lives in [`measure`] (prepared workloads, batch
+//! measurements, recall), [`report`] (text tables, `results/` JSON,
+//! `BENCH_<area>.json` IO), [`options`] (shared flag parsing), and
+//! [`trajectory`] (the baseline schema, tolerances, and comparison
+//! logic). `docs/BENCHMARKING.md` at the repo root is the user-facing
+//! guide.
 
 #![warn(missing_docs)]
 
 pub mod measure;
 pub mod options;
 pub mod report;
+pub mod trajectory;
 
 pub use measure::{
-    brute_force_batch, exact_rbc_batch, one_shot_batch, BatchMeasurement, PreparedWorkload,
+    brute_force_batch, exact_rbc_batch, one_shot_batch, recall_at_k, BatchMeasurement,
+    PreparedWorkload,
 };
 pub use options::BenchOptions;
-pub use report::{write_json_records, write_json_records_to, Table};
+pub use report::{
+    bench_file_path, read_bench_file, write_bench_file, write_json_records, write_json_records_to,
+    Table,
+};
+pub use trajectory::{
+    compare_files, failure_table, perturbed, Cell, CellMetrics, CheckFailure, Tolerances,
+    TrajectoryFile, AREAS, SCHEMA_VERSION,
+};

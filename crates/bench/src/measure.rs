@@ -110,6 +110,39 @@ impl BatchMeasurement {
     }
 }
 
+/// Mean recall@k of per-query answer lists against ground-truth lists.
+///
+/// A truth neighbor counts as recalled when the answer list contains a
+/// neighbor at least as close (distance comparison, not index identity,
+/// so ties between equidistant points never depress recall). Both inputs
+/// must be sorted by ascending distance, as every `query_batch_k` in the
+/// workspace returns them. Panics if the two slices disagree on the
+/// query count.
+pub fn recall_at_k(answers: &[Vec<Neighbor>], truth: &[Vec<Neighbor>]) -> f64 {
+    assert_eq!(
+        answers.len(),
+        truth.len(),
+        "answers and ground truth must cover the same queries"
+    );
+    if answers.is_empty() {
+        return 1.0;
+    }
+    let mut total = 0.0f64;
+    for (ans, tru) in answers.iter().zip(truth.iter()) {
+        if tru.is_empty() {
+            total += 1.0;
+            continue;
+        }
+        let recalled = tru
+            .iter()
+            .enumerate()
+            .filter(|(rank, t)| ans.get(*rank).is_some_and(|a| a.dist <= t.dist + 1e-9))
+            .count();
+        total += recalled as f64 / tru.len() as f64;
+    }
+    total / answers.len() as f64
+}
+
 /// Runs parallel brute-force 1-NN over the whole query batch.
 pub fn brute_force_batch(workload: &PreparedWorkload, config: BfConfig) -> BatchMeasurement {
     let bf = BruteForce::with_config(config);
@@ -270,6 +303,27 @@ mod tests {
         assert_eq!(list.len(), 30);
         assert!(rep.iter().all(|&c| c > 0));
         assert!(list.iter().all(|&c| c <= params.list_size as u64));
+    }
+
+    #[test]
+    fn recall_is_one_for_exact_answers_and_less_for_truncated_ones() {
+        let w = tiny_workload();
+        let bf = BruteForce::with_config(BfConfig::default());
+        let (truth, _) = bf.knn(&w.queries, &w.database, &Euclidean, 5);
+        assert_eq!(recall_at_k(&truth, &truth), 1.0);
+        // Drop the closest neighbor from every answer: every remaining
+        // rank is dominated by the truth, so recall collapses to 0 unless
+        // distances tie.
+        let worse: Vec<Vec<Neighbor>> = truth.iter().map(|l| l[1..].to_vec()).collect();
+        assert!(recall_at_k(&worse, &truth) < 0.5);
+        // Ties (identical lists with permuted equal distances) still count.
+        assert_eq!(recall_at_k(&truth, &truth), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same queries")]
+    fn recall_rejects_mismatched_query_counts() {
+        recall_at_k(&[Vec::new()], &[]);
     }
 
     #[test]

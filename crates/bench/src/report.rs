@@ -108,6 +108,43 @@ pub fn write_json_records_to<T: Serialize>(
     Ok(path)
 }
 
+/// Canonical path of the trajectory file for `area` under `dir`:
+/// `BENCH_<area>.json`. The repo root is the conventional `dir`, so the
+/// committed baselines sit next to the README.
+pub fn bench_file_path(dir: &Path, area: &str) -> std::path::PathBuf {
+    dir.join(format!("BENCH_{area}.json"))
+}
+
+/// Writes one `BENCH_<area>.json` trajectory file (pretty-printed JSON,
+/// trailing newline), creating `dir` if needed. Returns the path.
+pub fn write_bench_file<T: Serialize>(
+    dir: &Path,
+    area: &str,
+    value: &T,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = bench_file_path(dir, area);
+    let json = serde_json::to_string_pretty(value).expect("trajectory file serializes");
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(json.as_bytes())?;
+    file.write_all(b"\n")?;
+    Ok(path)
+}
+
+/// Reads one `BENCH_<area>.json` trajectory file back. Parse and schema
+/// errors surface as `InvalidData` so callers can print one message for
+/// both missing and malformed baselines.
+pub fn read_bench_file<T: serde::Deserialize>(dir: &Path, area: &str) -> std::io::Result<T> {
+    let path = bench_file_path(dir, area);
+    let text = std::fs::read_to_string(&path)?;
+    serde_json::from_str(&text).map_err(|error| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}: {error:?}", path.display()),
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +192,30 @@ mod tests {
         .unwrap();
         let contents = std::fs::read_to_string(&path).unwrap();
         assert!(contents.contains("\"value\": 1.5"));
+    }
+
+    #[test]
+    fn bench_files_round_trip() {
+        #[derive(Debug, serde::Serialize, serde::Deserialize)]
+        struct Rec {
+            name: String,
+            value: f64,
+        }
+        let tmp = std::env::temp_dir().join(format!("rbc-bench-traj-{}", std::process::id()));
+        let path = write_bench_file(
+            &tmp,
+            "unit",
+            &Rec {
+                name: "x".into(),
+                value: 2.5,
+            },
+        )
+        .unwrap();
+        assert!(path.ends_with("BENCH_unit.json"));
+        let back: Rec = read_bench_file(&tmp, "unit").unwrap();
+        assert_eq!(back.name, "x");
+        assert_eq!(back.value, 2.5);
+        let missing: std::io::Result<Rec> = read_bench_file(&tmp, "nope");
+        assert!(missing.is_err());
     }
 }

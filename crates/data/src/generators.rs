@@ -11,8 +11,9 @@ use rayon::prelude::*;
 use rbc_metric::VectorSet;
 
 /// Generates points by running one RNG per point, seeded from `(seed, i)`,
-/// so the result is independent of the parallel schedule.
-fn generate_rows<F>(n: usize, dim: usize, seed: u64, f: F) -> VectorSet
+/// so the result is independent of the parallel schedule. Shared with the
+/// adversarial stream generators in [`crate::adversarial`].
+pub(crate) fn generate_rows<F>(n: usize, dim: usize, seed: u64, f: F) -> VectorSet
 where
     F: Fn(&mut StdRng, usize, &mut Vec<f32>) + Sync,
 {
@@ -61,15 +62,7 @@ pub fn gaussian_mixture(
 ) -> VectorSet {
     assert!(n > 0 && dim > 0 && n_clusters > 0);
     assert!(spread > 0.0, "cluster spread must be positive");
-    // Cluster centers from a dedicated RNG so they do not depend on n.
-    let mut center_rng = StdRng::seed_from_u64(seed.wrapping_add(0xC3A5));
-    let centers: Vec<Vec<f32>> = (0..n_clusters)
-        .map(|_| {
-            (0..dim)
-                .map(|_| center_rng.gen_range(0.0f32..1.0f32))
-                .collect()
-        })
-        .collect();
+    let centers = mixture_centers(dim, n_clusters, seed);
     let normal = Normal::new(0.0f64, spread).expect("valid std dev");
 
     generate_rows(n, dim, seed, |rng, i, row| {
@@ -78,6 +71,26 @@ pub fn gaussian_mixture(
             row.push(coord + rng.sample(normal) as f32);
         }
     })
+}
+
+/// The cluster centers [`gaussian_mixture`] draws its points around:
+/// `n_clusters` centers uniform in the unit cube, from a dedicated RNG
+/// derived from `seed` alone (so they depend on neither `n` nor `spread`,
+/// and asking for fewer clusters under the same seed yields a prefix).
+///
+/// This derivation is a public contract: the adversarial query streams in
+/// [`crate::adversarial`] reconstruct a database's centers from its
+/// generation seed so they can aim traffic at specific regions of it.
+pub fn mixture_centers(dim: usize, n_clusters: usize, seed: u64) -> Vec<Vec<f32>> {
+    assert!(dim > 0 && n_clusters > 0);
+    let mut center_rng = StdRng::seed_from_u64(seed.wrapping_add(0xC3A5));
+    (0..n_clusters)
+        .map(|_| {
+            (0..dim)
+                .map(|_| center_rng.gen_range(0.0f32..1.0f32))
+                .collect()
+        })
+        .collect()
 }
 
 /// Points on a smooth `intrinsic_dim`-dimensional manifold nonlinearly

@@ -22,20 +22,26 @@
 //!   EXPERIMENTS.md commentary;
 //! * [`catalog`] — the Table 1 catalogue mapping dataset names to
 //!   generators, with a global scale knob so every experiment can run at
-//!   laptop scale or at paper scale.
+//!   laptop scale or at paper scale;
+//! * [`adversarial`] — hostile query streams (Zipf-skewed, drifting /
+//!   non-stationary, adversarially clustered) aimed at a generated
+//!   database's own cluster structure, for the perf-trajectory harness
+//!   and the placement sweeps in `rbc-bench`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod adversarial;
 pub mod catalog;
 pub mod expansion;
 pub mod generators;
 pub mod projection;
 
+pub use adversarial::{adversarial_ball_queries, drifting_queries, skewed_queries};
 pub use catalog::{standard_catalog, DatasetSpec, GeneratedDataset, WorkloadKind};
 pub use expansion::ExpansionRate;
 pub use generators::{
-    gaussian_mixture, grid_lattice, low_dim_manifold, robot_arm_trajectories, tiny_image_patches,
-    uniform_cube,
+    gaussian_mixture, grid_lattice, low_dim_manifold, mixture_centers, robot_arm_trajectories,
+    tiny_image_patches, uniform_cube,
 };
 pub use projection::RandomProjection;

@@ -8,13 +8,17 @@ use rbc_bruteforce::{BfConfig, BruteForce, GroupCursor, Neighbor, TopK};
 use rbc_core::batch_plan::{execute_list_major, BatchPlan, ListGroup};
 use rbc_core::{ExactRbc, SearchIndex};
 use rbc_metric::{Dataset, Dist, Metric, QueryBatch};
+use serde::Serialize;
 
 use crate::cluster::{ClusterConfig, CommCost};
 use crate::load::{ClusterLoad, NodeHealth, NodeLoad};
 use crate::placement::{Placement, PlacementPolicy};
 
 /// Work and communication performed by one distributed query (or a batch).
-#[derive(Clone, Debug, Default, PartialEq)]
+///
+/// Serialisable so benchmark harnesses (`shard_bench`, `trajectory`) can
+/// embed the raw record in their JSON reports.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
 pub struct DistributedQueryStats {
     /// Fan-out messages sent to worker nodes. For the batched protocol
     /// this counts *per-batch* contacts: a node contacted once for a whole

@@ -258,6 +258,7 @@ impl ServeMetrics {
             latency_p50_us: latency.quantile_us(0.50),
             latency_p95_us: latency.quantile_us(0.95),
             latency_p99_us: latency.quantile_us(0.99),
+            latency_p999_us: latency.quantile_us(0.999),
             latency_max_us: latency.max_us,
             cache_hits,
             cache_misses,
@@ -315,6 +316,10 @@ pub struct MetricsSnapshot {
     pub latency_p95_us: u64,
     /// 99th-percentile latency, microseconds.
     pub latency_p99_us: u64,
+    /// 99.9th-percentile latency, microseconds — the deep-tail figure the
+    /// perf-trajectory harness records; resolution is the same
+    /// power-of-two bucketing as the other percentiles.
+    pub latency_p999_us: u64,
     /// Worst observed latency, microseconds.
     pub latency_max_us: u64,
     /// Answer-cache hits (0 when no cache is tracked; see
@@ -362,8 +367,12 @@ mod tests {
         let p50 = h.quantile_us(0.50);
         let p95 = h.quantile_us(0.95);
         let p99 = h.quantile_us(0.99);
-        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
-        assert!(p99 <= h.max_us);
+        let p999 = h.quantile_us(0.999);
+        assert!(
+            p50 <= p95 && p95 <= p99 && p99 <= p999,
+            "{p50} {p95} {p99} {p999}"
+        );
+        assert!(p999 <= h.max_us);
         assert!(h.mean_us() > 0.0);
         assert_eq!(LatencyHistogram::default().quantile_us(0.99), 0);
     }

@@ -90,6 +90,12 @@ impl Serialize for Value {
     }
 }
 
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! int_impls {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
