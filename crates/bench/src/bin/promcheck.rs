@@ -1,0 +1,276 @@
+//! `promcheck` — a Prometheus text-exposition linter for CI.
+//!
+//! Reads an exposition document (a file argument, or stdin when the
+//! argument is `-`), validates its shape line by line, and optionally
+//! asserts that named metric families are present. The CI smoke job
+//! pipes the snapshot that `examples/online_serving.rs` writes under
+//! `RBC_TRACE_PROM` through this binary with `--require` flags for the
+//! core stage histograms, so a refactor that silently drops a span label
+//! or breaks the exposition formatter fails the build rather than a
+//! dashboard.
+//!
+//! Checks applied:
+//!
+//! * comment lines must be `# HELP <name> ...` or `# TYPE <name>
+//!   <counter|gauge|histogram|summary|untyped>`;
+//! * sample lines must be `name[{label="value",...}] value` with a
+//!   metric name matching `[a-zA-Z_:][a-zA-Z0-9_:]*` and a value that
+//!   parses as a float (`+Inf`/`-Inf`/`NaN` allowed);
+//! * every sample must belong to a family announced by a preceding
+//!   `# TYPE` line (the shape our exporter guarantees);
+//! * histogram families must carry `_bucket`/`_sum`/`_count` series and
+//!   end their buckets with `le="+Inf"`.
+//!
+//! Usage: `promcheck [--require FAMILY]... [FILE|-]`
+//!
+//! Exit status 0 when the document is well-formed and every required
+//! family is present; 1 otherwise, with one line per violation.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Read;
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!("usage: promcheck [--require FAMILY]... [FILE|-]");
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}
+
+/// `true` when `name` is a valid Prometheus metric name.
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// `true` when `value` parses as a Prometheus sample value.
+fn valid_value(value: &str) -> bool {
+    matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok()
+}
+
+/// Splits a sample series into its metric name and (optional) label
+/// block, validating the label syntax. Returns `None` on malformed
+/// series.
+fn split_series(series: &str) -> Option<(&str, Option<&str>)> {
+    match series.find('{') {
+        None => Some((series, None)),
+        Some(open) => {
+            let labels = &series[open..];
+            if !labels.ends_with('}') {
+                return None;
+            }
+            let inner = &labels[1..labels.len() - 1];
+            for pair in inner.split_terminator(',') {
+                let (key, value) = pair.split_once('=')?;
+                if !valid_metric_name(key) {
+                    return None;
+                }
+                if !(value.len() >= 2 && value.starts_with('"') && value.ends_with('"')) {
+                    return None;
+                }
+            }
+            Some((&series[..open], Some(inner)))
+        }
+    }
+}
+
+/// The family a series name belongs to: histogram series map their
+/// `_bucket`/`_sum`/`_count` suffix back to the base name, everything
+/// else is its own family.
+fn family_of<'a>(name: &'a str, histogram_families: &BTreeSet<String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if histogram_families.contains(base) {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+fn main() {
+    let mut required: Vec<String> = Vec::new();
+    let mut input: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--require" => {
+                let family = args
+                    .next()
+                    .unwrap_or_else(|| usage("--require needs a metric family name"));
+                required.push(family);
+            }
+            "--help" | "-h" => usage(""),
+            other if other.starts_with("--") => usage(&format!("unknown flag {other}")),
+            other => {
+                if input.replace(other.to_string()).is_some() {
+                    usage("at most one input file");
+                }
+            }
+        }
+    }
+
+    let text = match input.as_deref() {
+        None | Some("-") => {
+            let mut buffer = String::new();
+            if let Err(error) = std::io::stdin().read_to_string(&mut buffer) {
+                eprintln!("promcheck: could not read stdin: {error}");
+                std::process::exit(1);
+            }
+            buffer
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("promcheck: could not read {path}: {error}");
+                std::process::exit(1);
+            }
+        },
+    };
+
+    let mut violations: Vec<String> = Vec::new();
+    // family -> declared type, from `# TYPE` lines.
+    let mut declared: BTreeMap<String, String> = BTreeMap::new();
+    let mut histogram_families: BTreeSet<String> = BTreeSet::new();
+    // histogram family -> (saw _bucket, saw +Inf bucket, saw _sum, saw _count)
+    let mut histogram_series: BTreeMap<String, [bool; 4]> = BTreeMap::new();
+    let mut seen_families: BTreeSet<String> = BTreeSet::new();
+    let mut samples = 0usize;
+
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            match parts.next() {
+                Some("HELP") => {
+                    let Some(name) = parts.next() else {
+                        violations.push(format!("line {ln}: # HELP without a metric name"));
+                        continue;
+                    };
+                    if !valid_metric_name(name) {
+                        violations.push(format!("line {ln}: invalid HELP metric name {name:?}"));
+                    }
+                }
+                Some("TYPE") => {
+                    let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                        violations.push(format!("line {ln}: # TYPE needs a name and a type"));
+                        continue;
+                    };
+                    if !valid_metric_name(name) {
+                        violations.push(format!("line {ln}: invalid TYPE metric name {name:?}"));
+                        continue;
+                    }
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        violations.push(format!("line {ln}: unknown metric type {kind:?}"));
+                        continue;
+                    }
+                    declared.insert(name.to_string(), kind.to_string());
+                    if kind == "histogram" {
+                        histogram_families.insert(name.to_string());
+                        histogram_series.entry(name.to_string()).or_default();
+                    }
+                }
+                _ => {
+                    // Other comments are legal exposition; ignore them.
+                }
+            }
+            continue;
+        }
+
+        // Sample line: `series value [timestamp]` — our exporter never
+        // emits timestamps, so require exactly `series value`.
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            violations.push(format!("line {ln}: expected `series value`, got {line:?}"));
+            continue;
+        };
+        if !valid_value(value) {
+            violations.push(format!("line {ln}: invalid sample value {value:?}"));
+            continue;
+        }
+        let Some((name, labels)) = split_series(series) else {
+            violations.push(format!("line {ln}: malformed series {series:?}"));
+            continue;
+        };
+        if !valid_metric_name(name) {
+            violations.push(format!("line {ln}: invalid metric name {name:?}"));
+            continue;
+        }
+        samples += 1;
+        let family = family_of(name, &histogram_families);
+        seen_families.insert(family.to_string());
+        if !declared.contains_key(family) {
+            violations.push(format!(
+                "line {ln}: sample {name:?} precedes its `# TYPE {family}` declaration"
+            ));
+            continue;
+        }
+        if let Some(flags) = histogram_series.get_mut(family) {
+            if name.ends_with("_bucket") {
+                flags[0] = true;
+                let has_le = labels
+                    .is_some_and(|inner| inner.split(',').any(|pair| pair.starts_with("le=")));
+                if !has_le {
+                    violations.push(format!("line {ln}: histogram bucket without an `le` label"));
+                }
+                if labels.is_some_and(|inner| inner.contains("le=\"+Inf\"")) {
+                    flags[1] = true;
+                }
+            } else if name.ends_with("_sum") {
+                flags[2] = true;
+            } else if name.ends_with("_count") {
+                flags[3] = true;
+            }
+        }
+    }
+
+    for (family, [bucket, inf, sum, count]) in &histogram_series {
+        let missing: Vec<&str> = [
+            (!bucket, "_bucket series"),
+            (!inf, "an le=\"+Inf\" bucket"),
+            (!sum, "a _sum series"),
+            (!count, "a _count series"),
+        ]
+        .into_iter()
+        .filter_map(|(missing, what)| missing.then_some(what))
+        .collect();
+        if !missing.is_empty() {
+            violations.push(format!(
+                "histogram {family} is missing {}",
+                missing.join(", ")
+            ));
+        }
+    }
+
+    for family in &required {
+        if !seen_families.contains(family) {
+            violations.push(format!("required metric family {family} is absent"));
+        }
+    }
+    if samples == 0 {
+        violations.push("document contains no samples".to_string());
+    }
+
+    if violations.is_empty() {
+        println!(
+            "promcheck: OK — {samples} samples across {} families ({} required families present)",
+            seen_families.len(),
+            required.len()
+        );
+    } else {
+        for violation in &violations {
+            eprintln!("promcheck: {violation}");
+        }
+        eprintln!("promcheck: FAILED with {} violation(s)", violations.len());
+        std::process::exit(1);
+    }
+}

@@ -45,6 +45,8 @@ struct Options {
     k: usize,
     /// Base RNG seed for the database and query pool.
     seed: u64,
+    /// Record spans during the sweep and print the stage breakdown.
+    trace: bool,
 }
 
 impl Default for Options {
@@ -57,6 +59,7 @@ impl Default for Options {
             depth: 32,
             k: 1,
             seed: 0,
+            trace: false,
         }
     }
 }
@@ -78,6 +81,7 @@ fn parse_options() -> Options {
             "--depth" => opts.depth = need(&mut args, "--depth").max(1),
             "--k" => opts.k = need(&mut args, "--k").max(1),
             "--seed" => opts.seed = need(&mut args, "--seed") as u64,
+            "--trace" => opts.trace = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -91,7 +95,7 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: serve_bench [--n N] [--queries N] [--producers N] [--requests N] \
-         [--depth N] [--k N] [--seed N]"
+         [--depth N] [--k N] [--seed N] [--trace]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }
@@ -168,6 +172,10 @@ fn main() {
         RbcParams::standard(opts.n, 42 + opts.seed),
         RbcConfig::default(),
     ));
+
+    if opts.trace {
+        rbc_bench::enable_tracing();
+    }
 
     let linger = Duration::from_micros(500);
     let mut records = Vec::new();
@@ -252,6 +260,11 @@ fn main() {
         cached.misses(),
         cached.hit_rate() * 100.0
     );
+
+    if opts.trace {
+        println!();
+        rbc_bench::print_stage_breakdown("serve_bench: stage breakdown (traced spans)");
+    }
 
     match write_json_records("serve_bench", &records) {
         Ok(path) => println!("wrote {}", path.display()),

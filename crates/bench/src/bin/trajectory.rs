@@ -74,6 +74,9 @@ struct Options {
     areas: Vec<String>,
     /// Gate tolerances (`--tol-work`, `--tol-quality`, `--tol-time`).
     tolerances: Tolerances,
+    /// Record spans while the areas run and print a per-area stage
+    /// breakdown after each summary table.
+    trace: bool,
 }
 
 impl Default for Options {
@@ -86,6 +89,7 @@ impl Default for Options {
             perturb: None,
             areas: AREAS.iter().map(|a| a.to_string()).collect(),
             tolerances: Tolerances::default(),
+            trace: false,
         }
     }
 }
@@ -135,6 +139,7 @@ fn parse_options() -> Options {
             "--tol-time" => {
                 opts.tolerances.time_rel = Some(need_f64(&mut args, "--tol-time").max(0.0))
             }
+            "--trace" => opts.trace = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -148,7 +153,8 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: trajectory [--scale F] [--seed N] [--out DIR] [--areas a,b] \
-         [--check DIR] [--perturb DIR] [--tol-work F] [--tol-quality F] [--tol-time F]"
+         [--check DIR] [--perturb DIR] [--tol-work F] [--tol-quality F] [--tol-time F] \
+         [--trace]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }
@@ -708,8 +714,15 @@ fn main() {
         opts.out.display()
     );
     for area in &opts.areas {
+        if opts.trace {
+            rbc_bench::enable_tracing();
+        }
         let file = run_area(area, opts.scale, opts.seed);
         print_summary(&file);
+        if opts.trace {
+            rbc_bench::print_stage_breakdown(&format!("trajectory: {area} stage breakdown"));
+            println!();
+        }
         match write_bench_file(&opts.out, area, &file) {
             Ok(path) => println!("wrote {}\n", path.display()),
             Err(error) => eprintln!("could not write {area} results: {error}\n"),

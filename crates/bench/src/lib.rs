@@ -43,6 +43,7 @@
 pub mod measure;
 pub mod options;
 pub mod report;
+pub mod tracebench;
 pub mod trajectory;
 
 pub use measure::{
@@ -54,6 +55,7 @@ pub use report::{
     bench_file_path, read_bench_file, write_bench_file, write_json_records, write_json_records_to,
     Table,
 };
+pub use tracebench::{enable_tracing, print_stage_breakdown};
 pub use trajectory::{
     compare_files, failure_table, perturbed, Cell, CellMetrics, CheckFailure, Tolerances,
     TrajectoryFile, AREAS, SCHEMA_VERSION,

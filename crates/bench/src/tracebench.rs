@@ -1,0 +1,47 @@
+//! `--trace` support for the bench binaries: turn sampling on for a
+//! measured region, then drain the rings and print the per-stage
+//! breakdown next to the throughput tables.
+
+use crate::Table;
+
+/// Switches span sampling to [`rbc_trace::Sampling::Always`] and clears
+/// any stale ring contents, so the next drain sees only the spans of the
+/// measured region. Call once before the measured work.
+pub fn enable_tracing() {
+    rbc_trace::clear();
+    rbc_trace::set_sampling(rbc_trace::Sampling::Always);
+}
+
+/// Drains the span rings, prints the aggregated stage breakdown as a
+/// table titled `title`, and switches sampling back off. A bench run
+/// records far more spans than [`rbc_trace::RING_CAPACITY`]; the drop
+/// count is reported rather than hidden, because the breakdown is then a
+/// tail sample of the run, not the whole run.
+pub fn print_stage_breakdown(title: &str) {
+    let records = rbc_trace::drain();
+    rbc_trace::set_sampling(rbc_trace::Sampling::Off);
+    if records.is_empty() {
+        println!("{title}: no spans recorded");
+        return;
+    }
+    let mut table = Table::new(title, &["stage", "count", "total ms", "self ms", "mean us"]);
+    for stage in rbc_trace::stage_breakdown(&records) {
+        table.row(&[
+            stage.label.to_string(),
+            stage.count.to_string(),
+            format!("{:.1}", stage.total.as_secs_f64() * 1e3),
+            format!("{:.1}", stage.self_total.as_secs_f64() * 1e3),
+            format!(
+                "{:.0}",
+                stage.total.as_secs_f64() * 1e6 / stage.count.max(1) as f64
+            ),
+        ]);
+    }
+    table.print();
+    let dropped = rbc_trace::dropped_records();
+    if dropped > 0 {
+        println!(
+            "({dropped} spans dropped by the ring buffers; the breakdown samples the tail of the run)"
+        );
+    }
+}

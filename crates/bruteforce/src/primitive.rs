@@ -105,6 +105,33 @@ pub struct GroupScanStats {
     pub evals_per_cursor: Vec<u64>,
 }
 
+/// Feeds one group scan's accounting into the global trace registry
+/// (`rbc_bf_*` counters). Only called when tracing is enabled; the
+/// registry handles are cached per thread so the steady-state cost is
+/// three relaxed atomic adds, not a registry lock per scan.
+fn record_group_scan(stats: &GroupScanStats) {
+    use std::cell::RefCell;
+    thread_local! {
+        static BF_COUNTERS: RefCell<
+            Option<(rbc_trace::Counter, rbc_trace::Counter, rbc_trace::Counter)>,
+        > = const { RefCell::new(None) };
+    }
+    BF_COUNTERS.with(|cell| {
+        let mut cell = cell.borrow_mut();
+        let (tiles, evals, skipped) = cell.get_or_insert_with(|| {
+            let registry = rbc_trace::registry();
+            (
+                registry.counter("rbc_bf_tile_passes_total"),
+                registry.counter("rbc_bf_distance_evals_total"),
+                registry.counter("rbc_bf_points_skipped_total"),
+            )
+        });
+        tiles.add(stats.tile_passes);
+        evals.add(stats.distance_evals);
+        skipped.add(stats.points_skipped);
+    });
+}
+
 /// The brute-force primitive `BF(Q, X[L])` with a fixed configuration.
 ///
 /// All methods return the result together with a [`BfStats`] describing the
@@ -443,6 +470,7 @@ impl BruteForce {
             !sorted_cut || member_dists.len() == members.len(),
             "sorted-list cut needs one representative distance per member"
         );
+        let _scan_span = rbc_trace::span("bf.group_scan");
         let db_tile = self.config.db_tile.max(1);
         let mut stats = GroupScanStats {
             evals_per_cursor: vec![0; cursors.len()],
@@ -513,6 +541,9 @@ impl BruteForce {
                 true
             });
             tile_start = tile_end;
+        }
+        if rbc_trace::enabled() {
+            record_group_scan(&stats);
         }
         stats
     }

@@ -321,7 +321,12 @@ where
     M: Metric<Q::Item>,
     F: Fn(usize, usize) -> GroupCursor + Sync,
 {
+    // Group scans may run on rayon pool threads; capture the enclosing
+    // span's context here so each group's span parents under it rather
+    // than starting an orphan trace on the pool thread.
+    let scan_ctx = rbc_trace::current();
     let scan = |gi: usize| -> GroupScanStats {
+        let _group_span = rbc_trace::span_under("core.scan.group", scan_ctx);
         let group = &plan.groups[gi];
         let list = &lists[group.list_index];
         let cursors: Vec<GroupCursor> = group

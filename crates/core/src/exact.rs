@@ -276,11 +276,15 @@ where
         let n_reps = self.rep_indices.len();
 
         // Stage 1: one dense BF(Q, R) pass, all distances retained.
+        let stage1_span = rbc_trace::span("core.stage1");
         let rep_view = self.db.subset(&self.rep_indices);
         let (rep_dists, rep_stats) = bf.pairwise(queries, &rep_view, &self.metric);
+        drop(stage1_span);
 
         // Invert the survivor sets: for each list, who must scan it.
+        let plan_span = rbc_trace::span("core.plan");
         let plan = BatchPlan::plan_exact(&rep_dists, &self.lists, k, &self.config);
+        drop(plan_span);
 
         // Seed every accumulator with the representatives (same corner-case
         // and (1+ε)-soundness argument as the single-query path).
@@ -302,6 +306,7 @@ where
             parallel: false,
             ..self.config.bf
         });
+        let _scan_span = rbc_trace::span("core.scan");
         batch_plan::execute_list_major(
             &inner_bf,
             self.config.bf.parallel,

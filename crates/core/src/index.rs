@@ -72,6 +72,27 @@ pub trait SearchIndex {
         }
         (results, evals)
     }
+
+    /// Like [`search_batch`], but additionally reports a per-query
+    /// *degraded* flag: `true` when that query's answer is a flagged
+    /// partial result (some of the index was unreachable — e.g. an
+    /// unreplicated shard was down) rather than the full exact answer.
+    ///
+    /// The default implementation answers every query un-degraded, which
+    /// is correct for any single-machine index; distributed or otherwise
+    /// fallible indexes override it so the serving layer can propagate
+    /// the flag to each caller.
+    ///
+    /// [`search_batch`]: Self::search_batch
+    fn search_batch_flagged(
+        &self,
+        queries: &[&Self::Query],
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, Vec<bool>, u64) {
+        let (results, evals) = self.search_batch(queries, k);
+        let degraded = vec![false; results.len()];
+        (results, degraded, evals)
+    }
 }
 
 /// Every `&I` is as searchable as `I` itself; the serving layer relies on
@@ -90,6 +111,14 @@ impl<I: SearchIndex + ?Sized> SearchIndex for &I {
     fn search_batch(&self, queries: &[&Self::Query], k: usize) -> (Vec<Vec<Neighbor>>, u64) {
         (**self).search_batch(queries, k)
     }
+
+    fn search_batch_flagged(
+        &self,
+        queries: &[&Self::Query],
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, Vec<bool>, u64) {
+        (**self).search_batch_flagged(queries, k)
+    }
 }
 
 impl<I: SearchIndex + ?Sized> SearchIndex for std::sync::Arc<I> {
@@ -105,6 +134,14 @@ impl<I: SearchIndex + ?Sized> SearchIndex for std::sync::Arc<I> {
 
     fn search_batch(&self, queries: &[&Self::Query], k: usize) -> (Vec<Vec<Neighbor>>, u64) {
         (**self).search_batch(queries, k)
+    }
+
+    fn search_batch_flagged(
+        &self,
+        queries: &[&Self::Query],
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, Vec<bool>, u64) {
+        (**self).search_batch_flagged(queries, k)
     }
 }
 

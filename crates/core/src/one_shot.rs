@@ -202,15 +202,20 @@ where
         // Stage 1: one dense BF(Q, R) pass; argmin per row picks the
         // representative (ties to the lower index, like the query-major
         // reduction).
+        let stage1_span = rbc_trace::span("core.stage1");
         let rep_view = self.db.subset(&self.rep_indices);
         let (rep_dists, rep_stats) = bf.pairwise(queries, &rep_view, &self.metric);
+        drop(stage1_span);
+        let plan_span = rbc_trace::span("core.plan");
         let plan = BatchPlan::plan_one_shot(&rep_dists, n_reps);
+        drop(plan_span);
 
         let accumulators: Vec<Mutex<TopK>> = (0..nq).map(|_| Mutex::new(TopK::new(k))).collect();
         let inner_bf = BruteForce::with_config(BfConfig {
             parallel: false,
             ..self.config.bf
         });
+        let _scan_span = rbc_trace::span("core.scan");
         batch_plan::execute_list_major(
             &inner_bf,
             self.config.bf.parallel,

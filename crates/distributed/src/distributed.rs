@@ -513,6 +513,7 @@ where
         let n_reps = reps.len();
 
         // Stage 1, coordinator: one dense BF(Q, R), all distances kept.
+        let plan_span = rbc_trace::span("dist.plan");
         let coordinator_bf = BruteForce::with_config(config.bf);
         let rep_view = db.subset(reps);
         let (rep_dists, rep_stats) = coordinator_bf.pairwise(queries, &rep_view, metric);
@@ -524,9 +525,12 @@ where
         // that spiked one replica last batch is steered to another one
         // this batch — routing balances *observed traffic*, not storage.
         let plan = BatchPlan::plan_exact(&rep_dists, lists, k, config);
+        drop(plan_span);
+        let route_span = rbc_trace::span("dist.route");
         let mut est: Vec<u64> = self.load.snapshot().iter().map(|l| l.evals).collect();
         let live = self.health.live_view();
         let (mut parts, mut lost) = self.route_parts(&plan, &live, &mut est);
+        drop(route_span);
 
         // Worker rounds: nodes run in parallel with each other, each
         // executing only its own sub-plan over its shard through the same
@@ -547,6 +551,10 @@ where
         let mut comm = CommCost::default();
         let mut per_node_loads: Vec<NodeLoad> =
             (0..self.cluster.nodes).map(NodeLoad::idle).collect();
+        // Per-node executions run on rayon threads; capture the scan
+        // span's context here so each node's span parents under it.
+        let scan_span = rbc_trace::span("dist.scan");
+        let scan_ctx = scan_span.ctx();
         loop {
             let contacted: Vec<usize> = (0..self.cluster.nodes)
                 .filter(|&nd| !parts[nd].groups.is_empty())
@@ -560,6 +568,7 @@ where
                     if !self.health.contact(nd) {
                         return None;
                     }
+                    let _node_span = rbc_trace::span_under("dist.node", scan_ctx);
                     let part = &parts[nd];
                     let accumulators: Vec<Mutex<TopK>> =
                         (0..nq).map(|_| Mutex::new(TopK::new(k))).collect();
@@ -640,6 +649,8 @@ where
             lost.extend(newly_lost);
             parts = retry_parts;
         }
+        drop(scan_span);
+        let merge_span = rbc_trace::span("dist.merge");
 
         // Degradation: queries with lost groups are answered with the
         // provably-unaffected prefix. Every point of lost list ℓ is at
@@ -678,6 +689,7 @@ where
                 sorted
             })
             .collect();
+        drop(merge_span);
 
         // Accounting: per-round fan-out, per-node load.
         let mut lists_scanned = 0u64;
@@ -764,6 +776,21 @@ where
     fn search_batch(&self, queries: &[&D::Item], k: usize) -> (Vec<Vec<Neighbor>>, u64) {
         let (results, stats) = self.query_batch_exact(&QueryBatch::new(queries), k);
         (results, stats.total_evals())
+    }
+
+    /// The sharded index is the one index in the workspace that can
+    /// legitimately degrade: a query whose lists were lost (no live
+    /// replica) is answered with a flagged provably-correct prefix. The
+    /// per-query flags come straight from
+    /// [`DistributedQueryStats::degraded`].
+    fn search_batch_flagged(
+        &self,
+        queries: &[&D::Item],
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, Vec<bool>, u64) {
+        let (results, stats) = self.query_batch_exact(&QueryBatch::new(queries), k);
+        let evals = stats.total_evals();
+        (results, stats.degraded, evals)
     }
 }
 

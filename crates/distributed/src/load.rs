@@ -14,10 +14,11 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use serde::Serialize;
+use rbc_trace::{Collector, MetricSample};
+use serde::{Deserialize, Serialize};
 
 /// Work and traffic attributed to one cluster node by one query or batch.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NodeLoad {
     /// The node this record describes.
     pub node: usize,
@@ -251,6 +252,49 @@ impl ClusterLoad {
                 bytes_in: c.bytes_in.load(Ordering::Relaxed),
             })
             .collect()
+    }
+}
+
+impl Collector for ClusterLoad {
+    /// Exports the cumulative cluster counters as registry samples under
+    /// the `rbc_cluster_*` namespace: per-node work/traffic counters
+    /// (labelled `node="<index>"`), the degradation outcome counters, and
+    /// the placement summary gauges.
+    fn collect(&self) -> Vec<MetricSample> {
+        let mut out = Vec::with_capacity(5 * self.nodes.len() + 5);
+        for load in self.snapshot() {
+            let node = load.node.to_string();
+            for (name, value) in [
+                ("rbc_cluster_queries_total", load.queries),
+                ("rbc_cluster_groups_total", load.groups),
+                ("rbc_cluster_evals_total", load.evals),
+                ("rbc_cluster_bytes_out_total", load.bytes_out),
+                ("rbc_cluster_bytes_in_total", load.bytes_in),
+            ] {
+                out.push(MetricSample::counter(name, value).with_label("node", &node));
+            }
+        }
+        out.push(MetricSample::counter(
+            "rbc_cluster_degraded_queries_total",
+            self.degraded_queries(),
+        ));
+        out.push(MetricSample::counter(
+            "rbc_cluster_rerouted_groups_total",
+            self.rerouted_groups(),
+        ));
+        out.push(MetricSample::counter(
+            "rbc_cluster_lost_groups_total",
+            self.lost_groups(),
+        ));
+        out.push(MetricSample::gauge(
+            "rbc_cluster_mean_replication",
+            self.mean_replication(),
+        ));
+        out.push(MetricSample::gauge(
+            "rbc_cluster_storage_overhead",
+            self.storage_overhead(),
+        ));
+        out
     }
 }
 

@@ -227,6 +227,18 @@ impl CacheCounters {
     }
 }
 
+impl rbc_trace::Collector for CacheCounters {
+    /// Exports the hit/miss counters and the derived hit rate as registry
+    /// samples under the `rbc_cache_*` namespace.
+    fn collect(&self) -> Vec<rbc_trace::MetricSample> {
+        vec![
+            rbc_trace::MetricSample::counter("rbc_cache_hits_total", self.hits()),
+            rbc_trace::MetricSample::counter("rbc_cache_misses_total", self.misses()),
+            rbc_trace::MetricSample::gauge("rbc_cache_hit_rate", self.hit_rate()),
+        ]
+    }
+}
+
 /// A [`SearchIndex`] wrapper that answers repeated queries from an LRU
 /// cache.
 ///
@@ -317,7 +329,21 @@ where
     }
 
     fn search_batch(&self, queries: &[&Self::Query], k: usize) -> (Vec<Vec<Neighbor>>, u64) {
+        let (results, _, evals) = self.search_batch_flagged(queries, k);
+        (results, evals)
+    }
+
+    /// Cache hits are never degraded (a degraded answer is never cached:
+    /// it reflects a transient outage, and caching it would keep serving
+    /// the partial result after the index recovered); misses forward the
+    /// inner index's flags.
+    fn search_batch_flagged(
+        &self,
+        queries: &[&Self::Query],
+        k: usize,
+    ) -> (Vec<Vec<Neighbor>>, Vec<bool>, u64) {
         let mut results: Vec<Option<Vec<Neighbor>>> = vec![None; queries.len()];
+        let mut degraded = vec![false; queries.len()];
         let mut miss_positions = Vec::new();
         {
             let mut cache = self.cache.lock().expect("cache lock poisoned");
@@ -335,11 +361,14 @@ where
         let mut evals = 0u64;
         if !miss_positions.is_empty() {
             let missed: Vec<&Self::Query> = miss_positions.iter().map(|&i| queries[i]).collect();
-            let (answers, work) = self.inner.search_batch(&missed, k);
+            let (answers, flags, work) = self.inner.search_batch_flagged(&missed, k);
             evals = work;
             let mut cache = self.cache.lock().expect("cache lock poisoned");
-            for (&i, answer) in miss_positions.iter().zip(answers) {
-                cache.insert(Self::key_of(queries[i], k), answer.clone());
+            for ((&i, answer), flag) in miss_positions.iter().zip(answers).zip(flags) {
+                if !flag {
+                    cache.insert(Self::key_of(queries[i], k), answer.clone());
+                }
+                degraded[i] = flag;
                 results[i] = Some(answer);
             }
         }
@@ -348,6 +377,7 @@ where
                 .into_iter()
                 .map(|r| r.expect("every position filled"))
                 .collect(),
+            degraded,
             evals,
         )
     }

@@ -160,6 +160,12 @@ where
         let index = Arc::new(index);
         let queue = Arc::new(SubmitQueue::new(config.queue_capacity));
         let metrics = Arc::new(ServeMetrics::new(config.max_batch));
+        // Publish this engine's metrics (and whatever cache/cluster
+        // counters get tracked later) through the global trace registry,
+        // so one exposition endpoint covers every layer. The slot is
+        // replaced, not accumulated: the most recently started engine
+        // owns it.
+        rbc_trace::registry().register_collector("serve", Arc::clone(&metrics) as _);
         let workers = (0..config.workers)
             .map(|worker_id| {
                 let index = Arc::clone(&index);
@@ -277,6 +283,15 @@ fn execute_batch<I: SearchIndex, O: Borrow<I::Query>>(
         return;
     }
 
+    // Root span for the batch; each request's queue wait (submission to
+    // dispatch, covering queueing + linger) predates the span, so it is
+    // recorded retroactively as a child interval.
+    let batch_span = rbc_trace::span("serve.batch");
+    let batch_ctx = batch_span.ctx();
+    for request in &live {
+        rbc_trace::record_interval("serve.queue_wait", batch_ctx, request.submitted_at, now);
+    }
+
     let k_max = live.iter().map(|r| r.k).max().expect("nonempty");
     let queries: Vec<&I::Query> = live.iter().map(|r| r.query.borrow()).collect();
     // A panicking index (poisoned cache lock, dimension assert, a bug)
@@ -286,15 +301,22 @@ fn execute_batch<I: SearchIndex, O: Borrow<I::Query>>(
     // here because nothing of ours is mutated across the call — `index`
     // is only shared by reference and its own interior state (e.g. a
     // cache mutex) uses poisoning to surface the torn write.
-    let searched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        index.search_batch(&queries, k_max)
-    }));
+    let searched = {
+        let _search_span = rbc_trace::span_under("serve.search", batch_ctx);
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            index.search_batch_flagged(&queries, k_max)
+        }))
+    };
     drop(queries);
     // A result-count mismatch is the same bug class as a panic (a broken
     // index implementation) and must fail the same way — zipping short
     // would leave the unmatched tickets uncompleted, hanging producers.
-    let (answers, evals) = match searched {
-        Ok((answers, evals)) if answers.len() == live.len() => (answers, evals),
+    let (answers, degraded, evals) = match searched {
+        Ok((answers, degraded, evals))
+            if answers.len() == live.len() && degraded.len() == live.len() =>
+        {
+            (answers, degraded, evals)
+        }
         Ok(_) | Err(_) => {
             metrics.record_failed(live.len());
             for request in live {
@@ -304,9 +326,10 @@ fn execute_batch<I: SearchIndex, O: Borrow<I::Query>>(
         }
     };
 
+    let _respond_span = rbc_trace::span_under("serve.respond", batch_ctx);
     let batch_size = live.len();
     let mut latencies = Vec::with_capacity(batch_size);
-    for (request, mut neighbors) in live.into_iter().zip(answers) {
+    for ((request, mut neighbors), degraded) in live.into_iter().zip(answers).zip(degraded) {
         neighbors.truncate(request.k);
         let latency = request.submitted_at.elapsed();
         latencies.push(latency);
@@ -314,6 +337,7 @@ fn execute_batch<I: SearchIndex, O: Borrow<I::Query>>(
             neighbors,
             latency,
             batch_size,
+            degraded,
         }));
     }
     metrics.record_batch(batch_size, evals, &latencies);

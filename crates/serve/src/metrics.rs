@@ -7,13 +7,22 @@
 //! JSON reports the rest of `rbc-bench` produces.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use rbc_distributed::{ClusterLoad, NodeLoad};
-use serde::Serialize;
+use rbc_trace::{Collector, MetricSample, MetricValue};
+use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheCounters;
+
+/// Locks `mutex`, recovering the data if a panicking worker poisoned it.
+/// Metrics are monotone counters and histograms — every individual write
+/// leaves them consistent — so serving a snapshot after a worker panic is
+/// strictly better than taking the metrics endpoint down with it.
+fn recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Number of power-of-two latency buckets (bucket `i` covers
 /// `[2^i, 2^{i+1})` microseconds; 40 buckets reach ~12.7 days).
@@ -66,9 +75,11 @@ impl LatencyHistogram {
 
     /// Approximate `q`-quantile in microseconds (`q` in `[0, 1]`).
     ///
-    /// Resolution is the power-of-two bucket the quantile lands in; the
-    /// reported value is the bucket's upper bound capped at the observed
-    /// maximum, so quantiles are monotone and never exceed `max_us`.
+    /// The quantile's rank is located in the power-of-two bucket it lands
+    /// in, then linearly interpolated within that bucket assuming samples
+    /// spread uniformly across it — rather than reporting the raw bucket
+    /// upper bound, which would bias every percentile high by up to 2x.
+    /// Results are monotone in `q` and never exceed `max_us`.
     pub fn quantile_us(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -76,17 +87,52 @@ impl LatencyHistogram {
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
+            let before = seen;
             seen += c;
-            if seen >= rank {
+            if c > 0 && seen >= rank {
+                // Bucket `i` covers `[2^i, 2^{i+1})` (sub-microsecond
+                // samples clamp into bucket 0, whose floor is 1).
+                let lower = 1u64 << i;
                 let upper = if i + 1 >= 64 {
-                    u64::MAX
+                    self.max_us.max(lower)
                 } else {
                     (1u64 << (i + 1)) - 1
                 };
-                return upper.min(self.max_us);
+                let frac = (rank - before) as f64 / c as f64;
+                let value = lower as f64 + frac * upper.saturating_sub(lower) as f64;
+                return (value.round() as u64).min(self.max_us);
             }
         }
         self.max_us
+    }
+
+    /// The histogram as a cumulative [`rbc_trace::HistogramSnapshot`], for
+    /// export through the unified registry. Bucket `le` bounds are the
+    /// inclusive upper edges `2^{i+1} - 1`; empty leading/trailing buckets
+    /// past the last occupied one are trimmed.
+    pub fn trace_snapshot(&self) -> rbc_trace::HistogramSnapshot {
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1);
+        let mut cumulative = 0u64;
+        let buckets = self.buckets[..last]
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                cumulative += c;
+                rbc_trace::BucketCount {
+                    le: ((1u128 << (i + 1)) - 1) as f64,
+                    count: cumulative,
+                }
+            })
+            .collect();
+        rbc_trace::HistogramSnapshot {
+            buckets,
+            sum: self.sum_us,
+            count: self.count,
+        }
     }
 }
 
@@ -138,7 +184,7 @@ impl ServeMetrics {
     /// Registers an answer cache's counters so snapshots report hit/miss
     /// counts and the hit rate. Replaces any previously tracked cache.
     pub fn track_cache(&self, counters: Arc<CacheCounters>) {
-        *self.cache.lock().expect("metrics lock poisoned") = Some(counters);
+        *recover(&self.cache) = Some(counters);
     }
 
     /// Registers a sharded index's cumulative per-node counters (see
@@ -147,7 +193,7 @@ impl ServeMetrics {
     /// shard skew visible from the serving layer. Replaces any previously
     /// tracked cluster.
     pub fn track_cluster(&self, load: Arc<ClusterLoad>) {
-        *self.cluster.lock().expect("metrics lock poisoned") = Some(load);
+        *recover(&self.cluster) = Some(load);
     }
 
     pub(crate) fn record_submitted(&self) {
@@ -184,11 +230,11 @@ impl ServeMetrics {
         self.completed.fetch_add(live as u64, Ordering::Relaxed);
         self.distance_evals.fetch_add(evals, Ordering::Relaxed);
         {
-            let mut hist = self.batch_hist.lock().expect("metrics lock poisoned");
+            let mut hist = recover(&self.batch_hist);
             let slot = live.min(hist.len() - 1);
             hist[slot] += 1;
         }
-        let mut latency = self.latency.lock().expect("metrics lock poisoned");
+        let mut latency = recover(&self.latency);
         for &sample in latencies {
             latency.record(sample);
         }
@@ -201,7 +247,7 @@ impl ServeMetrics {
         let batches = self.batches.load(Ordering::Relaxed);
         let batched_queries = self.batched_queries.load(Ordering::Relaxed);
         let batch_size_histogram: Vec<BatchSizeBucket> = {
-            let hist = self.batch_hist.lock().expect("metrics lock poisoned");
+            let hist = recover(&self.batch_hist);
             hist.iter()
                 .enumerate()
                 .filter(|(_, &count)| count > 0)
@@ -211,14 +257,11 @@ impl ServeMetrics {
                 })
                 .collect()
         };
-        let latency = self.latency.lock().expect("metrics lock poisoned").clone();
-        let (cache_hits, cache_misses, cache_hit_rate) = self
-            .cache
-            .lock()
-            .expect("metrics lock poisoned")
+        let latency = recover(&self.latency).clone();
+        let (cache_hits, cache_misses, cache_hit_rate) = recover(&self.cache)
             .as_ref()
             .map_or((0, 0, 0.0), |c| (c.hits(), c.misses(), c.hit_rate()));
-        let cluster = self.cluster.lock().expect("metrics lock poisoned");
+        let cluster = recover(&self.cluster);
         let node_loads = cluster
             .as_ref()
             .map_or_else(Vec::new, |load| load.snapshot());
@@ -273,8 +316,60 @@ impl ServeMetrics {
     }
 }
 
+impl Collector for ServeMetrics {
+    /// Exports the engine's counters, gauges and latency histogram as
+    /// registry samples under the `rbc_serve_*` namespace, plus any
+    /// tracked cache (`rbc_cache_*`) and cluster (`rbc_cluster_*`)
+    /// counters — one registry, one exposition endpoint, every layer.
+    fn collect(&self) -> Vec<MetricSample> {
+        let mut out = vec![
+            MetricSample::counter(
+                "rbc_serve_submitted_total",
+                self.submitted.load(Ordering::Relaxed),
+            ),
+            MetricSample::counter(
+                "rbc_serve_completed_total",
+                self.completed.load(Ordering::Relaxed),
+            ),
+            MetricSample::counter("rbc_serve_shed_total", self.shed.load(Ordering::Relaxed)),
+            MetricSample::counter(
+                "rbc_serve_rejected_total",
+                self.rejected.load(Ordering::Relaxed),
+            ),
+            MetricSample::counter(
+                "rbc_serve_failed_total",
+                self.failed.load(Ordering::Relaxed),
+            ),
+            MetricSample::counter(
+                "rbc_serve_batches_total",
+                self.batches.load(Ordering::Relaxed),
+            ),
+            MetricSample::counter(
+                "rbc_serve_batched_queries_total",
+                self.batched_queries.load(Ordering::Relaxed),
+            ),
+            MetricSample::counter(
+                "rbc_serve_distance_evals_total",
+                self.distance_evals.load(Ordering::Relaxed),
+            ),
+        ];
+        out.push(MetricSample {
+            name: "rbc_serve_latency_us".to_owned(),
+            labels: Vec::new(),
+            value: MetricValue::Histogram(recover(&self.latency).trace_snapshot()),
+        });
+        if let Some(cache) = recover(&self.cache).as_ref() {
+            out.extend(cache.collect());
+        }
+        if let Some(cluster) = recover(&self.cluster).as_ref() {
+            out.extend(cluster.collect());
+        }
+        out
+    }
+}
+
 /// One bar of the achieved-batch-size histogram.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BatchSizeBucket {
     /// Live batch size.
     pub batch_size: u64,
@@ -283,7 +378,10 @@ pub struct BatchSizeBucket {
 }
 
 /// A serialisable point-in-time copy of an engine's metrics.
-#[derive(Clone, Debug, Serialize)]
+///
+/// Round-trips through `serde_json` (`Serialize` and `Deserialize`), so
+/// downstream tooling can reload the reports `serve_bench` writes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Seconds since the engine started.
     pub uptime_secs: f64,
@@ -378,6 +476,38 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_interpolate_within_buckets_against_exact_values() {
+        // 128 samples spread uniformly across one bucket ([1024, 2048)):
+        // interpolation should land within a couple percent of the exact
+        // order statistic, where the old upper-bound answer was a flat
+        // 2047 for every percentile.
+        let mut h = LatencyHistogram::default();
+        let samples: Vec<u64> = (0..128).map(|i| 1024 + 8 * i).collect();
+        for &us in &samples {
+            h.record(Duration::from_micros(us));
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.50, 0.95, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[rank - 1];
+            let approx = h.quantile_us(q);
+            let err = (approx as f64 - exact as f64).abs();
+            assert!(
+                err <= 0.02 * exact as f64 + 8.0,
+                "q={q}: interpolated {approx} vs exact {exact}"
+            );
+        }
+        // A single sample reports (close to) itself, not its bucket's
+        // upper bound: 1500 sits in [1024, 2048) and interpolation with
+        // rank 1 of 1 reaches the bucket top, but the observed-max cap
+        // pulls it back to the exact value.
+        let mut one = LatencyHistogram::default();
+        one.record(Duration::from_micros(1500));
+        assert_eq!(one.quantile_us(0.99), 1500);
+    }
+
+    #[test]
     fn quantile_hits_the_right_bucket_for_a_bimodal_load() {
         let mut h = LatencyHistogram::default();
         // 90 fast samples (~8us), 10 slow (~8ms).
@@ -440,6 +570,96 @@ mod tests {
         assert!(json.contains("\"batch_size_histogram\""));
         assert!(json.contains("\"cache_hit_rate\""));
         assert!(json.contains("\"node_loads\""));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_the_serde_json_shim() {
+        let m = ServeMetrics::new(8);
+        for _ in 0..3 {
+            m.record_submitted();
+        }
+        m.record_shed();
+        m.record_batch(
+            2,
+            100,
+            &[Duration::from_micros(40), Duration::from_micros(60)],
+        );
+        let load = Arc::new(ClusterLoad::with_placement(2, 4, 1.5, 1.2));
+        load.absorb(&[NodeLoad {
+            node: 1,
+            queries: 4,
+            groups: 2,
+            evals: 100,
+            bytes_out: 640,
+            bytes_in: 80,
+        }]);
+        load.record_outcome(1, 2, 0);
+        m.track_cluster(load);
+        let snapshot = m.snapshot();
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_panicking() {
+        let m = Arc::new(ServeMetrics::new(4));
+        m.record_batch(1, 10, &[Duration::from_micros(3)]);
+        // Poison both histogram locks the way a panicking worker would.
+        for poison in [true, false] {
+            let m = Arc::clone(&m);
+            let _ = std::thread::spawn(move || {
+                let _latency = m.latency.lock().unwrap();
+                let _hist = m.batch_hist.lock().unwrap();
+                if poison {
+                    panic!("poison the metrics locks");
+                }
+            })
+            .join();
+        }
+        // Snapshots and further recording must keep working.
+        assert_eq!(m.snapshot().completed, 1);
+        m.record_batch(1, 10, &[Duration::from_micros(5)]);
+        let s = m.snapshot();
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.batches, 2);
+        assert!(s.latency_p50_us > 0);
+    }
+
+    #[test]
+    fn collector_exports_the_unified_namespace() {
+        let m = ServeMetrics::new(8);
+        m.record_submitted();
+        m.record_batch(1, 42, &[Duration::from_micros(100)]);
+        let counters = Arc::new(CacheCounters::default());
+        counters.record_hits(2);
+        counters.record_misses(1);
+        m.track_cache(counters);
+        m.track_cluster(Arc::new(ClusterLoad::new(2)));
+        let samples = m.collect();
+        let find = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing sample {name}"))
+        };
+        assert_eq!(
+            find("rbc_serve_distance_evals_total").value,
+            MetricValue::Counter(42)
+        );
+        match &find("rbc_serve_latency_us").value {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 1);
+                assert_eq!(h.sum, 100);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // Tracked cache and cluster counters flow into the same sample
+        // stream — one namespace across serve, cache and cluster layers.
+        assert_eq!(find("rbc_cache_hits_total").value, MetricValue::Counter(2));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "rbc_cluster_queries_total"));
     }
 
     #[test]

@@ -18,6 +18,11 @@ pub struct ServeReply {
     /// Number of live queries in the micro-batch this request rode in —
     /// the "achieved batch size" the engine exists to maximise.
     pub batch_size: usize,
+    /// Whether this answer is a flagged partial result — part of the
+    /// index was unreachable when the batch executed (e.g. an
+    /// unreplicated shard was down), so the neighbors may be a subset of
+    /// the true answer. Always `false` for indexes that cannot degrade.
+    pub degraded: bool,
 }
 
 /// Shared completion slot between a worker and a waiting producer.
@@ -86,6 +91,7 @@ mod tests {
             neighbors: vec![Neighbor::new(3, 0.5)],
             latency: Duration::from_micros(10),
             batch_size,
+            degraded: false,
         }
     }
 

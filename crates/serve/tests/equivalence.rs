@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use rbc_core::{ExactRbc, OneShotRbc, RbcConfig, RbcParams, SearchIndex};
+use rbc_distributed::{ClusterConfig, DistributedRbc};
 use rbc_metric::{Euclidean, VectorSet};
 use rbc_serve::{Engine, ServeConfig, ServeReply};
 
@@ -63,6 +64,10 @@ where
                     assert_eq!(
                         reply.neighbors, direct,
                         "producer {p} query {i}: served answer diverged from direct query"
+                    );
+                    assert!(
+                        !reply.degraded,
+                        "producer {p} query {i}: a healthy index must never degrade"
                     );
                     out.push(reply);
                 }
@@ -151,6 +156,60 @@ fn one_shot_rbc_served_answers_equal_direct_answers() {
         let (replies, _) = run_load_test(Arc::clone(&index), policy, 2, 15, 2);
         assert_eq!(replies.len(), 30);
     }
+}
+
+#[test]
+fn degraded_replies_carry_the_flag_through_the_engine() {
+    let db = cloud(800, 6, 7);
+    let index = ExactRbc::build(
+        db.clone(),
+        Euclidean,
+        RbcParams::standard(800, 8),
+        RbcConfig::default(),
+    );
+    // Unreplicated placement: killing one node loses its lists outright.
+    let sharded = DistributedRbc::from_exact(index, ClusterConfig::with_nodes(4), db.dim());
+    let health = sharded.health();
+    let engine = Engine::start(
+        sharded,
+        ServeConfig::default()
+            .with_workers(1)
+            .with_linger(Duration::from_micros(200)),
+    )
+    .expect("valid config");
+    let handle = engine.handle();
+
+    // Healthy cluster: every served reply is un-degraded.
+    for i in 0..10 {
+        let reply = handle
+            .submit(db.point(i).to_vec(), 2)
+            .unwrap()
+            .wait()
+            .expect("served");
+        assert!(!reply.degraded, "query {i} degraded on a healthy cluster");
+    }
+
+    // Kill a node. Self-queries of the points whose (unreplicated) lists
+    // it owned must now come back flagged — the per-request degradation
+    // contract surfacing through `ServeReply`.
+    health.fail(0);
+    let tickets: Vec<_> = (0..200)
+        .map(|i| handle.submit(db.point(i).to_vec(), 2).unwrap())
+        .collect();
+    let replies: Vec<ServeReply> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("served"))
+        .collect();
+    let degraded = replies.iter().filter(|r| r.degraded).count();
+    assert!(
+        degraded > 0,
+        "killing an unreplicated node must degrade the queries that owned its lists"
+    );
+    // A degraded answer is a provably-correct *prefix*: possibly shorter
+    // than k, never longer.
+    assert!(replies.iter().all(|r| r.neighbors.len() <= 2));
+    let snapshot = engine.shutdown();
+    assert_eq!(snapshot.degraded_queries, 0, "cluster was never tracked");
 }
 
 #[test]

@@ -1,0 +1,253 @@
+//! Exporters: JSON snapshot, Prometheus text exposition, and
+//! folded-stack profiles for flamegraph tooling.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use serde::Value;
+
+use crate::registry::{registry, MetricSample, MetricValue};
+use crate::span::SpanRecord;
+
+/// Renders metric samples as a JSON value tree:
+/// `{"metrics": [{"name", "labels", "type", ...}, ...]}`.
+pub fn metrics_to_value(samples: &[MetricSample]) -> Value {
+    let metrics = samples
+        .iter()
+        .map(|sample| {
+            let labels = Value::Object(
+                sample
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                    .collect(),
+            );
+            let mut fields = vec![
+                ("name".to_owned(), Value::Str(sample.name.clone())),
+                ("labels".to_owned(), labels),
+            ];
+            match &sample.value {
+                MetricValue::Counter(v) => {
+                    fields.push(("type".to_owned(), Value::Str("counter".to_owned())));
+                    fields.push(("value".to_owned(), Value::UInt(*v)));
+                }
+                MetricValue::Gauge(v) => {
+                    fields.push(("type".to_owned(), Value::Str("gauge".to_owned())));
+                    fields.push(("value".to_owned(), Value::Float(*v)));
+                }
+                MetricValue::Histogram(h) => {
+                    fields.push(("type".to_owned(), Value::Str("histogram".to_owned())));
+                    fields.push(("count".to_owned(), Value::UInt(h.count)));
+                    fields.push(("sum".to_owned(), Value::UInt(h.sum)));
+                    fields.push((
+                        "buckets".to_owned(),
+                        Value::Array(
+                            h.buckets
+                                .iter()
+                                .map(|b| {
+                                    Value::Object(vec![
+                                        ("le".to_owned(), Value::Float(b.le)),
+                                        ("count".to_owned(), Value::UInt(b.count)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+            }
+            Value::Object(fields)
+        })
+        .collect();
+    Value::Object(vec![("metrics".to_owned(), Value::Array(metrics))])
+}
+
+/// Serialises the global registry's current state as pretty JSON.
+pub fn json_snapshot() -> String {
+    serde_json::to_string_pretty(&metrics_to_value(&registry().snapshot()))
+        .unwrap_or_else(|error| format!("{{\"error\": \"{error}\"}}"))
+}
+
+fn fmt_number(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:?}")
+    }
+}
+
+fn fmt_labels(labels: &[(String, String)], extra: Option<(&str, String)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Renders metric samples in the Prometheus text exposition format:
+/// one `# TYPE` line per family, `_bucket`/`_sum`/`_count` series for
+/// histograms (with a closing `+Inf` bucket).
+pub fn prometheus_text(samples: &[MetricSample]) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<(&str, &str)> = None;
+    for sample in samples {
+        let kind = match &sample.value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        };
+        if last_family != Some((sample.name.as_str(), kind)) {
+            out.push_str(&format!("# TYPE {} {kind}\n", sample.name));
+            last_family = Some((sample.name.as_str(), kind));
+        }
+        match &sample.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!(
+                    "{}{} {v}\n",
+                    sample.name,
+                    fmt_labels(&sample.labels, None)
+                ));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    sample.name,
+                    fmt_labels(&sample.labels, None),
+                    fmt_number(*v)
+                ));
+            }
+            MetricValue::Histogram(h) => {
+                for bucket in &h.buckets {
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        sample.name,
+                        fmt_labels(&sample.labels, Some(("le", fmt_number(bucket.le)))),
+                        bucket.count
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    sample.name,
+                    fmt_labels(&sample.labels, Some(("le", "+Inf".to_owned()))),
+                    h.count
+                ));
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    sample.name,
+                    fmt_labels(&sample.labels, None),
+                    h.sum
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    sample.name,
+                    fmt_labels(&sample.labels, None),
+                    h.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the global registry's current state in the Prometheus text
+/// exposition format.
+pub fn prometheus_snapshot() -> String {
+    prometheus_text(&registry().snapshot())
+}
+
+/// Collapses span records into folded-stack lines
+/// (`root;child;leaf <self_time_us>`), the input format of flamegraph
+/// tooling. Self time is a span's duration minus its recorded children's
+/// durations, clamped at zero; lines are merged per unique stack and
+/// sorted for determinism. Spans whose parent is missing from `records`
+/// (still open, or evicted from a ring) are treated as roots.
+pub fn folded_stacks(records: &[SpanRecord]) -> String {
+    let by_id: BTreeMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+    let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    for record in records {
+        if let Some(parent) = record.parent {
+            if by_id.contains_key(&parent) {
+                *child_ns.entry(parent).or_insert(0) += record.dur_ns;
+            }
+        }
+    }
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for record in records {
+        let mut stack = vec![record.label];
+        let mut cursor = record.parent;
+        while let Some(id) = cursor {
+            match by_id.get(&id) {
+                Some(parent) => {
+                    stack.push(parent.label);
+                    cursor = parent.parent;
+                }
+                None => break,
+            }
+        }
+        stack.reverse();
+        let self_ns = record
+            .dur_ns
+            .saturating_sub(child_ns.get(&record.id).copied().unwrap_or(0));
+        *folded.entry(stack.join(";")).or_insert(0) += self_ns / 1_000;
+    }
+    let mut out = String::new();
+    for (stack, us) in folded {
+        out.push_str(&format!("{stack} {us}\n"));
+    }
+    out
+}
+
+/// Aggregate of one stage label across a span stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// The stage label.
+    pub label: &'static str,
+    /// Spans recorded with this label.
+    pub count: u64,
+    /// Sum of the spans' durations.
+    pub total: Duration,
+    /// Sum of the spans' *self* time (duration minus recorded children).
+    pub self_total: Duration,
+}
+
+/// Aggregates span records per stage label, sorted by descending total
+/// time — the per-stage breakdown `--trace` modes print.
+pub fn stage_breakdown(records: &[SpanRecord]) -> Vec<StageBreakdown> {
+    let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    let ids: std::collections::BTreeSet<u64> = records.iter().map(|r| r.id).collect();
+    for record in records {
+        if let Some(parent) = record.parent {
+            if ids.contains(&parent) {
+                *child_ns.entry(parent).or_insert(0) += record.dur_ns;
+            }
+        }
+    }
+    let mut stages: BTreeMap<&'static str, (u64, u64, u64)> = BTreeMap::new();
+    for record in records {
+        let entry = stages.entry(record.label).or_insert((0, 0, 0));
+        entry.0 += 1;
+        entry.1 += record.dur_ns;
+        entry.2 += record
+            .dur_ns
+            .saturating_sub(child_ns.get(&record.id).copied().unwrap_or(0));
+    }
+    let mut out: Vec<StageBreakdown> = stages
+        .into_iter()
+        .map(|(label, (count, total_ns, self_ns))| StageBreakdown {
+            label,
+            count,
+            total: Duration::from_nanos(total_ns),
+            self_total: Duration::from_nanos(self_ns),
+        })
+        .collect();
+    out.sort_by(|a, b| b.total.cmp(&a.total).then(a.label.cmp(b.label)));
+    out
+}

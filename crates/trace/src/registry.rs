@@ -1,0 +1,384 @@
+//! The unified telemetry registry: named counters, gauges and
+//! histograms, plus pluggable collectors that expose existing metric
+//! structs (the serving engine's `ServeMetrics`, the cluster's
+//! `ClusterLoad`, the answer cache's `CacheCounters`) as live views over
+//! one namespace.
+//!
+//! Naming follows the Prometheus conventions: `snake_case` metric
+//! families, a `rbc_` prefix, unit suffixes (`_us`, `_bytes`) and
+//! `_total` on counters. Series within a family are distinguished by
+//! label pairs (e.g. `rbc_stage_duration_us{stage="serve.batch"}`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Number of power-of-two histogram buckets: bucket `i` counts values
+/// `<= 2^i`, so 32 buckets cover `[0, 2^31]` with an overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A monotonically increasing counter handle. Cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `v`.
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge handle holding an `f64`. Cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A power-of-two-bucketed histogram handle. Cloning shares the cells.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation (`v <= 2^i` lands in bucket `i`).
+    pub fn record(&self, v: u64) {
+        let idx = if v <= 1 {
+            0
+        } else {
+            (64 - (v - 1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy with Prometheus-style *cumulative* bucket
+    /// counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut cumulative = 0u64;
+        let buckets = self
+            .0
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, bucket)| {
+                cumulative += bucket.load(Ordering::Relaxed);
+                BucketCount {
+                    le: (1u64 << i) as f64,
+                    count: cumulative,
+                }
+            })
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            sum: self.0.sum.load(Ordering::Relaxed),
+            count: self.0.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One cumulative histogram bucket: observations `<= le`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BucketCount {
+    /// Upper bound of the bucket (inclusive).
+    pub le: f64,
+    /// Observations at or below `le` (cumulative, Prometheus-style).
+    pub count: u64,
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Cumulative bucket counts, ascending `le`.
+    pub buckets: Vec<BucketCount>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+/// The value of one exported series.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Point-in-time gauge.
+    Gauge(f64),
+    /// Bucketed distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One exported series: family name, label pairs, value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSample {
+    /// Metric family name, e.g. `rbc_serve_completed_total`.
+    pub name: String,
+    /// Label pairs distinguishing this series within the family.
+    pub labels: Vec<(String, String)>,
+    /// The series' current value.
+    pub value: MetricValue,
+}
+
+impl MetricSample {
+    /// A label-less counter sample.
+    pub fn counter(name: impl Into<String>, value: u64) -> Self {
+        Self {
+            name: name.into(),
+            labels: Vec::new(),
+            value: MetricValue::Counter(value),
+        }
+    }
+
+    /// A label-less gauge sample.
+    pub fn gauge(name: impl Into<String>, value: f64) -> Self {
+        Self {
+            name: name.into(),
+            labels: Vec::new(),
+            value: MetricValue::Gauge(value),
+        }
+    }
+
+    /// Attaches a label pair, builder-style.
+    pub fn with_label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.push((key.into(), value.into()));
+        self
+    }
+}
+
+/// A live view over an external metrics struct: collected at every
+/// registry snapshot, so the exported values are always current.
+pub trait Collector: Send + Sync {
+    /// Produces the collector's current samples.
+    fn collect(&self) -> Vec<MetricSample>;
+}
+
+type SeriesKey = (String, Vec<(String, String)>);
+
+#[derive(Default)]
+struct Inner {
+    counters: Vec<(SeriesKey, Counter)>,
+    gauges: Vec<(SeriesKey, Gauge)>,
+    histograms: Vec<(SeriesKey, Histogram)>,
+    collectors: Vec<(String, Arc<dyn Collector>)>,
+}
+
+/// A namespace of named metric handles and collectors.
+///
+/// Handles are idempotent: asking twice for the same (name, labels)
+/// series returns clones of the same underlying cells, which is what
+/// lets independent subsystems meet in one namespace. Collectors are
+/// registered under a slot name and *replace* a previous collector with
+/// the same slot, so short-lived owners (e.g. one serving engine after
+/// another) never accumulate.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+    (
+        name.to_owned(),
+        labels
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+            .collect(),
+    )
+}
+
+impl Registry {
+    /// Creates an empty registry (tests; production code uses the global
+    /// [`registry`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The counter series `name` (no labels).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// The counter series `name{labels}`.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = key(name, labels);
+        let mut inner = self.lock();
+        if let Some((_, c)) = inner.counters.iter().find(|(k, _)| *k == key) {
+            return c.clone();
+        }
+        let counter = Counter::default();
+        inner.counters.push((key, counter.clone()));
+        counter
+    }
+
+    /// The gauge series `name` (no labels).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// The gauge series `name{labels}`.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = key(name, labels);
+        let mut inner = self.lock();
+        if let Some((_, g)) = inner.gauges.iter().find(|(k, _)| *k == key) {
+            return g.clone();
+        }
+        let gauge = Gauge::default();
+        inner.gauges.push((key, gauge.clone()));
+        gauge
+    }
+
+    /// The histogram series `name` (no labels).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// The histogram series `name{labels}`.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = key(name, labels);
+        let mut inner = self.lock();
+        if let Some((_, h)) = inner.histograms.iter().find(|(k, _)| *k == key) {
+            return h.clone();
+        }
+        let histogram = Histogram::default();
+        inner.histograms.push((key, histogram.clone()));
+        histogram
+    }
+
+    /// Registers `collector` under `slot`, replacing any previous
+    /// collector in that slot.
+    pub fn register_collector(&self, slot: &str, collector: Arc<dyn Collector>) {
+        let mut inner = self.lock();
+        if let Some(existing) = inner.collectors.iter_mut().find(|(s, _)| s == slot) {
+            existing.1 = collector;
+        } else {
+            inner.collectors.push((slot.to_owned(), collector));
+        }
+    }
+
+    /// Removes the collector in `slot`, if any.
+    pub fn unregister_collector(&self, slot: &str) {
+        self.lock().collectors.retain(|(s, _)| s != slot);
+    }
+
+    /// A point-in-time copy of every series — owned handles first, then
+    /// each collector's live view — sorted by family name so exporters
+    /// can group families.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let (mut samples, collectors) = {
+            let inner = self.lock();
+            let mut samples: Vec<MetricSample> = Vec::new();
+            for ((name, labels), counter) in &inner.counters {
+                samples.push(MetricSample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: MetricValue::Counter(counter.get()),
+                });
+            }
+            for ((name, labels), gauge) in &inner.gauges {
+                samples.push(MetricSample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: MetricValue::Gauge(gauge.get()),
+                });
+            }
+            for ((name, labels), histogram) in &inner.histograms {
+                samples.push(MetricSample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: MetricValue::Histogram(histogram.snapshot()),
+                });
+            }
+            let collectors: Vec<Arc<dyn Collector>> = inner
+                .collectors
+                .iter()
+                .map(|(_, c)| Arc::clone(c))
+                .collect();
+            (samples, collectors)
+        };
+        // Collect outside the registry lock: a collector is free to take
+        // its own locks or (re)register handles.
+        for collector in collectors {
+            samples.extend(collector.collect());
+        }
+        samples.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        samples
+    }
+}
+
+/// The process-wide registry every subsystem registers into.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Name of the per-stage span-duration histogram family every sampled
+/// span feeds (label `stage` = span label, values in microseconds).
+pub const STAGE_DURATION_METRIC: &str = "rbc_stage_duration_us";
+
+thread_local! {
+    /// Per-thread cache of stage-histogram handles, so recording a span
+    /// does not take the registry lock (labels are 'static and few).
+    static STAGE_CACHE: std::cell::RefCell<Vec<(&'static str, Histogram)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Feeds one sampled span duration into the per-stage histogram family.
+pub(crate) fn record_stage_duration(label: &'static str, duration: Duration) {
+    let us = duration.as_micros().min(u128::from(u64::MAX)) as u64;
+    STAGE_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some((_, h)) = cache.iter().find(|(l, _)| *l == label) {
+            h.record(us);
+            return;
+        }
+        let h = registry().histogram_with(STAGE_DURATION_METRIC, &[("stage", label)]);
+        h.record(us);
+        cache.push((label, h));
+    });
+}

@@ -15,6 +15,12 @@
 //! ```text
 //! cargo run --release --example online_serving
 //! ```
+//!
+//! Telemetry: set `RBC_TRACE=on` (or `RBC_TRACE=<n>` for 1-in-n
+//! sampling) to record spans; the example then prints the per-stage
+//! breakdown. Set `RBC_TRACE_PROM=<path>` to also write the unified
+//! metric registry as Prometheus text exposition — CI pipes that file
+//! through `promcheck` as its observability smoke test.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -27,6 +33,9 @@ mod util;
 use util::scaled;
 
 fn main() {
+    let sampling = rbc::trace::init_from_env();
+    let tracing = sampling != rbc::trace::Sampling::Off;
+
     let n = scaled(30_000);
     let producers = 4;
     let requests_per_producer = 250;
@@ -179,4 +188,30 @@ fn main() {
         stats.cache_hit_rate * 100.0,
         stats.distance_evals
     );
+
+    // --- Telemetry: drained spans + the unified registry ------------------
+    if tracing {
+        let records = rbc::trace::drain();
+        println!(
+            "\ntraced stages ({:?} sampling, {} spans):",
+            sampling,
+            records.len()
+        );
+        for stage in rbc::trace::stage_breakdown(&records) {
+            println!(
+                "  {:<18} x{:<6} total {:>9.1} ms, self {:>9.1} ms",
+                stage.label,
+                stage.count,
+                stage.total.as_secs_f64() * 1e3,
+                stage.self_total.as_secs_f64() * 1e3,
+            );
+        }
+    }
+    if let Ok(path) = std::env::var("RBC_TRACE_PROM") {
+        let exposition = rbc::trace::prometheus_snapshot();
+        match std::fs::write(&path, &exposition) {
+            Ok(()) => println!("wrote Prometheus exposition to {path}"),
+            Err(error) => eprintln!("could not write {path}: {error}"),
+        }
+    }
 }

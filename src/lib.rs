@@ -29,6 +29,10 @@
 //! * [`serve`] (`rbc-serve`) — the online query-serving engine: concurrent
 //!   producers' queries coalesced into micro-batches (with deadlines, an
 //!   answer cache, and latency accounting) over any [`SearchIndex`].
+//! * [`trace`] (`rbc-trace`) — end-to-end tracing and unified telemetry:
+//!   sampled spans across submit → plan → route → scan → merge, a
+//!   process-wide metric registry, and JSON / Prometheus / folded-stack
+//!   exporters (see `docs/OBSERVABILITY.md`).
 //!
 //! ## Quickstart
 //!
@@ -60,6 +64,7 @@ pub use rbc_device as device;
 pub use rbc_distributed as distributed;
 pub use rbc_metric as metric;
 pub use rbc_serve as serve;
+pub use rbc_trace as trace;
 
 pub use rbc_bruteforce::{BfConfig, BruteForce, Neighbor};
 pub use rbc_core::{
