@@ -20,19 +20,35 @@
 //! thresholds tighten in list order, not nearest-first). The full grid is
 //! written as JSON under `results/batch_bench.json`.
 //!
+//! Two extra modes ride on the same workload generator:
+//!
+//! * `--tune` sweeps `query_tile × db_tile × layout` combinations over
+//!   the full batched search, prints the measured grid, and persists the
+//!   fastest shape as a [`TilePolicy`] JSON file (`--tune-out`, default
+//!   `results/tile_policy.json`). Pointing `RBC_TILE_POLICY` at that file
+//!   makes every `MachineProfile::tile_policy()` return the measured
+//!   shape — the device-profiled autotuning loop.
+//! * `--simd-check` runs the dense brute-force kernel and the batched
+//!   exact search under the forced-scalar kernel and under whatever SIMD
+//!   kernel the host detects, asserts the answers are **bit-identical**,
+//!   and reports the speedup; `--assert-speedup X` turns the dense-kernel
+//!   ratio into a hard assertion (skipped with a notice when the host has
+//!   no SIMD kernel).
+//!
 //! Usage: `batch_bench [--n N] [--queries N] [--clusters N] [--dim N]
-//! [--k N] [--seed N]`
+//! [--k N] [--seed N] [--tune [--tune-out PATH]]
+//! [--simd-check [--assert-speedup X]]`
 
 use std::time::Instant;
 
 use serde::Serialize;
 
 use rbc_bench::{write_json_records, Table};
-use rbc_bruteforce::BfConfig;
+use rbc_bruteforce::{BfConfig, BruteForce};
 use rbc_core::{BatchStrategy, ExactRbc, RbcConfig, RbcParams, SearchStats};
 use rbc_data::gaussian_mixture;
-use rbc_device::MachineProfile;
-use rbc_metric::{Dataset, Euclidean, VectorSet};
+use rbc_device::{MachineProfile, TilePolicy};
+use rbc_metric::{active_kernel, force_kernel, Dataset, Euclidean, KernelChoice, VectorSet};
 
 /// Command-line configuration of the A/B sweep.
 struct Options {
@@ -49,6 +65,15 @@ struct Options {
     k: usize,
     /// Base RNG seed for the database, stream, and representatives.
     seed: u64,
+    /// Run the tile-shape autotuning sweep instead of the A/B sweep.
+    tune: bool,
+    /// Where `--tune` persists the winning policy.
+    tune_out: String,
+    /// Run the SIMD-vs-scalar identity + speedup check instead.
+    simd_check: bool,
+    /// Minimum dense-kernel speedup `--simd-check` must observe (when the
+    /// host has a SIMD kernel at all).
+    assert_speedup: Option<f64>,
 }
 
 impl Default for Options {
@@ -60,6 +85,10 @@ impl Default for Options {
             dim: 12,
             k: 1,
             seed: 0,
+            tune: false,
+            tune_out: "results/tile_policy.json".to_string(),
+            simd_check: false,
+            assert_speedup: None,
         }
     }
 }
@@ -80,6 +109,20 @@ fn parse_options() -> Options {
             "--dim" => opts.dim = need(&mut args, "--dim").max(1),
             "--k" => opts.k = need(&mut args, "--k").max(1),
             "--seed" => opts.seed = need(&mut args, "--seed") as u64,
+            "--tune" => opts.tune = true,
+            "--tune-out" => {
+                opts.tune_out = args
+                    .next()
+                    .unwrap_or_else(|| usage("--tune-out needs a path"));
+            }
+            "--simd-check" => opts.simd_check = true,
+            "--assert-speedup" => {
+                let value: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--assert-speedup needs a number"));
+                opts.assert_speedup = Some(value);
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -92,7 +135,8 @@ fn usage(error: &str) -> ! {
         eprintln!("error: {error}");
     }
     eprintln!(
-        "usage: batch_bench [--n N] [--queries N] [--clusters N] [--dim N] [--k N] [--seed N]"
+        "usage: batch_bench [--n N] [--queries N] [--clusters N] [--dim N] [--k N] [--seed N] \
+         [--tune [--tune-out PATH]] [--simd-check [--assert-speedup X]]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }
@@ -137,16 +181,236 @@ fn run_sweep<D: Dataset<Item = [f32]>>(
     (answers, stats, start.elapsed().as_secs_f64() * 1e3)
 }
 
+/// Generates the clustered workload shared by every mode.
+fn workload(opts: &Options) -> (VectorSet, VectorSet) {
+    let database = gaussian_mixture(opts.n, opts.dim, opts.clusters, 0.03, 7 + opts.seed);
+    let queries = gaussian_mixture(opts.queries, opts.dim, opts.clusters, 0.03, 8 + opts.seed);
+    (database, queries)
+}
+
+/// `--tune`: measures the full batched search over a grid of tile shapes
+/// and layouts, prints the grid, and persists the fastest as a
+/// [`TilePolicy`] JSON file for `RBC_TILE_POLICY` to pick up.
+fn run_tune(opts: &Options) {
+    let (database, queries) = workload(opts);
+    let host = MachineProfile::host();
+    let base = host.tile_policy();
+    println!(
+        "tile autotuning on '{}' ({} threads, {} kernel): n = {}, {} queries, dim {}, k = {}\n",
+        host.name,
+        host.threads,
+        host.simd_kernel(),
+        opts.n,
+        opts.queries,
+        opts.dim,
+        opts.k
+    );
+
+    let mut table = Table::new(
+        "batched exact search time by tile shape and layout",
+        &["query_tile", "db_tile", "layout", "ms", ""],
+    );
+    let mut best: Option<(f64, TilePolicy)> = None;
+    for blocked in [false, true] {
+        for &query_tile in &[8usize, 16, 32, 64] {
+            for &db_tile in &[128usize, 256, 512, 1024] {
+                let bf = BfConfig {
+                    query_tile,
+                    db_tile,
+                    blocked,
+                    parallel: base.parallel,
+                };
+                let rbc = ExactRbc::build(
+                    &database,
+                    Euclidean,
+                    RbcParams::standard(opts.n, 42 + opts.seed),
+                    RbcConfig {
+                        bf,
+                        ..RbcConfig::default()
+                    },
+                );
+                // Two timed passes, best-of: the first pass also warms
+                // the blocked mirrors and the thread pool.
+                let mut ms = f64::INFINITY;
+                for _ in 0..2 {
+                    let start = Instant::now();
+                    let _ = rbc.query_batch_k(&queries, opts.k);
+                    ms = ms.min(start.elapsed().as_secs_f64() * 1e3);
+                }
+                let policy = TilePolicy::from_config(bf);
+                let improved = best.is_none_or(|(best_ms, _)| ms < best_ms);
+                if improved {
+                    best = Some((ms, policy));
+                }
+                table.row(&[
+                    query_tile.to_string(),
+                    db_tile.to_string(),
+                    if blocked { "blocked" } else { "row-major" }.to_string(),
+                    format!("{ms:.2}"),
+                    if improved { "<- best so far" } else { "" }.to_string(),
+                ]);
+            }
+        }
+    }
+    table.print();
+
+    let (best_ms, policy) = best.expect("the sweep always measures at least one cell");
+    println!(
+        "\nfastest: query_tile = {}, db_tile = {}, {} layout ({best_ms:.2} ms)",
+        policy.query_tile,
+        policy.db_tile,
+        if policy.blocked {
+            "blocked"
+        } else {
+            "row-major"
+        }
+    );
+    let path = std::path::Path::new(&opts.tune_out);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match policy.save(path) {
+        Ok(()) => println!(
+            "wrote {}\nuse it with: RBC_TILE_POLICY={}",
+            path.display(),
+            path.display()
+        ),
+        Err(error) => {
+            eprintln!("could not write tile policy: {error}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--simd-check`: runs the dense brute-force kernel and the batched
+/// exact search under the forced-scalar kernel and under the detected
+/// SIMD kernel, asserts bit-identical answers, and reports speedups.
+fn run_simd_check(opts: &Options) {
+    let (database, queries) = workload(opts);
+    force_kernel(None);
+    let detected = active_kernel();
+    println!(
+        "simd-check: n = {}, {} queries, dim {}, k = {}; detected kernel: {}\n",
+        opts.n,
+        opts.queries,
+        opts.dim,
+        opts.k,
+        detected.name()
+    );
+
+    let config = BfConfig {
+        blocked: true,
+        ..MachineProfile::host().tile_policy()
+    };
+    let bf = BruteForce::with_config(config);
+    // One build serves both kernels: every kernel is bit-identical, so
+    // the structure (and its blocked mirrors) is kernel-independent.
+    let rbc = ExactRbc::build(
+        &database,
+        Euclidean,
+        RbcParams::standard(opts.n, 42 + opts.seed),
+        RbcConfig {
+            bf: config,
+            ..RbcConfig::default()
+        },
+    );
+
+    let time_dense = || {
+        let mut ms = f64::INFINITY;
+        let mut answers = Vec::new();
+        for _ in 0..3 {
+            let start = Instant::now();
+            let (a, _) = bf.knn(&queries, &database, &Euclidean, opts.k);
+            ms = ms.min(start.elapsed().as_secs_f64() * 1e3);
+            answers = a;
+        }
+        (answers, ms)
+    };
+    let time_rbc = || {
+        let mut ms = f64::INFINITY;
+        let mut answers = Vec::new();
+        for _ in 0..3 {
+            let start = Instant::now();
+            let (a, _) = rbc.query_batch_k(&queries, opts.k);
+            ms = ms.min(start.elapsed().as_secs_f64() * 1e3);
+            answers = a;
+        }
+        (answers, ms)
+    };
+
+    force_kernel(Some(KernelChoice::Scalar));
+    let (dense_scalar, dense_scalar_ms) = time_dense();
+    let (rbc_scalar, rbc_scalar_ms) = time_rbc();
+    force_kernel(None);
+    let (dense_simd, dense_simd_ms) = time_dense();
+    let (rbc_simd, rbc_simd_ms) = time_rbc();
+
+    assert_eq!(
+        dense_scalar,
+        dense_simd,
+        "dense brute-force answers differ between scalar and {} kernels",
+        detected.name()
+    );
+    assert_eq!(
+        rbc_scalar,
+        rbc_simd,
+        "batched exact RBC answers differ between scalar and {} kernels",
+        detected.name()
+    );
+
+    let dense_speedup = dense_scalar_ms / dense_simd_ms;
+    let rbc_speedup = rbc_scalar_ms / rbc_simd_ms;
+    let mut table = Table::new(
+        "scalar vs detected SIMD kernel (bit-identical answers asserted)",
+        &["workload", "scalar ms", "simd ms", "speedup"],
+    );
+    table.row(&[
+        "dense BF(Q, DB)".to_string(),
+        format!("{dense_scalar_ms:.2}"),
+        format!("{dense_simd_ms:.2}"),
+        format!("{dense_speedup:.2}x"),
+    ]);
+    table.row(&[
+        "batched exact RBC".to_string(),
+        format!("{rbc_scalar_ms:.2}"),
+        format!("{rbc_simd_ms:.2}"),
+        format!("{rbc_speedup:.2}x"),
+    ]);
+    table.print();
+    println!("\nanswers bit-identical across kernels on both workloads.");
+
+    if detected == KernelChoice::Scalar {
+        println!(
+            "host has no SIMD kernel (or RBC_FORCE_SCALAR is set); speedup assertion skipped."
+        );
+    } else if let Some(min) = opts.assert_speedup {
+        assert!(
+            dense_speedup >= min,
+            "dense SIMD speedup {dense_speedup:.2}x below the required {min:.2}x"
+        );
+        println!("dense speedup {dense_speedup:.2}x meets the required {min:.2}x.");
+    }
+}
+
 fn main() {
     let opts = parse_options();
+    if opts.tune {
+        run_tune(&opts);
+        return;
+    }
+    if opts.simd_check {
+        run_simd_check(&opts);
+        return;
+    }
     println!(
         "batch_bench: n = {}, {} clustered queries ({} clusters, dim {}), k = {}\n",
         opts.n, opts.queries, opts.clusters, opts.dim, opts.k
     );
 
     println!("generating clustered workload and building the exact RBC ...");
-    let database = gaussian_mixture(opts.n, opts.dim, opts.clusters, 0.03, 7 + opts.seed);
-    let queries = gaussian_mixture(opts.queries, opts.dim, opts.clusters, 0.03, 8 + opts.seed);
+    let (database, queries) = workload(&opts);
     // Tile shapes are a device decision: take the host profile's policy
     // and shrink the database tile so tile-pass counts are meaningful at
     // ownership-list granularity (lists are ~√n points long).

@@ -231,6 +231,70 @@ fn empty_file(area: &str, opts_scale: f64, seed: u64) -> TrajectoryFile {
 // core area: engines x streams x scale x k
 // ---------------------------------------------------------------------
 
+/// Runs all three engines over one `(database, stream, k)` cell and
+/// pushes one trajectory cell per engine.
+#[allow(clippy::too_many_arguments)]
+fn core_engine_cells(
+    file: &mut TrajectoryFile,
+    database: &VectorSet,
+    exact: &ExactRbc<&VectorSet, Euclidean>,
+    one_shot: &OneShotRbc<&VectorSet, Euclidean>,
+    stream_name: &str,
+    stream: &VectorSet,
+    k: usize,
+) {
+    let n = database.len();
+    let queries = stream.len();
+    let truth = ground_truth(database, stream, k);
+
+    for engine in ["brute", "exact", "oneshot"] {
+        let start = Instant::now();
+        let (answers, evals, stats): (Vec<Vec<Neighbor>>, u64, Option<SearchStats>) = match engine {
+            "brute" => {
+                let bf = BruteForce::with_config(BfConfig::default());
+                let (a, s) = bf.knn(stream, database, &Euclidean, k);
+                (a, s.distance_evals, None)
+            }
+            "exact" => {
+                let (a, s) = exact.query_batch_k(stream, k);
+                (a, s.total_distance_evals(), Some(s))
+            }
+            "oneshot" => {
+                let (a, s) = one_shot.query_batch_k(stream, k);
+                (a, s.total_distance_evals(), Some(s))
+            }
+            other => unreachable!("unknown engine {other}"),
+        };
+        let elapsed = start.elapsed();
+        let metrics = CellMetrics {
+            recall: recall_at_k(&answers, &truth),
+            evals_per_query: evals as f64 / queries as f64,
+            tile_passes_per_query: stats
+                .as_ref()
+                .map_or(0.0, |s| s.list_tile_passes as f64 / queries as f64),
+            tile_sharing_factor: stats.as_ref().map_or(0.0, SearchStats::tile_sharing_factor),
+            throughput_qps: queries as f64 / elapsed.as_secs_f64().max(1e-9),
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            mean_batch_size: queries as f64,
+            ..CellMetrics::default()
+        };
+        file.cells.push(Cell {
+            id: format!("core/n{n}/k{k}/{engine}/{stream_name}"),
+            engine: engine.to_string(),
+            stream: stream_name.to_string(),
+            n,
+            dim: DIM,
+            queries,
+            k,
+            batch: 0,
+            nodes: 0,
+            replication: 0,
+            failed_nodes: 0,
+            metrics,
+        });
+    }
+}
+
 fn run_core(scale: f64, seed: u64) -> TrajectoryFile {
     let mut file = empty_file("core", scale, seed);
     let queries = scaled(192, scale, 48);
@@ -248,60 +312,35 @@ fn run_core(scale: f64, seed: u64) -> TrajectoryFile {
             // one pins k = 10 so the grid stays diff-reviewable.
             let ks: &[usize] = if base_n == 2048 { &[1, 10] } else { &[10] };
             for &k in ks {
-                let truth = ground_truth(&database, &stream, k);
-
-                for engine in ["brute", "exact", "oneshot"] {
-                    let start = Instant::now();
-                    let (answers, evals, stats): (Vec<Vec<Neighbor>>, u64, Option<SearchStats>) =
-                        match engine {
-                            "brute" => {
-                                let bf = BruteForce::with_config(BfConfig::default());
-                                let (a, s) = bf.knn(&stream, &database, &Euclidean, k);
-                                (a, s.distance_evals, None)
-                            }
-                            "exact" => {
-                                let (a, s) = exact.query_batch_k(&stream, k);
-                                (a, s.total_distance_evals(), Some(s))
-                            }
-                            "oneshot" => {
-                                let (a, s) = one_shot.query_batch_k(&stream, k);
-                                (a, s.total_distance_evals(), Some(s))
-                            }
-                            other => unreachable!("unknown engine {other}"),
-                        };
-                    let elapsed = start.elapsed();
-                    let metrics = CellMetrics {
-                        recall: recall_at_k(&answers, &truth),
-                        evals_per_query: evals as f64 / queries as f64,
-                        tile_passes_per_query: stats
-                            .as_ref()
-                            .map_or(0.0, |s| s.list_tile_passes as f64 / queries as f64),
-                        tile_sharing_factor: stats
-                            .as_ref()
-                            .map_or(0.0, SearchStats::tile_sharing_factor),
-                        throughput_qps: queries as f64 / elapsed.as_secs_f64().max(1e-9),
-                        elapsed_ms: elapsed.as_secs_f64() * 1e3,
-                        mean_batch_size: queries as f64,
-                        ..CellMetrics::default()
-                    };
-                    file.cells.push(Cell {
-                        id: format!("core/n{n}/k{k}/{engine}/{stream_name}"),
-                        engine: engine.to_string(),
-                        stream: stream_name.to_string(),
-                        n,
-                        dim: DIM,
-                        queries,
-                        k,
-                        batch: 0,
-                        nodes: 0,
-                        replication: 0,
-                        failed_nodes: 0,
-                        metrics,
-                    });
-                }
+                core_engine_cells(
+                    &mut file,
+                    &database,
+                    &exact,
+                    &one_shot,
+                    stream_name,
+                    &stream,
+                    k,
+                );
             }
         }
     }
+
+    // Million-point cell: three orders of magnitude above the base grid
+    // on the matched stream only, k = 10 — the scale where the blocked
+    // SIMD layout and the √n-list pruning earn their keep. A short query
+    // stream keeps the brute-force ground truth (and hence the cell)
+    // affordable at full `--scale 1`.
+    let big_n = scaled(1_000_000, scale, 4096);
+    let big_queries = scaled(32, scale, 8);
+    let database = gaussian_mixture(big_n, DIM, CLUSTERS, SPREAD, 7 + seed);
+    let params = RbcParams::standard(big_n, 42 + seed);
+    let exact = ExactRbc::build(&database, Euclidean, params.clone(), RbcConfig::default());
+    let one_shot = OneShotRbc::build(&database, Euclidean, params, RbcConfig::default());
+    let stream = make_stream("matched", big_queries, seed);
+    core_engine_cells(
+        &mut file, &database, &exact, &one_shot, "matched", &stream, 10,
+    );
+
     file
 }
 

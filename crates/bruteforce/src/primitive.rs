@@ -4,7 +4,7 @@ use std::sync::Mutex;
 
 use rayon::prelude::*;
 
-use rbc_metric::{Dataset, Dist, Metric, QueryBatch};
+use rbc_metric::{BlockedVectors, Dataset, Dist, Metric, QueryBatch, LANES};
 
 use crate::neighbor::Neighbor;
 use crate::stats::BfStats;
@@ -28,6 +28,14 @@ pub struct BfConfig {
     /// baselines for fair single-core comparisons, and by the SIMT device
     /// model which supplies its own scheduling).
     pub parallel: bool,
+    /// If `true` (the default), scans run over a blocked
+    /// structure-of-arrays copy of the data through the metric's SIMD lane
+    /// kernel whenever one is available (see
+    /// [`Metric::lanes_supported`]); if `false`, always take the row-major
+    /// per-point path. The two layouts are bit-identical in their answers,
+    /// so this is purely a performance A/B toggle — the autotuner in
+    /// `rbc-device` sweeps it alongside the tile shape.
+    pub blocked: bool,
 }
 
 impl Default for BfConfig {
@@ -36,6 +44,7 @@ impl Default for BfConfig {
             query_tile: 16,
             db_tile: 256,
             parallel: true,
+            blocked: true,
         }
     }
 }
@@ -163,6 +172,35 @@ impl BruteForce {
         self.config
     }
 
+    /// Applies the blocked-layout gate: a blocked mirror is only usable
+    /// when the configuration enables it, the metric has a lane kernel,
+    /// and the mirror actually covers `expected_len` points.
+    fn lane_gate<'b, T: ?Sized, M: Metric<T>>(
+        &self,
+        blocks: Option<&'b BlockedVectors>,
+        metric: &M,
+        expected_len: usize,
+    ) -> Option<&'b BlockedVectors> {
+        blocks
+            .filter(|b| self.config.blocked && metric.lanes_supported() && b.len() == expected_len)
+    }
+
+    /// The dataset's own blocked mirror, if the configuration and metric
+    /// can use it. Deliberately does not call
+    /// [`Dataset::lane_blocks`] (which may lazily build the mirror) unless
+    /// the gate would accept it.
+    fn auto_blocks<'b, D, M>(&self, db: &'b D, metric: &M) -> Option<&'b BlockedVectors>
+    where
+        D: Dataset,
+        M: Metric<D::Item>,
+    {
+        if self.config.blocked && metric.lanes_supported() {
+            self.lane_gate(db.lane_blocks(), metric, db.len())
+        } else {
+            None
+        }
+    }
+
     // ------------------------------------------------------------------
     // Batched queries against the full database: BF(Q, X)
     // ------------------------------------------------------------------
@@ -198,7 +236,49 @@ impl BruteForce {
         D: Dataset<Item = Q::Item>,
         M: Metric<Q::Item>,
     {
-        self.knn_over(queries, db, metric, k, None)
+        self.knn_over(queries, db, metric, k, None, self.auto_blocks(db, metric))
+    }
+
+    /// [`knn`](Self::knn) with an explicitly supplied blocked mirror of
+    /// `db` (e.g. a representative set gathered out of a larger database,
+    /// which has no mirror of its own). Bit-identical to `knn`; only the
+    /// scan layout differs.
+    pub fn knn_with_blocks<Q, D, M>(
+        &self,
+        queries: &Q,
+        db: &D,
+        metric: &M,
+        k: usize,
+        blocks: Option<&BlockedVectors>,
+    ) -> (Vec<Vec<Neighbor>>, BfStats)
+    where
+        Q: Dataset,
+        D: Dataset<Item = Q::Item>,
+        M: Metric<Q::Item>,
+    {
+        self.knn_over(queries, db, metric, k, None, blocks)
+    }
+
+    /// [`nn`](Self::nn) with an explicitly supplied blocked mirror of `db`
+    /// (see [`knn_with_blocks`](Self::knn_with_blocks)).
+    pub fn nn_with_blocks<Q, D, M>(
+        &self,
+        queries: &Q,
+        db: &D,
+        metric: &M,
+        blocks: Option<&BlockedVectors>,
+    ) -> (Vec<Neighbor>, BfStats)
+    where
+        Q: Dataset,
+        D: Dataset<Item = Q::Item>,
+        M: Metric<Q::Item>,
+    {
+        let (knn, stats) = self.knn_with_blocks(queries, db, metric, 1, blocks);
+        let nn = knn
+            .into_iter()
+            .map(|mut v| v.pop().unwrap_or_else(Neighbor::farthest))
+            .collect();
+        (nn, stats)
     }
 
     /// k-NN for every query against the sub-database `X[L]` given by
@@ -216,7 +296,7 @@ impl BruteForce {
         D: Dataset<Item = Q::Item>,
         M: Metric<Q::Item>,
     {
-        self.knn_over(queries, db, metric, k, Some(list))
+        self.knn_over(queries, db, metric, k, Some(list), None)
     }
 
     /// 1-NN for every query against the sub-database `X[L]`.
@@ -330,11 +410,44 @@ impl BruteForce {
         D: Dataset<Item = Q::Item>,
         M: Metric<Q::Item>,
     {
+        self.pairwise_with_blocks(queries, db, metric, self.auto_blocks(db, metric))
+    }
+
+    /// [`pairwise`](Self::pairwise) with an explicitly supplied blocked
+    /// mirror of `db` — the stage-1 `BF(Q, R)` scan of the RBC engines,
+    /// which keep a blocked copy of their representative set. Every matrix
+    /// entry is bit-identical to the per-point path.
+    pub fn pairwise_with_blocks<Q, D, M>(
+        &self,
+        queries: &Q,
+        db: &D,
+        metric: &M,
+        blocks: Option<&BlockedVectors>,
+    ) -> (Vec<Dist>, BfStats)
+    where
+        Q: Dataset,
+        D: Dataset<Item = Q::Item>,
+        M: Metric<Q::Item>,
+    {
         let nq = queries.len();
         let n = db.len();
+        let blocks = self.lane_gate(blocks, metric, n);
         let row = |qi: usize| -> Vec<Dist> {
             let q = queries.get(qi);
-            (0..n).map(|j| metric.dist(q, db.get(j))).collect()
+            match blocks {
+                Some(b) => {
+                    let mut out = vec![0.0 as Dist; n];
+                    let mut lane_dists = [0.0 as Dist; LANES];
+                    for g in 0..b.num_groups() {
+                        let computed = metric.dist_lanes(q, b.group(g), &mut lane_dists);
+                        debug_assert!(computed, "lanes_supported() metric must compute lanes");
+                        let valid = b.valid_lanes(g);
+                        out[g * LANES..g * LANES + valid].copy_from_slice(&lane_dists[..valid]);
+                    }
+                    out
+                }
+                None => (0..n).map(|j| metric.dist(q, db.get(j))).collect(),
+            }
         };
         let rows: Vec<Vec<Dist>> = if self.config.parallel {
             (0..nq).into_par_iter().map(row).collect()
@@ -447,6 +560,17 @@ impl BruteForce {
     /// concurrent groups sharing a query never serialise their distance
     /// evaluations — a snapshot threshold can lag the shared one, which
     /// costs at most a few extra evaluations, never a wrong answer.
+    ///
+    /// `blocks`, when supplied, must be the blocked mirror of the member
+    /// list **in member order** (lane group `g` holds
+    /// `members[g*LANES..]`); aligned full groups not touched by a skip
+    /// flag or a mid-group cut are then scored through the metric's lane
+    /// kernel and admitted against the current kth distance as a whole
+    /// group before any heap is touched. Group-level cut decisions use the
+    /// threshold at group entry, which can only be *looser* than the
+    /// per-member threshold the scalar path would use — so a blocked scan
+    /// may evaluate slightly more candidates near a cut boundary, but its
+    /// answers are bit-identical.
     #[allow(clippy::too_many_arguments)] // deliberately a flat kernel signature
     pub fn knn_group_in_list<Q, D, M>(
         &self,
@@ -459,6 +583,7 @@ impl BruteForce {
         shrink: f64,
         sorted_cut: bool,
         skip: Option<&[bool]>,
+        blocks: Option<&BlockedVectors>,
         accumulators: &[Mutex<TopK>],
     ) -> GroupScanStats
     where
@@ -470,6 +595,7 @@ impl BruteForce {
             !sorted_cut || member_dists.len() == members.len(),
             "sorted-list cut needs one representative distance per member"
         );
+        let blocks = self.lane_gate(blocks, metric, members.len());
         let _scan_span = rbc_trace::span("bf.group_scan");
         let db_tile = self.config.db_tile.max(1);
         let mut stats = GroupScanStats {
@@ -496,9 +622,75 @@ impl BruteForce {
                     .clone();
                 let mut fresh: Vec<Neighbor> = Vec::new();
                 let mut retired = false;
-                for pos in tile_start..tile_end {
+                let mut pos = tile_start;
+                'tile: while pos < tile_end {
+                    // Blocked fast path: a lane-aligned full group with no
+                    // skip flags whose cut decision is uniform across the
+                    // group is scored in one lane-kernel call.
+                    if let Some(b) = blocks {
+                        if pos.is_multiple_of(LANES) && pos + LANES <= tile_end {
+                            let clean = !(pos..pos + LANES)
+                                .any(|p| skip.is_some_and(|flags| flags[members[p]]));
+                            let mut whole_group = clean;
+                            if clean && sorted_cut {
+                                let threshold =
+                                    local.threshold().min(cursor.threshold_cap) / shrink;
+                                let first = member_dists[pos];
+                                let last = member_dists[pos + LANES - 1];
+                                if first - cursor.d_to_rep > threshold {
+                                    // Ascending d_xr: the forward cut fires
+                                    // for every remaining member.
+                                    stats.points_skipped += (members.len() - pos) as u64;
+                                    retired = true;
+                                    break 'tile;
+                                }
+                                if last - cursor.d_to_rep > threshold {
+                                    // Forward cut fires mid-group: let the
+                                    // scalar arm find the exact position.
+                                    whole_group = false;
+                                } else if cursor.d_to_rep - first > threshold {
+                                    if cursor.d_to_rep - last > threshold {
+                                        // Backward cut covers the whole group.
+                                        stats.points_skipped += LANES as u64;
+                                        pos += LANES;
+                                        continue 'tile;
+                                    }
+                                    whole_group = false;
+                                }
+                            }
+                            if whole_group {
+                                let mut lane_dists = [0.0 as Dist; LANES];
+                                let computed =
+                                    metric.dist_lanes(q, b.group(pos / LANES), &mut lane_dists);
+                                debug_assert!(
+                                    computed,
+                                    "lanes_supported() metric must compute lanes"
+                                );
+                                stats.distance_evals += LANES as u64;
+                                stats.evals_per_cursor[ci] += LANES as u64;
+                                // Whole-group admission filter: if even the
+                                // group's best distance is strictly beyond
+                                // the current kth, no lane can enter the
+                                // heap (ties can still be admitted by index
+                                // order, hence the strict comparison).
+                                let group_min =
+                                    lane_dists.iter().copied().fold(Dist::INFINITY, Dist::min);
+                                if group_min <= local.threshold() {
+                                    for (lane, &d) in lane_dists.iter().enumerate() {
+                                        let candidate = Neighbor::new(members[pos + lane], d);
+                                        if local.push(candidate) {
+                                            fresh.push(candidate);
+                                        }
+                                    }
+                                }
+                                pos += LANES;
+                                continue 'tile;
+                            }
+                        }
+                    }
                     let member = members[pos];
                     if skip.is_some_and(|flags| flags[member]) {
+                        pos += 1;
                         continue;
                     }
                     if sorted_cut {
@@ -513,6 +705,7 @@ impl BruteForce {
                         }
                         if cursor.d_to_rep - d_xr > threshold {
                             stats.points_skipped += 1;
+                            pos += 1;
                             continue;
                         }
                     }
@@ -526,6 +719,7 @@ impl BruteForce {
                     if local.push(candidate) {
                         fresh.push(candidate);
                     }
+                    pos += 1;
                 }
                 if !fresh.is_empty() {
                     let mut topk = accumulators[cursor.query]
@@ -603,6 +797,7 @@ impl BruteForce {
         metric: &M,
         k: usize,
         list: Option<&[usize]>,
+        blocks: Option<&BlockedVectors>,
     ) -> (Vec<Vec<Neighbor>>, BfStats)
     where
         Q: Dataset,
@@ -615,6 +810,13 @@ impl BruteForce {
         if nq == 0 {
             return (Vec::new(), BfStats::new());
         }
+        // The blocked mirror indexes the database directly, so it only
+        // applies to full-database scans, not index-list sub-scans.
+        let blocks = if list.is_none() {
+            self.lane_gate(blocks, metric, n_candidates)
+        } else {
+            None
+        };
 
         let query_tile = self.config.query_tile.max(1);
         let db_tile = self.config.db_tile.max(1);
@@ -635,7 +837,34 @@ impl BruteForce {
                 for (ci, qi) in (q_start..q_end).enumerate() {
                     let q = queries.get(qi);
                     let collector = &mut collectors[ci];
-                    for pos in tile_start..tile_end {
+                    let mut pos = tile_start;
+                    while pos < tile_end {
+                        // Blocked fast path: score a lane-aligned full
+                        // group through the metric's lane kernel, then
+                        // admit the whole group against the current kth
+                        // distance before any heap push. The partial tail
+                        // group falls through to the per-point arm.
+                        if let Some(b) = blocks {
+                            if pos.is_multiple_of(LANES) && pos + LANES <= tile_end {
+                                let mut lane_dists = [0.0 as Dist; LANES];
+                                let computed =
+                                    metric.dist_lanes(q, b.group(pos / LANES), &mut lane_dists);
+                                debug_assert!(
+                                    computed,
+                                    "lanes_supported() metric must compute lanes"
+                                );
+                                evals += LANES as u64;
+                                let group_min =
+                                    lane_dists.iter().copied().fold(Dist::INFINITY, Dist::min);
+                                if group_min <= collector.threshold() {
+                                    for (lane, &d) in lane_dists.iter().enumerate() {
+                                        collector.push(Neighbor::new(pos + lane, d));
+                                    }
+                                }
+                                pos += LANES;
+                                continue;
+                            }
+                        }
                         let (db_idx, item) = match list {
                             Some(l) => (l[pos], db.get(l[pos])),
                             None => (pos, db.get(pos)),
@@ -643,10 +872,12 @@ impl BruteForce {
                         let threshold = collector.threshold();
                         if threshold.is_finite() && metric.dist_lower_bound(q, item) > threshold {
                             skips += 1;
+                            pos += 1;
                             continue;
                         }
                         evals += 1;
                         collector.push(Neighbor::new(db_idx, metric.dist(q, item)));
+                        pos += 1;
                     }
                 }
                 tile_start = tile_end;
@@ -752,6 +983,7 @@ mod tests {
                 query_tile: qt,
                 db_tile: dt,
                 parallel: true,
+                blocked: true,
             });
             let (knn, _) = bf.knn(&queries, &db, &Euclidean, 5);
             let expect = naive_knn(&queries, &db, 5, None);
@@ -973,6 +1205,7 @@ mod tests {
             1.0,
             false,
             None,
+            None,
             &accumulators,
         );
         let got: Vec<Vec<Neighbor>> = accumulators
@@ -1021,6 +1254,7 @@ mod tests {
             1.0,
             true,
             None,
+            None,
             &accumulators,
         );
         // The forward cut fires at d_xr > threshold; the true NN (distance
@@ -1061,6 +1295,7 @@ mod tests {
             1.0,
             false,
             Some(&skip),
+            None,
             &accumulators,
         );
         assert_eq!(stats.distance_evals, 3 * 38);
@@ -1075,6 +1310,75 @@ mod tests {
             assert!(!found.contains(&7) && !found.contains(&23));
             assert_eq!(found.len(), 38);
         }
+    }
+
+    #[test]
+    fn blocked_and_row_major_scans_are_bit_identical() {
+        let db = cloud(237, 7, 40);
+        let queries = cloud(9, 7, 41);
+        let blocked = BruteForce::new(); // blocked: true by default
+        let row_major = BruteForce::with_config(BfConfig {
+            blocked: false,
+            ..BfConfig::default()
+        });
+        let (a, sa) = blocked.knn(&queries, &db, &Euclidean, 5);
+        let (b, sb) = row_major.knn(&queries, &db, &Euclidean, 5);
+        assert_eq!(a, b);
+        assert_eq!(sa.distance_evals, sb.distance_evals);
+
+        let (pa, _) = blocked.pairwise(&queries, &db, &Euclidean);
+        let (pb, _) = row_major.pairwise(&queries, &db, &Euclidean);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn group_scan_with_blocks_matches_unblocked_scan() {
+        let db = cloud(300, 5, 42);
+        let queries = cloud(8, 5, 43);
+        let members: Vec<usize> = (0..300).filter(|i| i % 3 != 0).collect();
+        let blocks = rbc_metric::Dataset::gather_blocked(&db, &members);
+        assert!(blocks.is_some());
+        let k = 3;
+        let bf = BruteForce::with_config(BfConfig {
+            db_tile: 48,
+            ..BfConfig::default()
+        });
+        let cursors: Vec<GroupCursor> = (0..queries.len())
+            .map(|qi| GroupCursor {
+                query: qi,
+                d_to_rep: 0.0,
+                threshold_cap: Dist::INFINITY,
+            })
+            .collect();
+        let run = |blocks: Option<&BlockedVectors>| {
+            let accumulators: Vec<Mutex<TopK>> = (0..queries.len())
+                .map(|_| Mutex::new(TopK::new(k)))
+                .collect();
+            let stats = bf.knn_group_in_list(
+                &queries,
+                &db,
+                &Euclidean,
+                &members,
+                &[],
+                &cursors,
+                1.0,
+                false,
+                None,
+                blocks,
+                &accumulators,
+            );
+            let answers: Vec<Vec<Neighbor>> = accumulators
+                .into_iter()
+                .map(|m| m.into_inner().unwrap().into_sorted())
+                .collect();
+            (answers, stats)
+        };
+        let (with_blocks, stats_blocked) = run(blocks.as_ref());
+        let (without, stats_plain) = run(None);
+        assert_eq!(with_blocks, without);
+        // Cut-free scans evaluate every (query, member) pair either way.
+        assert_eq!(stats_blocked.distance_evals, stats_plain.distance_evals);
+        assert_eq!(stats_blocked.tile_passes, stats_plain.tile_passes);
     }
 
     #[test]

@@ -31,7 +31,7 @@ use std::sync::Mutex;
 use rayon::prelude::*;
 
 use rbc_bruteforce::{BruteForce, GroupCursor, GroupScanStats, Neighbor, TopK};
-use rbc_metric::{Dataset, Dist, Metric};
+use rbc_metric::{BlockedVectors, Dataset, Dist, Metric};
 
 use crate::params::RbcConfig;
 use crate::reps::OwnershipList;
@@ -286,6 +286,10 @@ impl BatchPlan {
 /// `cursor` builds the per-`(list_index, query)` cursor state — the only
 /// part that differs between the two searches (the exact search threads
 /// `ρ(q, r)` and `γ_k` through it; the one-shot search runs uncut).
+/// `list_blocks`, when supplied, must hold one slot per entry of `lists`
+/// with a blocked SoA mirror in member order (the builders gather these
+/// once at build time; empty lists carry `None`) so each group scan can
+/// run the metric's SIMD lane kernel; `None` overall scans row-major.
 /// `accumulators` arrive pre-seeded (the exact search seeds the
 /// representatives; a distributed worker node starts from empty
 /// accumulators and lets the coordinator seed the merge instead) and must
@@ -306,6 +310,7 @@ pub fn execute_list_major<Q, D, M, F>(
     db: &D,
     metric: &M,
     lists: &[OwnershipList],
+    list_blocks: Option<&[Option<BlockedVectors>]>,
     plan: &BatchPlan,
     cursor: F,
     shrink: f64,
@@ -329,6 +334,9 @@ where
         let _group_span = rbc_trace::span_under("core.scan.group", scan_ctx);
         let group = &plan.groups[gi];
         let list = &lists[group.list_index];
+        // One blocked mirror per ownership list, in member order, built
+        // once at index-build time (see the `list_blocks` docs above).
+        let blocks = list_blocks.and_then(|b| b[group.list_index].as_ref());
         let cursors: Vec<GroupCursor> = group
             .queries
             .iter()
@@ -344,6 +352,7 @@ where
             shrink,
             sorted_cut,
             skip,
+            blocks,
             &accumulators,
         )
     };

@@ -25,7 +25,7 @@ use std::sync::Mutex;
 use rayon::prelude::*;
 
 use rbc_bruteforce::{BfConfig, BruteForce, GroupCursor, Neighbor, TopK};
-use rbc_metric::{Dataset, Dist, Metric};
+use rbc_metric::{BlockedVectors, Dataset, Dist, Metric};
 
 use crate::batch_plan::{self, kth_smallest, BatchPlan};
 use crate::params::{BatchStrategy, RbcConfig, RbcParams};
@@ -45,6 +45,14 @@ pub struct ExactRbc<D, M> {
     /// Representatives are answered from the first search stage (their
     /// distances are computed there anyway), so list scans skip them.
     rep_flags: Vec<bool>,
+    /// Blocked SoA mirror of the representative set, gathered once at
+    /// build time so every stage-1 `BF(Q, R)` scan can run the metric's
+    /// SIMD lane kernel. `None` when the layout is disabled or the
+    /// dataset/metric cannot use it.
+    rep_blocked: Option<BlockedVectors>,
+    /// Blocked SoA mirror of each ownership list in member order (empty
+    /// lists carry `None`), for the list-major stage-2 group scans.
+    list_blocks: Option<Vec<Option<BlockedVectors>>>,
     build_distance_evals: u64,
 }
 
@@ -67,9 +75,18 @@ where
         let rep_indices = sample_representatives(n, params.n_reps, params.seed);
 
         let bf = BruteForce::with_config(config.bf);
+        // Blocked SoA mirrors are gathered once here and reused by every
+        // query; the gate mirrors the one inside the primitive.
+        let use_lanes = config.bf.blocked && metric.lanes_supported();
+        let rep_blocked = if use_lanes {
+            db.gather_blocked(&rep_indices)
+        } else {
+            None
+        };
         // BF(X, R): nearest representative of every database point.
         let rep_view = db.subset(&rep_indices);
-        let (assignments, build_stats) = bf.nn(&db, &rep_view, &metric);
+        let (assignments, build_stats) =
+            bf.nn_with_blocks(&db, &rep_view, &metric, rep_blocked.as_ref());
 
         // Group points by owning representative (position within R).
         let mut pairs: Vec<Vec<(usize, Dist)>> = vec![Vec::new(); rep_indices.len()];
@@ -85,6 +102,16 @@ where
         for &r in &rep_indices {
             rep_flags[r] = true;
         }
+        let list_blocks = if use_lanes {
+            Some(
+                lists
+                    .iter()
+                    .map(|list| db.gather_blocked(&list.members))
+                    .collect(),
+            )
+        } else {
+            None
+        };
 
         Self {
             db,
@@ -94,8 +121,23 @@ where
             rep_indices,
             lists,
             rep_flags,
+            rep_blocked,
+            list_blocks,
             build_distance_evals: build_stats.distance_evals,
         }
+    }
+
+    /// The blocked SoA mirror of the representative set, if one was built
+    /// (callers running their own stage-1 `BF(Q, R)` scans — the
+    /// distributed coordinator — reuse it).
+    pub fn rep_blocked(&self) -> Option<&BlockedVectors> {
+        self.rep_blocked.as_ref()
+    }
+
+    /// The blocked SoA mirrors of the ownership lists (one slot per list,
+    /// in member order), if they were built.
+    pub fn list_blocks(&self) -> Option<&[Option<BlockedVectors>]> {
+        self.list_blocks.as_deref()
     }
 
     /// Exact nearest neighbor of a single query.
@@ -278,7 +320,8 @@ where
         // Stage 1: one dense BF(Q, R) pass, all distances retained.
         let stage1_span = rbc_trace::span("core.stage1");
         let rep_view = self.db.subset(&self.rep_indices);
-        let (rep_dists, rep_stats) = bf.pairwise(queries, &rep_view, &self.metric);
+        let (rep_dists, rep_stats) =
+            bf.pairwise_with_blocks(queries, &rep_view, &self.metric, self.rep_blocked.as_ref());
         drop(stage1_span);
 
         // Invert the survivor sets: for each list, who must scan it.
@@ -314,6 +357,7 @@ where
             &self.db,
             &self.metric,
             &self.lists,
+            self.list_blocks.as_deref(),
             &plan,
             |list_index, qi| GroupCursor {
                 query: qi,

@@ -12,7 +12,7 @@ use std::sync::Mutex;
 use rayon::prelude::*;
 
 use rbc_bruteforce::{BfConfig, BruteForce, GroupCursor, Neighbor, TopK};
-use rbc_metric::{Dataset, Dist, Metric};
+use rbc_metric::{BlockedVectors, Dataset, Dist, Metric};
 
 use crate::batch_plan::{self, BatchPlan};
 use crate::params::{BatchStrategy, RbcConfig, RbcParams};
@@ -32,6 +32,12 @@ pub struct OneShotRbc<D, M> {
     config: RbcConfig,
     rep_indices: Vec<usize>,
     lists: Vec<OwnershipList>,
+    /// Blocked SoA mirror of the representative set for stage-1 scans
+    /// (`None` when the blocked layout is disabled or unavailable).
+    rep_blocked: Option<BlockedVectors>,
+    /// Blocked SoA mirror of each ownership list in member order (empty
+    /// lists carry `None`), for the list-major stage-2 group scans.
+    list_blocks: Option<Vec<Option<BlockedVectors>>>,
     build_distance_evals: u64,
 }
 
@@ -72,6 +78,25 @@ where
             })
             .collect();
 
+        // Gather the blocked SoA mirrors once; every batched query reuses
+        // them (the gate mirrors the one inside the primitive).
+        let use_lanes = config.bf.blocked && metric.lanes_supported();
+        let rep_blocked = if use_lanes {
+            db.gather_blocked(&rep_indices)
+        } else {
+            None
+        };
+        let list_blocks = if use_lanes {
+            Some(
+                lists
+                    .iter()
+                    .map(|list| db.gather_blocked(&list.members))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
         Self {
             db,
             metric,
@@ -79,8 +104,21 @@ where
             config,
             rep_indices,
             lists,
+            rep_blocked,
+            list_blocks,
             build_distance_evals: build_stats.distance_evals,
         }
+    }
+
+    /// The blocked SoA mirror of the representative set, if one was built.
+    pub fn rep_blocked(&self) -> Option<&BlockedVectors> {
+        self.rep_blocked.as_ref()
+    }
+
+    /// The blocked SoA mirrors of the ownership lists (one slot per list,
+    /// in member order), if they were built.
+    pub fn list_blocks(&self) -> Option<&[Option<BlockedVectors>]> {
+        self.list_blocks.as_deref()
     }
 
     /// Nearest neighbor of a single query (probabilistically correct).
@@ -204,7 +242,8 @@ where
         // reduction).
         let stage1_span = rbc_trace::span("core.stage1");
         let rep_view = self.db.subset(&self.rep_indices);
-        let (rep_dists, rep_stats) = bf.pairwise(queries, &rep_view, &self.metric);
+        let (rep_dists, rep_stats) =
+            bf.pairwise_with_blocks(queries, &rep_view, &self.metric, self.rep_blocked.as_ref());
         drop(stage1_span);
         let plan_span = rbc_trace::span("core.plan");
         let plan = BatchPlan::plan_one_shot(&rep_dists, n_reps);
@@ -223,6 +262,7 @@ where
             &self.db,
             &self.metric,
             &self.lists,
+            self.list_blocks.as_deref(),
             &plan,
             |_, qi| GroupCursor {
                 query: qi,

@@ -52,17 +52,34 @@ impl MachineProfile {
     /// stay a *device* decision rather than being hard-coded in the search
     /// layer.
     ///
-    /// Heuristics, not measurements: wider machines get more query tiles in
-    /// flight (so every worker has a tile of its own) and a larger database
-    /// tile (server parts have the last-level cache to keep it hot); a
-    /// single-core profile runs sequentially, which is also what the
-    /// paper's single-core Cover Tree protocol requires.
+    /// When the `RBC_TILE_POLICY` environment variable points at a policy
+    /// file produced by `batch_bench --tune`, the measured tile shape and
+    /// layout override the heuristic ones (parallelism stays the
+    /// profile's). Otherwise: heuristics, not measurements — wider
+    /// machines get more query tiles in flight (so every worker has a
+    /// tile of its own) and a larger database tile (server parts have the
+    /// last-level cache to keep it hot); a single-core profile runs
+    /// sequentially, which is also what the paper's single-core Cover
+    /// Tree protocol requires.
     pub fn tile_policy(&self) -> BfConfig {
-        BfConfig {
+        let heuristic = BfConfig {
             query_tile: (self.threads * 2).clamp(8, 64),
             db_tile: if self.threads >= 16 { 512 } else { 256 },
             parallel: self.threads > 1,
+            blocked: true,
+        };
+        match crate::tune::env_policy() {
+            Some(tuned) => tuned.apply(heuristic),
+            None => heuristic,
         }
+    }
+
+    /// The SIMD distance kernel active on this host (`"avx2+fma"`,
+    /// `"sse2"`, or `"scalar"`) — runtime feature detection surfaced
+    /// through the device layer so reports can label measurements with
+    /// the kernel that produced them.
+    pub fn simd_kernel(&self) -> &'static str {
+        rbc_metric::active_kernel().name()
     }
 }
 

@@ -25,6 +25,8 @@
 
 pub mod cpu;
 pub mod simt;
+pub mod tune;
 
 pub use cpu::{CpuExecutor, MachineProfile};
 pub use simt::{DeviceReport, KernelProfile, LaneWork, SimtConfig, SimtDevice};
+pub use tune::TilePolicy;

@@ -326,9 +326,11 @@ where
         (results.pop().expect("one query in, one answer out"), stats)
     }
 
-    /// One-shot distributed k-NN: the coordinator routes the query to one
-    /// live replica of the nearest representative's list (preferring the
-    /// primary copy), which answers from that list alone. One message out,
+    /// One-shot distributed k-NN: the coordinator routes the query to the
+    /// least-loaded live replica of the nearest representative's list
+    /// (load = cumulative observed per-node evaluations, ties toward the
+    /// lower node id — the same policy batched routing uses), which
+    /// answers from that list alone. One message out,
     /// one message back — the property that makes the representative-based
     /// sharding attractive. If a replica fails at contact, the next live
     /// one is tried; with every replica dead the query degrades to the
@@ -362,16 +364,24 @@ where
             .index;
         let coordinator_evals = reps.len() as u64;
 
-        // Contact replicas in placement order (primary first) until one
-        // answers; contacts that fail mid-delivery cost a wasted message.
+        // Contact live replicas least-loaded first (cumulative observed
+        // evaluations, ties toward the lower node id) so a stream of
+        // queries hitting the same hot list spreads across all of its
+        // homes instead of melting the primary. Contacts that fail
+        // mid-delivery cost a wasted message and fall through to the next
+        // candidate.
+        let est: Vec<u64> = self.load.snapshot().iter().map(|l| l.evals).collect();
+        let mut candidates: Vec<usize> = self.placement.replicas_of_list[best_rep]
+            .iter()
+            .copied()
+            .filter(|&nd| self.health.is_live(nd))
+            .collect();
+        candidates.sort_by_key(|&nd| (est[nd], nd));
         let mut per_node_loads: Vec<NodeLoad> =
             (0..self.cluster.nodes).map(NodeLoad::idle).collect();
         let mut comm = CommCost::default();
         let mut serving_node = None;
-        for &nd in &self.placement.replicas_of_list[best_rep] {
-            if !self.health.is_live(nd) {
-                continue;
-            }
+        for nd in candidates {
             let out_bytes = self.cluster.query_message_bytes(self.payload_coords);
             comm.messages_out += 1;
             comm.bytes_out += out_bytes;
@@ -516,7 +526,8 @@ where
         let plan_span = rbc_trace::span("dist.plan");
         let coordinator_bf = BruteForce::with_config(config.bf);
         let rep_view = db.subset(reps);
-        let (rep_dists, rep_stats) = coordinator_bf.pairwise(queries, &rep_view, metric);
+        let (rep_dists, rep_stats) =
+            coordinator_bf.pairwise_with_blocks(queries, &rep_view, metric, self.rbc.rep_blocked());
 
         // The same plan the centralized list-major search would execute,
         // routed to the least-loaded live replica of each list. "Load" is
@@ -579,6 +590,7 @@ where
                         db,
                         metric,
                         lists,
+                        self.rbc.list_blocks(),
                         part,
                         |list_index, qi| GroupCursor {
                             query: qi,
@@ -1108,6 +1120,40 @@ mod tests {
             answer[0].dist >= 0.0 && answer[0].index < db.len(),
             "the degraded answer is a real database point"
         );
+    }
+
+    #[test]
+    fn one_shot_spreads_load_across_replicas() {
+        let db = cloud(1200, 6, 80);
+        let queries = cloud(4, 6, 81);
+        let dist = build_with_policy(&db, 4, 82, PlacementPolicy::Replicated { factor: 2 });
+        // The same query hits the same list every time; with two live
+        // replicas and load-aware selection the serving node must
+        // alternate (each answer adds evals to the server's cumulative
+        // load, making the other replica the least-loaded next time).
+        let q = queries.point(0);
+        let mut servers = std::collections::BTreeSet::new();
+        let mut answers = Vec::new();
+        for _ in 0..6 {
+            let (answer, stats) = dist.query_one_shot(q, 3);
+            assert_eq!(stats.nodes_contacted, 1);
+            let served: Vec<usize> = stats
+                .per_node
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.queries > 0)
+                .map(|(nd, _)| nd)
+                .collect();
+            assert_eq!(served.len(), 1);
+            servers.insert(served[0]);
+            answers.push(answer);
+        }
+        assert!(
+            servers.len() >= 2,
+            "repeated identical queries stuck to one replica: {servers:?}"
+        );
+        // Spreading changes *where* the list is scanned, never the answer.
+        assert!(answers.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

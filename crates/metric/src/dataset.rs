@@ -11,6 +11,8 @@
 //! view of a dataset restricted to a list of indices, without copying.
 
 use crate::metric::Metric;
+use crate::simd::BlockedVectors;
+use std::sync::OnceLock;
 
 /// An indexed collection of items of type `Item`.
 ///
@@ -47,6 +49,24 @@ pub trait Dataset: Sync {
     {
         SubsetView::new(self, indices)
     }
+
+    /// A blocked structure-of-arrays mirror of this dataset's items, when
+    /// the implementation maintains one (dense vector sets do; general
+    /// datasets return `None`, the default). The brute-force primitive
+    /// consults this to run its SIMD lane kernels over full-database scans.
+    fn lane_blocks(&self) -> Option<&BlockedVectors> {
+        None
+    }
+
+    /// Gathers the selected items into a freshly blocked
+    /// structure-of-arrays copy, when the item type supports blocking.
+    ///
+    /// Index structures call this once at build time to materialise a
+    /// SIMD-scannable copy of each ownership list (whose members are
+    /// arbitrary, non-contiguous database indices).
+    fn gather_blocked(&self, _indices: &[usize]) -> Option<BlockedVectors> {
+        None
+    }
 }
 
 impl<D: Dataset> Dataset for &D {
@@ -59,6 +79,14 @@ impl<D: Dataset> Dataset for &D {
     fn get(&self, i: usize) -> &Self::Item {
         (**self).get(i)
     }
+
+    fn lane_blocks(&self) -> Option<&BlockedVectors> {
+        (**self).lane_blocks()
+    }
+
+    fn gather_blocked(&self, indices: &[usize]) -> Option<BlockedVectors> {
+        (**self).gather_blocked(indices)
+    }
 }
 
 /// A dense set of `n` points in `R^d`, stored row-major as `f32`.
@@ -66,11 +94,22 @@ impl<D: Dataset> Dataset for &D {
 /// This is the storage used for all of the paper's experimental datasets
 /// (Table 1). Rows are contiguous, so `&set[i]` is a `&[f32]` slice of
 /// length `dim` with no indirection.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct VectorSet {
     data: Vec<f32>,
     dim: usize,
     len: usize,
+    /// Lazily built blocked SoA mirror for the SIMD scan path; invalidated
+    /// by mutation, excluded from equality.
+    blocked: OnceLock<BlockedVectors>,
+}
+
+impl PartialEq for VectorSet {
+    fn eq(&self, other: &Self) -> bool {
+        // The blocked mirror is a cache of `data`; two sets with the same
+        // rows are equal whether or not either has materialised it.
+        self.dim == other.dim && self.len == other.len && self.data == other.data
+    }
 }
 
 impl VectorSet {
@@ -87,7 +126,12 @@ impl VectorSet {
             dim
         );
         let len = data.len() / dim;
-        Self { data, dim, len }
+        Self {
+            data,
+            dim,
+            len,
+            blocked: OnceLock::new(),
+        }
     }
 
     /// Creates a vector set from a slice of equal-length rows.
@@ -120,6 +164,7 @@ impl VectorSet {
             data: Vec::new(),
             dim,
             len: 0,
+            blocked: OnceLock::new(),
         }
     }
 
@@ -159,6 +204,9 @@ impl VectorSet {
         assert_eq!(point.len(), self.dim, "point dimension mismatch");
         self.data.extend_from_slice(point);
         self.len += 1;
+        // The blocked mirror no longer matches; drop it so the next
+        // `lane_blocks` call rebuilds from the current rows.
+        self.blocked.take();
     }
 
     /// Copies the points with the given indices into a new owned set.
@@ -175,6 +223,7 @@ impl VectorSet {
             data,
             dim: self.dim,
             len: indices.len(),
+            blocked: OnceLock::new(),
         }
     }
 
@@ -232,6 +281,23 @@ impl Dataset for VectorSet {
     #[inline]
     fn get(&self, i: usize) -> &[f32] {
         self.point(i)
+    }
+
+    fn lane_blocks(&self) -> Option<&BlockedVectors> {
+        if self.len == 0 {
+            return None;
+        }
+        Some(
+            self.blocked
+                .get_or_init(|| BlockedVectors::from_flat(&self.data, self.dim)),
+        )
+    }
+
+    fn gather_blocked(&self, indices: &[usize]) -> Option<BlockedVectors> {
+        if indices.is_empty() {
+            return None;
+        }
+        Some(BlockedVectors::gather_flat(&self.data, self.dim, indices))
     }
 }
 

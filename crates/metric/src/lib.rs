@@ -35,6 +35,7 @@ pub mod dataset;
 pub mod discrete;
 pub mod graph;
 pub mod metric;
+pub mod simd;
 pub mod validate;
 pub mod vector;
 
@@ -42,5 +43,8 @@ pub use dataset::{Dataset, QueryBatch, SubsetView, VectorSet, VectorSetBuilder};
 pub use discrete::{Hamming, Levenshtein, StringSet};
 pub use graph::{GraphDataset, ShortestPath};
 pub use metric::{Dist, Metric};
+pub use simd::{
+    active_kernel, force_kernel, squared_l2_lanes, BlockedVectors, KernelChoice, LaneGroup, LANES,
+};
 pub use validate::{check_metric_axioms, MetricViolation};
 pub use vector::{Chebyshev, Cosine, Euclidean, Manhattan, Minkowski, SquaredEuclidean};

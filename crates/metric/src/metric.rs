@@ -1,5 +1,7 @@
 //! The [`Metric`] trait: a distance function over items of some type.
 
+use crate::simd::{LaneGroup, LANES};
+
 /// Distances throughout the library are `f64`.
 ///
 /// Vector components are stored as `f32` (see
@@ -48,6 +50,32 @@ pub trait Metric<T: ?Sized>: Sync {
     fn name(&self) -> &'static str {
         "metric"
     }
+
+    /// True when this metric can score a whole blocked lane group at once
+    /// via [`dist_lanes`](Self::dist_lanes).
+    ///
+    /// Contract: when this returns `true`, `dist_lanes` must compute all
+    /// [`LANES`] distances and return `true`, and each lane's result must
+    /// be **bit-identical** to `dist` on the corresponding point — the
+    /// brute-force primitive mixes the two paths freely (partial tail
+    /// groups, per-query fallbacks) and the engines assert bitwise
+    /// agreement between blocked and unblocked scans.
+    #[inline]
+    fn lanes_supported(&self) -> bool {
+        false
+    }
+
+    /// Computes the distances from `query` to all [`LANES`] lanes of a
+    /// blocked group at once, writing them to `out`.
+    ///
+    /// Returns `false` (leaving `out` untouched) when the metric has no
+    /// lane kernel — the default. See
+    /// [`lanes_supported`](Self::lanes_supported) for the bit-compatibility
+    /// contract when it does.
+    #[inline]
+    fn dist_lanes(&self, _query: &T, _group: LaneGroup<'_>, _out: &mut [Dist; LANES]) -> bool {
+        false
+    }
 }
 
 impl<T: ?Sized, M: Metric<T>> Metric<T> for &M {
@@ -63,6 +91,16 @@ impl<T: ?Sized, M: Metric<T>> Metric<T> for &M {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    #[inline]
+    fn lanes_supported(&self) -> bool {
+        (**self).lanes_supported()
+    }
+
+    #[inline]
+    fn dist_lanes(&self, query: &T, group: LaneGroup<'_>, out: &mut [Dist; LANES]) -> bool {
+        (**self).dist_lanes(query, group, out)
     }
 }
 

@@ -1,0 +1,517 @@
+//! Blocked structure-of-arrays storage and SIMD distance kernels.
+//!
+//! The brute-force primitive's hot loop is "distances from one query to a
+//! run of database points". Row-major storage makes that loop walk `dim`
+//! consecutive floats per point and then jump; vector units want the
+//! transpose. This module provides it:
+//!
+//! * [`BlockedVectors`] — an interleaved structure-of-arrays mirror of a
+//!   vector set: points are grouped into blocks of [`LANES`] lanes, and
+//!   within a group dimension `d` of all eight points is contiguous
+//!   (`[p0.d, p1.d, .., p7.d]`). One `loadu` per dimension feeds a whole
+//!   group. The buffer is cache-line (64-byte) aligned and the final
+//!   partial group is padded by replicating the last point, so kernels
+//!   never branch on the remainder.
+//! * [`squared_l2_lanes`] — the group kernel: squared Euclidean distances
+//!   from one query to all eight lanes of a group, dispatched at runtime
+//!   to an AVX2+FMA, SSE2, or portable scalar implementation.
+//!
+//! # Bit-compatibility contract
+//!
+//! Every kernel computes, per lane, *exactly* the same floating-point
+//! result as the canonical scalar accumulation used by
+//! [`Euclidean`](crate::Euclidean) / [`SquaredEuclidean`](crate::SquaredEuclidean):
+//! the per-dimension difference is an `f32` subtraction widened to `f64`,
+//! and squares are accumulated sequentially in a single `f64` accumulator.
+//! This is why SIMD is applied **across points** (one lane per point, the
+//! sequential dimension loop preserved per lane) rather than across
+//! dimensions. The FMA variant is also exact: the widened difference has
+//! at most 24 significand bits, so its square (≤ 48 bits) is representable
+//! exactly in `f64`, making `fma(d, d, acc)` bit-identical to
+//! `acc + d * d`. Consequently the scalar, SSE2 and AVX2 kernels — and the
+//! per-point [`Metric::dist`](crate::Metric::dist) path — all return
+//! identical bits, and every layout/kernel combination yields identical
+//! answers *and* identical pruning statistics.
+//!
+//! # Kernel selection
+//!
+//! The kernel is chosen once per process by runtime feature detection
+//! ([`active_kernel`]); setting the `RBC_FORCE_SCALAR` environment
+//! variable (to anything but `0` or the empty string) pins the portable
+//! scalar kernel for A/B runs and CI. [`force_kernel`] overrides the
+//! choice in-process for benchmarks and tests.
+
+// The one place in the workspace where `unsafe` is allowed: `std::arch`
+// intrinsics behind runtime feature detection, over bounds-checked slices.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::metric::Dist;
+
+/// Number of points interleaved per lane group (one AVX2 `f32` register).
+pub const LANES: usize = 8;
+
+/// Floats per cache line; group starts are aligned to this.
+const ALIGN_FLOATS: usize = 16;
+
+/// An interleaved, lane-blocked structure-of-arrays copy of a vector set.
+///
+/// Group `g` holds points `g*LANES .. g*LANES+LANES`; within the group,
+/// the `LANES` values of each dimension are contiguous. The final group is
+/// padded by replicating the last point, so [`group`](Self::group) always
+/// returns a full `dim × LANES` view ([`valid_lanes`](Self::valid_lanes)
+/// says how many of its lanes are real points).
+#[derive(Clone, Debug)]
+pub struct BlockedVectors {
+    /// Backing buffer; group data starts at `offset` so it is 64-byte
+    /// aligned regardless of where the allocator put the `Vec`.
+    data: Vec<f32>,
+    offset: usize,
+    dim: usize,
+    len: usize,
+}
+
+impl BlockedVectors {
+    /// Blocks a row-major flat buffer of `flat.len() / dim` points.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `flat.len()` is not a multiple of `dim`.
+    pub fn from_flat(flat: &[f32], dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            flat.len().is_multiple_of(dim),
+            "flat buffer does not tile into rows of {dim}"
+        );
+        let len = flat.len() / dim;
+        Self::build(dim, len, |i| &flat[i * dim..(i + 1) * dim])
+    }
+
+    /// Blocks the selected rows of a row-major flat buffer, in `indices`
+    /// order — the gathered layout ownership-list scans use (list members
+    /// are arbitrary database indices, so a contiguous blocked copy must
+    /// be gathered once at build time).
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or an index is out of range.
+    pub fn gather_flat(flat: &[f32], dim: usize, indices: &[usize]) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self::build(dim, indices.len(), |i| {
+            let p = indices[i];
+            &flat[p * dim..(p + 1) * dim]
+        })
+    }
+
+    fn build<'a>(dim: usize, len: usize, row: impl Fn(usize) -> &'a [f32]) -> Self {
+        let groups = len.div_ceil(LANES);
+        let mut data = vec![0.0f32; groups * dim * LANES + ALIGN_FLOATS];
+        // A `Vec<f32>` is only guaranteed 4-byte aligned; start the group
+        // data at the first 64-byte boundary inside the buffer.
+        let misalign = (data.as_ptr() as usize / std::mem::size_of::<f32>()) % ALIGN_FLOATS;
+        let offset = (ALIGN_FLOATS - misalign) % ALIGN_FLOATS;
+        for g in 0..groups {
+            let base = offset + g * dim * LANES;
+            for lane in 0..LANES {
+                // Padding lanes replicate the last real point, so group
+                // reductions (e.g. a min over the group's distances) stay
+                // valid without masking.
+                let point = row((g * LANES + lane).min(len - 1));
+                for (d, &value) in point.iter().enumerate().take(dim) {
+                    data[base + d * LANES + lane] = value;
+                }
+            }
+        }
+        Self {
+            data,
+            offset,
+            dim,
+            len,
+        }
+    }
+
+    /// Number of real (unpadded) points stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of the stored points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of lane groups (the last one may be padded).
+    pub fn num_groups(&self) -> usize {
+        self.len.div_ceil(LANES)
+    }
+
+    /// How many lanes of `group` are real points (the rest replicate the
+    /// last point).
+    pub fn valid_lanes(&self, group: usize) -> usize {
+        (self.len - group * LANES).min(LANES)
+    }
+
+    /// The `dim × LANES` interleaved view of one group.
+    ///
+    /// # Panics
+    /// Panics if `group >= num_groups()`.
+    pub fn group(&self, group: usize) -> LaneGroup<'_> {
+        assert!(group < self.num_groups(), "group index out of range");
+        let start = self.offset + group * self.dim * LANES;
+        LaneGroup {
+            data: &self.data[start..start + self.dim * LANES],
+            dim: self.dim,
+        }
+    }
+}
+
+/// A borrowed view of one lane group: `dim` runs of [`LANES`] floats,
+/// dimension-major (`data[d * LANES + lane]` is dimension `d` of lane
+/// `lane`'s point).
+#[derive(Clone, Copy, Debug)]
+pub struct LaneGroup<'a> {
+    data: &'a [f32],
+    dim: usize,
+}
+
+impl LaneGroup<'_> {
+    /// Dimensionality of the group's points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The raw interleaved values (`dim * LANES` floats).
+    pub fn as_slice(&self) -> &[f32] {
+        self.data
+    }
+}
+
+/// Which distance kernel implementation is executing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum KernelChoice {
+    /// Portable scalar fallback: one lane at a time, sequential `f64`
+    /// accumulation — the canonical semantics every other kernel matches.
+    Scalar = 0,
+    /// SSE2: 4 lanes per `f32` register, exact widened `f64` arithmetic.
+    Sse2 = 1,
+    /// AVX2 + FMA: all 8 lanes per register, fused multiply-add (exact
+    /// here — see the module docs).
+    Avx2Fma = 2,
+}
+
+impl KernelChoice {
+    /// Short human-readable kernel name (`"scalar"`, `"sse2"`,
+    /// `"avx2+fma"`), for logs and benchmark reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelChoice::Scalar => "scalar",
+            KernelChoice::Sse2 => "sse2",
+            KernelChoice::Avx2Fma => "avx2+fma",
+        }
+    }
+}
+
+/// Sentinel for "not yet detected" in [`ACTIVE_KERNEL`].
+const KERNEL_UNSET: u8 = u8::MAX;
+
+/// Process-wide kernel choice, detected lazily on first use.
+static ACTIVE_KERNEL: AtomicU8 = AtomicU8::new(KERNEL_UNSET);
+
+#[cfg(target_arch = "x86_64")]
+fn kernel_supported(choice: KernelChoice) -> bool {
+    match choice {
+        KernelChoice::Scalar => true,
+        KernelChoice::Sse2 => is_x86_feature_detected!("sse2"),
+        KernelChoice::Avx2Fma => {
+            is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+        }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn kernel_supported(choice: KernelChoice) -> bool {
+    matches!(choice, KernelChoice::Scalar)
+}
+
+/// Runtime detection: the widest supported kernel, unless
+/// `RBC_FORCE_SCALAR` pins the portable fallback.
+fn detect_kernel() -> KernelChoice {
+    let forced = std::env::var_os("RBC_FORCE_SCALAR")
+        .is_some_and(|value| !value.is_empty() && value != *"0");
+    if forced {
+        return KernelChoice::Scalar;
+    }
+    if kernel_supported(KernelChoice::Avx2Fma) {
+        KernelChoice::Avx2Fma
+    } else if kernel_supported(KernelChoice::Sse2) {
+        KernelChoice::Sse2
+    } else {
+        KernelChoice::Scalar
+    }
+}
+
+fn kernel_from_u8(value: u8) -> KernelChoice {
+    match value {
+        1 => KernelChoice::Sse2,
+        2 => KernelChoice::Avx2Fma,
+        _ => KernelChoice::Scalar,
+    }
+}
+
+/// The kernel all lane-distance computations currently dispatch to.
+///
+/// Detected once per process (see the module docs); every call after the
+/// first is a single relaxed atomic load.
+pub fn active_kernel() -> KernelChoice {
+    match ACTIVE_KERNEL.load(Ordering::Relaxed) {
+        KERNEL_UNSET => {
+            let choice = detect_kernel();
+            ACTIVE_KERNEL.store(choice as u8, Ordering::Relaxed);
+            choice
+        }
+        value => kernel_from_u8(value),
+    }
+}
+
+/// Overrides the process-wide kernel choice — `Some(choice)` pins a
+/// specific kernel (silently clamped to the scalar fallback if the CPU
+/// lacks the required features), `None` reverts to automatic detection
+/// (re-reading `RBC_FORCE_SCALAR`).
+///
+/// Because every kernel is bit-identical, switching mid-run changes
+/// performance only, never answers — which is exactly what the A/B
+/// benchmarks and the SIMD-vs-scalar CI check rely on.
+pub fn force_kernel(choice: Option<KernelChoice>) {
+    let value = match choice {
+        Some(k) if kernel_supported(k) => k as u8,
+        Some(_) => KernelChoice::Scalar as u8,
+        None => KERNEL_UNSET,
+    };
+    ACTIVE_KERNEL.store(value, Ordering::Relaxed);
+}
+
+/// Squared Euclidean distances from `query` to all [`LANES`] lanes of
+/// `group`, written to `out` (padding lanes included — callers mask with
+/// [`BlockedVectors::valid_lanes`]).
+///
+/// Matches the per-point scalar accumulation bit for bit on every kernel
+/// (see the module docs). Dimensions beyond `min(query.len(), group.dim())`
+/// are ignored, mirroring the scalar kernel's zip semantics.
+pub fn squared_l2_lanes(query: &[f32], group: LaneGroup<'_>, out: &mut [Dist; LANES]) {
+    let dim = group.dim.min(query.len());
+    match active_kernel() {
+        KernelChoice::Scalar => scalar_lanes(query, group.data, dim, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the kernel choice is either runtime-detected or clamped
+        // by `force_kernel`, so the required features are present; both
+        // kernels read only `dim * LANES` floats from the bounds-checked
+        // group slice.
+        KernelChoice::Sse2 => unsafe { sse2_lanes(query, group.data, dim, out) },
+        #[cfg(target_arch = "x86_64")]
+        KernelChoice::Avx2Fma => unsafe { avx2_lanes(query, group.data, dim, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar_lanes(query, group.data, dim, out),
+    }
+}
+
+/// Portable fallback. Deliberately lane-outer (each lane runs the full
+/// sequential dimension loop with strided loads) so the compiler cannot
+/// re-vectorize it across lanes: when `RBC_FORCE_SCALAR` is set this is
+/// the honest scalar baseline the speedup ratios are measured against.
+fn scalar_lanes(query: &[f32], data: &[f32], dim: usize, out: &mut [Dist; LANES]) {
+    for (lane, slot) in out.iter_mut().enumerate() {
+        let mut acc = 0.0f64;
+        for d in 0..dim {
+            let diff = f64::from(query[d] - data[d * LANES + lane]);
+            acc += diff * diff;
+        }
+        *slot = acc;
+    }
+}
+
+/// SSE2 kernel: the 8 lanes as two `f32` quads, each widened to two `f64`
+/// pairs; multiply + add (no FMA on baseline x86_64, and none needed for
+/// bit-compatibility — the product is exact either way).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn sse2_lanes(query: &[f32], data: &[f32], dim: usize, out: &mut [Dist; LANES]) {
+    use std::arch::x86_64::*;
+    debug_assert!(data.len() >= dim * LANES);
+    let mut acc = [_mm_setzero_pd(); 4];
+    for (d, &qv) in query[..dim].iter().enumerate() {
+        let q = _mm_set1_ps(qv);
+        let row = data.as_ptr().add(d * LANES);
+        for half in 0..2 {
+            let x = _mm_loadu_ps(row.add(half * 4));
+            let diff = _mm_sub_ps(q, x);
+            let lo = _mm_cvtps_pd(diff);
+            let hi = _mm_cvtps_pd(_mm_movehl_ps(diff, diff));
+            acc[half * 2] = _mm_add_pd(acc[half * 2], _mm_mul_pd(lo, lo));
+            acc[half * 2 + 1] = _mm_add_pd(acc[half * 2 + 1], _mm_mul_pd(hi, hi));
+        }
+    }
+    for (i, a) in acc.iter().enumerate() {
+        _mm_storeu_pd(out.as_mut_ptr().add(i * 2), *a);
+    }
+}
+
+/// AVX2 + FMA kernel: one 8-wide `f32` load and subtract per dimension,
+/// widened to two 4-wide `f64` accumulators driven by fused multiply-adds
+/// (exact here, so still bit-identical to the scalar path).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn avx2_lanes(query: &[f32], data: &[f32], dim: usize, out: &mut [Dist; LANES]) {
+    use std::arch::x86_64::*;
+    debug_assert!(data.len() >= dim * LANES);
+    let mut acc_lo = _mm256_setzero_pd();
+    let mut acc_hi = _mm256_setzero_pd();
+    for (d, &qv) in query[..dim].iter().enumerate() {
+        let q = _mm256_set1_ps(qv);
+        let x = _mm256_loadu_ps(data.as_ptr().add(d * LANES));
+        let diff = _mm256_sub_ps(q, x);
+        let lo = _mm256_cvtps_pd(_mm256_castps256_ps128(diff));
+        let hi = _mm256_cvtps_pd(_mm256_extractf128_ps::<1>(diff));
+        acc_lo = _mm256_fmadd_pd(lo, lo, acc_lo);
+        acc_hi = _mm256_fmadd_pd(hi, hi, acc_hi);
+    }
+    _mm256_storeu_pd(out.as_mut_ptr(), acc_lo);
+    _mm256_storeu_pd(out.as_mut_ptr().add(4), acc_hi);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        (0..n)
+            .map(|_| {
+                (0..dim)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((state >> 33) as f32 / u32::MAX as f32) * 10.0 - 5.0
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn flat(rows: &[Vec<f32>]) -> Vec<f32> {
+        rows.iter().flatten().copied().collect()
+    }
+
+    /// The canonical scalar semantics, restated independently.
+    fn reference_sql2(a: &[f32], b: &[f32]) -> f64 {
+        let mut acc = 0.0f64;
+        for (x, y) in a.iter().zip(b) {
+            let d = f64::from(x - y);
+            acc += d * d;
+        }
+        acc
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn blocked_layout_round_trips_and_pads_with_last_point() {
+        for n in [1usize, 7, 8, 9, 16, 23] {
+            let dim = 5;
+            let data = rows(n, dim, n as u64);
+            let blocked = BlockedVectors::from_flat(&flat(&data), dim);
+            assert_eq!(blocked.len(), n);
+            assert_eq!(blocked.num_groups(), n.div_ceil(LANES));
+            for g in 0..blocked.num_groups() {
+                let group = blocked.group(g);
+                for lane in 0..LANES {
+                    let point = (g * LANES + lane).min(n - 1);
+                    for d in 0..dim {
+                        assert_eq!(
+                            group.as_slice()[d * LANES + lane],
+                            data[point][d],
+                            "n={n} g={g} lane={lane} d={d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_start_is_cache_line_aligned() {
+        let data = rows(20, 7, 3);
+        let blocked = BlockedVectors::from_flat(&flat(&data), 7);
+        let addr = blocked.group(0).as_slice().as_ptr() as usize;
+        assert_eq!(addr % 64, 0, "group data must start on a cache line");
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn gather_selects_rows_in_index_order() {
+        let data = rows(30, 4, 9);
+        let indices = [13usize, 2, 2, 29, 0, 7, 21, 8, 16];
+        let blocked = BlockedVectors::gather_flat(&flat(&data), 4, &indices);
+        assert_eq!(blocked.len(), indices.len());
+        for (i, &p) in indices.iter().enumerate() {
+            let group = blocked.group(i / LANES);
+            for d in 0..4 {
+                assert_eq!(group.as_slice()[d * LANES + i % LANES], data[p][d]);
+            }
+        }
+    }
+
+    #[test]
+    fn every_kernel_is_bit_identical_to_the_reference() {
+        for dim in [1usize, 3, 7, 8, 12, 17, 64] {
+            let db = rows(19, dim, dim as u64);
+            let queries = rows(4, dim, 100 + dim as u64);
+            let blocked = BlockedVectors::from_flat(&flat(&db), dim);
+            for choice in [
+                KernelChoice::Scalar,
+                KernelChoice::Sse2,
+                KernelChoice::Avx2Fma,
+            ] {
+                force_kernel(Some(choice));
+                for q in &queries {
+                    let mut out = [0.0f64; LANES];
+                    for g in 0..blocked.num_groups() {
+                        squared_l2_lanes(q, blocked.group(g), &mut out);
+                        for lane in 0..blocked.valid_lanes(g) {
+                            let want = reference_sql2(q, &db[g * LANES + lane]);
+                            assert_eq!(
+                                out[lane].to_bits(),
+                                want.to_bits(),
+                                "kernel {choice:?} dim {dim} point {}",
+                                g * LANES + lane
+                            );
+                        }
+                    }
+                }
+            }
+            force_kernel(None);
+        }
+    }
+
+    #[test]
+    fn force_kernel_clamps_unsupported_choices_to_scalar() {
+        force_kernel(Some(KernelChoice::Avx2Fma));
+        let active = active_kernel();
+        assert!(
+            active == KernelChoice::Avx2Fma || active == KernelChoice::Scalar,
+            "forced kernel must be the requested one or the safe fallback"
+        );
+        force_kernel(None);
+    }
+
+    #[test]
+    fn kernel_names_are_stable() {
+        assert_eq!(KernelChoice::Scalar.name(), "scalar");
+        assert_eq!(KernelChoice::Sse2.name(), "sse2");
+        assert_eq!(KernelChoice::Avx2Fma.name(), "avx2+fma");
+    }
+}

@@ -5,14 +5,17 @@
 //! RBC and are used by the expansion-rate experiments (the paper's grid
 //! example in §6 uses `ℓ1`).
 //!
-//! The inner loops are written over plain slices with scalar `f32`
-//! arithmetic accumulated into `f64`; with `--release` the compiler
-//! auto-vectorizes them. No `unsafe`, no explicit SIMD intrinsics — the
-//! parallel speedups the paper reports come from multicore decomposition of
-//! the brute-force primitive (handled in `rbc-bruteforce`), not from any
-//! single-pair trick.
+//! The per-pair inner loops are written over plain slices with scalar
+//! `f32` arithmetic accumulated **sequentially** into a single `f64` — the
+//! canonical semantics every other distance path must match bit for bit.
+//! The explicit SIMD kernels in [`crate::simd`] vectorize *across points*
+//! (one register lane per database point, the sequential dimension loop
+//! preserved per lane), which is why [`Euclidean`] and
+//! [`SquaredEuclidean`] can expose lane kernels whose results are
+//! bitwise identical to these scalar loops on any hardware.
 
 use crate::metric::{Dist, Metric};
+use crate::simd::{squared_l2_lanes, LaneGroup, LANES};
 
 #[inline]
 fn debug_check_dims(a: &[f32], b: &[f32]) {
@@ -40,6 +43,22 @@ impl Metric<[f32]> for Euclidean {
     fn name(&self) -> &'static str {
         "euclidean"
     }
+
+    #[inline]
+    fn lanes_supported(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn dist_lanes(&self, query: &[f32], group: LaneGroup<'_>, out: &mut [Dist; LANES]) -> bool {
+        squared_l2_lanes(query, group, out);
+        // f64 sqrt is correctly rounded, so per-lane sqrt of a
+        // bit-identical square is bit-identical to the scalar path.
+        for d in out.iter_mut() {
+            *d = d.sqrt();
+        }
+        true
+    }
 }
 
 /// The *squared* Euclidean distance.
@@ -62,28 +81,32 @@ impl Metric<[f32]> for SquaredEuclidean {
     fn name(&self) -> &'static str {
         "squared-euclidean"
     }
+
+    #[inline]
+    fn lanes_supported(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn dist_lanes(&self, query: &[f32], group: LaneGroup<'_>, out: &mut [Dist; LANES]) -> bool {
+        squared_l2_lanes(query, group, out);
+        true
+    }
 }
 
 #[inline]
 fn squared_l2(a: &[f32], b: &[f32]) -> f64 {
-    // Accumulate in four independent lanes to give the optimizer an easy
-    // reduction to vectorize and to keep f64 rounding error flat.
+    // Strictly sequential accumulation in a single f64 — the canonical
+    // semantics. The SIMD kernels in `crate::simd` reproduce exactly this
+    // per lane (vectorizing across points, not dimensions), which is what
+    // makes blocked and unblocked scans bit-identical.
     let n = a.len().min(b.len());
-    let mut acc = [0.0f64; 4];
-    let chunks = n / 4;
-    for c in 0..chunks {
-        let i = c * 4;
-        for lane in 0..4 {
-            let d = (a[i + lane] - b[i + lane]) as f64;
-            acc[lane] += d * d;
-        }
+    let mut acc = 0.0f64;
+    for i in 0..n {
+        let d = f64::from(a[i] - b[i]);
+        acc += d * d;
     }
-    let mut total = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in (chunks * 4)..n {
-        let d = (a[i] - b[i]) as f64;
-        total += d * d;
-    }
-    total
+    acc
 }
 
 /// The Manhattan (`ℓ1`) metric: `ρ(x,y) = Σ |x_i - y_i|`.

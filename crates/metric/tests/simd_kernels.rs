@@ -1,0 +1,220 @@
+//! Property tests pinning the SIMD lane kernels to the scalar reference.
+//!
+//! The contract under test is **bit identity**: every kernel (scalar,
+//! SSE2, AVX2+FMA), every layout (row-major reference vs. blocked SoA),
+//! every dimension (including the awkward 64±1 and sub-lane cases),
+//! every gather (unaligned starts, duplicated indices), and every padded
+//! remainder group must produce `f64` distances whose bits are equal to
+//! the canonical sequential accumulation. Equality of the *sorted top-k*
+//! then follows and is pinned separately, because that is the property
+//! the search layers actually rely on.
+//!
+//! Kernel forcing mutates process-global dispatch state, so every test
+//! that forces serialises on one mutex and restores auto-detection
+//! before releasing it.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use rbc_metric::{
+    force_kernel, squared_l2_lanes, BlockedVectors, Euclidean, KernelChoice, Metric,
+    SquaredEuclidean, LANES,
+};
+
+/// Dimensions that stress every kernel path: below one SSE quad, exactly
+/// one lane group's worth, around the 64-float cache line, and off-by-one
+/// on both sides of 64.
+const DIMS: [usize; 9] = [1, 3, 7, 8, 16, 17, 63, 64, 65];
+const MAX_DIM: usize = 65;
+const MAX_N: usize = 40;
+
+const KERNELS: [KernelChoice; 3] = [
+    KernelChoice::Scalar,
+    KernelChoice::Sse2,
+    KernelChoice::Avx2Fma,
+];
+
+/// Serialises tests that force the process-global kernel choice.
+static KERNEL_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The canonical semantics, restated independently of the crate: strictly
+/// sequential accumulation in one `f64` accumulator.
+fn reference_sql2(a: &[f32], b: &[f32]) -> f64 {
+    let mut acc = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        let d = f64::from(x - y);
+        acc += d * d;
+    }
+    acc
+}
+
+/// Carves `n` rows of `dim` floats out of a flat random pool.
+fn carve_rows(pool: &[f32], n: usize, dim: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| pool[i * dim..(i + 1) * dim].to_vec())
+        .collect()
+}
+
+fn flatten(rows: &[Vec<f32>]) -> Vec<f32> {
+    rows.iter().flatten().copied().collect()
+}
+
+proptest! {
+    /// Every kernel produces bit-identical squared distances on every
+    /// dimension in the stress set, from an unaligned-start query slice,
+    /// and pads remainder lanes with the last point's distance.
+    #[test]
+    fn kernels_are_bit_identical_across_dims_and_padding(
+        pool in prop::collection::vec(-100.0f32..100.0, MAX_N * MAX_DIM),
+        qpool in prop::collection::vec(-100.0f32..100.0, MAX_DIM + 1),
+        di in 0usize..DIMS.len(),
+        n in 1usize..MAX_N,
+        qoff in 0usize..2,
+    ) {
+        let dim = DIMS[di];
+        let rows = carve_rows(&pool, n, dim);
+        // `qoff == 1` starts the query slice one float into the pool, so
+        // SIMD loads of the query side see a 4-byte-misaligned base.
+        let query = &qpool[qoff..qoff + dim];
+        let blocked = BlockedVectors::from_flat(&flatten(&rows), dim);
+        prop_assert_eq!(blocked.len(), n);
+
+        let _guard = lock();
+        for kernel in KERNELS {
+            force_kernel(Some(kernel));
+            let mut out = [0.0f64; LANES];
+            for g in 0..blocked.num_groups() {
+                squared_l2_lanes(query, blocked.group(g), &mut out);
+                let valid = blocked.valid_lanes(g);
+                for lane in 0..valid {
+                    let want = reference_sql2(query, &rows[g * LANES + lane]);
+                    prop_assert_eq!(
+                        out[lane].to_bits(), want.to_bits(),
+                        "kernel {:?} dim {} point {}", kernel, dim, g * LANES + lane
+                    );
+                }
+                // Padding lanes replicate the last point, which is what
+                // keeps group-minimum admission filtering sound.
+                let last = reference_sql2(query, &rows[n - 1]);
+                for (lane, slot) in out.iter().enumerate().skip(valid) {
+                    prop_assert_eq!(
+                        slot.to_bits(), last.to_bits(),
+                        "kernel {:?} dim {} padding lane {}", kernel, dim, lane
+                    );
+                }
+            }
+        }
+        force_kernel(None);
+    }
+
+    /// Blocks gathered from arbitrary (unaligned, duplicated, reordered)
+    /// row indices keep bit identity under every kernel — the path the
+    /// RBC engines use for per-ownership-list mirrors.
+    #[test]
+    fn gathered_blocks_are_bit_identical_under_every_kernel(
+        pool in prop::collection::vec(-100.0f32..100.0, MAX_N * MAX_DIM),
+        qpool in prop::collection::vec(-100.0f32..100.0, MAX_DIM),
+        di in 0usize..DIMS.len(),
+        n in 1usize..MAX_N,
+        raw_picks in prop::collection::vec(0usize..1000, 1..25),
+    ) {
+        let dim = DIMS[di];
+        let rows = carve_rows(&pool, n, dim);
+        let query = &qpool[..dim];
+        let picks: Vec<usize> = raw_picks.into_iter().map(|p| p % n).collect();
+        let blocked = BlockedVectors::gather_flat(&flatten(&rows), dim, &picks);
+        prop_assert_eq!(blocked.len(), picks.len());
+
+        let _guard = lock();
+        for kernel in KERNELS {
+            force_kernel(Some(kernel));
+            let mut out = [0.0f64; LANES];
+            for g in 0..blocked.num_groups() {
+                squared_l2_lanes(query, blocked.group(g), &mut out);
+                for lane in 0..blocked.valid_lanes(g) {
+                    let want = reference_sql2(query, &rows[picks[g * LANES + lane]]);
+                    prop_assert_eq!(
+                        out[lane].to_bits(), want.to_bits(),
+                        "kernel {:?} dim {} pick {}", kernel, dim, g * LANES + lane
+                    );
+                }
+            }
+        }
+        force_kernel(None);
+    }
+
+    /// The metric-level lane hooks (including Euclidean's square root)
+    /// match `Metric::dist` bit for bit, so any code path mixing lane and
+    /// scalar evaluations stays coherent.
+    #[test]
+    fn dist_lanes_matches_dist_bitwise(
+        pool in prop::collection::vec(-100.0f32..100.0, MAX_N * MAX_DIM),
+        qpool in prop::collection::vec(-100.0f32..100.0, MAX_DIM),
+        di in 0usize..DIMS.len(),
+        n in 1usize..MAX_N,
+    ) {
+        let dim = DIMS[di];
+        let rows = carve_rows(&pool, n, dim);
+        let query = &qpool[..dim];
+        let blocked = BlockedVectors::from_flat(&flatten(&rows), dim);
+
+        prop_assert!(Metric::<[f32]>::lanes_supported(&Euclidean));
+        prop_assert!(Metric::<[f32]>::lanes_supported(&SquaredEuclidean));
+        let mut out = [0.0f64; LANES];
+        for g in 0..blocked.num_groups() {
+            prop_assert!(Euclidean.dist_lanes(query, blocked.group(g), &mut out));
+            for lane in 0..blocked.valid_lanes(g) {
+                let want = Euclidean.dist(query, &rows[g * LANES + lane]);
+                prop_assert_eq!(out[lane].to_bits(), want.to_bits());
+            }
+            prop_assert!(SquaredEuclidean.dist_lanes(query, blocked.group(g), &mut out));
+            for lane in 0..blocked.valid_lanes(g) {
+                let want = SquaredEuclidean.dist(query, &rows[g * LANES + lane]);
+                prop_assert_eq!(out[lane].to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    /// The sorted top-k over blocked lane distances is *identical* (same
+    /// indices, same distance bits, same order) under every kernel — the
+    /// property the search layers actually rely on.
+    #[test]
+    fn top_k_is_identical_under_every_kernel(
+        pool in prop::collection::vec(-100.0f32..100.0, MAX_N * MAX_DIM),
+        qpool in prop::collection::vec(-100.0f32..100.0, MAX_DIM),
+        di in 0usize..DIMS.len(),
+        n in 2usize..MAX_N,
+        k in 1usize..8,
+    ) {
+        let dim = DIMS[di];
+        let rows = carve_rows(&pool, n, dim);
+        let query = &qpool[..dim];
+        let blocked = BlockedVectors::from_flat(&flatten(&rows), dim);
+        let k = k.min(n);
+
+        let _guard = lock();
+        let mut per_kernel: Vec<Vec<(u64, usize)>> = Vec::new();
+        for kernel in KERNELS {
+            force_kernel(Some(kernel));
+            let mut ranked: Vec<(u64, usize)> = Vec::with_capacity(n);
+            let mut out = [0.0f64; LANES];
+            for g in 0..blocked.num_groups() {
+                prop_assert!(Euclidean.dist_lanes(query, blocked.group(g), &mut out));
+                for (lane, slot) in out.iter().enumerate().take(blocked.valid_lanes(g)) {
+                    ranked.push((slot.to_bits(), g * LANES + lane));
+                }
+            }
+            // Distances are non-negative, so bit order is value order.
+            ranked.sort_unstable();
+            ranked.truncate(k);
+            per_kernel.push(ranked);
+        }
+        force_kernel(None);
+        prop_assert_eq!(&per_kernel[0], &per_kernel[1], "scalar vs sse2");
+        prop_assert_eq!(&per_kernel[0], &per_kernel[2], "scalar vs avx2+fma");
+    }
+}
