@@ -39,11 +39,21 @@
 //! The full grid is written as JSON under `results/shard_bench.json`.
 //!
 //! Usage: `shard_bench [--n N] [--queries N] [--clusters N] [--dim N]
-//! [--k N] [--seed N] [--replication N] [--fail-node N]`
+//! [--k N] [--seed N] [--replication N] [--fail-node N] [--wire]`
 //!
 //! With `--replication` and/or `--fail-node` the binary runs only the
 //! focused failover smoke (build a replicated index, kill the node,
 //! assert nothing is lost) — the CI failover step.
+//!
+//! With `--wire` the binary runs the wire smoke instead: it stands up a
+//! real framed-TCP cluster (`rbc_distributed::net`), replays the stream
+//! over the sockets, and **cross-validates the CommCost model against
+//! the bytes that actually crossed the wire** — asserting bit-identity
+//! with the in-process transport, identical worker evals, and measured
+//! frame bytes within 20% of the modeled message bytes per cell. The
+//! framing overheads only sit inside that tolerance when payloads
+//! dominate headers, so run it in a payload-dominated regime (CI uses
+//! `--dim 32 --k 4`).
 
 use std::time::Instant;
 
@@ -86,6 +96,9 @@ struct Options {
     replication: Option<usize>,
     /// Focused failover smoke: the node to kill.
     fail_node: Option<usize>,
+    /// Wire smoke: run over a real framed-TCP cluster and validate the
+    /// CommCost model against measured wire bytes.
+    wire: bool,
 }
 
 impl Default for Options {
@@ -99,6 +112,7 @@ impl Default for Options {
             seed: 0,
             replication: None,
             fail_node: None,
+            wire: false,
         }
     }
 }
@@ -121,6 +135,7 @@ fn parse_options() -> Options {
             "--seed" => opts.seed = need(&mut args, "--seed") as u64,
             "--replication" => opts.replication = Some(need(&mut args, "--replication").max(1)),
             "--fail-node" => opts.fail_node = Some(need(&mut args, "--fail-node")),
+            "--wire" => opts.wire = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -134,7 +149,7 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: shard_bench [--n N] [--queries N] [--clusters N] [--dim N] [--k N] [--seed N] \
-         [--replication N] [--fail-node N]"
+         [--replication N] [--fail-node N] [--wire]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }
@@ -294,8 +309,108 @@ fn failover_smoke(opts: &Options) {
     );
 }
 
+/// The wire smoke (`--wire`): a real framed-TCP cluster in this
+/// process — node servers each owning only their shard behind
+/// `127.0.0.1:0` sockets — replaying the same stream that the
+/// in-process transport runs, cell by cell over node counts × batch
+/// sizes. Asserted per cell:
+///
+/// * **bit-identity** — wire answers equal the in-process answers and
+///   the centralized list-major reference;
+/// * **identical work** — worker distance evals match the in-process
+///   shards exactly (nodes recompute stage-1 rep distances
+///   bit-identically);
+/// * **the CommCost model is honest** — the bytes that actually
+///   crossed the sockets (frame headers included) sit within 20% of
+///   `stats.comm.total_bytes()`, the modeled message bytes.
+fn wire_smoke(opts: &Options) {
+    use rbc_distributed::net::{spawn_local_cluster, NetConfig};
+    println!(
+        "wire smoke: n = {}, {} clustered queries (dim {}), k = {}\n",
+        opts.n, opts.queries, opts.dim, opts.k
+    );
+    let database = gaussian_mixture(opts.n, opts.dim, opts.clusters, 0.03, 7 + opts.seed);
+    let queries = gaussian_mixture(opts.queries, opts.dim, opts.clusters, 0.03, 8 + opts.seed);
+    let rbc = ExactRbc::build(
+        &database,
+        Euclidean,
+        RbcParams::standard(opts.n, 42 + opts.seed),
+        RbcConfig::default(),
+    );
+    let (reference, _) = rbc.query_batch_k(&queries, opts.k);
+    let batch_sizes: Vec<usize> = [1usize, 16, 64]
+        .into_iter()
+        .filter(|&b| b <= opts.queries)
+        .collect();
+    let mut table = Table::new(
+        "wire transport: measured frame bytes vs the CommCost model",
+        &["nodes", "batch", "model B/q", "wire B/q", "ratio", "ms"],
+    );
+    for nodes in [2usize, 4] {
+        let local = DistributedRbc::from_exact(
+            rbc.clone(),
+            ClusterConfig::with_nodes(nodes),
+            database.dim(),
+        );
+        let wired = DistributedRbc::from_exact_with_placement(
+            rbc.clone(),
+            ClusterConfig::with_nodes(nodes),
+            local.placement().clone(),
+            database.dim(),
+        );
+        let cluster = spawn_local_cluster(&wired, NetConfig::default(), false)
+            .expect("wire cluster must start");
+        let wired = wired.with_endpoints(cluster.endpoints());
+        for &batch_size in &batch_sizes {
+            let (local_answers, local_stats, _, _) =
+                run_sweep(&local, &queries, batch_size, opts.k);
+            assert_eq!(local_answers, reference, "in-process transport diverged");
+            let before = cluster.wire_bytes();
+            let (answers, stats, _, elapsed_ms) = run_sweep(&wired, &queries, batch_size, opts.k);
+            let measured = cluster.wire_bytes() - before;
+            assert_eq!(
+                answers, reference,
+                "wire answers diverged from the centralized search at {nodes} nodes, \
+                 batch size {batch_size}"
+            );
+            assert_eq!(
+                stats.worker_evals, local_stats.worker_evals,
+                "wire nodes must do exactly the work the in-process shards do \
+                 ({nodes} nodes, batch size {batch_size})"
+            );
+            let model = stats.comm.total_bytes();
+            let ratio = measured as f64 / model as f64;
+            assert!(
+                (ratio - 1.0).abs() <= 0.20,
+                "measured wire bytes diverged from the CommCost model by more than 20%: \
+                 {measured} measured vs {model} modeled (ratio {ratio:.3}) at {nodes} nodes, \
+                 batch size {batch_size}"
+            );
+            table.row(&[
+                nodes.to_string(),
+                batch_size.to_string(),
+                format!("{:.0}", model as f64 / opts.queries as f64),
+                format!("{:.0}", measured as f64 / opts.queries as f64),
+                format!("{ratio:.3}"),
+                format!("{elapsed_ms:.1}"),
+            ]);
+        }
+        cluster.shutdown();
+    }
+    println!();
+    table.print();
+    println!(
+        "\nwire answers bit-identical to the in-process transport and the centralized \
+         search; measured frame bytes within 20% of the CommCost model (asserted)."
+    );
+}
+
 fn main() {
     let opts = parse_options();
+    if opts.wire {
+        wire_smoke(&opts);
+        return;
+    }
     if opts.replication.is_some() || opts.fail_node.is_some() {
         failover_smoke(&opts);
         return;

@@ -12,7 +12,35 @@ use serde::Serialize;
 
 use crate::cluster::{ClusterConfig, CommCost};
 use crate::load::{ClusterLoad, NodeHealth, NodeLoad};
+use crate::net::codec::{QueryRequest, WireGroup};
+use crate::net::endpoint::NodeEndpoint;
 use crate::placement::{Placement, PlacementPolicy};
+
+/// The attached wire transport: one endpoint per node, plus the
+/// coordinate extractor captured when the transport was attached (the
+/// only point where `D::Item = [f32]` is known, so the generic query
+/// path can serialize items without carrying that bound).
+pub(crate) struct Wire<D: Dataset> {
+    endpoints: Vec<Arc<dyn NodeEndpoint>>,
+    coords: for<'a> fn(&'a D::Item) -> &'a [f32],
+}
+
+impl<D: Dataset> Clone for Wire<D> {
+    fn clone(&self) -> Self {
+        Self {
+            endpoints: self.endpoints.clone(),
+            coords: self.coords,
+        }
+    }
+}
+
+impl<D: Dataset> std::fmt::Debug for Wire<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wire")
+            .field("endpoints", &self.endpoints.len())
+            .finish()
+    }
+}
 
 /// Work and communication performed by one distributed query (or a batch).
 ///
@@ -111,7 +139,7 @@ impl DistributedQueryStats {
 /// by representative, as sketched in the paper's conclusion — with
 /// replicated, skew-aware placement and failover routing on top.
 #[derive(Clone, Debug)]
-pub struct DistributedRbc<D, M> {
+pub struct DistributedRbc<D: Dataset, M> {
     rbc: ExactRbc<D, M>,
     cluster: ClusterConfig,
     placement: Placement,
@@ -127,6 +155,11 @@ pub struct DistributedRbc<D, M> {
     /// Shared liveness flags; `Arc`-shared so failures injected from a
     /// test, a bench, or an operator thread are seen by every clone.
     health: Arc<NodeHealth>,
+    /// When attached ([`with_endpoints`](Self::with_endpoints)), every
+    /// routed sub-plan crosses a real wire instead of being executed
+    /// in-process, and node failure is detected by deadline instead of
+    /// consulting the [`NodeHealth`] oracle.
+    wire: Option<Wire<D>>,
 }
 
 impl<D, M> DistributedRbc<D, M>
@@ -208,6 +241,7 @@ where
             payload_coords,
             load,
             health,
+            wire: None,
         }
     }
 
@@ -555,7 +589,7 @@ where
             ..config.bf
         });
         let shrink = 1.0 + config.epsilon;
-        type Reply = (Vec<Vec<Neighbor>>, rbc_core::SearchStats);
+        type Reply = (Vec<Vec<Neighbor>>, u64);
         // (node, executed sub-plan, distinct-query payload, reply).
         let mut executed: Vec<(usize, BatchPlan, usize, Reply)> = Vec::new();
         let mut rerouted_groups = 0u64;
@@ -576,14 +610,23 @@ where
             let round: Vec<Option<Reply>> = contacted
                 .par_iter()
                 .map(|&nd| {
+                    let part = &parts[nd];
+                    // Over the wire, liveness is *detected*: the request
+                    // is shipped and a missed deadline (connect, write,
+                    // or read — including a peer hanging mid-frame)
+                    // marks the node dead. In-process, the oracle
+                    // simulates the same event at contact time.
+                    if let Some(wire) = &self.wire {
+                        let _node_span = rbc_trace::span_under("dist.node", scan_ctx);
+                        return self.wire_execute(wire, nd, part, queries, &plan, k);
+                    }
                     if !self.health.contact(nd) {
                         return None;
                     }
                     let _node_span = rbc_trace::span_under("dist.node", scan_ctx);
-                    let part = &parts[nd];
                     let accumulators: Vec<Mutex<TopK>> =
                         (0..nq).map(|_| Mutex::new(TopK::new(k))).collect();
-                    Some(execute_list_major(
+                    let (partials, node_stats) = execute_list_major(
                         &node_bf,
                         false,
                         queries,
@@ -603,7 +646,8 @@ where
                         accumulators,
                         0,
                         0,
-                    ))
+                    );
+                    Some((partials, node_stats.list_distance_evals))
                 })
                 .collect();
 
@@ -705,14 +749,14 @@ where
 
         // Accounting: per-round fan-out, per-node load.
         let mut lists_scanned = 0u64;
-        for (nd, part, payload, (_, node_stats)) in &executed {
+        for (nd, part, payload, (_, node_evals)) in &executed {
             let payload = *payload as u64;
             lists_scanned += part.groups.len() as u64;
             per_node_loads[*nd].accumulate(&NodeLoad {
                 node: *nd,
                 queries: payload,
                 groups: part.groups.len() as u64,
-                evals: node_stats.list_distance_evals,
+                evals: *node_evals,
                 bytes_out: self
                     .cluster
                     .batch_query_message_bytes(self.payload_coords, payload as usize),
@@ -739,6 +783,150 @@ where
         self.load
             .record_outcome(stats.degraded_queries(), rerouted_groups, stats.lost_groups);
         (results, stats)
+    }
+
+    /// Ships one routed sub-plan to `nd`'s endpoint and decodes the
+    /// partial top-k results. Any transport failure — most importantly
+    /// a missed deadline from a peer that hangs mid-frame — marks the
+    /// node dead ([`NodeHealth::fail`]), so the caller's existing
+    /// mid-batch re-route and flagged-prefix degradation machinery
+    /// takes over unchanged: this is failure *detection* replacing the
+    /// in-process oracle.
+    ///
+    /// The request ships each distinct query once (coordinates + γ_k)
+    /// and each group as slot indices into that table; the node
+    /// recomputes `ρ(q, rep_ℓ)` from its stored representative
+    /// coordinates, which is bit-identical to the coordinator's stage-1
+    /// values by the SIMD kernel invariant.
+    fn wire_execute<Q>(
+        &self,
+        wire: &Wire<D>,
+        nd: usize,
+        part: &BatchPlan,
+        queries: &Q,
+        plan: &BatchPlan,
+        k: usize,
+    ) -> Option<(Vec<Vec<Neighbor>>, u64)>
+    where
+        Q: Dataset<Item = D::Item>,
+    {
+        let config = self.rbc.config();
+        let mut positions: Vec<usize> = part
+            .groups
+            .iter()
+            .flat_map(|g| g.queries.iter().copied())
+            .collect();
+        positions.sort_unstable();
+        positions.dedup();
+        assert!(
+            positions.len() <= u16::MAX as usize && k <= u16::MAX as usize,
+            "the wire protocol carries query-table slots and k as u16"
+        );
+        let mut gammas = Vec::with_capacity(positions.len());
+        let mut coords = Vec::new();
+        for &p in &positions {
+            gammas.push(plan.gamma_k[p]);
+            coords.extend_from_slice((wire.coords)(queries.get(p)));
+        }
+        let dim = if positions.is_empty() {
+            0
+        } else {
+            coords.len() / positions.len()
+        };
+        let groups: Vec<WireGroup> = part
+            .groups
+            .iter()
+            .map(|g| {
+                let mut members: Vec<u16> = g
+                    .queries
+                    .iter()
+                    .map(|&q| {
+                        positions
+                            .binary_search(&q)
+                            .expect("group member collected into the query table")
+                            as u16
+                    })
+                    .collect();
+                // The wire carries member *sets* (a bitmap over the
+                // query table); order within a group cannot affect
+                // results — each member feeds only its own accumulator.
+                members.sort_unstable();
+                WireGroup {
+                    list_index: g.list_index as u32,
+                    members,
+                }
+            })
+            .collect();
+        let request = QueryRequest {
+            k: k as u16,
+            sorted_cut: config.sorted_list_pruning,
+            shrink: 1.0 + config.epsilon,
+            dim: dim as u16,
+            gammas,
+            coords,
+            groups,
+        };
+        match wire.endpoints[nd].execute(&request) {
+            Ok(reply) => {
+                let mut partials = vec![Vec::new(); plan.queries];
+                for (slot, result) in reply.results.iter().enumerate() {
+                    partials[positions[slot]] = result
+                        .iter()
+                        .map(|&(index, dist)| Neighbor::new(index as usize, dist))
+                        .collect();
+                }
+                Some((partials, reply.evals))
+            }
+            Err(_) => {
+                self.health.fail(nd);
+                None
+            }
+        }
+    }
+}
+
+impl<D, M> DistributedRbc<D, M>
+where
+    D: Dataset<Item = [f32]>,
+    M: Metric<[f32]>,
+{
+    /// Attaches a wire transport: one [`NodeEndpoint`] per cluster
+    /// node (see [`crate::net`]). Every routed sub-plan of
+    /// [`query_batch_exact`](Self::query_batch_exact) is then shipped
+    /// over the endpoint instead of executed in-process, the partial
+    /// results come back over the wire, and node failure is detected
+    /// by the transport's deadlines rather than the [`NodeHealth`]
+    /// oracle — with answers bit-identical to the in-process path,
+    /// whichever transport runs.
+    ///
+    /// [`fail_node`](Self::fail_node) / [`revive_node`](Self::revive_node)
+    /// still work as administrative drain controls (routing consults
+    /// the shared liveness view), but [`poison_node`](Self::poison_node)
+    /// has no effect over the wire: the equivalent mid-batch failure is
+    /// a real peer that hangs or drops, injected on the server side
+    /// (see `NodeServer::arm_hang`).
+    ///
+    /// The one-shot protocol ([`query_one_shot`](Self::query_one_shot))
+    /// stays in-process; only the batched protocol crosses the wire.
+    ///
+    /// # Panics
+    /// Panics if the endpoint count does not match the cluster size.
+    pub fn with_endpoints(mut self, endpoints: Vec<Arc<dyn NodeEndpoint>>) -> Self {
+        assert_eq!(
+            endpoints.len(),
+            self.cluster.nodes,
+            "one endpoint per cluster node"
+        );
+        self.wire = Some(Wire {
+            endpoints,
+            coords: |item: &[f32]| item,
+        });
+        self
+    }
+
+    /// Whether a wire transport is attached.
+    pub fn is_wired(&self) -> bool {
+        self.wire.is_some()
     }
 }
 

@@ -25,13 +25,19 @@
 //!   nearest representative's list — which is the property that makes the
 //!   representative-based distribution attractive in the first place.
 //!
-//! No real network is involved (this is a single-process simulation, per
-//! DESIGN.md §3): worker shards are ordinary in-memory structures queried
-//! in parallel, and the communication that *would* occur is accounted by
-//! an explicit cost model ([`ClusterConfig`]), so experiments can study
-//! how node count, pruning effectiveness, and payload sizes interact —
-//! exactly the "I/O and communication costs" the paper defers to future
-//! work.
+//! Two transports run this protocol, bit-identically. The default is a
+//! single-process simulation (per DESIGN.md §3): worker shards are
+//! ordinary in-memory structures queried in parallel, and the
+//! communication that *would* occur is accounted by an explicit cost
+//! model ([`ClusterConfig`]). The [`net`] module is the real thing:
+//! length-prefixed framed TCP between a coordinator and node processes
+//! that each own only their shard, with deadline-based failure
+//! detection instead of the in-process liveness oracle
+//! ([`DistributedRbc::with_endpoints`]). Because the wire payloads are
+//! the cost model's messages made literal, `shard_bench --wire`
+//! cross-validates the model against measured bytes on the wire — the
+//! "I/O and communication costs" the paper defers to future work,
+//! studied both analytically and empirically.
 //!
 //! # Sharded serving architecture
 //!
@@ -121,9 +127,11 @@
 pub mod cluster;
 pub mod distributed;
 pub mod load;
+pub mod net;
 pub mod placement;
 
 pub use cluster::{ClusterConfig, CommCost};
 pub use distributed::{DistributedQueryStats, DistributedRbc};
 pub use load::{eval_skew, ClusterLoad, NodeHealth, NodeLoad};
+pub use net::{NetConfig, NetError, NodeEndpoint, TcpNodeClient};
 pub use placement::{Placement, PlacementPolicy};

@@ -1,0 +1,261 @@
+//! Integration tests for the framed-TCP wire transport.
+//!
+//! A real cluster is stood up in-process — one `NodeServer` thread per
+//! node, each owning only its placed shard behind a `127.0.0.1:0`
+//! socket — and `DistributedRbc` runs the routed batch protocol over
+//! it. The contracts: the wire answers are **bit-identical** to the
+//! in-process transport (and therefore to the centralized search and
+//! brute force), worker evals match exactly (nodes recompute stage-1
+//! rep distances bit-identically), and a node that *hangs mid-frame*
+//! is detected by deadline alone — no oracle — feeding the existing
+//! mid-batch failover (replicated: rerouted, nothing lost) and
+//! flagged-prefix degradation (single-owner: correct partial answers).
+
+use std::time::{Duration, Instant};
+
+use rbc_core::{BatchStrategy, ExactRbc, RbcConfig, RbcParams};
+use rbc_distributed::net::{spawn_local_cluster, NetConfig};
+use rbc_distributed::{ClusterConfig, DistributedRbc, PlacementPolicy};
+use rbc_metric::{Euclidean, VectorSet};
+
+/// Clustered rows (queries co-travel through shared ownership lists,
+/// so routed groups are non-trivial on every node).
+fn clustered(n: usize, nq: usize, seed: u64) -> (VectorSet, VectorSet) {
+    let centers = [
+        [-30.0f32, 4.0, 9.0, -2.0, 16.0, 0.5],
+        [25.0, -14.0, 3.0, 11.0, -8.0, -3.0],
+        [4.0, 31.0, -22.0, -17.0, 2.0, 12.0],
+        [-9.0, -27.0, 15.0, 6.0, -19.0, 7.0],
+    ];
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let mut offset = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 40) as f32 / (1u32 << 24) as f32 - 0.5
+    };
+    let mut point = |i: usize| -> Vec<f32> {
+        centers[i % centers.len()]
+            .iter()
+            .map(|&c| c + offset())
+            .collect()
+    };
+    let db: Vec<Vec<f32>> = (0..n).map(&mut point).collect();
+    let queries: Vec<Vec<f32>> = (0..nq).map(|i| point(i * 7 + 3)).collect();
+    (VectorSet::from_rows(&db), VectorSet::from_rows(&queries))
+}
+
+fn build_rbc(db: &VectorSet, seed: u64, n_reps: usize) -> ExactRbc<VectorSet, Euclidean> {
+    let params = RbcParams::standard(db.len(), seed).with_n_reps(n_reps);
+    ExactRbc::build(db.clone(), Euclidean, params, RbcConfig::default())
+}
+
+/// Builds an in-process index and a wire-transport twin over the SAME
+/// placement, so any divergence is the transport's fault alone.
+fn twins(
+    rbc: &ExactRbc<VectorSet, Euclidean>,
+    nodes: usize,
+    policy: PlacementPolicy,
+    dim: usize,
+) -> (
+    DistributedRbc<VectorSet, Euclidean>,
+    DistributedRbc<VectorSet, Euclidean>,
+) {
+    let local = DistributedRbc::from_exact_with_policy(
+        rbc.clone(),
+        ClusterConfig::with_nodes(nodes),
+        policy,
+        dim,
+    );
+    let wired = DistributedRbc::from_exact_with_placement(
+        rbc.clone(),
+        ClusterConfig::with_nodes(nodes),
+        local.placement().clone(),
+        dim,
+    );
+    (local, wired)
+}
+
+/// Wire answers equal in-process answers bit for bit — across node
+/// counts, k values, and both single-owner and replicated placements —
+/// and the workers report exactly the same distance-eval counts.
+#[test]
+fn wire_transport_is_bit_identical_to_in_process() {
+    let (db, queries) = clustered(500, 24, 11);
+    let rbc = build_rbc(&db, 11, 22);
+    let (want_central, _) = rbc.query_batch_k_with_strategy(&queries, 3, BatchStrategy::ListMajor);
+
+    for (nodes, policy) in [
+        (1usize, PlacementPolicy::SingleOwner),
+        (4, PlacementPolicy::SingleOwner),
+        (4, PlacementPolicy::Replicated { factor: 2 }),
+    ] {
+        let (local, wired) = twins(&rbc, nodes, policy, db.dim());
+        let cluster =
+            spawn_local_cluster(&wired, NetConfig::default(), false).expect("cluster must start");
+        let wired = wired.with_endpoints(cluster.endpoints());
+        assert!(wired.is_wired());
+
+        for k in [1usize, 3, 5] {
+            let (want, want_stats) = local.query_batch_exact(&queries, k);
+            let (got, got_stats) = wired.query_batch_exact(&queries, k);
+            assert_eq!(
+                got, want,
+                "wire answers diverged (nodes={nodes}, k={k}, policy={policy:?})"
+            );
+            if k == 3 {
+                assert_eq!(got, want_central, "both transports must equal centralized");
+            }
+            assert_eq!(
+                got_stats.worker_evals, want_stats.worker_evals,
+                "nodes must do exactly the work the in-process shards do"
+            );
+            assert_eq!(got_stats.degraded_queries(), 0);
+            assert_eq!(got_stats.lost_groups, 0);
+        }
+        assert!(
+            cluster.wire_bytes() > 0,
+            "traffic must actually cross sockets"
+        );
+        cluster.shutdown();
+    }
+}
+
+/// A node that hangs mid-frame — accepts the connection, emits two
+/// bytes of a reply header, then goes silent — is detected purely by
+/// the read deadline, marked dead, and its groups re-route to the
+/// surviving replicas within the same batch: answers stay
+/// bit-identical, nothing lost, nothing degraded.
+#[test]
+fn hung_node_is_detected_by_deadline_and_failed_over() {
+    let (db, queries) = clustered(600, 32, 7);
+    let rbc = build_rbc(&db, 7, 24);
+    let (local, wired) = twins(&rbc, 4, PlacementPolicy::Replicated { factor: 2 }, db.dim());
+    let net = NetConfig {
+        read_timeout: Some(Duration::from_millis(400)),
+        ..NetConfig::default()
+    };
+    let cluster = spawn_local_cluster(&wired, net, false).expect("cluster must start");
+    let wired = wired.with_endpoints(cluster.endpoints());
+    let (want, _) = local.query_batch_exact(&queries, 4);
+
+    let victim = 2usize;
+    cluster.hang_node(victim);
+    let started = Instant::now();
+    let (got, stats) = wired.query_batch_exact(&queries, 4);
+    let elapsed = started.elapsed();
+
+    assert_eq!(got, want, "failover over the wire must not change answers");
+    assert_eq!(stats.lost_groups, 0, "every list had a live replica");
+    assert_eq!(stats.degraded_queries(), 0);
+    assert!(
+        stats.rerouted_groups > 0,
+        "the hung node's groups must be re-routed mid-batch"
+    );
+    assert!(
+        !wired.health().is_live(victim),
+        "the missed deadline must mark the hung node dead"
+    );
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "detection must be deadline-bounded, took {elapsed:?}"
+    );
+
+    // The dead node stays routed-around on the next batch (no fresh
+    // timeout wait), and an administrative revive... cannot resurrect a
+    // hung server; it just re-arms detection. Routing still works.
+    let (again, again_stats) = wired.query_batch_exact(&queries, 4);
+    assert_eq!(again, want);
+    assert_eq!(again_stats.rerouted_groups, 0, "dead node is not routed to");
+    cluster.shutdown();
+}
+
+/// Same hang against a single-owner placement: the victim's lists have
+/// no second home, so the affected queries degrade to flagged answers
+/// that are strict prefixes of the exact top-k — never wrong, never
+/// out of order — while untouched queries stay exact and unflagged.
+#[test]
+fn hung_single_owner_degrades_to_flagged_prefixes() {
+    let (db, queries) = clustered(600, 32, 13);
+    let rbc = build_rbc(&db, 13, 24);
+    let (local, wired) = twins(&rbc, 4, PlacementPolicy::SingleOwner, db.dim());
+    let net = NetConfig {
+        read_timeout: Some(Duration::from_millis(400)),
+        ..NetConfig::default()
+    };
+    let cluster = spawn_local_cluster(&wired, net, false).expect("cluster must start");
+    let wired = wired.with_endpoints(cluster.endpoints());
+    let k = 4;
+    let (want, _) = local.query_batch_exact(&queries, k);
+
+    let victim = 1usize;
+    cluster.hang_node(victim);
+    let (got, stats) = wired.query_batch_exact(&queries, k);
+
+    assert!(
+        stats.lost_groups > 0 && stats.degraded_queries() > 0,
+        "the victim owned traffic, so some queries must degrade"
+    );
+    for qi in 0..queries.len() {
+        if stats.degraded[qi] {
+            assert!(got[qi].len() <= want[qi].len());
+            assert_eq!(
+                &got[qi][..],
+                &want[qi][..got[qi].len()],
+                "query {qi}: flagged answer must be a prefix of the exact top-k"
+            );
+        } else {
+            assert_eq!(got[qi], want[qi], "unflagged query {qi} must stay exact");
+        }
+    }
+    cluster.shutdown();
+}
+
+/// The control channel works end to end: probes describe the shard,
+/// a client-sent hang is acknowledged before taking effect, and
+/// shutdown stops a server remotely.
+#[test]
+fn probe_hang_and_shutdown_controls() {
+    let (db, _) = clustered(300, 4, 3);
+    let rbc = build_rbc(&db, 3, 12);
+    let index = DistributedRbc::from_exact(rbc, ClusterConfig::with_nodes(2), db.dim());
+    let net = NetConfig {
+        read_timeout: Some(Duration::from_millis(300)),
+        ..NetConfig::default()
+    };
+    let cluster = spawn_local_cluster(&index, net, false).expect("cluster must start");
+
+    // Probes describe the placement: every point lives somewhere.
+    let mut points = 0u64;
+    for (node, client) in cluster.clients().iter().enumerate() {
+        use rbc_distributed::NodeEndpoint;
+        let ack = client.probe().expect("probe must succeed");
+        assert_eq!(ack.node as usize, node);
+        points += ack.points;
+    }
+    assert_eq!(
+        points as usize,
+        db.len(),
+        "single-owner shards partition the db"
+    );
+
+    // A hang ordered over the wire is acknowledged, then the *next*
+    // call dies by deadline.
+    use rbc_distributed::NodeEndpoint;
+    cluster.clients()[0].hang().expect("hang must be acked");
+    assert!(
+        cluster.clients()[0].probe().is_err(),
+        "hung node must time out"
+    );
+
+    // Remote shutdown: the healthy node acks and stops serving.
+    cluster.clients()[1]
+        .shutdown()
+        .expect("shutdown must be acked");
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(
+        cluster.clients()[1].probe().is_err(),
+        "a stopped server must not answer"
+    );
+    cluster.shutdown();
+}

@@ -1,0 +1,132 @@
+//! The serving engine over the real wire transport.
+//!
+//! The whole stack at once: producers submit single queries, the
+//! engine coalesces them into micro-batches, the sharded index routes
+//! the batches over framed TCP to node servers that each own only
+//! their shard — and every served answer must still be bit-identical
+//! to a direct query on an in-process twin of the same placement. Then
+//! a node hangs mid-frame *while the engine is serving*, and the
+//! deadline-based failover keeps the replies exact (replicated
+//! placement) without a single degraded flag.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rbc_core::{ExactRbc, RbcConfig, RbcParams, SearchIndex};
+use rbc_distributed::net::{spawn_local_cluster, NetConfig};
+use rbc_distributed::{ClusterConfig, DistributedRbc, PlacementPolicy};
+use rbc_metric::{Euclidean, VectorSet};
+use rbc_serve::{Engine, ServeConfig};
+
+/// Deterministic pseudo-random cloud (LCG; no RNG dependency needed).
+fn cloud(n: usize, dim: usize, seed: u64) -> VectorSet {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut row = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            row.push(((state >> 33) as f32 / u32::MAX as f32) * 10.0 - 5.0);
+        }
+        rows.push(row);
+    }
+    VectorSet::from_rows(&rows)
+}
+
+#[test]
+fn served_answers_over_the_wire_equal_direct_in_process_answers() {
+    let db = cloud(900, 6, 21);
+    let rbc = ExactRbc::build(
+        db.clone(),
+        Euclidean,
+        RbcParams::standard(900, 22),
+        RbcConfig::default(),
+    );
+    let local = DistributedRbc::from_exact_with_policy(
+        rbc.clone(),
+        ClusterConfig::with_nodes(4),
+        PlacementPolicy::Replicated { factor: 2 },
+        db.dim(),
+    );
+    let wired = DistributedRbc::from_exact_with_placement(
+        rbc,
+        ClusterConfig::with_nodes(4),
+        local.placement().clone(),
+        db.dim(),
+    );
+    let net = NetConfig {
+        read_timeout: Some(Duration::from_millis(500)),
+        ..NetConfig::default()
+    };
+    let cluster = spawn_local_cluster(&wired, net, false).expect("cluster must start");
+    let wired = Arc::new(wired.with_endpoints(cluster.endpoints()));
+
+    let engine = Engine::start(
+        Arc::clone(&wired),
+        ServeConfig::default()
+            .with_max_batch(16)
+            .with_linger(Duration::from_millis(1))
+            .with_workers(2),
+    )
+    .expect("valid config");
+
+    let query_pool = cloud(48, 6, 0xBEEF);
+    let k = 3;
+
+    // Phase 1: healthy wire cluster under producer contention.
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for p in 0..3usize {
+            let handle = engine.handle();
+            let query_pool = &query_pool;
+            let local = &local;
+            joins.push(scope.spawn(move || {
+                for i in 0..16usize {
+                    let qi = (p * 17 + i * 5) % query_pool.len();
+                    let query = query_pool.point(qi).to_vec();
+                    let reply = handle
+                        .submit(query.clone(), k)
+                        .expect("submit")
+                        .wait()
+                        .expect("served");
+                    let (direct, _) = local.search(&query, k);
+                    assert_eq!(
+                        reply.neighbors, direct,
+                        "producer {p} query {i}: wire-served answer diverged"
+                    );
+                    assert!(!reply.degraded, "healthy wire cluster must not degrade");
+                }
+            }));
+        }
+        for join in joins {
+            join.join().expect("producer panicked");
+        }
+    });
+
+    // Phase 2: a node hangs mid-frame while the engine keeps serving.
+    // Replication means failover, not degradation — answers stay exact.
+    cluster.hang_node(1);
+    let handle = engine.handle();
+    for i in 0..24usize {
+        let query = query_pool.point((i * 7) % query_pool.len()).to_vec();
+        let reply = handle
+            .submit(query.clone(), k)
+            .expect("submit")
+            .wait()
+            .expect("served");
+        let (direct, _) = local.search(&query, k);
+        assert_eq!(reply.neighbors, direct, "post-hang query {i} diverged");
+        assert!(!reply.degraded, "replicated failover must not degrade");
+    }
+    assert!(
+        !wired.health().is_live(1),
+        "the engine's traffic must have tripped the deadline detector"
+    );
+
+    let snapshot = engine.shutdown();
+    assert_eq!(snapshot.completed, (3 * 16 + 24) as u64);
+    assert_eq!(snapshot.shed, 0);
+    cluster.shutdown();
+}
