@@ -218,7 +218,7 @@ fn run_tune(opts: &Options) {
                     query_tile,
                     db_tile,
                     blocked,
-                    parallel: base.parallel,
+                    ..base
                 };
                 let rbc = ExactRbc::build(
                     &database,

@@ -694,6 +694,74 @@ fn main() {
         "hottest-list replication must cost less storage than full 2-fold"
     );
 
+    // ---- Hot-list cells: the atomic-hot-spot worst case. -------------
+    //
+    // Every query in one tight ball on a single cluster: pruning funnels
+    // essentially the whole batch onto one ownership list, and a
+    // `(list, queries)` group is the routing atom — replication alone
+    // cannot spread *one* group, so without fair-share group splitting
+    // the busiest replica would still absorb the entire stream. Asserted:
+    // splitting keeps answers bit-identical while cutting the busiest
+    // node's evals well below the single-owner ceiling.
+    let hot_stream = rbc_data::adversarial_ball_queries(
+        opts.queries,
+        opts.dim,
+        opts.clusters,
+        0.005,
+        0,
+        7 + opts.seed,
+        11 + opts.seed,
+    );
+    let (hot_reference, _) = rbc.query_batch_k(&hot_stream, opts.k);
+    let hot_single = DistributedRbc::from_exact(
+        rbc.clone(),
+        ClusterConfig::with_nodes(nodes),
+        database.dim(),
+    );
+    let (answers, hot_single_stats, batches, elapsed_ms) =
+        run_sweep(&hot_single, &hot_stream, replay_batch, opts.k);
+    assert_eq!(answers, hot_reference, "hot-ball single-owner stream");
+    placement_row("single hot-ball", &hot_single, 0, &hot_single_stats);
+    records.push(record(
+        "hot-list",
+        "single-owner",
+        &hot_single,
+        0,
+        replay_batch,
+        batches,
+        &opts,
+        &hot_single_stats,
+        elapsed_ms,
+    ));
+    let hot_replicated = DistributedRbc::from_exact_with_policy(
+        rbc.clone(),
+        ClusterConfig::with_nodes(nodes),
+        PlacementPolicy::Replicated { factor: 2 },
+        database.dim(),
+    );
+    let (answers, hot_rep_stats, batches, elapsed_ms) =
+        run_sweep(&hot_replicated, &hot_stream, replay_batch, opts.k);
+    assert_eq!(answers, hot_reference, "hot-ball replicated stream");
+    placement_row("repl x2 hot-ball", &hot_replicated, 0, &hot_rep_stats);
+    records.push(record(
+        "hot-list",
+        "replicated-2-split",
+        &hot_replicated,
+        0,
+        replay_batch,
+        batches,
+        &opts,
+        &hot_rep_stats,
+        elapsed_ms,
+    ));
+    assert!(
+        (hot_rep_stats.max_node_evals as f64) <= 0.75 * hot_single_stats.max_node_evals as f64,
+        "group splitting must cut the hot-ball critical path: busiest node \
+         {} evals single-owner vs {} replicated x2",
+        hot_single_stats.max_node_evals,
+        hot_rep_stats.max_node_evals
+    );
+
     // Failure cells: one node down before the stream, and one node dying
     // mid-batch — with replication 2 neither may lose or degrade anything.
     let failed = DistributedRbc::from_exact_with_policy(

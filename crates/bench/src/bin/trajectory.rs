@@ -47,7 +47,7 @@ use rbc_bench::{
     CellMetrics, CheckFailure, Table, Tolerances, TrajectoryFile, AREAS, SCHEMA_VERSION,
 };
 use rbc_bruteforce::{BfConfig, BruteForce, Neighbor};
-use rbc_core::{BatchStrategy, ExactRbc, OneShotRbc, RbcConfig, RbcParams, SearchStats};
+use rbc_core::{AccumulatorStrategy, BatchStrategy, ExactRbc, OneShotRbc, RbcConfig, RbcParams, SearchStats};
 use rbc_data::{adversarial_ball_queries, drifting_queries, gaussian_mixture, skewed_queries};
 use rbc_distributed::{
     eval_skew, ClusterConfig, DistributedQueryStats, DistributedRbc, PlacementPolicy,
@@ -290,6 +290,7 @@ fn core_engine_cells(
             nodes: 0,
             replication: 0,
             failed_nodes: 0,
+            variant: String::new(),
             metrics,
         });
     }
@@ -408,6 +409,7 @@ fn run_batch(scale: f64, seed: u64) -> TrajectoryFile {
                     nodes: 0,
                     replication: 0,
                     failed_nodes: 0,
+                    variant: String::new(),
                     metrics,
                 });
             }
@@ -514,6 +516,7 @@ fn run_shard(scale: f64, seed: u64) -> TrajectoryFile {
             nodes,
             replication,
             failed_nodes,
+            variant: String::new(),
             metrics,
         });
     }
@@ -532,59 +535,113 @@ fn run_serve(scale: f64, seed: u64) -> TrajectoryFile {
     let (k, producers, depth) = (10usize, 4usize, 16usize);
 
     let database = gaussian_mixture(n, DIM, CLUSTERS, SPREAD, 7 + seed);
+    let params = RbcParams::standard(n, 42 + seed);
     let index = Arc::new(ExactRbc::build(
         database.clone(),
         Euclidean,
-        RbcParams::standard(n, 42 + seed),
+        params.clone(),
         RbcConfig::default(),
     ));
+    // The hot-path variant axis: everything locked vs everything sharded
+    // (accumulators on the index side, submission queues on the engine
+    // side). Both must serve the same exact answers — the cells differ
+    // only in timing, which the serve gate deliberately ignores.
+    let locked_index = Arc::new(ExactRbc::build(
+        database.clone(),
+        Euclidean,
+        params,
+        RbcConfig::default().with_accumulator(AccumulatorStrategy::Locked),
+    ));
+
+    // Drives the producer pool against `engine` and returns each reply
+    // with its query index, so recall is measurable afterwards.
+    let drive = |engine: &Engine<Arc<ExactRbc<VectorSet, Euclidean>>, Vec<f32>>, stream: &VectorSet| {
+        let mut answers: Vec<(usize, Vec<Neighbor>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..producers)
+                .map(|p| {
+                    let handle = engine.handle();
+                    scope.spawn(move || {
+                        let mut in_flight = std::collections::VecDeque::new();
+                        let mut got = Vec::with_capacity(requests_per_producer);
+                        for i in 0..requests_per_producer {
+                            let qi = (p + i * producers) % stream.len();
+                            let ticket =
+                                handle.submit(stream.point(qi).to_vec(), k).expect("submit");
+                            in_flight.push_back((qi, ticket));
+                            if in_flight.len() >= depth {
+                                let (done_qi, ticket) = in_flight.pop_front().unwrap();
+                                got.push((done_qi, ticket.wait().expect("served").neighbors));
+                            }
+                        }
+                        for (qi, ticket) in in_flight {
+                            got.push((qi, ticket.wait().expect("served").neighbors));
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("producer panicked"))
+                .collect()
+        });
+        answers.sort_by_key(|(qi, _)| *qi);
+        answers
+    };
 
     for stream_name in ["matched", "adversarial"] {
         let stream = make_stream(stream_name, pool, seed);
         let truth = ground_truth(&database, &stream, k);
-        for max_batch in [1usize, 32] {
-            let policy = ServeConfig::default()
-                .with_max_batch(max_batch)
-                .with_linger(Duration::from_micros(500));
-            let engine = Engine::start(Arc::clone(&index), policy).expect("valid serve policy");
+        // (cell id, engine config, index, variant tag)
+        let grid: Vec<(String, ServeConfig, &Arc<ExactRbc<VectorSet, Euclidean>>, &str, usize)> = vec![
+            (
+                format!("serve/b1/{stream_name}"),
+                ServeConfig::default()
+                    .with_max_batch(1)
+                    .with_linger(Duration::from_micros(500)),
+                &index,
+                "",
+                1,
+            ),
+            (
+                format!("serve/b32/{stream_name}"),
+                ServeConfig::default()
+                    .with_max_batch(32)
+                    .with_linger(Duration::from_micros(500)),
+                &index,
+                "",
+                32,
+            ),
+            (
+                format!("serve/b32/{stream_name}/locked"),
+                ServeConfig::default()
+                    .with_max_batch(32)
+                    .with_linger(Duration::from_micros(500))
+                    .with_queue_shards(1),
+                &locked_index,
+                "locked",
+                32,
+            ),
+            (
+                format!("serve/b32/{stream_name}/sharded"),
+                ServeConfig::default()
+                    .with_max_batch(32)
+                    .with_linger(Duration::from_micros(500))
+                    .with_queue_shards(8),
+                &index,
+                "sharded",
+                32,
+            ),
+        ];
+        for (id, policy, cell_index, variant, max_batch) in grid {
+            let engine =
+                Engine::start(Arc::clone(cell_index), policy).expect("valid serve policy");
             let start = Instant::now();
-            // Producers pipeline `depth` requests; every reply is kept
-            // with its query index so recall is measurable afterwards.
-            let mut answers: Vec<(usize, Vec<Neighbor>)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..producers)
-                    .map(|p| {
-                        let handle = engine.handle();
-                        let stream = &stream;
-                        scope.spawn(move || {
-                            let mut in_flight = std::collections::VecDeque::new();
-                            let mut got = Vec::with_capacity(requests_per_producer);
-                            for i in 0..requests_per_producer {
-                                let qi = (p + i * producers) % stream.len();
-                                let ticket =
-                                    handle.submit(stream.point(qi).to_vec(), k).expect("submit");
-                                in_flight.push_back((qi, ticket));
-                                if in_flight.len() >= depth {
-                                    let (done_qi, ticket) = in_flight.pop_front().unwrap();
-                                    got.push((done_qi, ticket.wait().expect("served").neighbors));
-                                }
-                            }
-                            for (qi, ticket) in in_flight {
-                                got.push((qi, ticket.wait().expect("served").neighbors));
-                            }
-                            got
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("producer panicked"))
-                    .collect()
-            });
+            let answers = drive(&engine, &stream);
             let elapsed = start.elapsed();
             let snapshot = engine.shutdown();
 
             // Recall over every individual reply against its query's truth.
-            answers.sort_by_key(|(qi, _)| *qi);
             let per_reply_truth: Vec<Vec<Neighbor>> =
                 answers.iter().map(|(qi, _)| truth[*qi].clone()).collect();
             let replies: Vec<Vec<Neighbor>> = answers.into_iter().map(|(_, nbrs)| nbrs).collect();
@@ -602,7 +659,7 @@ fn run_serve(scale: f64, seed: u64) -> TrajectoryFile {
                 ..CellMetrics::default()
             };
             file.cells.push(Cell {
-                id: format!("serve/b{max_batch}/{stream_name}"),
+                id,
                 engine: "serve".to_string(),
                 stream: stream_name.to_string(),
                 n,
@@ -613,6 +670,7 @@ fn run_serve(scale: f64, seed: u64) -> TrajectoryFile {
                 nodes: 0,
                 replication: 0,
                 failed_nodes: 0,
+                variant: variant.to_string(),
                 metrics,
             });
         }

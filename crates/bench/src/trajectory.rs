@@ -34,7 +34,11 @@ use serde::{Deserialize, Serialize};
 /// Version of the `BENCH_<area>.json` schema. Bump when a field is
 /// added, removed, or changes meaning; `--check` refuses to compare
 /// files across versions.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: added [`Cell::variant`] — the serve-area cells now sweep the
+/// hot-path configuration (locked vs sharded accumulators and
+/// submission queues) as an explicit coordinate.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The four benchmark areas, in the order the binary runs them. Each
 /// gets its own `BENCH_<area>.json` file.
@@ -89,6 +93,13 @@ pub struct Cell {
     pub replication: usize,
     /// Nodes deliberately killed before the replay.
     pub failed_nodes: usize,
+    /// Implementation variant under test, when the area sweeps one —
+    /// e.g. the serve hot-path configuration (`"locked"` = locked
+    /// accumulators + single submission queue, `"sharded"` = sharded
+    /// accumulators + sharded queues). Empty when the area has only one
+    /// variant.
+    #[serde(default)]
+    pub variant: String,
     /// The measurements.
     pub metrics: CellMetrics,
 }
@@ -425,6 +436,7 @@ mod tests {
                 nodes: 0,
                 replication: 0,
                 failed_nodes: 0,
+                variant: String::new(),
                 metrics,
             }],
         }

@@ -33,6 +33,6 @@ pub mod stats;
 pub mod topk;
 
 pub use neighbor::Neighbor;
-pub use primitive::{BfConfig, BruteForce, GroupCursor, GroupScanStats};
+pub use primitive::{AccumulatorStrategy, BfConfig, BruteForce, GroupCursor, GroupScanStats};
 pub use stats::BfStats;
 pub use topk::TopK;

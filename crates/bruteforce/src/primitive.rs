@@ -10,6 +10,41 @@ use crate::neighbor::Neighbor;
 use crate::stats::BfStats;
 use crate::topk::TopK;
 
+/// How the shared group-scan kernel ([`BruteForce::knn_group_in_list`])
+/// synchronises with the per-query top-k accumulators it merges into.
+///
+/// In exact mode (`shrink == 1.0`) the two strategies return bit-identical
+/// answers — pruning against a stale snapshot only ever prunes *less*, and
+/// the accumulator's total `(dist, index)` order makes its contents
+/// independent of insertion order — so this is purely a contention A/B
+/// switch, mirroring `BatchStrategy` one layer up. With `shrink > 1.0`
+/// each strategy independently honours the `(1+ε)` guarantee but they may
+/// return different eligible answers.
+///
+/// The query-tile kernel (`knn_over`) is unaffected: its collectors are
+/// already private to the worker that owns the query tile and never lock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AccumulatorStrategy {
+    /// Lock the shared accumulator twice per (tile, cursor): once to
+    /// snapshot the current top-k before the tile's distance loop, once to
+    /// merge the tile's admitted candidates. Tightest thresholds (another
+    /// group's candidates become visible at every tile boundary) but the
+    /// lock rate grows with both the tile count and the group size — this
+    /// was the only strategy before the sharded path existed, kept
+    /// selectable for A/B benchmarking.
+    Locked,
+    /// Shard the accumulator per in-flight (group, query) pair: snapshot
+    /// the shared top-k **once** at scan entry, keep a private `TopK` plus
+    /// a buffer of admitted candidates across all tiles, and merge that
+    /// buffer under one lock when the cursor retires (or the scan ends).
+    /// Zero locks inside the tile loop — the contention-free shape of the
+    /// paper's manycore argument — at the cost of not observing candidates
+    /// concurrent groups admit for the same query mid-scan, which can only
+    /// loosen the private pruning threshold, never change the answer.
+    #[default]
+    Sharded,
+}
+
 /// Tiling and parallelism knobs for the primitive.
 ///
 /// The defaults are sensible for dense vectors of moderate dimension; the
@@ -36,6 +71,10 @@ pub struct BfConfig {
     /// so this is purely a performance A/B toggle — the autotuner in
     /// `rbc-device` sweeps it alongside the tile shape.
     pub blocked: bool,
+    /// How the shared group-scan kernel synchronises its per-query top-k
+    /// accumulators; see [`AccumulatorStrategy`]. Bit-identical either way
+    /// in exact mode, so this is a contention A/B toggle.
+    pub accumulator: AccumulatorStrategy,
 }
 
 impl Default for BfConfig {
@@ -45,6 +84,7 @@ impl Default for BfConfig {
             db_tile: 256,
             parallel: true,
             blocked: true,
+            accumulator: AccumulatorStrategy::default(),
         }
     }
 }
@@ -56,6 +96,13 @@ impl BfConfig {
             parallel: false,
             ..Self::default()
         }
+    }
+
+    /// Selects how the group-scan kernel synchronises its accumulators.
+    #[must_use]
+    pub fn with_accumulator(mut self, accumulator: AccumulatorStrategy) -> Self {
+        self.accumulator = accumulator;
+        self
     }
 
     /// Checks the configuration for degenerate values.
@@ -532,7 +579,7 @@ impl BruteForce {
 
     /// Streams the sub-database `X[L]` once, in `db_tile`-sized tiles, for
     /// a *group* of queries, merging candidates into per-query top-k
-    /// accumulators behind fine-grained locks.
+    /// accumulators.
     ///
     /// This is the stage-2 kernel of the list-major batched RBC search:
     /// instead of every query privately re-reading each ownership list it
@@ -552,14 +599,23 @@ impl BruteForce {
     /// flagged in `skip` are never evaluated (the exact search skips
     /// representatives, which its first stage already answered).
     ///
-    /// The accumulator lock is taken twice per (tile, cursor) and only for
-    /// `O(k)`/`O(db_tile · log k)` bookkeeping: once to snapshot the
-    /// current top-k, once to merge the tile's fresh candidates. All
-    /// distance arithmetic runs outside the lock against the snapshot
-    /// (which keeps tightening from the tile's own candidates), so
-    /// concurrent groups sharing a query never serialise their distance
-    /// evaluations — a snapshot threshold can lag the shared one, which
-    /// costs at most a few extra evaluations, never a wrong answer.
+    /// Locking follows [`BfConfig::accumulator`]. Under
+    /// [`AccumulatorStrategy::Locked`] the accumulator lock is taken twice
+    /// per (tile, cursor) and only for `O(k)`/`O(db_tile · log k)`
+    /// bookkeeping: once to snapshot the current top-k, once to merge the
+    /// tile's fresh candidates. Under [`AccumulatorStrategy::Sharded`]
+    /// (the default) each cursor instead snapshots **once** at scan entry,
+    /// scans every tile against a private shard, and merges its admitted
+    /// candidates under a single lock when it retires or the scan ends —
+    /// at most two lock acquisitions per (group, cursor), none inside the
+    /// tile loop. Either way all distance arithmetic runs outside the lock
+    /// against a snapshot (which keeps tightening from the scan's own
+    /// candidates), so concurrent groups sharing a query never serialise
+    /// their distance evaluations — a snapshot threshold can lag the
+    /// shared one, which costs at most extra evaluations, never a wrong
+    /// answer, and the merge pushes only the candidates this scan admitted
+    /// (never snapshot entries, which the shared accumulator has already
+    /// seen), so nothing is ever duplicated.
     ///
     /// `blocks`, when supplied, must be the blocked mirror of the member
     /// list **in member order** (lane group `g` holds
@@ -602,25 +658,50 @@ impl BruteForce {
             evals_per_cursor: vec![0; cursors.len()],
             ..GroupScanStats::default()
         };
+        let sharded = self.config.accumulator == AccumulatorStrategy::Sharded;
+        // Sharded mode: one private (snapshot, admitted-candidates) shard
+        // per cursor, seeded under one lock each before any tile streams,
+        // and alive across the whole scan. Locked mode leaves these `None`
+        // and re-snapshots around every tile instead.
+        let mut shards: Vec<Option<(TopK, Vec<Neighbor>)>> = if sharded {
+            cursors
+                .iter()
+                .map(|cursor| {
+                    let snapshot = accumulators[cursor.query]
+                        .lock()
+                        .expect("top-k accumulator lock poisoned")
+                        .clone();
+                    Some((snapshot, Vec::new()))
+                })
+                .collect()
+        } else {
+            vec![None; cursors.len()]
+        };
         // Cursor positions still consuming tiles; a cursor leaves when its
         // sorted-list cut proves no later member can help it.
         let mut active: Vec<usize> = (0..cursors.len()).collect();
         let mut tile_start = 0usize;
         while tile_start < members.len() && !active.is_empty() {
             let tile_end = (tile_start + db_tile).min(members.len());
+            let last_tile = tile_end == members.len();
             stats.tile_passes += 1;
             active.retain(|&ci| {
                 let cursor = &cursors[ci];
                 let q = queries.get(cursor.query);
                 // Snapshot the shared top-k (O(k)) so the distance loop
                 // runs without the lock. The snapshot keeps tightening
-                // from this tile's own candidates; it can only lag the
+                // from this scan's own candidates; it can only lag the
                 // shared threshold, which prunes less — never wrongly.
-                let mut local = accumulators[cursor.query]
-                    .lock()
-                    .expect("top-k accumulator lock poisoned")
-                    .clone();
-                let mut fresh: Vec<Neighbor> = Vec::new();
+                let (mut local, mut fresh) = match shards[ci].take() {
+                    Some(shard) => shard,
+                    None => (
+                        accumulators[cursor.query]
+                            .lock()
+                            .expect("top-k accumulator lock poisoned")
+                            .clone(),
+                        Vec::new(),
+                    ),
+                };
                 let mut retired = false;
                 let mut pos = tile_start;
                 'tile: while pos < tile_end {
@@ -721,6 +802,12 @@ impl BruteForce {
                     }
                     pos += 1;
                 }
+                if sharded && !retired && !last_tile {
+                    // The shard stays private until this cursor's last
+                    // tile; no lock is touched between tiles.
+                    shards[ci] = Some((local, fresh));
+                    return true;
+                }
                 if !fresh.is_empty() {
                     let mut topk = accumulators[cursor.query]
                         .lock()
@@ -729,10 +816,7 @@ impl BruteForce {
                         topk.push(candidate);
                     }
                 }
-                if retired {
-                    return false;
-                }
-                true
+                !retired
             });
             tile_start = tile_end;
         }
@@ -982,8 +1066,7 @@ mod tests {
             let bf = BruteForce::with_config(BfConfig {
                 query_tile: qt,
                 db_tile: dt,
-                parallel: true,
-                blocked: true,
+                ..BfConfig::default()
             });
             let (knn, _) = bf.knn(&queries, &db, &Euclidean, 5);
             let expect = naive_knn(&queries, &db, 5, None);
@@ -1379,6 +1462,114 @@ mod tests {
         // Cut-free scans evaluate every (query, member) pair either way.
         assert_eq!(stats_blocked.distance_evals, stats_plain.distance_evals);
         assert_eq!(stats_blocked.tile_passes, stats_plain.tile_passes);
+    }
+
+    #[test]
+    fn locked_and_sharded_accumulators_are_bit_identical() {
+        // Same group scan, both accumulator strategies, with and without
+        // the sorted-list cut: answers (indices *and* distances) must
+        // match exactly, and so must the cut-free work accounting.
+        let db = cloud(300, 5, 50);
+        let queries = cloud(10, 5, 51);
+        let members: Vec<usize> = (0..300).filter(|i| i % 2 == 1).collect();
+        let member_dists: Vec<Dist> = (0..members.len()).map(|i| i as Dist * 0.05).collect();
+        let k = 3;
+        let run = |strategy: AccumulatorStrategy, sorted_cut: bool| {
+            let bf = BruteForce::with_config(BfConfig {
+                db_tile: 32,
+                ..BfConfig::default().with_accumulator(strategy)
+            });
+            let accumulators: Vec<Mutex<TopK>> = (0..queries.len())
+                .map(|_| Mutex::new(TopK::new(k)))
+                .collect();
+            let cursors: Vec<GroupCursor> = (0..queries.len())
+                .map(|qi| GroupCursor {
+                    query: qi,
+                    d_to_rep: 2.0,
+                    threshold_cap: Dist::INFINITY,
+                })
+                .collect();
+            let stats = bf.knn_group_in_list(
+                &queries,
+                &db,
+                &Euclidean,
+                &members,
+                &member_dists,
+                &cursors,
+                1.0,
+                sorted_cut,
+                None,
+                None,
+                &accumulators,
+            );
+            let answers: Vec<Vec<Neighbor>> = accumulators
+                .into_iter()
+                .map(|m| m.into_inner().unwrap().into_sorted())
+                .collect();
+            (answers, stats)
+        };
+        for sorted_cut in [false, true] {
+            let (locked, locked_stats) = run(AccumulatorStrategy::Locked, sorted_cut);
+            let (sharded, sharded_stats) = run(AccumulatorStrategy::Sharded, sorted_cut);
+            assert_eq!(locked, sharded, "sorted_cut={sorted_cut}");
+            if !sorted_cut {
+                // Cut-free scans do exactly the same work either way; with
+                // the cut enabled only the answers are pinned (snapshot
+                // staleness may shift where the cut fires).
+                assert_eq!(locked_stats, sharded_stats);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_accumulators_merge_across_concurrent_groups() {
+        // Two overlapping "groups" scanning disjoint halves of the
+        // database into the *same* accumulators, as the list-major
+        // executor does when one query survives to several lists. The
+        // merged result must equal a private scan over the union.
+        let db = cloud(200, 4, 52);
+        let queries = cloud(6, 4, 53);
+        let first: Vec<usize> = (0..100).collect();
+        let second: Vec<usize> = (100..200).collect();
+        let k = 5;
+        let bf = BruteForce::with_config(
+            BfConfig::default().with_accumulator(AccumulatorStrategy::Sharded),
+        );
+        let accumulators: Vec<Mutex<TopK>> = (0..queries.len())
+            .map(|_| Mutex::new(TopK::new(k)))
+            .collect();
+        let cursors: Vec<GroupCursor> = (0..queries.len())
+            .map(|qi| GroupCursor {
+                query: qi,
+                d_to_rep: 0.0,
+                threshold_cap: Dist::INFINITY,
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for members in [&first, &second] {
+                scope.spawn(|| {
+                    bf.knn_group_in_list(
+                        &queries,
+                        &db,
+                        &Euclidean,
+                        members,
+                        &[],
+                        &cursors,
+                        1.0,
+                        false,
+                        None,
+                        None,
+                        &accumulators,
+                    )
+                });
+            }
+        });
+        let got: Vec<Vec<Neighbor>> = accumulators
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().into_sorted())
+            .collect();
+        let all: Vec<usize> = (0..200).collect();
+        assert_eq!(got, private_scans(&queries, &db, &all, k));
     }
 
     #[test]

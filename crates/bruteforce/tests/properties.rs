@@ -47,7 +47,7 @@ proptest! {
     ) {
         let db = VectorSet::from_rows(&db_rows);
         let queries = VectorSet::from_rows(&q_rows);
-        let bf = BruteForce::with_config(BfConfig { query_tile, db_tile, parallel: true, blocked: true });
+        let bf = BruteForce::with_config(BfConfig { query_tile, db_tile, ..BfConfig::default() });
         let (got, stats) = bf.knn(&queries, &db, &Euclidean, k);
         let want = naive_knn(&queries, &db, &Euclidean, k);
         prop_assert_eq!(got, want);

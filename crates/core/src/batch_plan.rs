@@ -293,7 +293,13 @@ impl BatchPlan {
 /// `accumulators` arrive pre-seeded (the exact search seeds the
 /// representatives; a distributed worker node starts from empty
 /// accumulators and lets the coordinator seed the merge instead) and must
-/// hold one entry per batch position (`plan.queries`). `parallel` selects
+/// hold one entry per batch position (`plan.queries`). How concurrent
+/// group scans synchronise on a shared accumulator — per-tile locking or
+/// per-scan private shards merged at retirement — follows
+/// `bf.config().accumulator` (see `rbc_bruteforce::AccumulatorStrategy`);
+/// both strategies are bit-identical in exact mode because stale
+/// snapshots only ever prune less and the accumulator's total order makes
+/// its contents insertion-order-independent. `parallel` selects
 /// whether groups run on the rayon pool or the calling thread;
 /// `rep_evals_per_query` and `rep_distance_evals` account the stage-1
 /// work the caller already performed.

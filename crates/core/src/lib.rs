@@ -124,6 +124,7 @@ pub use exact::ExactRbc;
 pub use index::SearchIndex;
 pub use one_shot::OneShotRbc;
 pub use params::{BatchStrategy, RbcConfig, RbcParams};
+pub use rbc_bruteforce::AccumulatorStrategy;
 pub use rank::{mean_rank, rank_of};
 pub use reps::{sample_representatives, OwnershipList};
 pub use stats::{QueryStats, SearchStats};

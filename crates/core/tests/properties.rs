@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 use rbc_bruteforce::{BruteForce, Neighbor};
-use rbc_core::{BatchStrategy, ExactRbc, OneShotRbc, RbcConfig, RbcParams};
+use rbc_core::{AccumulatorStrategy, BatchStrategy, ExactRbc, OneShotRbc, RbcConfig, RbcParams};
 use rbc_metric::{Euclidean, Manhattan, Metric, VectorSet};
 
 const DIM: usize = 3;
@@ -311,6 +311,61 @@ proptest! {
                 for (qi, batched) in lm.iter().enumerate() {
                     let (single, _) = rbc.query_k(queries.point(qi), k);
                     prop_assert_eq!(batched, &single);
+                }
+            }
+        }
+    }
+
+    /// The serve-hot-path tentpole equivalence: per-worker sharded top-k
+    /// accumulators return bit-identical neighbors and ordering to the
+    /// locked baseline, across k ∈ {1, 5, n}, both batch strategies, and
+    /// both kernel layouts (blocked SoA on/off — run the suite under
+    /// `RBC_FORCE_SCALAR=1` to cover the scalar kernels too), on uniform
+    /// and clustered data. Clustered clouds are the adversarial case:
+    /// many queries pile onto the same ownership lists, so the sharded
+    /// snapshot/merge path sees real multi-way merges.
+    #[test]
+    fn sharded_accumulators_are_bit_identical_to_locked(
+        db_rows in cloud(2..60),
+        centers in prop::collection::vec(prop::collection::vec(-20.0f32..20.0, DIM), 2..6),
+        q_rows in cloud(1..8),
+        n_reps in 1usize..30,
+        seed in 0u64..1000,
+    ) {
+        // Clustered twin of the uniform cloud: snap each point to a
+        // center, keeping a small per-point offset.
+        let clustered: Vec<Vec<f32>> = db_rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                centers[i % centers.len()]
+                    .iter()
+                    .zip(row.iter())
+                    .map(|(&c, &r)| c + 0.02 * r)
+                    .collect()
+            })
+            .collect();
+        for rows in [&db_rows, &clustered] {
+            let db = VectorSet::from_rows(rows);
+            let queries = VectorSet::from_rows(&q_rows);
+            let params = RbcParams::standard(db.len(), seed).with_n_reps(n_reps.min(db.len()));
+            for blocked in [false, true] {
+                let mut locked_cfg =
+                    RbcConfig::default().with_accumulator(AccumulatorStrategy::Locked);
+                locked_cfg.bf.blocked = blocked;
+                let mut sharded_cfg =
+                    RbcConfig::default().with_accumulator(AccumulatorStrategy::Sharded);
+                sharded_cfg.bf.blocked = blocked;
+                let locked = ExactRbc::build(&db, Euclidean, params.clone(), locked_cfg);
+                let sharded = ExactRbc::build(&db, Euclidean, params.clone(), sharded_cfg);
+                for k in [1usize, 5, db.len()] {
+                    for strategy in [BatchStrategy::ListMajor, BatchStrategy::QueryMajor] {
+                        let (want, _) =
+                            locked.query_batch_k_with_strategy(&queries, k, strategy);
+                        let (got, _) =
+                            sharded.query_batch_k_with_strategy(&queries, k, strategy);
+                        prop_assert_eq!(&got, &want);
+                    }
                 }
             }
         }

@@ -66,7 +66,7 @@ impl MachineProfile {
             query_tile: (self.threads * 2).clamp(8, 64),
             db_tile: if self.threads >= 16 { 512 } else { 256 },
             parallel: self.threads > 1,
-            blocked: true,
+            ..BfConfig::default()
         };
         match crate::tune::env_policy() {
             Some(tuned) => tuned.apply(heuristic),

@@ -72,7 +72,7 @@ impl SimtConfig {
             query_tile: self.warp_width.max(1),
             db_tile: 256,
             parallel: false,
-            blocked: true,
+            ..BfConfig::default()
         }
     }
 }

@@ -46,7 +46,7 @@ impl TilePolicy {
             query_tile: self.query_tile.max(1),
             db_tile: self.db_tile.max(1),
             blocked: self.blocked,
-            parallel: base.parallel,
+            ..base
         }
     }
 
@@ -92,6 +92,7 @@ mod tests {
             db_tile: 777,
             parallel: false,
             blocked: false,
+            ..BfConfig::default()
         };
         let policy = TilePolicy::from_config(base);
         assert_eq!(

@@ -324,11 +324,79 @@ where
         qs.len()
     }
 
+    /// Splits atomic hot spots before routing. A `(list, queries)` group
+    /// is the routing atom, so one hot list selected by most of the batch
+    /// lands on a *single* replica however many homes the list has —
+    /// replication then bounds storage skew but not work skew. When a
+    /// group's estimated scan work (queries × list length) exceeds the
+    /// batch's per-node fair share and its list has more than one live
+    /// replica, the group's queries are partitioned into up to
+    /// replica-count chunks; the least-loaded-replica router downstream
+    /// then spreads the chunks across the list's homes.
+    ///
+    /// Answers are unchanged: each query still scans the full list
+    /// exactly once (on whichever node got its chunk), and the
+    /// coordinator reduce merges per-query partials from every executed
+    /// sub-plan, so splitting changes *where* candidates are computed,
+    /// never *which*. The cost is extra shared-tile passes over the hot
+    /// list (one per chunk instead of one total), which is exactly the
+    /// trade the split makes: tile sharing for critical-path parallelism.
+    fn split_hot_groups(&self, plan: &BatchPlan, live: &[bool]) -> Option<BatchPlan> {
+        let lists = self.rbc.lists();
+        let live_nodes = live.iter().filter(|&&up| up).count().max(1);
+        let cost_of = |group: &ListGroup| -> u64 {
+            (group.queries.len() * lists[group.list_index].len().max(1)) as u64
+        };
+        let total: u64 = plan.groups.iter().map(|g| cost_of(g)).sum();
+        let fair = (total / live_nodes as u64).max(1);
+        let splittable = |group: &ListGroup| {
+            group.queries.len() >= 2
+                && cost_of(group) > fair
+                && self.placement.replicas_of_list[group.list_index]
+                    .iter()
+                    .filter(|&&nd| live[nd])
+                    .count()
+                    > 1
+        };
+        if !plan.groups.iter().any(|g| splittable(g)) {
+            return None;
+        }
+        let mut groups = Vec::with_capacity(plan.groups.len() + live_nodes);
+        for group in &plan.groups {
+            if !splittable(group) {
+                groups.push(group.clone());
+                continue;
+            }
+            let homes = self.placement.replicas_of_list[group.list_index]
+                .iter()
+                .filter(|&&nd| live[nd])
+                .count();
+            let ways = (cost_of(group).div_ceil(fair) as usize)
+                .min(homes)
+                .min(group.queries.len());
+            let chunk = group.queries.len().div_ceil(ways);
+            for part in group.queries.chunks(chunk) {
+                groups.push(ListGroup {
+                    list_index: group.list_index,
+                    queries: part.to_vec(),
+                });
+            }
+        }
+        Some(BatchPlan {
+            groups,
+            gamma_k: plan.gamma_k.clone(),
+            queries: plan.queries,
+            pairs: plan.pairs,
+        })
+    }
+
     /// Routes a plan's groups to replicas: each group goes to the
     /// least-loaded **live** replica of its list (load = estimated
     /// evaluations already routed this batch, accumulated in `est`; ties
-    /// toward the lower node id). Groups whose replicas are all dead come
-    /// back unroutable.
+    /// toward the lower node id). Oversized groups of replicated lists
+    /// are first split across replicas (see
+    /// [`split_hot_groups`](Self::split_hot_groups)). Groups whose
+    /// replicas are all dead come back unroutable.
     fn route_parts(
         &self,
         plan: &BatchPlan,
@@ -336,6 +404,8 @@ where
         est: &mut [u64],
     ) -> (Vec<BatchPlan>, Vec<ListGroup>) {
         let lists = self.rbc.lists();
+        let split = self.split_hot_groups(plan, live);
+        let plan = split.as_ref().unwrap_or(plan);
         plan.split_routed(self.cluster.nodes, |group| {
             let cost = (group.queries.len() * lists[group.list_index].len().max(1)) as u64;
             let chosen = self.placement.replicas_of_list[group.list_index]
@@ -1342,6 +1412,39 @@ mod tests {
         );
         // Spreading changes *where* the list is scanned, never the answer.
         assert!(answers.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn hot_groups_split_across_replicas_without_changing_answers() {
+        // Every query in one tight ball around a single database point:
+        // pruning funnels essentially the whole batch onto that point's
+        // list, producing one atomic hot group that would pin a replica.
+        let db = cloud(2000, 6, 90);
+        let dist = build_with_policy(&db, 4, 91, PlacementPolicy::Replicated { factor: 2 });
+        let base: Vec<f32> = db.point(0).to_vec();
+        let rows: Vec<Vec<f32>> = (0..64)
+            .map(|i| {
+                base.iter()
+                    .enumerate()
+                    .map(|(d, &c)| c + (i * 6 + d) as f32 * 1e-4)
+                    .collect()
+            })
+            .collect();
+        let queries = VectorSet::from_rows(&rows);
+        let (got, stats) = dist.query_batch_exact(&queries, 3);
+        let (want, _) = dist.rbc().query_batch_k(&queries, 3);
+        assert_eq!(got, want, "splitting must not change answers");
+        // The work skew is the point: without splitting, the hot list's
+        // whole group sits on one node and the busiest node carries
+        // nearly all worker evals; with the group split across its two
+        // replicas the critical path drops well below the total.
+        assert!(
+            stats.worker_evals > 0 && stats.max_node_evals < stats.worker_evals,
+            "hot group was not split: busiest node did all {} evals",
+            stats.worker_evals
+        );
+        let active = stats.per_node.iter().filter(|l| l.evals > 0).count();
+        assert!(active >= 2, "all scan work landed on {active} node");
     }
 
     #[test]

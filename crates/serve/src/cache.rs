@@ -11,6 +11,15 @@
 //! Keys are the *exact bytes* of the query (plus `k`): two queries hit the
 //! same entry only if they are bit-identical, so a hit is always the exact
 //! answer — the cache never introduces approximation.
+//!
+//! Two replacement policies are available behind [`CachePolicy`]: plain
+//! LRU (the original baseline) and the default [`TinyLfuCache`] — a
+//! segmented LRU whose admissions are gated by a [W-TinyLFU]-style
+//! frequency sketch, so a one-pass scan of cold queries cannot flush the
+//! hot working set. Either way the answers served are identical to the
+//! uncached index; only *which* misses get remembered differs.
+//!
+//! [W-TinyLFU]: https://arxiv.org/abs/1512.00727
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,7 +65,8 @@ const NIL: usize = usize::MAX;
 #[derive(Debug)]
 struct Slot<V> {
     key: Vec<u8>,
-    value: V,
+    /// `None` only while the slot sits on the free list.
+    value: Option<V>,
     prev: usize,
     next: usize,
 }
@@ -136,14 +146,54 @@ impl<V> LruCache<V> {
             self.unlink(slot);
             self.push_front(slot);
         }
-        Some(&self.slots[slot].value)
+        self.slots[slot].value.as_ref()
+    }
+
+    /// Whether a key is cached, without refreshing its recency.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// The key of the least recently used entry, without refreshing it —
+    /// the eviction victim an admission policy weighs candidates against.
+    pub fn peek_lru(&self) -> Option<&[u8]> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(&self.slots[self.tail].key)
+        }
+    }
+
+    /// Unlinks `slot` and returns its entry, recycling the slot.
+    fn remove_slot(&mut self, slot: usize) -> (Vec<u8>, V) {
+        self.unlink(slot);
+        let key = std::mem::take(&mut self.slots[slot].key);
+        let value = self.slots[slot].value.take().expect("occupied slot");
+        self.map.remove(&key);
+        self.free.push(slot);
+        (key, value)
+    }
+
+    /// Removes and returns the least recently used entry.
+    pub fn pop_lru(&mut self) -> Option<(Vec<u8>, V)> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(self.remove_slot(self.tail))
+        }
+    }
+
+    /// Removes a key, returning its value if it was cached.
+    pub fn remove(&mut self, key: &[u8]) -> Option<V> {
+        let slot = *self.map.get(key)?;
+        Some(self.remove_slot(slot).1)
     }
 
     /// Inserts (or refreshes) a key, evicting the least recently used
     /// entry when at capacity.
     pub fn insert(&mut self, key: Vec<u8>, value: V) {
         if let Some(&slot) = self.map.get(&key) {
-            self.slots[slot].value = value;
+            self.slots[slot].value = Some(value);
             if slot != self.head {
                 self.unlink(slot);
                 self.push_front(slot);
@@ -151,18 +201,13 @@ impl<V> LruCache<V> {
             return;
         }
         if self.map.len() >= self.capacity {
-            let victim = self.tail;
-            debug_assert_ne!(victim, NIL);
-            self.unlink(victim);
-            let old_key = std::mem::take(&mut self.slots[victim].key);
-            self.map.remove(&old_key);
-            self.free.push(victim);
+            self.pop_lru();
         }
         let slot = match self.free.pop() {
             Some(reused) => {
                 self.slots[reused] = Slot {
                     key: key.clone(),
-                    value,
+                    value: Some(value),
                     prev: NIL,
                     next: NIL,
                 };
@@ -171,7 +216,7 @@ impl<V> LruCache<V> {
             None => {
                 self.slots.push(Slot {
                     key: key.clone(),
-                    value,
+                    value: Some(value),
                     prev: NIL,
                     next: NIL,
                 });
@@ -180,6 +225,270 @@ impl<V> LruCache<V> {
         };
         self.push_front(slot);
         self.map.insert(key, slot);
+    }
+}
+
+/// Row seeds decorrelating the four count-min hash functions.
+const SKETCH_HASH_SEEDS: [u64; 4] = [
+    0x9e37_79b9_7f4a_7c15,
+    0xbf58_476d_1ce4_e5b9,
+    0x94d0_49bb_1331_11eb,
+    0xc2b2_ae3d_27d4_eb4f,
+];
+
+/// A count-min sketch of 4-bit saturating counters — the compact
+/// frequency history behind TinyLFU admission.
+///
+/// Sixteen counters pack into each `u64`; the table holds ~8 counters per
+/// cached entry so collisions stay rare at cache scale. Once roughly 10×
+/// the cache capacity of increments have been observed, every counter is
+/// halved ("aging"), so popularity decays and yesterday's hot keys cannot
+/// block today's.
+#[derive(Debug)]
+struct FrequencySketch {
+    /// Packed counters: sixteen 4-bit counters per `u64`.
+    table: Vec<u64>,
+    /// Counter-index mask (counter count is a power of two).
+    mask: u64,
+    /// Increments since the last aging pass.
+    additions: u64,
+    /// Aging threshold: ~10× the cache capacity.
+    sample_size: u64,
+}
+
+impl FrequencySketch {
+    fn new(capacity: usize) -> Self {
+        let counters = capacity
+            .max(1)
+            .saturating_mul(8)
+            .next_power_of_two()
+            .max(16);
+        Self {
+            table: vec![0u64; counters / 16],
+            mask: (counters - 1) as u64,
+            additions: 0,
+            sample_size: (capacity.max(1) as u64).saturating_mul(10),
+        }
+    }
+
+    /// FNV-1a over the key bytes; each row re-mixes this base.
+    fn base_hash(key: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// (word, bit-shift) of this key's counter in one sketch row.
+    fn slot(&self, base: u64, seed: u64) -> (usize, u32) {
+        let mut h = base ^ seed;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        let idx = h & self.mask;
+        ((idx / 16) as usize, ((idx % 16) * 4) as u32)
+    }
+
+    /// Bumps the key's counter in every row (saturating at 15) and runs
+    /// an aging pass when the sample window fills.
+    fn increment(&mut self, key: &[u8]) {
+        let base = Self::base_hash(key);
+        let mut bumped = false;
+        for seed in SKETCH_HASH_SEEDS {
+            let (word, shift) = self.slot(base, seed);
+            if (self.table[word] >> shift) & 0xF < 15 {
+                self.table[word] += 1u64 << shift;
+                bumped = true;
+            }
+        }
+        if bumped {
+            self.additions += 1;
+            if self.additions >= self.sample_size {
+                self.age();
+            }
+        }
+    }
+
+    /// The key's estimated frequency: the minimum across rows (count-min
+    /// only ever over-estimates, so the minimum is the tightest bound).
+    fn frequency(&self, key: &[u8]) -> u64 {
+        let base = Self::base_hash(key);
+        SKETCH_HASH_SEEDS
+            .iter()
+            .map(|&seed| {
+                let (word, shift) = self.slot(base, seed);
+                (self.table[word] >> shift) & 0xF
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Halves every counter so old popularity decays: the mask clears the
+    /// bit that each nibble's neighbour shifted across the boundary.
+    fn age(&mut self) {
+        for word in &mut self.table {
+            *word = (*word >> 1) & 0x7777_7777_7777_7777;
+        }
+        self.additions /= 2;
+    }
+}
+
+/// A segmented-LRU cache gated by TinyLFU admission.
+///
+/// Layout follows W-TinyLFU (Einziger, Friedman, Manes): new keys enter a
+/// small *probation* segment (~20% of capacity); a further hit promotes
+/// them into the *protected* segment (~80%), whose overflow demotes back
+/// to probation rather than leaving the cache. At capacity a new key is
+/// admitted only if the frequency sketch estimates it is strictly more
+/// popular than the probation victim it would evict — so one-hit wonders
+/// (scans, cold tails) bounce off instead of flushing the hot working
+/// set, which plain LRU cannot resist.
+#[derive(Debug)]
+pub struct TinyLfuCache<V> {
+    capacity: usize,
+    /// Protected-segment budget; `0` at capacity 1 (probation only).
+    protected_cap: usize,
+    sketch: FrequencySketch,
+    probation: LruCache<V>,
+    protected: LruCache<V>,
+}
+
+impl<V> TinyLfuCache<V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero, matching [`LruCache::new`].
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "TinyLfuCache capacity must be at least 1 (got 0)"
+        );
+        let protected_cap = capacity * 4 / 5;
+        Self {
+            capacity,
+            protected_cap,
+            sketch: FrequencySketch::new(capacity),
+            // Segment caps are enforced here, not by the inner LRUs: the
+            // probation LRU is sized for the whole cache so its implicit
+            // eviction never fires behind the admission filter's back.
+            probation: LruCache::new(capacity),
+            protected: LruCache::new(protected_cap.max(1)),
+        }
+    }
+
+    /// Number of cached entries across both segments.
+    pub fn len(&self) -> usize {
+        self.probation.len() + self.protected.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks a key up, recording the access in the frequency sketch
+    /// (misses included — that is how a re-requested key earns admission)
+    /// and promoting probation hits into the protected segment.
+    pub fn get(&mut self, key: &[u8]) -> Option<&V> {
+        self.sketch.increment(key);
+        if self.protected.contains(key) {
+            return self.protected.get(key);
+        }
+        if !self.probation.contains(key) {
+            return None;
+        }
+        if self.protected_cap == 0 {
+            return self.probation.get(key);
+        }
+        let value = self.probation.remove(key).expect("probation hit");
+        if self.protected.len() >= self.protected_cap {
+            if let Some((demoted_key, demoted_value)) = self.protected.pop_lru() {
+                self.probation.insert(demoted_key, demoted_value);
+            }
+        }
+        self.protected.insert(key.to_vec(), value);
+        self.protected.get(key)
+    }
+
+    /// Inserts a key, returning whether it was admitted.
+    ///
+    /// Existing keys refresh in place and always count as admitted. At
+    /// capacity a new key must beat the eviction victim's sketch
+    /// frequency (strictly — ties keep the incumbent, which is what makes
+    /// a one-pass scan bounce off).
+    pub fn insert(&mut self, key: Vec<u8>, value: V) -> bool {
+        self.sketch.increment(&key);
+        if self.protected.contains(&key) {
+            self.protected.insert(key, value);
+            return true;
+        }
+        if self.probation.contains(&key) {
+            self.probation.insert(key, value);
+            return true;
+        }
+        if self.len() >= self.capacity {
+            let victim_freq = self
+                .probation
+                .peek_lru()
+                .or_else(|| self.protected.peek_lru())
+                .map_or(0, |victim| self.sketch.frequency(victim));
+            if self.sketch.frequency(&key) <= victim_freq {
+                return false;
+            }
+            if self.probation.pop_lru().is_none() {
+                self.protected.pop_lru();
+            }
+        }
+        self.probation.insert(key, value);
+        true
+    }
+}
+
+/// Which replacement policy a [`CachedIndex`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Plain LRU — the original policy, kept as the A/B baseline.
+    Lru,
+    /// Segmented LRU with TinyLFU admission (the default): same exact-hit
+    /// semantics, but scan-resistant under mixed hot/cold traffic.
+    #[default]
+    TinyLfu,
+}
+
+/// The policy-dispatched store behind a [`CachedIndex`].
+#[derive(Debug)]
+enum AnswerCache<V> {
+    Lru(LruCache<V>),
+    TinyLfu(TinyLfuCache<V>),
+}
+
+impl<V> AnswerCache<V> {
+    fn new(capacity: usize, policy: CachePolicy) -> Self {
+        match policy {
+            CachePolicy::Lru => Self::Lru(LruCache::new(capacity)),
+            CachePolicy::TinyLfu => Self::TinyLfu(TinyLfuCache::new(capacity)),
+        }
+    }
+
+    fn get(&mut self, key: &[u8]) -> Option<&V> {
+        match self {
+            Self::Lru(cache) => cache.get(key),
+            Self::TinyLfu(cache) => cache.get(key),
+        }
+    }
+
+    /// Inserts, returning whether the key was admitted (LRU always
+    /// admits; TinyLFU may refuse at capacity).
+    fn insert(&mut self, key: Vec<u8>, value: V) -> bool {
+        match self {
+            Self::Lru(cache) => {
+                cache.insert(key, value);
+                true
+            }
+            Self::TinyLfu(cache) => cache.insert(key, value),
+        }
     }
 }
 
@@ -194,6 +503,8 @@ impl<V> LruCache<V> {
 pub struct CacheCounters {
     hits: AtomicU64,
     misses: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
 }
 
 impl CacheCounters {
@@ -218,6 +529,20 @@ impl CacheCounters {
         }
     }
 
+    /// Answers the cache accepted on insert so far.
+    ///
+    /// Degraded answers are never offered to the cache, so they count
+    /// neither as admitted nor rejected.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Answers the admission policy refused so far (always `0` under
+    /// [`CachePolicy::Lru`], which admits unconditionally).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
     pub(crate) fn record_hits(&self, n: u64) {
         self.hits.fetch_add(n, Ordering::Relaxed);
     }
@@ -225,16 +550,27 @@ impl CacheCounters {
     pub(crate) fn record_misses(&self, n: u64) {
         self.misses.fetch_add(n, Ordering::Relaxed);
     }
+
+    pub(crate) fn record_admission(&self, admitted: bool) {
+        if admitted {
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 impl rbc_trace::Collector for CacheCounters {
-    /// Exports the hit/miss counters and the derived hit rate as registry
-    /// samples under the `rbc_cache_*` namespace.
+    /// Exports the hit/miss counters, the derived hit rate, and the
+    /// admission outcomes as registry samples under the `rbc_cache_*`
+    /// namespace (admission under `rbc_cache_admission_*`).
     fn collect(&self) -> Vec<rbc_trace::MetricSample> {
         vec![
             rbc_trace::MetricSample::counter("rbc_cache_hits_total", self.hits()),
             rbc_trace::MetricSample::counter("rbc_cache_misses_total", self.misses()),
             rbc_trace::MetricSample::gauge("rbc_cache_hit_rate", self.hit_rate()),
+            rbc_trace::MetricSample::counter("rbc_cache_admission_admitted_total", self.admitted()),
+            rbc_trace::MetricSample::counter("rbc_cache_admission_rejected_total", self.rejected()),
         ]
     }
 }
@@ -248,7 +584,8 @@ impl rbc_trace::Collector for CacheCounters {
 #[derive(Debug)]
 pub struct CachedIndex<I> {
     inner: I,
-    cache: Mutex<LruCache<Vec<Neighbor>>>,
+    cache: Mutex<AnswerCache<Vec<Neighbor>>>,
+    policy: CachePolicy,
     counters: Arc<CacheCounters>,
 }
 
@@ -256,17 +593,33 @@ impl<I: SearchIndex> CachedIndex<I>
 where
     I::Query: CacheKey,
 {
-    /// Wraps `inner` with a cache of at most `capacity` answers.
+    /// Wraps `inner` with a cache of at most `capacity` answers under the
+    /// default policy ([`CachePolicy::TinyLfu`]).
     ///
     /// # Panics
     /// Panics if `capacity` is zero (see [`LruCache::new`]); to serve
     /// uncached, hand the engine the bare index instead.
     pub fn new(inner: I, capacity: usize) -> Self {
+        Self::with_policy(inner, capacity, CachePolicy::default())
+    }
+
+    /// Wraps `inner` with an explicit replacement policy — the A/B switch
+    /// between plain LRU and TinyLFU-gated segmented LRU.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_policy(inner: I, capacity: usize, policy: CachePolicy) -> Self {
         Self {
             inner,
-            cache: Mutex::new(LruCache::new(capacity)),
+            cache: Mutex::new(AnswerCache::new(capacity, policy)),
+            policy,
             counters: Arc::new(CacheCounters::default()),
         }
+    }
+
+    /// The replacement policy this cache runs.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
     }
 
     /// The wrapped index.
@@ -321,10 +674,12 @@ where
         }
         self.counters.record_misses(1);
         let (answer, evals) = self.inner.search(query, k);
-        self.cache
+        let admitted = self
+            .cache
             .lock()
             .expect("cache lock poisoned")
             .insert(key, answer.clone());
+        self.counters.record_admission(admitted);
         (answer, evals)
     }
 
@@ -366,7 +721,8 @@ where
             let mut cache = self.cache.lock().expect("cache lock poisoned");
             for ((&i, answer), flag) in miss_positions.iter().zip(answers).zip(flags) {
                 if !flag {
-                    cache.insert(Self::key_of(queries[i], k), answer.clone());
+                    let admitted = cache.insert(Self::key_of(queries[i], k), answer.clone());
+                    self.counters.record_admission(admitted);
                 }
                 degraded[i] = flag;
                 results[i] = Some(answer);
@@ -428,6 +784,120 @@ mod tests {
     #[should_panic(expected = "capacity must be at least 1")]
     fn zero_capacity_is_rejected() {
         let _ = LruCache::<u32>::new(0);
+    }
+
+    #[test]
+    fn sketch_counts_and_ages() {
+        let mut sketch = FrequencySketch::new(4);
+        assert_eq!(sketch.frequency(b"x"), 0);
+        for _ in 0..3 {
+            sketch.increment(b"x");
+        }
+        assert!(sketch.frequency(b"x") >= 3); // count-min over-estimates only
+        for _ in 0..100 {
+            sketch.increment(b"x");
+        }
+        assert_eq!(sketch.frequency(b"x"), 15, "counters saturate at 15");
+        sketch.age();
+        assert_eq!(sketch.frequency(b"x"), 7, "aging halves every counter");
+        // The sample window (10× capacity) triggers aging automatically.
+        let mut small = FrequencySketch::new(1);
+        for _ in 0..10 {
+            small.increment(b"y");
+        }
+        assert!(small.frequency(b"y") <= 7, "window aging halved the count");
+    }
+
+    #[test]
+    fn tinylfu_scan_resistance_protects_the_hot_set() {
+        let mut cache = TinyLfuCache::new(10);
+        let hot: Vec<Vec<u8>> = (0..5u8).map(|i| vec![b'h', i]).collect();
+        for key in &hot {
+            assert!(cache.insert(key.clone(), 1u32));
+            cache.get(key); // second touch → promoted to protected
+        }
+        for i in 0..5u8 {
+            assert!(cache.insert(vec![b'f', i], 2)); // cold fillers → probation
+        }
+        assert_eq!(cache.len(), 10);
+        // A one-pass scan of one-hit wonders (short enough to stay inside
+        // one sketch sample window): a candidate seen once cannot
+        // *strictly* beat the probation victim's frequency, so scan keys
+        // bounce off — modulo the odd count-min collision that inflates a
+        // candidate's estimate — and the cache never grows. Admitted
+        // collisions can only displace probation fillers; the protected
+        // hot set is untouchable by a scan.
+        let rejected = (0..50u32)
+            .filter(|i| !cache.insert(i.to_le_bytes().to_vec(), 3))
+            .count();
+        assert!(rejected >= 40, "only {rejected}/50 scan keys bounced off");
+        assert_eq!(cache.len(), 10);
+        for key in &hot {
+            assert_eq!(cache.get(key), Some(&1), "hot set survived the scan");
+        }
+        // Contrast: plain LRU loses the hot set to the same scan.
+        let mut lru = LruCache::new(10);
+        for key in &hot {
+            lru.insert(key.clone(), 1u32);
+            lru.get(key);
+        }
+        for i in 0..50u32 {
+            lru.insert(i.to_le_bytes().to_vec(), 3);
+        }
+        assert!(hot.iter().all(|key| lru.get(key).is_none()));
+    }
+
+    #[test]
+    fn tinylfu_rerequested_keys_earn_admission() {
+        let mut cache = TinyLfuCache::new(2);
+        assert!(cache.insert(b"a".to_vec(), 1u32));
+        assert!(cache.insert(b"b".to_vec(), 2));
+        // New key at capacity, seen once: tie with the victim → rejected.
+        assert!(!cache.insert(b"c".to_vec(), 3));
+        assert_eq!(cache.get(b"c"), None);
+        // Each retry raises c's sketch frequency; soon it beats the
+        // victim and replaces it.
+        assert!(cache.insert(b"c".to_vec(), 3));
+        assert_eq!(cache.get(b"c"), Some(&3));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn tinylfu_capacity_one_has_no_protected_segment() {
+        let mut cache = TinyLfuCache::new(1);
+        assert!(cache.insert(b"x".to_vec(), 1u32));
+        assert_eq!(cache.get(b"x"), Some(&1));
+        assert_eq!(cache.get(b"x"), Some(&1));
+        assert!(!cache.insert(b"y".to_vec(), 2), "x is far more popular");
+        assert_eq!(cache.get(b"y"), None);
+        assert!(cache.insert(b"x".to_vec(), 10), "refresh always admits");
+        assert_eq!(cache.get(b"x"), Some(&10));
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn tinylfu_promotion_demotes_protected_overflow_without_eviction() {
+        // Capacity 5 → protected 4. Promote all five one after another:
+        // the fifth promotion overflows protected, demoting its LRU back
+        // to probation — nothing ever leaves the cache.
+        let mut cache = TinyLfuCache::new(5);
+        for i in 0..5u8 {
+            cache.insert(vec![i], u32::from(i));
+        }
+        for i in 0..5u8 {
+            assert_eq!(cache.get(&[i]), Some(&u32::from(i)));
+        }
+        assert_eq!(cache.len(), 5);
+        for i in 0..5u8 {
+            assert_eq!(cache.get(&[i]), Some(&u32::from(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn tinylfu_zero_capacity_is_rejected() {
+        let _ = TinyLfuCache::<u32>::new(0);
     }
 
     #[test]
@@ -498,5 +968,77 @@ mod tests {
         let (batch2, evals2) = cached.search_batch(&queries, 1);
         assert_eq!(batch2, batch);
         assert_eq!(evals2, 0);
+    }
+
+    #[test]
+    fn admission_counters_track_policy_decisions() {
+        // Capacity 2 under TinyLFU: the third distinct query is refused
+        // (tie with the victim), but re-asking it earns admission.
+        let cached = CachedIndex::with_policy(toy_index(), 2, CachePolicy::TinyLfu);
+        assert_eq!(cached.policy(), CachePolicy::TinyLfu);
+        let a = vec![1.0f32, 1.0, 0.1];
+        let b = vec![9.0f32, 2.0, 0.7];
+        let c = vec![4.0f32, 8.0, 1.3];
+        cached.search(&a, 1);
+        cached.search(&b, 1);
+        let counters = cached.counters();
+        assert_eq!((counters.admitted(), counters.rejected()), (2, 0));
+        let (first_c, _) = cached.search(&c, 1);
+        assert_eq!((counters.admitted(), counters.rejected()), (2, 1));
+        // The rejected answer was still correct, just not remembered.
+        let (again_c, evals_again) = cached.search(&c, 1);
+        assert_eq!(first_c, again_c);
+        assert!(evals_again > 0, "c was not cached the first time");
+        assert_eq!((counters.admitted(), counters.rejected()), (3, 1));
+        let (_, evals_hit) = cached.search(&c, 1);
+        assert_eq!(evals_hit, 0, "second ask admitted c");
+
+        // The collector exports the admission family.
+        let samples = rbc_trace::Collector::collect(&*counters);
+        let find = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing sample {name}"))
+                .value
+                .clone()
+        };
+        assert_eq!(
+            find("rbc_cache_admission_admitted_total"),
+            rbc_trace::MetricValue::Counter(3)
+        );
+        assert_eq!(
+            find("rbc_cache_admission_rejected_total"),
+            rbc_trace::MetricValue::Counter(1)
+        );
+
+        // The LRU baseline admits unconditionally.
+        let baseline = CachedIndex::with_policy(toy_index(), 2, CachePolicy::Lru);
+        assert_eq!(baseline.policy(), CachePolicy::Lru);
+        for q in [&a, &b, &c] {
+            baseline.search(q, 1);
+        }
+        assert_eq!(baseline.counters().admitted(), 3);
+        assert_eq!(baseline.counters().rejected(), 0);
+    }
+
+    #[test]
+    fn policies_serve_identical_answers() {
+        let tinylfu = CachedIndex::with_policy(toy_index(), 4, CachePolicy::TinyLfu);
+        let lru = CachedIndex::with_policy(toy_index(), 4, CachePolicy::Lru);
+        let bare = toy_index();
+        // More distinct queries than capacity, repeated: the policies
+        // cache different subsets but must serve the same answers.
+        let queries: Vec<Vec<f32>> = (0..8)
+            .map(|i| vec![i as f32 * 1.7, (8 - i) as f32 * 0.9, i as f32 * 0.05])
+            .collect();
+        for round in 0..3 {
+            for q in &queries {
+                let k = 1 + round % 2;
+                let (want, _) = bare.search(q, k);
+                assert_eq!(tinylfu.search(q, k).0, want);
+                assert_eq!(lru.search(q, k).0, want);
+            }
+        }
     }
 }

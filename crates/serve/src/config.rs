@@ -36,6 +36,17 @@ pub struct ServeConfig {
     /// batches independently, so batch formation never stalls behind a
     /// slow execution.
     pub workers: usize,
+    /// Number of independent submission-queue shards. `1` (the default)
+    /// is a single mutex-guarded queue; larger values spread producers
+    /// over shards (round-robin home affinity per handle, spilling to
+    /// siblings when the home shard is full) and let workers steal
+    /// batches from foreign shards when their home shard is quiet, so
+    /// heavy producer concurrency stops serialising on one queue lock.
+    /// Capacity is split `ceil(queue_capacity / queue_shards)` per shard
+    /// and the size-or-linger/deadline/backpressure contract holds per
+    /// shard. A sensible setting is the expected number of concurrent
+    /// producers, capped by a small multiple of `workers`.
+    pub queue_shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +57,7 @@ impl Default for ServeConfig {
             adaptive_linger: false,
             queue_capacity: 1024,
             workers: 2,
+            queue_shards: 1,
         }
     }
 }
@@ -87,6 +99,14 @@ impl ServeConfig {
         self
     }
 
+    /// Overrides the submission-queue shard count (see
+    /// [`queue_shards`](Self::queue_shards)).
+    #[must_use]
+    pub fn with_queue_shards(mut self, queue_shards: usize) -> Self {
+        self.queue_shards = queue_shards;
+        self
+    }
+
     /// Checks the configuration for degenerate values.
     ///
     /// A zero `max_batch`, `queue_capacity` or `workers` would make the
@@ -108,6 +128,11 @@ impl ServeConfig {
         if self.workers == 0 {
             return Err(ServeError::InvalidConfig(
                 "ServeConfig::workers must be at least 1 (got 0)".into(),
+            ));
+        }
+        if self.queue_shards == 0 {
+            return Err(ServeError::InvalidConfig(
+                "ServeConfig::queue_shards must be at least 1 (got 0)".into(),
             ));
         }
         Ok(())
@@ -170,6 +195,7 @@ mod tests {
                 "queue_capacity",
             ),
             (ServeConfig::default().with_workers(0), "workers"),
+            (ServeConfig::default().with_queue_shards(0), "queue_shards"),
         ];
         for (config, field) in cases {
             match config.validate() {
@@ -188,13 +214,16 @@ mod tests {
             .with_linger(Duration::from_micros(300))
             .with_adaptive_linger(true)
             .with_queue_capacity(9)
-            .with_workers(3);
+            .with_workers(3)
+            .with_queue_shards(4);
         assert_eq!(c.max_batch, 7);
         assert_eq!(c.linger, Duration::from_micros(300));
         assert!(c.adaptive_linger);
         assert!(!ServeConfig::default().adaptive_linger);
         assert_eq!(c.queue_capacity, 9);
         assert_eq!(c.workers, 3);
+        assert_eq!(c.queue_shards, 4);
+        assert_eq!(ServeConfig::default().queue_shards, 1);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use rbc_core::SearchIndex;
 
 use crate::config::{ServeConfig, ServeError};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
-use crate::queue::{Request, SubmitQueue};
+use crate::queue::{Request, ShardedQueue};
 use crate::ticket::{ServeReply, Ticket};
 
 /// A cloneable producer handle onto a running [`Engine`].
@@ -33,10 +33,19 @@ use crate::ticket::{ServeReply, Ticket};
 /// `O` is the *owned* query payload (`Vec<f32>`, `String`, …); it only
 /// needs to [`Borrow`] the index's borrowed query type, so producers hand
 /// over their buffers and the scheduler coalesces them without copying.
+///
+/// Each handle carries its own **home shard** of the submission queue
+/// (dealt round-robin at creation, including on [`Clone`]), so concurrent
+/// producers that each hold their own handle spread over the shards
+/// instead of contending on one queue lock. With
+/// [`queue_shards`](ServeConfig::queue_shards)` = 1` every handle homes
+/// on the single shard and behaviour matches the unsharded engine.
 #[derive(Debug)]
 pub struct ServeHandle<O> {
-    queue: Arc<SubmitQueue<O>>,
+    queue: Arc<ShardedQueue<O>>,
     metrics: Arc<ServeMetrics>,
+    /// This producer's home shard.
+    home: usize,
 }
 
 impl<O> Clone for ServeHandle<O> {
@@ -44,6 +53,10 @@ impl<O> Clone for ServeHandle<O> {
         Self {
             queue: Arc::clone(&self.queue),
             metrics: Arc::clone(&self.metrics),
+            // A fresh affinity, not the parent's: cloning is how
+            // producer threads get their handles, and giving every clone
+            // the same home shard would re-serialise them.
+            home: self.queue.assign_home(),
         }
     }
 }
@@ -81,9 +94,9 @@ impl<O> ServeHandle<O> {
         // concurrent snapshot would read completed > submitted.
         self.metrics.record_submitted();
         let pushed = if blocking {
-            self.queue.push(request)
+            self.queue.push(self.home, request)
         } else {
-            self.queue.try_push(request)
+            self.queue.try_push(self.home, request)
         };
         match pushed {
             Ok(()) => Ok(ticket),
@@ -142,7 +155,7 @@ impl<O> ServeHandle<O> {
 #[derive(Debug)]
 pub struct Engine<I, O> {
     index: Arc<I>,
-    queue: Arc<SubmitQueue<O>>,
+    queue: Arc<ShardedQueue<O>>,
     metrics: Arc<ServeMetrics>,
     workers: Vec<JoinHandle<()>>,
     config: ServeConfig,
@@ -158,8 +171,14 @@ where
     pub fn start(index: I, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
         let index = Arc::new(index);
-        let queue = Arc::new(SubmitQueue::new(config.queue_capacity));
+        let queue = Arc::new(ShardedQueue::new(
+            config.queue_shards,
+            config.queue_capacity,
+        ));
         let metrics = Arc::new(ServeMetrics::new(config.max_batch));
+        // Expose the queue's per-shard accounting through the metrics
+        // sink (snapshots and the `rbc_serve_queue_shard_*` family).
+        metrics.track_queue(Arc::clone(&queue) as _);
         // Publish this engine's metrics (and whatever cache/cluster
         // counters get tracked later) through the global trace registry,
         // so one exposition endpoint covers every layer. The slot is
@@ -171,10 +190,14 @@ where
                 let index = Arc::clone(&index);
                 let queue = Arc::clone(&queue);
                 let metrics = Arc::clone(&metrics);
+                // Workers spread over the shards by id; each drains its
+                // home shard first and steals from the others when idle.
+                let home = worker_id % queue.shard_count();
                 std::thread::Builder::new()
                     .name(format!("rbc-serve-{worker_id}"))
                     .spawn(move || {
                         while let Some(batch) = queue.next_batch(
+                            home,
                             config.max_batch,
                             config.linger,
                             config.adaptive_linger,
@@ -194,11 +217,13 @@ where
         })
     }
 
-    /// A new producer handle; clone it freely across threads.
+    /// A new producer handle; clone it freely across threads (every
+    /// handle — original or clone — gets its own queue-shard affinity).
     pub fn handle(&self) -> ServeHandle<O> {
         ServeHandle {
             queue: Arc::clone(&self.queue),
             metrics: Arc::clone(&self.metrics),
+            home: self.queue.assign_home(),
         }
     }
 
@@ -664,6 +689,51 @@ mod tests {
         let moved: u64 = snapshot.node_loads.iter().map(|l| l.bytes_total()).sum();
         assert!(routed > 0, "no query ever reached a shard");
         assert!(moved > 0, "no bytes accounted on any link");
+    }
+
+    #[test]
+    fn a_sharded_queue_serves_concurrent_producers_correctly() {
+        let engine = toy_engine(
+            ServeConfig::default()
+                .with_workers(2)
+                .with_queue_shards(4)
+                .with_linger(Duration::from_micros(200)),
+        );
+        let handle = engine.handle();
+        let queries = cloud(32, 4, 13);
+        // Eight producer threads, each with its own cloned handle (and
+        // hence its own home shard), submitting four queries each.
+        std::thread::scope(|scope| {
+            for producer in 0..8 {
+                let handle = handle.clone();
+                let queries = &queries;
+                let index = engine.index();
+                scope.spawn(move || {
+                    for j in 0..4 {
+                        let qi = producer * 4 + j;
+                        let reply = handle
+                            .submit(queries.point(qi).to_vec(), 3)
+                            .unwrap()
+                            .wait()
+                            .expect("served");
+                        let (direct, _) = index.query_k(queries.point(qi), 3);
+                        assert_eq!(reply.neighbors, direct, "query {qi}");
+                    }
+                });
+            }
+        });
+        let snapshot = engine.shutdown();
+        assert_eq!(snapshot.completed, 32);
+        assert_eq!(snapshot.shed, 0);
+        assert_eq!(snapshot.failed, 0);
+        // Per-shard accounting must cover every submission and spread
+        // over more than one shard (9 handles round-robin over 4 shards).
+        assert_eq!(snapshot.queue_shards.len(), 4);
+        let pushed: u64 = snapshot.queue_shards.iter().map(|s| s.pushed).sum();
+        assert_eq!(pushed, 32);
+        let active = snapshot.queue_shards.iter().filter(|s| s.pushed > 0).count();
+        assert!(active > 1, "all submissions landed on one shard");
+        assert!(snapshot.queue_shards.iter().all(|s| s.depth == 0));
     }
 
     #[test]

@@ -73,10 +73,12 @@ pub mod metrics;
 mod queue;
 pub mod ticket;
 
-pub use cache::{CacheCounters, CacheKey, CachedIndex, LruCache};
+pub use cache::{CacheCounters, CacheKey, CachePolicy, CachedIndex, LruCache, TinyLfuCache};
 pub use config::{ServeConfig, ServeError};
 pub use engine::{Engine, ServeHandle};
-pub use metrics::{BatchSizeBucket, LatencyHistogram, MetricsSnapshot, ServeMetrics};
+pub use metrics::{
+    BatchSizeBucket, LatencyHistogram, MetricsSnapshot, QueueShardSnapshot, ServeMetrics,
+};
 pub use ticket::{ServeReply, Ticket};
 
 // Re-exported so downstream code can name the trait bound without adding

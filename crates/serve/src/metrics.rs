@@ -16,6 +16,48 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheCounters;
 
+/// Point-in-time accounting for one submission-queue shard, as reported
+/// by [`ShardedQueue::shard_snapshots`](crate::queue::ShardedQueue) and
+/// surfaced in [`MetricsSnapshot::queue_shards`] and the
+/// `rbc_serve_queue_shard_*` metric family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueShardSnapshot {
+    /// Shard index (the `shard` label of the exported series).
+    pub shard: usize,
+    /// Requests this shard accepted.
+    pub pushed: u64,
+    /// Of those, requests that spilled here because the producer's home
+    /// shard was full — persistent spill means home shards are undersized
+    /// or producer affinity is badly skewed.
+    pub spilled: u64,
+    /// Batches drained from this shard by a worker homed elsewhere — the
+    /// work-stealing traffic.
+    pub stolen: u64,
+    /// Requests pending on this shard right now (a gauge, not a counter).
+    pub depth: u64,
+}
+
+/// A source of per-shard queue accounting that [`ServeMetrics`] can poll
+/// at snapshot/collect time. Object-safe so the metrics sink does not
+/// need the queue's payload type parameter.
+pub(crate) trait QueueProbe: Send + Sync {
+    /// Current per-shard accounting, one entry per shard.
+    fn shard_snapshots(&self) -> Vec<QueueShardSnapshot>;
+}
+
+/// The tracked queue slot, opaque in `Debug` output (the probe's payload
+/// type need not be `Debug`).
+#[derive(Default)]
+struct TrackedQueue(Option<Arc<dyn QueueProbe>>);
+
+impl std::fmt::Debug for TrackedQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("TrackedQueue")
+            .field(&self.0.as_ref().map(|_| "..."))
+            .finish()
+    }
+}
+
 /// Locks `mutex`, recovering the data if a panicking worker poisoned it.
 /// Metrics are monotone counters and histograms — every individual write
 /// leaves them consistent — so serving a snapshot after a worker panic is
@@ -159,6 +201,10 @@ pub struct ServeMetrics {
     /// (`DistributedRbc`) index and registered it; `None` means snapshots
     /// report no node loads.
     cluster: Mutex<Option<Arc<ClusterLoad>>>,
+    /// The engine's sharded submission queue, polled at snapshot and
+    /// collect time for per-shard accounting; `None` means snapshots
+    /// report no queue shards.
+    queue: Mutex<TrackedQueue>,
 }
 
 impl ServeMetrics {
@@ -178,6 +224,7 @@ impl ServeMetrics {
             latency: Mutex::new(LatencyHistogram::default()),
             cache: Mutex::new(None),
             cluster: Mutex::new(None),
+            queue: Mutex::new(TrackedQueue::default()),
         }
     }
 
@@ -194,6 +241,13 @@ impl ServeMetrics {
     /// tracked cluster.
     pub fn track_cluster(&self, load: Arc<ClusterLoad>) {
         *recover(&self.cluster) = Some(load);
+    }
+
+    /// Registers the engine's submission queue so snapshots and the
+    /// collector report per-shard push/spill/steal counters and depths.
+    /// Replaces any previously tracked queue.
+    pub(crate) fn track_queue(&self, queue: Arc<dyn QueueProbe>) {
+        recover(&self.queue).0 = Some(queue);
     }
 
     pub(crate) fn record_submitted(&self) {
@@ -277,6 +331,10 @@ impl ServeMetrics {
             (load.mean_replication(), load.storage_overhead())
         });
         drop(cluster);
+        let queue_shards = recover(&self.queue)
+            .0
+            .as_ref()
+            .map_or_else(Vec::new, |queue| queue.shard_snapshots());
         MetricsSnapshot {
             uptime_secs: uptime.as_secs_f64(),
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -312,6 +370,7 @@ impl ServeMetrics {
             lost_groups,
             mean_replication,
             storage_overhead,
+            queue_shards,
         }
     }
 }
@@ -358,6 +417,27 @@ impl Collector for ServeMetrics {
             labels: Vec::new(),
             value: MetricValue::Histogram(recover(&self.latency).trace_snapshot()),
         });
+        if let Some(queue) = recover(&self.queue).0.as_ref() {
+            for shard in queue.shard_snapshots() {
+                let label = shard.shard.to_string();
+                out.push(
+                    MetricSample::counter("rbc_serve_queue_shard_pushed_total", shard.pushed)
+                        .with_label("shard", label.clone()),
+                );
+                out.push(
+                    MetricSample::counter("rbc_serve_queue_shard_spilled_total", shard.spilled)
+                        .with_label("shard", label.clone()),
+                );
+                out.push(
+                    MetricSample::counter("rbc_serve_queue_shard_stolen_total", shard.stolen)
+                        .with_label("shard", label.clone()),
+                );
+                out.push(
+                    MetricSample::gauge("rbc_serve_queue_shard_depth", shard.depth as f64)
+                        .with_label("shard", label),
+                );
+            }
+        }
         if let Some(cache) = recover(&self.cache).as_ref() {
             out.extend(cache.collect());
         }
@@ -449,6 +529,14 @@ pub struct MetricsSnapshot {
     /// Stored points over primary points of the served placement (1.0 =
     /// no replica storage; 0.0 when no cluster is tracked).
     pub storage_overhead: f64,
+    /// Per-shard submission-queue accounting — one record per queue
+    /// shard (push/spill/steal counters and current depth), so producer
+    /// skew and work-stealing traffic are observable from the serving
+    /// layer. Empty in snapshots taken before an engine registered its
+    /// queue, and absent from pre-sharding JSON reports (defaults to
+    /// empty on deserialisation).
+    #[serde(default)]
+    pub queue_shards: Vec<QueueShardSnapshot>,
 }
 
 #[cfg(test)]
@@ -714,6 +802,80 @@ mod tests {
         assert_eq!(s.node_loads[1].evals, 100);
         assert_eq!(s.node_loads[1].bytes_total(), 720);
         assert_eq!(s.node_loads[0], NodeLoad::idle(0));
+    }
+
+    /// A stand-in queue probe with fixed per-shard accounting.
+    #[derive(Debug)]
+    struct FakeQueue;
+
+    impl QueueProbe for FakeQueue {
+        fn shard_snapshots(&self) -> Vec<QueueShardSnapshot> {
+            vec![
+                QueueShardSnapshot {
+                    shard: 0,
+                    pushed: 10,
+                    spilled: 0,
+                    stolen: 2,
+                    depth: 1,
+                },
+                QueueShardSnapshot {
+                    shard: 1,
+                    pushed: 7,
+                    spilled: 3,
+                    stolen: 0,
+                    depth: 0,
+                },
+            ]
+        }
+    }
+
+    #[test]
+    fn tracked_queue_shards_flow_into_the_snapshot_and_collector() {
+        let m = ServeMetrics::new(4);
+        assert!(m.snapshot().queue_shards.is_empty());
+        m.track_queue(Arc::new(FakeQueue));
+        let s = m.snapshot();
+        assert_eq!(s.queue_shards.len(), 2);
+        assert_eq!(s.queue_shards[1].pushed, 7);
+        assert_eq!(s.queue_shards[1].spilled, 3);
+        assert_eq!(s.queue_shards[0].stolen, 2);
+        // The snapshot round-trips with the per-shard records included.
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        // Pre-sharding reports lack the field entirely; they must still
+        // deserialise (to an empty shard list).
+        let legacy = json.replace(
+            &format!(
+                ",\"queue_shards\":{}",
+                serde_json::to_string(&s.queue_shards).unwrap()
+            ),
+            "",
+        );
+        assert_ne!(legacy, json, "field should have been stripped");
+        let old: MetricsSnapshot = serde_json::from_str(&legacy).unwrap();
+        assert!(old.queue_shards.is_empty());
+        // The collector exports one labeled series per shard.
+        let samples = m.collect();
+        let pushed: Vec<_> = samples
+            .iter()
+            .filter(|s| s.name == "rbc_serve_queue_shard_pushed_total")
+            .collect();
+        assert_eq!(pushed.len(), 2);
+        assert_eq!(pushed[0].labels, vec![("shard".into(), "0".into())]);
+        assert_eq!(pushed[1].labels, vec![("shard".into(), "1".into())]);
+        assert_eq!(pushed[1].value, MetricValue::Counter(7));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "rbc_serve_queue_shard_spilled_total"));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "rbc_serve_queue_shard_stolen_total"));
+        let depth = samples
+            .iter()
+            .find(|s| s.name == "rbc_serve_queue_shard_depth")
+            .expect("depth gauge exported");
+        assert_eq!(depth.value, MetricValue::Gauge(1.0));
     }
 
     #[test]

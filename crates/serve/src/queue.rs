@@ -15,12 +15,26 @@
 //! (`gap × free slots`), capped by the configured linger. Heavy traffic
 //! thus dispatches the moment further waiting stops buying co-travellers,
 //! instead of taxing every batch with the full SLO.
+//!
+//! Under heavy producer concurrency a single queue serialises every
+//! submission on one lock, so [`ShardedQueue`] spreads the pending set
+//! over N independent [`SubmitQueue`] shards: each producer handle gets a
+//! **home shard** (round-robin affinity at handle creation) and only
+//! spills to siblings when its home is full; each worker drains its home
+//! shard first and **steals** batches from the others when its home is
+//! quiet. Every shard keeps the full size-or-linger contract — deadlines,
+//! backpressure and the adaptive linger all apply per shard — and one
+//! shared [`Doorbell`] wakes sleeping workers whichever shard an arrival
+//! lands on, so no request can linger past its shard's effective linger
+//! just because the "wrong" worker was asleep.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::config::ServeError;
+use crate::metrics::QueueShardSnapshot;
 use crate::ticket::TicketCell;
 
 /// Smoothing factor of the inter-arrival EWMA: each new gap contributes a
@@ -42,6 +56,77 @@ pub(crate) struct Request<O> {
     pub submitted_at: Instant,
     /// Completion slot shared with the producer's [`Ticket`](crate::Ticket).
     pub ticket: Arc<TicketCell>,
+}
+
+/// A wakeup channel shared by every shard of a queue: pushes and closes
+/// ring it, and a worker that found nothing dispatchable anywhere sleeps
+/// on it instead of on any single shard's state lock.
+///
+/// The sequence number makes the sleep race-free: a worker reads the
+/// sequence *before* scanning the shards, so an arrival that lands while
+/// it scans bumps the sequence and [`wait_past`](Self::wait_past) returns
+/// immediately instead of missing the wakeup.
+#[derive(Debug, Default)]
+pub(crate) struct Doorbell {
+    seq: Mutex<u64>,
+    bell: Condvar,
+}
+
+impl Doorbell {
+    /// The current ring count; pass it to
+    /// [`wait_past`](Self::wait_past) to sleep only if nothing has rung
+    /// since this read.
+    fn sequence(&self) -> u64 {
+        *self.seq.lock().expect("doorbell lock poisoned")
+    }
+
+    /// Wakes every sleeping worker.
+    fn ring(&self) {
+        let mut seq = self.seq.lock().expect("doorbell lock poisoned");
+        *seq = seq.wrapping_add(1);
+        self.bell.notify_all();
+    }
+
+    /// Sleeps until the doorbell rings past `seen` or `timeout` elapses
+    /// (`None` waits indefinitely). Spurious wakeups are harmless: every
+    /// caller re-polls its shards on return.
+    fn wait_past(&self, seen: u64, timeout: Option<Duration>) {
+        let start = Instant::now();
+        let mut seq = self.seq.lock().expect("doorbell lock poisoned");
+        while *seq == seen {
+            match timeout {
+                None => {
+                    seq = self.bell.wait(seq).expect("doorbell lock poisoned");
+                }
+                Some(timeout) => {
+                    let waited = start.elapsed();
+                    if waited >= timeout {
+                        return;
+                    }
+                    let (guard, _timed_out) = self
+                        .bell
+                        .wait_timeout(seq, timeout - waited)
+                        .expect("doorbell lock poisoned");
+                    seq = guard;
+                }
+            }
+        }
+    }
+}
+
+/// The outcome of one non-blocking batch poll on a shard.
+#[derive(Debug)]
+pub(crate) enum BatchPoll<O> {
+    /// A batch closed and was drained.
+    Ready(Vec<Request<O>>),
+    /// Requests are pending but the effective linger has not elapsed;
+    /// nothing can close before the returned instant (unless more
+    /// requests arrive, which rings the doorbell).
+    WaitUntil(Instant),
+    /// The shard is open and empty.
+    Empty,
+    /// The shard is closed and fully drained.
+    Closed,
 }
 
 #[derive(Debug)]
@@ -69,19 +154,31 @@ impl<O> State<O> {
     }
 }
 
-/// A bounded MPMC queue of pending requests with batch-closing semantics.
+/// A bounded MPMC queue of pending requests with batch-closing semantics
+/// — one shard of a [`ShardedQueue`], or the whole queue when only one
+/// shard is configured.
 #[derive(Debug)]
 pub(crate) struct SubmitQueue<O> {
     capacity: usize,
     state: Mutex<State<O>>,
-    /// Signalled when `pending` gains an element or the queue closes.
-    not_empty: Condvar,
+    /// Rung when `pending` gains an element or the queue closes; shared
+    /// with the sibling shards of a [`ShardedQueue`] so any worker,
+    /// wherever it sleeps, sees the arrival.
+    doorbell: Arc<Doorbell>,
     /// Signalled when `pending` loses elements (backpressure release).
     not_full: Condvar,
 }
 
 impl<O> SubmitQueue<O> {
+    /// A standalone shard with a private doorbell; production code always
+    /// goes through [`ShardedQueue`], so this is a test-only convenience.
+    #[cfg(test)]
     pub(crate) fn new(capacity: usize) -> Self {
+        Self::with_doorbell(capacity, Arc::new(Doorbell::default()))
+    }
+
+    /// A shard ringing a shared doorbell on every arrival.
+    pub(crate) fn with_doorbell(capacity: usize, doorbell: Arc<Doorbell>) -> Self {
         debug_assert!(capacity > 0, "queue capacity validated by ServeConfig");
         Self {
             capacity,
@@ -91,7 +188,7 @@ impl<O> SubmitQueue<O> {
                 last_arrival: None,
                 ewma_gap_us: None,
             }),
-            not_empty: Condvar::new(),
+            doorbell,
             not_full: Condvar::new(),
         }
     }
@@ -110,7 +207,8 @@ impl<O> SubmitQueue<O> {
         }
         state.observe_arrival(Instant::now());
         state.pending.push_back(request);
-        self.not_empty.notify_one();
+        drop(state);
+        self.doorbell.ring();
         Ok(())
     }
 
@@ -125,44 +223,37 @@ impl<O> SubmitQueue<O> {
         }
         state.observe_arrival(Instant::now());
         state.pending.push_back(request);
-        self.not_empty.notify_one();
+        drop(state);
+        self.doorbell.ring();
         Ok(())
     }
 
-    /// Blocks until a batch can be closed and returns it; `None` once the
-    /// queue is closed *and* drained (worker shutdown signal).
+    /// Attempts to close a batch right now, without ever blocking.
     ///
     /// Closing rule: dispatch when `max_batch` requests are pending, when
     /// the oldest pending request has waited the effective linger, or
     /// unconditionally during shutdown (drain). With `adaptive` set the
     /// effective linger is the expected time to fill the batch at the
     /// observed arrival rate (inter-arrival EWMA × free slots), capped by
-    /// `linger` as the SLO; otherwise it is `linger` itself. Multiple
-    /// workers may close batches concurrently; each call drains at most
-    /// `max_batch` requests.
-    pub(crate) fn next_batch(
+    /// `linger` as the SLO; otherwise it is `linger` itself. Each
+    /// successful poll drains at most `max_batch` requests.
+    pub(crate) fn poll_batch(
         &self,
         max_batch: usize,
         linger: Duration,
         adaptive: bool,
-    ) -> Option<Vec<Request<O>>> {
+    ) -> BatchPoll<O> {
         let mut state = self.state.lock().expect("serve queue lock poisoned");
-        loop {
-            if state.pending.is_empty() {
-                if state.closed {
-                    return None;
-                }
-                state = self
-                    .not_empty
-                    .wait(state)
-                    .expect("serve queue lock poisoned");
-                continue;
-            }
-            if state.pending.len() >= max_batch || state.closed {
-                break;
-            }
-            // Recomputed every wake-up: both the pending count and the
-            // arrival-rate estimate move while we wait.
+        if state.pending.is_empty() {
+            return if state.closed {
+                BatchPoll::Closed
+            } else {
+                BatchPoll::Empty
+            };
+        }
+        if state.pending.len() < max_batch && !state.closed {
+            // Recomputed on every poll: both the pending count and the
+            // arrival-rate estimate move between polls.
             let effective = if adaptive {
                 match state.ewma_gap_us {
                     Some(gap_us) => {
@@ -177,20 +268,46 @@ impl<O> SubmitQueue<O> {
                 linger
             };
             let oldest = state.pending.front().expect("nonempty").submitted_at;
-            let waited = oldest.elapsed();
-            if waited >= effective {
-                break;
+            if oldest.elapsed() < effective {
+                return BatchPoll::WaitUntil(oldest + effective);
             }
-            let (guard, _timeout) = self
-                .not_empty
-                .wait_timeout(state, effective - waited)
-                .expect("serve queue lock poisoned");
-            state = guard;
         }
         let take = state.pending.len().min(max_batch);
         let batch: Vec<Request<O>> = state.pending.drain(..take).collect();
         self.not_full.notify_all();
-        Some(batch)
+        BatchPoll::Ready(batch)
+    }
+
+    /// Blocks until a batch can be closed and returns it; `None` once the
+    /// queue is closed *and* drained (worker shutdown signal). The
+    /// blocking loop around [`poll_batch`](Self::poll_batch): multiple
+    /// workers may close batches concurrently. The engine drives shards
+    /// through [`ShardedQueue::next_batch`]; this single-queue form is
+    /// the same loop without the steal scan, kept for direct use of a
+    /// standalone queue.
+    #[allow(dead_code)]
+    pub(crate) fn next_batch(
+        &self,
+        max_batch: usize,
+        linger: Duration,
+        adaptive: bool,
+    ) -> Option<Vec<Request<O>>> {
+        loop {
+            // Read the doorbell before polling so an arrival that lands
+            // mid-poll is never slept through.
+            let seen = self.doorbell.sequence();
+            match self.poll_batch(max_batch, linger, adaptive) {
+                BatchPoll::Ready(batch) => return Some(batch),
+                BatchPoll::Closed => return None,
+                BatchPoll::Empty => self.doorbell.wait_past(seen, None),
+                BatchPoll::WaitUntil(deadline) => {
+                    let now = Instant::now();
+                    if deadline > now {
+                        self.doorbell.wait_past(seen, Some(deadline - now));
+                    }
+                }
+            }
+        }
     }
 
     /// Closes the queue: further pushes fail with
@@ -198,8 +315,9 @@ impl<O> SubmitQueue<O> {
     pub(crate) fn close(&self) {
         let mut state = self.state.lock().expect("serve queue lock poisoned");
         state.closed = true;
-        self.not_empty.notify_all();
         self.not_full.notify_all();
+        drop(state);
+        self.doorbell.ring();
     }
 
     /// Number of requests currently pending (diagnostic).
@@ -209,6 +327,220 @@ impl<O> SubmitQueue<O> {
             .expect("serve queue lock poisoned")
             .pending
             .len()
+    }
+}
+
+/// Per-shard submission accounting (relaxed atomics; read by the metrics
+/// collector, never on the submit path's critical section).
+#[derive(Debug, Default)]
+struct ShardStats {
+    /// Requests this shard accepted.
+    pushed: AtomicU64,
+    /// Of those, requests whose producer's home shard was full and
+    /// spilled here — persistent spill means home shards are undersized
+    /// or affinity is badly skewed.
+    spilled: AtomicU64,
+    /// Batches drained from this shard by a worker homed elsewhere —
+    /// the work-stealing traffic.
+    stolen: AtomicU64,
+}
+
+/// N [`SubmitQueue`] shards behind one doorbell: per-producer affinity
+/// with spill-on-full, per-worker affinity with batch stealing, and the
+/// full size-or-linger/deadline/backpressure contract per shard.
+///
+/// `shards == 1` degenerates to the single mutex-guarded queue (one
+/// shard, every producer and worker homed on it), which is what
+/// [`ServeConfig::queue_shards`](crate::config::ServeConfig::queue_shards)
+/// defaults to.
+#[derive(Debug)]
+pub(crate) struct ShardedQueue<O> {
+    shards: Vec<SubmitQueue<O>>,
+    stats: Vec<ShardStats>,
+    doorbell: Arc<Doorbell>,
+    /// Round-robin cursor dealing home shards to producer handles.
+    next_home: AtomicUsize,
+}
+
+impl<O> ShardedQueue<O> {
+    /// Creates `shards` shards splitting `capacity` between them (each
+    /// shard gets `ceil(capacity / shards)`, so the queue as a whole
+    /// never holds fewer pending requests than a single queue of the
+    /// same capacity would).
+    pub(crate) fn new(shards: usize, capacity: usize) -> Self {
+        debug_assert!(shards > 0, "shard count validated by ServeConfig");
+        let doorbell = Arc::new(Doorbell::default());
+        let per_shard = capacity.div_ceil(shards).max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| SubmitQueue::with_doorbell(per_shard, Arc::clone(&doorbell)))
+                .collect(),
+            stats: (0..shards).map(|_| ShardStats::default()).collect(),
+            doorbell,
+            next_home: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Deals the next home shard (round-robin) — one per producer handle
+    /// and one per worker, so both sides spread evenly without
+    /// coordination.
+    pub(crate) fn assign_home(&self) -> usize {
+        self.next_home.fetch_add(1, Ordering::Relaxed) % self.shards.len()
+    }
+
+    /// Accounts an accepted push on `shard` (spilled if a non-home shard
+    /// took it).
+    fn record_push(&self, shard: usize, home: usize) {
+        self.stats[shard].pushed.fetch_add(1, Ordering::Relaxed);
+        if shard != home {
+            self.stats[shard].spilled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Enqueues on the home shard, spilling to siblings when it is full
+    /// and blocking on the home shard once every shard is full — the
+    /// same backpressure contract as a single bounded queue.
+    pub(crate) fn push(
+        &self,
+        home: usize,
+        request: Request<O>,
+    ) -> Result<(), (Request<O>, ServeError)> {
+        let n = self.shards.len();
+        let mut request = request;
+        for offset in 0..n {
+            let shard = (home + offset) % n;
+            match self.shards[shard].try_push(request) {
+                Ok(()) => {
+                    self.record_push(shard, home);
+                    return Ok(());
+                }
+                // Shutdown closes every shard at once; report it straight
+                // away rather than probing the siblings.
+                Err((returned, ServeError::Shutdown)) => {
+                    return Err((returned, ServeError::Shutdown))
+                }
+                Err((returned, _full)) => request = returned,
+            }
+        }
+        self.shards[home].push(request).map(|()| {
+            self.record_push(home, home);
+        })
+    }
+
+    /// Non-blocking enqueue: home shard first, then siblings, then
+    /// [`ServeError::QueueFull`] once every shard has refused.
+    pub(crate) fn try_push(
+        &self,
+        home: usize,
+        request: Request<O>,
+    ) -> Result<(), (Request<O>, ServeError)> {
+        let n = self.shards.len();
+        let mut request = request;
+        for offset in 0..n {
+            let shard = (home + offset) % n;
+            match self.shards[shard].try_push(request) {
+                Ok(()) => {
+                    self.record_push(shard, home);
+                    return Ok(());
+                }
+                Err((returned, ServeError::Shutdown)) => {
+                    return Err((returned, ServeError::Shutdown))
+                }
+                Err((returned, _full)) => request = returned,
+            }
+        }
+        Err((request, ServeError::QueueFull))
+    }
+
+    /// Blocks until any shard can close a batch — the worker's home
+    /// shard is polled first, then the others (work stealing) — and
+    /// returns it; `None` once every shard is closed and drained.
+    ///
+    /// When nothing is dispatchable anywhere, the worker sleeps on the
+    /// shared doorbell until the nearest shard linger expires or any
+    /// arrival rings, so the per-shard size-or-linger contract holds no
+    /// matter which worker is awake.
+    pub(crate) fn next_batch(
+        &self,
+        home: usize,
+        max_batch: usize,
+        linger: Duration,
+        adaptive: bool,
+    ) -> Option<Vec<Request<O>>> {
+        let n = self.shards.len();
+        loop {
+            let seen = self.doorbell.sequence();
+            let mut nearest: Option<Instant> = None;
+            let mut closed = 0usize;
+            for offset in 0..n {
+                let shard = (home + offset) % n;
+                match self.shards[shard].poll_batch(max_batch, linger, adaptive) {
+                    BatchPoll::Ready(batch) => {
+                        if shard != home {
+                            self.stats[shard].stolen.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Some(batch);
+                    }
+                    BatchPoll::WaitUntil(deadline) => {
+                        nearest = Some(nearest.map_or(deadline, |d| d.min(deadline)));
+                    }
+                    BatchPoll::Empty => {}
+                    BatchPoll::Closed => closed += 1,
+                }
+            }
+            if closed == n {
+                return None;
+            }
+            match nearest {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if deadline > now {
+                        self.doorbell.wait_past(seen, Some(deadline - now));
+                    }
+                }
+                None => self.doorbell.wait_past(seen, None),
+            }
+        }
+    }
+
+    /// Closes every shard; workers drain what remains and then stop.
+    pub(crate) fn close(&self) {
+        for shard in &self.shards {
+            shard.close();
+        }
+    }
+
+    /// Total requests pending across all shards (diagnostic).
+    pub(crate) fn depth(&self) -> usize {
+        self.shards.iter().map(SubmitQueue::depth).sum()
+    }
+
+    /// Point-in-time per-shard accounting, for metrics snapshots and the
+    /// `rbc_serve_queue_shard_*` exposition.
+    pub(crate) fn shard_snapshots(&self) -> Vec<QueueShardSnapshot> {
+        self.shards
+            .iter()
+            .zip(&self.stats)
+            .enumerate()
+            .map(|(shard, (queue, stats))| QueueShardSnapshot {
+                shard,
+                pushed: stats.pushed.load(Ordering::Relaxed),
+                spilled: stats.spilled.load(Ordering::Relaxed),
+                stolen: stats.stolen.load(Ordering::Relaxed),
+                depth: queue.depth() as u64,
+            })
+            .collect()
+    }
+}
+
+impl<O: Send> crate::metrics::QueueProbe for ShardedQueue<O> {
+    fn shard_snapshots(&self) -> Vec<QueueShardSnapshot> {
+        ShardedQueue::shard_snapshots(self)
     }
 }
 
@@ -377,5 +709,120 @@ mod tests {
         std::thread::sleep(Duration::from_millis(5));
         queue.try_push(request(9)).unwrap();
         assert_eq!(worker.join().unwrap(), Some(1));
+    }
+
+    #[test]
+    fn sharded_pushes_stay_on_the_home_shard_until_it_fills() {
+        let queue = ShardedQueue::new(2, 4); // 2 shards × capacity 2
+        for i in 0..2 {
+            queue.try_push(0, request(i)).unwrap();
+        }
+        let shards = queue.shard_snapshots();
+        assert_eq!(shards[0].pushed, 2);
+        assert_eq!(shards[0].spilled, 0);
+        assert_eq!(shards[1].pushed, 0);
+        // Home shard 0 is now full: the next pushes spill to shard 1.
+        for i in 2..4 {
+            queue.try_push(0, request(i)).unwrap();
+        }
+        let shards = queue.shard_snapshots();
+        assert_eq!(shards[1].pushed, 2);
+        assert_eq!(shards[1].spilled, 2);
+        // All shards full: try_push fails, blocking push would block.
+        let (_, err) = queue.try_push(0, request(9)).unwrap_err();
+        assert_eq!(err, ServeError::QueueFull);
+        assert_eq!(queue.depth(), 4);
+    }
+
+    #[test]
+    fn workers_steal_batches_from_foreign_shards() {
+        let queue = ShardedQueue::new(2, 8);
+        // Everything lands on shard 0; a worker homed on shard 1 must
+        // still drain it (work stealing), and the steal is accounted.
+        for i in 0..3 {
+            queue.try_push(0, request(i)).unwrap();
+        }
+        let batch = queue
+            .next_batch(1, 8, Duration::ZERO, false)
+            .expect("stealable batch");
+        assert_eq!(batch.len(), 3);
+        let shards = queue.shard_snapshots();
+        assert_eq!(shards[0].stolen, 1);
+        assert_eq!(shards[1].stolen, 0);
+        assert_eq!(queue.depth(), 0);
+    }
+
+    #[test]
+    fn sleeping_worker_wakes_on_a_foreign_shard_arrival() {
+        let queue = Arc::new(ShardedQueue::<u32>::new(4, 16));
+        let q2 = Arc::clone(&queue);
+        // Worker homed on shard 3, request arriving on shard 0: the
+        // shared doorbell must wake it across shards.
+        let worker = std::thread::spawn(move || {
+            q2.next_batch(3, 8, Duration::from_millis(1), false)
+                .map(|b| b.len())
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        queue.try_push(0, request(9)).unwrap();
+        assert_eq!(worker.join().unwrap(), Some(1));
+    }
+
+    #[test]
+    fn sharded_close_drains_every_shard_then_signals_shutdown() {
+        let queue = ShardedQueue::new(3, 9);
+        queue.try_push(0, request(1)).unwrap();
+        queue.try_push(1, request(2)).unwrap();
+        queue.try_push(2, request(3)).unwrap();
+        queue.close();
+        let mut drained = 0;
+        while let Some(batch) = queue.next_batch(0, 8, Duration::from_secs(3600), false) {
+            drained += batch.len();
+        }
+        assert_eq!(drained, 3);
+        let (_, err) = queue.try_push(1, request(4)).unwrap_err();
+        assert_eq!(err, ServeError::Shutdown);
+        let (_, err) = queue.push(2, request(5)).unwrap_err();
+        assert_eq!(err, ServeError::Shutdown);
+    }
+
+    #[test]
+    fn home_assignment_deals_shards_round_robin() {
+        let queue = ShardedQueue::<u32>::new(3, 9);
+        let homes: Vec<usize> = (0..6).map(|_| queue.assign_home()).collect();
+        assert_eq!(homes, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(queue.shard_count(), 3);
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_one_queue() {
+        let queue = ShardedQueue::new(1, 2);
+        queue.try_push(0, request(1)).unwrap();
+        queue.try_push(0, request(2)).unwrap();
+        let (_, err) = queue.try_push(0, request(3)).unwrap_err();
+        assert_eq!(err, ServeError::QueueFull);
+        let batch = queue.next_batch(0, 8, Duration::ZERO, false).unwrap();
+        assert_eq!(batch.len(), 2);
+        let shards = queue.shard_snapshots();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].pushed, 2);
+        assert_eq!(shards[0].spilled, 0);
+        assert_eq!(shards[0].stolen, 0);
+    }
+
+    #[test]
+    fn linger_holds_per_shard_even_for_stolen_work() {
+        // A request on a foreign shard with a real linger: the stealing
+        // worker must wait the linger out (WaitUntil path), not spin.
+        let queue = ShardedQueue::new(2, 8);
+        queue.try_push(1, request(5)).unwrap();
+        let start = Instant::now();
+        let batch = queue
+            .next_batch(0, 8, Duration::from_millis(10), false)
+            .expect("open queue");
+        assert_eq!(batch.len(), 1);
+        assert!(
+            start.elapsed() >= Duration::from_millis(9),
+            "stolen batch closed before its shard's linger elapsed"
+        );
     }
 }

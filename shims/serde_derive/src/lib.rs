@@ -14,7 +14,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 /// What the derive input turned out to be.
 enum Input {
     /// A struct with named fields.
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<Field> },
     /// An enum of unit variants and/or struct variants with named fields.
     Enum {
         name: String,
@@ -22,11 +22,20 @@ enum Input {
     },
 }
 
+/// One named field, plus the per-field serde attributes the shim honours.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: on deserialisation a missing field becomes
+    /// `Default::default()` instead of an error (serialisation always
+    /// writes the field, like real serde without `skip_serializing_if`).
+    default: bool,
+}
+
 /// One enum variant: a name, plus field names when it is a struct variant.
 struct Variant {
     name: String,
     /// `None` for a unit variant, `Some(fields)` for a struct variant.
-    fields: Option<Vec<String>>,
+    fields: Option<Vec<Field>>,
 }
 
 /// Parses a `struct`/`enum` definition out of the derive input tokens.
@@ -96,10 +105,28 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
     }
 }
 
+/// Whether an attribute's bracket group is `serde(...)` containing the
+/// bare `default` option.
+fn is_serde_default(group: &proc_macro::Group) -> bool {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
 /// Extracts field names from the brace body of a named-field struct.
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
-    let mut fields = Vec::new();
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields: Vec<Field> = Vec::new();
     let mut expecting_name = true;
+    // Attributes precede the field they apply to.
+    let mut pending_default = false;
     // Angle brackets are plain puncts, not token groups, so a `,` inside
     // `Vec<(A, B)>`-style generic arguments must not end the field.
     let mut angle_depth = 0usize;
@@ -107,8 +134,16 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
     let mut i = 0;
     while i < tokens.len() {
         match &tokens[i] {
-            // Field attribute, e.g. `#[serde(...)]`: skip marker + group.
-            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            // Field attribute, e.g. `#[serde(...)]`: note a `default`
+            // option, then skip marker + group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if is_serde_default(g) {
+                        pending_default = true;
+                    }
+                }
+                i += 2;
+            }
             TokenTree::Ident(id) if expecting_name && id.to_string() == "pub" => {
                 i += 1;
                 // Skip a possible `(crate)` / `(super)` restriction.
@@ -118,7 +153,11 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
                 }
             }
             TokenTree::Ident(id) if expecting_name => {
-                fields.push(id.to_string());
+                fields.push(Field {
+                    name: id.to_string(),
+                    default: pending_default,
+                });
+                pending_default = false;
                 expecting_name = false;
                 i += 1;
             }
@@ -203,6 +242,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let entries: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from({f:?}), \
                          ::serde::Serialize::to_value(&self.{f})),"
@@ -229,10 +269,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         ),
                         Some(fields) => {
                             // Externally tagged: { "Variant": { fields... } }.
-                            let binders = fields.join(", ");
+                            let binders = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let entries: String = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(::std::string::String::from({f:?}), \
                                          ::serde::Serialize::to_value({f})),"
@@ -269,17 +314,31 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Ok(parsed) => parsed,
         Err(message) => return error(&message),
     };
+    // One `name: value,` initialiser reading the field out of `source`; a
+    // `#[serde(default)]` field falls back to `Default::default()` when
+    // the input object lacks it (older reports written before the field
+    // existed), exactly like real serde.
+    fn field_init(f: &Field, source: &str) -> String {
+        let name = &f.name;
+        if f.default {
+            format!(
+                "{name}: match ::serde::object_field({source}, {name:?}) {{\
+                     ::std::result::Result::Ok(field) => \
+                         ::serde::Deserialize::from_value(field)?,\
+                     ::std::result::Result::Err(_) => \
+                         ::std::default::Default::default(),\
+                 }},"
+            )
+        } else {
+            format!(
+                "{name}: ::serde::Deserialize::from_value(\
+                 ::serde::object_field({source}, {name:?})?)?,"
+            )
+        }
+    }
     let code = match parsed {
         Input::Struct { name, fields } => {
-            let inits: String = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(\
-                         ::serde::object_field(v, {f:?})?)?,"
-                    )
-                })
-                .collect();
+            let inits: String = fields.iter().map(|f| field_init(f, "v")).collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_value(v: &::serde::Value) \
@@ -302,15 +361,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 .iter()
                 .filter_map(|v| v.fields.as_ref().map(|fields| (&v.name, fields)))
                 .map(|(vname, fields)| {
-                    let inits: String = fields
-                        .iter()
-                        .map(|f| {
-                            format!(
-                                "{f}: ::serde::Deserialize::from_value(\
-                                 ::serde::object_field(inner, {f:?})?)?,"
-                            )
-                        })
-                        .collect();
+                    let inits: String = fields.iter().map(|f| field_init(f, "inner")).collect();
                     format!(
                         "if let ::std::option::Option::Some(inner) = v.get({vname:?}) {{\n\
                              return ::std::result::Result::Ok({name}::{vname} {{ {inits} }});\n\
